@@ -1,0 +1,97 @@
+// Command melissa-client runs one ensemble member: it solves the heat
+// equation for sampled (or explicit) parameters and streams every computed
+// time step to the training server whose rank addresses are published in
+// -addr-file. This is the standalone-process counterpart of the in-process
+// clients the launcher spawns.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"melissa/internal/client"
+	"melissa/internal/sampling"
+	"melissa/internal/solver"
+)
+
+func main() {
+	var (
+		id       = flag.Int("id", 0, "client / simulation id (also selects sampled parameters)")
+		gridN    = flag.Int("grid", 16, "solver grid side")
+		steps    = flag.Int("steps", 20, "time steps to produce")
+		dt       = flag.Float64("dt", 0.01, "seconds per time step")
+		workers  = flag.Int("workers", 1, "solver domain partitions")
+		addrFile = flag.String("addr-file", "melissa-addrs.txt", "file with server rank addresses")
+		seed     = flag.Uint64("seed", 2023, "experimental-design seed (must match the ensemble)")
+		design   = flag.String("design", "monte-carlo", "monte-carlo|latin-hypercube|halton")
+		restart  = flag.Int("restart", 0, "restart count (server discards replayed steps)")
+		ckptDir  = flag.String("checkpoint-dir", "", "resume from solver checkpoints in this directory")
+		tic      = flag.Float64("tic", -1, "explicit initial temperature (overrides the design)")
+		tx1      = flag.Float64("tx1", -1, "explicit boundary x=0")
+		ty1      = flag.Float64("ty1", -1, "explicit boundary y=0")
+		tx2      = flag.Float64("tx2", -1, "explicit boundary x=L")
+		ty2      = flag.Float64("ty2", -1, "explicit boundary y=L")
+	)
+	flag.Parse()
+
+	data, err := os.ReadFile(*addrFile)
+	if err != nil {
+		fatal(fmt.Errorf("reading %s (is the server running?): %w", *addrFile, err))
+	}
+	var addrs []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			addrs = append(addrs, line)
+		}
+	}
+
+	var params solver.Params
+	if *tic >= 0 {
+		params = solver.Params{TIC: *tic, Tx1: *tx1, Ty1: *ty1, Tx2: *tx2, Ty2: *ty2}
+	} else {
+		// Re-derive this client's parameters from the shared seeded
+		// design: draw and discard the first id points.
+		s, err := sampling.New(sampling.Kind(*design), 5, *seed, 0)
+		if err != nil {
+			fatal(err)
+		}
+		space := sampling.HeatSpace()
+		var point []float64
+		for i := 0; i <= *id; i++ {
+			point = s.Next()
+		}
+		params, err = solver.ParamsFromVector(space.Scale(point))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	job := client.HeatJob{
+		Client: client.Config{
+			ClientID:          *id,
+			SimID:             *id,
+			ServerAddrs:       addrs,
+			HeartbeatInterval: 2 * time.Second,
+			Restart:           *restart,
+		},
+		Solver: solver.Config{N: *gridN, Steps: *steps, Dt: *dt, Workers: *workers},
+		Params: params,
+	}
+	if *ckptDir != "" {
+		job.Checkpoint = &client.FileCheckpointer{Dir: *ckptDir, Every: 5}
+	}
+	fmt.Printf("melissa-client %d: params %+v, %d steps on %d-rank server\n", *id, params, *steps, len(addrs))
+	if err := client.RunHeat(context.Background(), job); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("melissa-client %d: done\n", *id)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "melissa-client:", err)
+	os.Exit(1)
+}

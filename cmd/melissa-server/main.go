@@ -1,0 +1,129 @@
+// Command melissa-server runs a standalone Melissa training server: it
+// listens for ensemble clients (started separately, e.g. with
+// melissa-client), trains the surrogate online, and writes the weights when
+// the ensemble completes.
+//
+// The rank addresses are published to -addr-file, one per line; clients
+// read that file to connect. Example session:
+//
+//	melissa-server -ranks 2 -clients 4 -grid 16 -steps 20 -out weights.bin &
+//	for i in 0 1 2 3; do melissa-client -id $i -grid 16 -steps 20 & done
+//	wait
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"melissa/internal/buffer"
+	"melissa/internal/core"
+	"melissa/internal/opt"
+	"melissa/internal/server"
+)
+
+func main() {
+	var (
+		ranks     = flag.Int("ranks", 1, "training processes (data-parallel replicas)")
+		clients   = flag.Int("clients", 1, "expected ensemble size (Goodbyes to wait for)")
+		gridN     = flag.Int("grid", 16, "solver grid side (must match clients)")
+		steps     = flag.Int("steps", 20, "time steps per simulation (must match clients)")
+		dt        = flag.Float64("dt", 0.01, "seconds per time step")
+		hidden    = flag.String("hidden", "64,64", "comma-separated hidden layer widths")
+		batch     = flag.Int("batch", 10, "batch size per rank")
+		policy    = flag.String("buffer", "Reservoir", "FIFO|FIRO|Reservoir")
+		capacity  = flag.Int("capacity", 200, "buffer capacity per rank")
+		threshold = flag.Int("threshold", 30, "buffer extraction threshold")
+		seed      = flag.Uint64("seed", 2023, "seed for all stochastic components")
+		addrFile  = flag.String("addr-file", "melissa-addrs.txt", "file to publish rank addresses to")
+		out       = flag.String("out", "", "write trained weights to this file")
+		ckpt      = flag.String("checkpoint", "", "server checkpoint path (enables fault tolerance)")
+		watchdog  = flag.Duration("watchdog", 30*time.Second, "client liveness timeout (0 disables)")
+	)
+	flag.Parse()
+
+	var hiddenDims []int
+	for _, part := range strings.Split(*hidden, ",") {
+		var h int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &h); err != nil || h < 1 {
+			fatal(fmt.Errorf("invalid -hidden %q", *hidden))
+		}
+		hiddenDims = append(hiddenDims, h)
+	}
+
+	norm := core.NewHeatNormalizer(*gridN**gridN, float64(*steps)**dt)
+	cfg := server.Config{
+		Ranks:      *ranks,
+		ListenHost: "127.0.0.1:0",
+		Buffer: buffer.Config{
+			Kind:      buffer.Kind(*policy),
+			Capacity:  *capacity,
+			Threshold: *threshold,
+			Seed:      *seed,
+		},
+		Trainer: core.TrainerConfig{
+			BatchSize: *batch,
+			Model: core.ModelSpec{
+				InputDim:  norm.InputDim(),
+				Hidden:    hiddenDims,
+				OutputDim: norm.OutputDim(),
+				Seed:      *seed,
+			},
+			Normalizer:   norm,
+			LearningRate: 1e-3,
+			Schedule:     opt.PaperSchedule(),
+		},
+		ExpectedClients: *clients,
+		WatchdogTimeout: *watchdog,
+		OnUnresponsive: func(id int32) {
+			fmt.Fprintf(os.Stderr, "melissa-server: client %d unresponsive\n", id)
+		},
+		CheckpointPath: *ckpt,
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *ckpt != "" {
+		if _, statErr := os.Stat(*ckpt); statErr == nil {
+			if err := srv.RestoreCheckpoint(*ckpt); err != nil {
+				fatal(fmt.Errorf("restoring checkpoint: %w", err))
+			}
+			fmt.Println("melissa-server: resumed from checkpoint")
+		}
+	}
+
+	if err := os.WriteFile(*addrFile, []byte(strings.Join(srv.Addrs(), "\n")+"\n"), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("melissa-server: %d rank(s) listening (%s), waiting for %d client(s)\n",
+		*ranks, strings.Join(srv.Addrs(), " "), *clients)
+
+	if err := srv.Run(context.Background()); err != nil {
+		fatal(err)
+	}
+	m := srv.Metrics()
+	fmt.Printf("melissa-server: trained %d batches on %d samples (%d unique), throughput %.1f samples/s\n",
+		m.Batches(), m.Samples(), len(m.Occurrences()), m.Throughput())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := srv.Trainer().Network().SaveWeights(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("melissa-server: weights written to", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "melissa-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,102 @@
+package melissa
+
+// End-to-end test of the standalone binaries: a melissa-server process and
+// several melissa-client processes cooperating over TCP, exactly as a user
+// would run them from a shell.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMultiProcessServerAndClients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs separate processes")
+	}
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "melissa-server")
+	clientBin := filepath.Join(dir, "melissa-client")
+	for bin, pkg := range map[string]string{serverBin: "./cmd/melissa-server", clientBin: "./cmd/melissa-client"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	addrFile := filepath.Join(dir, "addrs.txt")
+	weights := filepath.Join(dir, "weights.bin")
+	const clients = 3
+
+	srv := exec.Command(serverBin,
+		"-ranks", "2", "-clients", fmt.Sprint(clients),
+		"-grid", "8", "-steps", "6", "-batch", "4",
+		"-buffer", "Reservoir", "-capacity", "60", "-threshold", "8",
+		"-addr-file", addrFile, "-out", weights)
+	var srvOut strings.Builder
+	srv.Stdout = &srvOut
+	srv.Stderr = &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// Wait for the server to publish its rank addresses.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && strings.Count(strings.TrimSpace(string(data)), "\n") == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never published addresses; output:\n%s", srvOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Run the ensemble clients concurrently, as separate processes.
+	errCh := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		go func(id int) {
+			out, err := exec.Command(clientBin,
+				"-id", fmt.Sprint(id), "-grid", "8", "-steps", "6",
+				"-addr-file", addrFile).CombinedOutput()
+			if err != nil {
+				err = fmt.Errorf("client %d: %v\n%s", id, err, out)
+			}
+			errCh <- err
+		}(id)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited with %v; output:\n%s", err, srvOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not terminate; output:\n%s", srvOut.String())
+	}
+	if !strings.Contains(srvOut.String(), "trained") {
+		t.Fatalf("server output missing summary:\n%s", srvOut.String())
+	}
+
+	// The written weights load back into a surrogate.
+	s, err := LoadSurrogateFile(weights, 8, 6, 0.01, []int{64, 64}, 2023)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := s.Predict(HeatParams{TIC: 300, TX1: 200, TY1: 400, TX2: 250, TY2: 350}, 0.03)
+	if len(field) != 64 {
+		t.Fatalf("field length %d", len(field))
+	}
+}

@@ -1,0 +1,44 @@
+// Buffer comparison: the paper's central claim at laptop scale. The same
+// ensemble is trained through the FIFO, FIRO and Reservoir buffers; the
+// Reservoir keeps the learner busy by repeating samples when production
+// lags and produces the best validation loss (paper §4.3-4.4, Figure 4).
+//
+//	go run ./examples/buffer-comparison
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"melissa"
+)
+
+func main() {
+	base := melissa.DefaultConfig()
+	base.Simulations = 24
+	base.GridN = 16
+	base.StepsPerSim = 25
+	base.MaxConcurrentClients = 3 // scarce resources: production lags the learner
+	base.Capacity = 150
+	base.Threshold = 25
+	base.ValidationSims = 3
+	base.ValidateEvery = 25
+
+	fmt.Printf("%-10s  %8s  %10s  %14s  %12s\n", "buffer", "batches", "samples", "throughput", "val MSE")
+	for _, policy := range []melissa.BufferPolicy{melissa.FIFO, melissa.FIRO, melissa.Reservoir} {
+		cfg := base
+		cfg.Buffer = policy
+		res, err := melissa.RunOnline(context.Background(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %8d  %10d  %10.1f/s  %12.6f\n",
+			policy, res.Batches, res.Samples, res.Throughput, res.ValidationMSE)
+	}
+	fmt.Println()
+	fmt.Println("FIFO and FIRO see each sample exactly once, so their batch count is")
+	fmt.Println("bounded by data production; the Reservoir re-serves already-seen")
+	fmt.Println("samples whenever the buffer has no fresh data, which multiplies the")
+	fmt.Println("optimization steps and typically lowers the validation loss.")
+}

@@ -1,0 +1,86 @@
+// Pretrain-retrain: the production workflow the paper's conclusion (§5)
+// recommends — "combine pre-training (with the necessary repetitions to
+// tune hyperparameters) from a static reduced dataset and few online
+// re-training at scale with complementary data". A small dataset is
+// generated once and used for offline pre-training (cheap to repeat); the
+// pre-trained surrogate is then re-trained online from a fresh, larger
+// ensemble, and compared against training online from scratch on the same
+// budget.
+//
+//	go run ./examples/pretrain-retrain
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"melissa"
+)
+
+func main() {
+	base := melissa.DefaultConfig()
+	base.GridN = 16
+	base.StepsPerSim = 20
+	base.MaxConcurrentClients = 4
+	base.ValidationSims = 3
+	base.ValidateEvery = 25
+
+	// Phase 1: generate a small static dataset and pre-train offline.
+	dir, err := os.MkdirTemp("", "melissa-pretrain-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	genCfg := base
+	genCfg.Simulations = 10
+	info, err := melissa.GenerateDataset(context.Background(), genCfg, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1: generated %d simulations (%d samples, %.1f MB) in %s\n",
+		info.Simulations, info.Samples, float64(info.Bytes)/1e6, dir)
+
+	pre, err := melissa.TrainOffline(context.Background(), genCfg, dir, 15, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1: offline pre-training over 15 epochs → validation MSE %.5f\n\n", pre.ValidationMSE)
+
+	// Phase 2: online re-training at larger scale, warm-started.
+	onlineCfg := base
+	onlineCfg.Simulations = 30
+	onlineCfg.WarmStart = pre.Surrogate
+	warm, err := melissa.RunOnline(context.Background(), onlineCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Control: the same online budget from a cold start.
+	coldCfg := base
+	coldCfg.Simulations = 30
+	cold, err := melissa.RunOnline(context.Background(), coldCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("phase 2: online re-training on %d fresh simulations\n", onlineCfg.Simulations)
+	fmt.Printf("  warm start (pretrained): validation MSE %.5f (first recorded %.5f)\n",
+		warm.ValidationMSE, firstVal(warm))
+	fmt.Printf("  cold start (scratch):    validation MSE %.5f (first recorded %.5f)\n",
+		cold.ValidationMSE, firstVal(cold))
+	fmt.Println()
+	fmt.Println("warm starts enter online training near the pre-trained loss level,")
+	fmt.Println("so the online phase spends its budget on complementary data instead")
+	fmt.Println("of re-learning the basics — the trade-off §5 describes between")
+	fmt.Println("storage footprint and the computing cost of re-running simulations.")
+}
+
+func firstVal(r *melissa.RunResult) float64 {
+	if len(r.ValidationCurve) == 0 {
+		return 0
+	}
+	return r.ValidationCurve[0].MSE
+}

@@ -1,0 +1,93 @@
+// Surrogate speedup: the downstream use case motivating deep surrogates
+// (paper §1) — once trained, the surrogate answers parameter-sweep queries
+// orders of magnitude faster than the solver. This example trains a
+// surrogate online, then times a 200-configuration design sweep both ways
+// and reports the speedup and accuracy trade-off.
+//
+//	go run ./examples/surrogate-speedup
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"melissa"
+)
+
+func main() {
+	cfg := melissa.DefaultConfig()
+	cfg.Simulations = 40
+	cfg.GridN = 16
+	cfg.StepsPerSim = 20
+	cfg.MaxConcurrentClients = 4
+	cfg.ValidationSims = 2
+
+	fmt.Println("training surrogate online...")
+	start := time.Now()
+	res, err := melissa.RunOnline(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainTime := time.Since(start)
+	fmt.Printf("trained in %v (validation MSE %.5f)\n\n", trainTime.Round(time.Millisecond), res.ValidationMSE)
+
+	// A design sweep: 200 random configurations, field requested at t_final.
+	const sweep = 200
+	rng := rand.New(rand.NewPCG(7, 7))
+	params := make([]melissa.HeatParams, sweep)
+	times := make([]float64, sweep)
+	tFinal := float64(cfg.StepsPerSim) * cfg.Dt
+	for i := range params {
+		params[i] = melissa.HeatParams{
+			TIC: 100 + 400*rng.Float64(),
+			TX1: 100 + 400*rng.Float64(),
+			TY1: 100 + 400*rng.Float64(),
+			TX2: 100 + 400*rng.Float64(),
+			TY2: 100 + 400*rng.Float64(),
+		}
+		times[i] = tFinal
+	}
+
+	// Surrogate: one batched forward pass.
+	start = time.Now()
+	preds, err := res.Surrogate.PredictBatch(params, times)
+	if err != nil {
+		log.Fatal(err)
+	}
+	surrogateTime := time.Since(start)
+
+	// Solver: full time integration per configuration (sampled subset to
+	// keep the example fast; scaled to the full sweep).
+	const solverSubset = 20
+	start = time.Now()
+	var rmseSum float64
+	for i := 0; i < solverSubset; i++ {
+		fields, err := melissa.Solve(params[i], cfg.GridN, cfg.StepsPerSim, cfg.Dt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := fields[len(fields)-1]
+		var mse float64
+		for j := range truth {
+			d := preds[i][j] - truth[j]
+			mse += d * d
+		}
+		rmseSum += math.Sqrt(mse / float64(len(truth)))
+	}
+	solverSubsetTime := time.Since(start)
+	solverFullEstimate := solverSubsetTime * sweep / solverSubset
+
+	fmt.Printf("design sweep of %d configurations (%d×%d field at t=%.2fs):\n", sweep, cfg.GridN, cfg.GridN, tFinal)
+	fmt.Printf("  surrogate (batched):   %12v\n", surrogateTime.Round(time.Microsecond))
+	fmt.Printf("  solver (extrapolated): %12v\n", solverFullEstimate.Round(time.Millisecond))
+	fmt.Printf("  speedup:               %12.0f×\n", float64(solverFullEstimate)/float64(surrogateTime))
+	fmt.Printf("  mean field RMSE:       %12.2f K (on a 100-500 K range)\n", rmseSum/solverSubset)
+	fmt.Println()
+	fmt.Println("amortization: the surrogate pays for its one-off training after")
+	fmt.Printf("≈%.0f solver-equivalent sweeps of this size.\n",
+		float64(trainTime)/float64(solverFullEstimate))
+}

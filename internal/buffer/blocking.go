@@ -1,0 +1,125 @@
+package buffer
+
+import "sync"
+
+// Blocking wraps a Policy with the thread-safe, blocking semantics the live
+// server needs: the data-aggregator goroutine calls Put (blocking while the
+// policy refuses, i.e. the buffer is full), and the training goroutine
+// calls Get or GetBatch (blocking below threshold). It mirrors the
+// lock/wait structure of Algorithm 1.
+type Blocking struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	p        Policy
+}
+
+// NewBlocking wraps p. The wrapper owns p; callers must not touch it
+// directly afterwards except through WithLock.
+func NewBlocking(p Policy) *Blocking {
+	b := &Blocking{p: p}
+	b.notFull = sync.NewCond(&b.mu)
+	b.notEmpty = sync.NewCond(&b.mu)
+	return b
+}
+
+// Put inserts s, blocking while the policy refuses it (buffer full). If
+// reception has ended while waiting — e.g. a cancelled run still has
+// stragglers in flight — the sample is dropped instead of blocking the
+// aggregator forever.
+func (b *Blocking) Put(s Sample) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for !b.p.Put(s) {
+		if b.p.ReceptionOver() {
+			return
+		}
+		b.notFull.Wait()
+	}
+	b.notEmpty.Signal()
+}
+
+// TryPut inserts s without blocking, reporting whether it was accepted.
+func (b *Blocking) TryPut(s Sample) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.p.Put(s) {
+		return false
+	}
+	b.notEmpty.Signal()
+	return true
+}
+
+// Get extracts one sample, blocking until the policy can yield one. It
+// returns ok=false only when the buffer is drained (reception over and
+// empty), which terminates training (§3.2.3: "When the reception is over
+// and the buffer is empty, the training terminates").
+func (b *Blocking) Get() (Sample, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if s, ok := b.p.TryGet(); ok {
+			b.notFull.Signal()
+			return s, true
+		}
+		if b.p.Drained() {
+			return Sample{}, false
+		}
+		b.notEmpty.Wait()
+	}
+}
+
+// GetBatch extracts up to n samples, blocking as needed. It returns
+// ok=false only when the buffer drained before yielding any sample; a
+// shorter final batch is returned with ok=true while draining.
+func (b *Blocking) GetBatch(n int) ([]Sample, bool) {
+	batch := make([]Sample, 0, n)
+	for len(batch) < n {
+		s, ok := b.Get()
+		if !ok {
+			break
+		}
+		batch = append(batch, s)
+	}
+	if len(batch) == 0 {
+		return nil, false
+	}
+	return batch, true
+}
+
+// EndReception lifts thresholds and wakes every waiter so producers and the
+// trainer can observe the final state.
+func (b *Blocking) EndReception() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.p.EndReception()
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+}
+
+// Len reports the current population.
+func (b *Blocking) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.p.Len()
+}
+
+// Drained reports whether the buffer will never yield again.
+func (b *Blocking) Drained() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.p.Drained()
+}
+
+// WithLock runs fn while holding the buffer mutex, excluding concurrent
+// Puts and Gets. The paper's validation protocol uses exactly this: "During
+// validation, new entries in the buffer are blocked by acquiring its mutex"
+// (§4.4), while incoming data accumulate in the transport queue.
+func (b *Blocking) WithLock(fn func(p Policy)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	fn(b.p)
+	// State may have changed (e.g. checkpoint restore refilled it).
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+}

@@ -1,0 +1,173 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIROThresholdGate(t *testing.T) {
+	f := NewFIRO(100, 5, 1)
+	for i := 0; i < 5; i++ {
+		f.Put(mkSample(0, i))
+	}
+	if _, ok := f.TryGet(); ok {
+		t.Fatal("yielded at population == threshold; must exceed it")
+	}
+	f.Put(mkSample(0, 5))
+	if _, ok := f.TryGet(); !ok {
+		t.Fatal("did not yield above threshold")
+	}
+}
+
+func TestFIROThresholdLiftedAtEnd(t *testing.T) {
+	f := NewFIRO(100, 5, 1)
+	f.Put(mkSample(0, 0))
+	if _, ok := f.TryGet(); ok {
+		t.Fatal("yielded below threshold")
+	}
+	f.EndReception()
+	if _, ok := f.TryGet(); !ok {
+		t.Fatal("threshold not lifted after EndReception")
+	}
+	if !f.Drained() {
+		t.Fatal("should be drained")
+	}
+}
+
+func TestFIROCapacity(t *testing.T) {
+	f := NewFIRO(3, 0, 1)
+	for i := 0; i < 3; i++ {
+		if !f.Put(mkSample(0, i)) {
+			t.Fatal("put refused below capacity")
+		}
+	}
+	if f.Put(mkSample(0, 3)) {
+		t.Fatal("put accepted at capacity")
+	}
+}
+
+// TestFIROEachSampleOnce: FIRO, like FIFO, yields every sample exactly once
+// (eviction on read), just in random order.
+func TestFIROEachSampleOnce(t *testing.T) {
+	f := NewFIRO(0, 10, 7)
+	const n = 500
+	for i := 0; i < n; i++ {
+		f.Put(mkSample(i/100, i%100))
+	}
+	f.EndReception()
+	counts := map[Key]int{}
+	for {
+		s, ok := f.TryGet()
+		if !ok {
+			break
+		}
+		counts[s.Key()]++
+	}
+	if len(counts) != n {
+		t.Fatalf("retrieved %d unique samples, want %d", len(counts), n)
+	}
+	for k, c := range counts {
+		if c != 1 {
+			t.Fatalf("sample %v seen %d times", k, c)
+		}
+	}
+}
+
+// TestFIRORandomOrder checks that extraction order differs from insertion
+// order (vanishingly unlikely to be identical for 100 elements).
+func TestFIRORandomOrder(t *testing.T) {
+	f := NewFIRO(0, 0, 42)
+	const n = 100
+	for i := 0; i < n; i++ {
+		f.Put(mkSample(0, i))
+	}
+	f.EndReception()
+	inOrder := true
+	for i := 0; i < n; i++ {
+		s, ok := f.TryGet()
+		if !ok {
+			t.Fatal("ran out early")
+		}
+		if s.Step != i {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("FIRO extracted in FIFO order; RNG not applied")
+	}
+}
+
+func TestFIRODeterministicWithSeed(t *testing.T) {
+	runOrder := func(seed uint64) []int {
+		f := NewFIRO(0, 0, seed)
+		for i := 0; i < 50; i++ {
+			f.Put(mkSample(0, i))
+		}
+		f.EndReception()
+		var order []int
+		for {
+			s, ok := f.TryGet()
+			if !ok {
+				break
+			}
+			order = append(order, s.Step)
+		}
+		return order
+	}
+	a, b, c := runOrder(5), runOrder(5), runOrder(6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical orders")
+	}
+}
+
+// Property: conservation for random interleavings — after draining, the
+// multiset of retrieved samples equals the multiset of inserts.
+func TestFIROConservationProperty(t *testing.T) {
+	f := func(ops []bool, seed uint64) bool {
+		q := NewFIRO(0, 3, seed)
+		put, got := map[Key]int{}, map[Key]int{}
+		n := 0
+		for _, isPut := range ops {
+			if isPut {
+				s := mkSample(0, n)
+				n++
+				q.Put(s)
+				put[s.Key()]++
+			} else if s, ok := q.TryGet(); ok {
+				got[s.Key()]++
+			}
+		}
+		q.EndReception()
+		for {
+			s, ok := q.TryGet()
+			if !ok {
+				break
+			}
+			got[s.Key()]++
+		}
+		if len(put) != len(got) {
+			return false
+		}
+		for k, c := range put {
+			if got[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

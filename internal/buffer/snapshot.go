@@ -1,0 +1,56 @@
+package buffer
+
+// Snapshotter is implemented by policies that can export and re-import
+// their contents, used by server checkpointing (§3.1: the checkpoint must
+// capture buffered-but-untrained samples so a restarted server resumes
+// without losing them).
+type Snapshotter interface {
+	// Snapshot returns copies of the stored samples. For policies without
+	// a seen/unseen distinction everything is reported as unseen.
+	Snapshot() (seen, unseen []Sample)
+	// RestoreSnapshot replaces the policy contents. The reception flag is
+	// not part of the snapshot; callers re-derive it from their own state.
+	RestoreSnapshot(seen, unseen []Sample)
+}
+
+// Snapshot implements Snapshotter.
+func (f *FIFO) Snapshot() (seen, unseen []Sample) {
+	out := make([]Sample, f.Len())
+	copy(out, f.queue[f.head:])
+	return nil, out
+}
+
+// RestoreSnapshot implements Snapshotter. Seen samples are prepended: FIFO
+// has no seen state, so they are treated as pending data.
+func (f *FIFO) RestoreSnapshot(seen, unseen []Sample) {
+	f.queue = append(append([]Sample(nil), seen...), unseen...)
+	f.head = 0
+}
+
+// Snapshot implements Snapshotter.
+func (f *FIRO) Snapshot() (seen, unseen []Sample) {
+	out := make([]Sample, len(f.items))
+	copy(out, f.items)
+	return nil, out
+}
+
+// RestoreSnapshot implements Snapshotter.
+func (f *FIRO) RestoreSnapshot(seen, unseen []Sample) {
+	f.items = append(append([]Sample(nil), seen...), unseen...)
+}
+
+// Snapshot implements Snapshotter.
+func (r *Reservoir) Snapshot() (seen, unseen []Sample) {
+	seen = make([]Sample, len(r.seen))
+	copy(seen, r.seen)
+	unseen = make([]Sample, len(r.notSeen))
+	copy(unseen, r.notSeen)
+	return seen, unseen
+}
+
+// RestoreSnapshot implements Snapshotter, preserving the seen/unseen split
+// so eviction priorities survive a server restart.
+func (r *Reservoir) RestoreSnapshot(seen, unseen []Sample) {
+	r.seen = append([]Sample(nil), seen...)
+	r.notSeen = append([]Sample(nil), unseen...)
+}

@@ -1,0 +1,80 @@
+package buffer
+
+import "testing"
+
+func TestFIFOSnapshotRestore(t *testing.T) {
+	f := NewFIFO(0)
+	for i := 0; i < 5; i++ {
+		f.Put(mkSample(0, i))
+	}
+	f.TryGet() // pop one; snapshot must reflect remaining order
+	seen, unseen := f.Snapshot()
+	if len(seen) != 0 || len(unseen) != 4 {
+		t.Fatalf("snapshot %d/%d", len(seen), len(unseen))
+	}
+	g := NewFIFO(0)
+	g.RestoreSnapshot(seen, unseen)
+	for i := 1; i < 5; i++ {
+		s, ok := g.TryGet()
+		if !ok || s.Step != i {
+			t.Fatalf("restored order broken at %d: %v %v", i, s.Step, ok)
+		}
+	}
+}
+
+func TestFIROSnapshotRestore(t *testing.T) {
+	f := NewFIRO(0, 0, 1)
+	for i := 0; i < 6; i++ {
+		f.Put(mkSample(1, i))
+	}
+	_, unseen := f.Snapshot()
+	if len(unseen) != 6 {
+		t.Fatalf("snapshot %d", len(unseen))
+	}
+	g := NewFIRO(0, 0, 2)
+	g.RestoreSnapshot(nil, unseen)
+	g.EndReception()
+	got := map[Key]bool{}
+	for {
+		s, ok := g.TryGet()
+		if !ok {
+			break
+		}
+		got[s.Key()] = true
+	}
+	if len(got) != 6 {
+		t.Fatalf("restored %d unique", len(got))
+	}
+}
+
+func TestReservoirSnapshotPreservesSeenSplit(t *testing.T) {
+	r := NewReservoir(100, 0, 3)
+	for i := 0; i < 8; i++ {
+		r.Put(mkSample(2, i))
+	}
+	for i := 0; i < 3; i++ {
+		r.TryGet() // migrate some to seen
+	}
+	seenBefore, unseenBefore := r.SeenCount(), r.UnseenCount()
+	seen, unseen := r.Snapshot()
+	if len(seen) != seenBefore || len(unseen) != unseenBefore {
+		t.Fatalf("snapshot %d/%d, state %d/%d", len(seen), len(unseen), seenBefore, unseenBefore)
+	}
+
+	g := NewReservoir(100, 0, 4)
+	g.RestoreSnapshot(seen, unseen)
+	if g.SeenCount() != seenBefore || g.UnseenCount() != unseenBefore {
+		t.Fatalf("restore lost the split: %d/%d", g.SeenCount(), g.UnseenCount())
+	}
+	// Snapshot is a copy: mutating the restored buffer must not affect
+	// the original.
+	g.EndReception()
+	for {
+		if _, ok := g.TryGet(); !ok {
+			break
+		}
+	}
+	if r.Len() != seenBefore+unseenBefore {
+		t.Fatal("restore aliased the original storage")
+	}
+}

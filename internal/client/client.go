@@ -1,0 +1,239 @@
+// Package client implements the Melissa client library: the minimalist API
+// the paper exposes to instrument simulation codes (§3.1) — a call to
+// connect (InitCommunication), a Send per computed time step, and a closing
+// FinalizeCommunication — plus a ready-made runner that instruments the
+// heat-equation solver. The client performs the paper's in-situ processing:
+// the solver's float64 field is reduced to float32 before transmission
+// (§3.2.2), and time steps are distributed round-robin across server ranks
+// with the starting rank chosen from the client id.
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"melissa/internal/protocol"
+	"melissa/internal/solver"
+	"melissa/internal/transport"
+)
+
+// Config identifies a client and locates the server.
+type Config struct {
+	ClientID    int
+	SimID       int
+	ServerAddrs []string
+	DialTimeout time.Duration
+	// HeartbeatInterval controls liveness pings; 0 disables them (tests).
+	HeartbeatInterval time.Duration
+	// Restart is the number of times the launcher restarted this client;
+	// it is forwarded so the server knows duplicates may follow.
+	Restart int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// API is a live connection from one simulation client to all server ranks.
+type API struct {
+	cfg   Config
+	conn  *transport.ClientConn
+	steps int
+
+	hbStop chan struct{}
+	hbDone sync.WaitGroup
+}
+
+// InitCommunication connects to every server rank, announces the client
+// with a Hello on each connection, and starts the heartbeat loop.
+// totalSteps declares how many time steps this client will produce.
+func InitCommunication(cfg Config, totalSteps int) (*API, error) {
+	cfg = cfg.withDefaults()
+	conn, err := transport.Dial(cfg.ServerAddrs, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client %d: %w", cfg.ClientID, err)
+	}
+	a := &API{cfg: cfg, conn: conn, steps: totalSteps, hbStop: make(chan struct{})}
+	hello := protocol.Hello{
+		ClientID: int32(cfg.ClientID),
+		SimID:    int32(cfg.SimID),
+		Steps:    int32(totalSteps),
+		Restart:  int32(cfg.Restart),
+	}
+	if err := conn.SendAll(hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client %d: hello: %w", cfg.ClientID, err)
+	}
+	if cfg.HeartbeatInterval > 0 {
+		a.hbDone.Add(1)
+		go a.heartbeatLoop()
+	}
+	return a, nil
+}
+
+func (a *API) heartbeatLoop() {
+	defer a.hbDone.Done()
+	ticker := time.NewTicker(a.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.hbStop:
+			return
+		case <-ticker.C:
+			// Best effort: a failed heartbeat means the connection is
+			// dying; the send path will surface the error.
+			_ = a.conn.SendAll(protocol.Heartbeat{ClientID: int32(a.cfg.ClientID)})
+		}
+	}
+}
+
+// Rank returns the destination server rank for a given time step: round
+// robin offset by the client id, so that concurrently-started clients do
+// not all hit the same rank with their first step (§3.2.2).
+func (a *API) Rank(step int) int {
+	return (a.cfg.ClientID + step) % a.conn.Ranks()
+}
+
+// Send streams one solver time step. input carries the raw simulation
+// parameters and time value; field is the solver's float64 field, reduced
+// to float32 here, in situ, before it crosses the wire.
+func (a *API) Send(step int, input []float64, field []float64) error {
+	msg := protocol.TimeStep{
+		SimID: int32(a.cfg.SimID),
+		Step:  int32(step),
+		Input: toF32(input),
+		Field: toF32(field),
+	}
+	return a.conn.Send(a.Rank(step), msg)
+}
+
+// FinalizeCommunication signals every rank that no more data will be sent,
+// then disconnects.
+func (a *API) FinalizeCommunication() error {
+	a.stopHeartbeats()
+	bye := protocol.Goodbye{ClientID: int32(a.cfg.ClientID), SimID: int32(a.cfg.SimID)}
+	err := a.conn.SendAll(bye)
+	if cerr := a.conn.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abort disconnects without a Goodbye, simulating a crash; tests and the
+// launcher's kill path use it.
+func (a *API) Abort() {
+	a.stopHeartbeats()
+	a.conn.Close()
+}
+
+func (a *API) stopHeartbeats() {
+	select {
+	case <-a.hbStop:
+	default:
+		close(a.hbStop)
+	}
+	a.hbDone.Wait()
+}
+
+func toF32(in []float64) []float32 {
+	out := make([]float32, len(in))
+	for i, v := range in {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// HeatJob fully describes one ensemble member: the solver configuration and
+// the sampled parameters.
+type HeatJob struct {
+	Client Config
+	Solver solver.Config
+	Params solver.Params
+	// Checkpoint optionally persists solver state so a restarted client
+	// resumes "from the last checkpoint only" (§3.1) instead of step 0.
+	Checkpoint Checkpointer
+	// StepDelay inserts an artificial pause per step; tests use it to
+	// shape production rates.
+	StepDelay time.Duration
+	// FailAtStep > 0 makes the client abort (no Goodbye) after sending
+	// that step — fault-injection hook for the launcher tests.
+	FailAtStep int
+}
+
+// RunHeat executes the instrumented heat solver: init, one Send per
+// computed time step, finalize. The context aborts the client between
+// steps, emulating a kill by the launcher or a node failure.
+func RunHeat(ctx context.Context, job HeatJob) error {
+	sim, err := solver.New(job.Solver, job.Params)
+	if err != nil {
+		return err
+	}
+	startStep := 0
+	if job.Checkpoint != nil {
+		step, field, err := job.Checkpoint.Load(job.Client.SimID)
+		if err != nil {
+			return fmt.Errorf("client %d: loading checkpoint: %w", job.Client.ClientID, err)
+		}
+		if step > 0 {
+			if err := sim.Restore(step, field); err != nil {
+				return err
+			}
+			startStep = step
+		}
+	}
+
+	api, err := InitCommunication(job.Client, job.Solver.Steps)
+	if err != nil {
+		return err
+	}
+
+	// Raw surrogate inputs: the 5 temperatures and the physical time,
+	// normalized downstream by the trainer.
+	base := job.Params.Vector()
+
+	for sim.StepIndex() < job.Solver.Steps {
+		select {
+		case <-ctx.Done():
+			api.Abort()
+			return ctx.Err()
+		default:
+		}
+		if err := sim.StepOnce(); err != nil {
+			api.Abort()
+			return err
+		}
+		step := sim.StepIndex()
+		if step <= startStep {
+			continue // replaying to reach checkpoint state; already sent
+		}
+		if job.StepDelay > 0 {
+			select {
+			case <-ctx.Done():
+				api.Abort()
+				return ctx.Err()
+			case <-time.After(job.StepDelay):
+			}
+		}
+		input := append(append(make([]float64, 0, len(base)+1), base...), float64(step)*sim.Config().Dt)
+		if err := api.Send(step, input, sim.Field()); err != nil {
+			api.Abort()
+			return fmt.Errorf("client %d: send step %d: %w", job.Client.ClientID, step, err)
+		}
+		if job.Checkpoint != nil {
+			if err := job.Checkpoint.Save(job.Client.SimID, step, sim.Field()); err != nil {
+				api.Abort()
+				return fmt.Errorf("client %d: checkpoint: %w", job.Client.ClientID, err)
+			}
+		}
+		if job.FailAtStep > 0 && step >= job.FailAtStep {
+			api.Abort()
+			return fmt.Errorf("client %d: injected failure at step %d", job.Client.ClientID, step)
+		}
+	}
+	return api.FinalizeCommunication()
+}

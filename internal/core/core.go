@@ -1,0 +1,183 @@
+// Package core implements the online-training engine that is the paper's
+// primary contribution: per-rank training threads that extract batches from
+// the training buffers, run forward/backward on replica networks,
+// synchronize gradients across ranks (the "GPUs"), and apply the shared
+// learning-rate schedule — all fed concurrently by data aggregators. The
+// live server (internal/server) and the cluster simulator
+// (internal/experiments) both build on these pieces.
+package core
+
+import (
+	"fmt"
+
+	"melissa/internal/buffer"
+	"melissa/internal/nn"
+	"melissa/internal/sampling"
+	"melissa/internal/tensor"
+)
+
+// ModelSpec describes the surrogate architecture (§4.1: an MLP from the
+// simulation parameters and time to the flattened field).
+type ModelSpec struct {
+	InputDim  int
+	Hidden    []int
+	OutputDim int
+	Seed      uint64
+}
+
+// Build constructs the seeded network.
+func (m ModelSpec) Build() (*nn.Network, error) {
+	if m.InputDim <= 0 || m.OutputDim <= 0 {
+		return nil, fmt.Errorf("core: invalid model dims in=%d out=%d", m.InputDim, m.OutputDim)
+	}
+	return nn.ArchitectureMLP(m.InputDim, m.Hidden, m.OutputDim, m.Seed), nil
+}
+
+// Normalizer maps raw streamed samples (physical units) into network input
+// and target rows. Keeping normalization on the training side leaves the
+// wire data faithful to the solver output.
+type Normalizer interface {
+	InputDim() int
+	OutputDim() int
+	// Apply writes the normalized input and target for s.
+	Apply(s buffer.Sample, inRow, outRow []float32)
+}
+
+// HeatNormalizer normalizes the heat-equation problem: the five temperature
+// parameters and the field to [0,1] over the sampled range, and physical
+// time to [0,1] over the simulation horizon.
+type HeatNormalizer struct {
+	// Space is the parameter design space (paper: [100,500] K per dim).
+	Space sampling.Space
+	// TimeMax is the simulation horizon Steps·Δt in seconds.
+	TimeMax float64
+	// FieldMin/FieldMax bound the temperature field (the maximum principle
+	// guarantees the field stays within the sampled temperature range).
+	FieldMin, FieldMax float64
+	// FieldDim is the flattened field length N².
+	FieldDim int
+}
+
+// NewHeatNormalizer builds the normalizer for the paper's setup.
+func NewHeatNormalizer(fieldDim int, timeMax float64) HeatNormalizer {
+	return HeatNormalizer{
+		Space:    sampling.HeatSpace(),
+		TimeMax:  timeMax,
+		FieldMin: 100,
+		FieldMax: 500,
+		FieldDim: fieldDim,
+	}
+}
+
+// InputDim implements Normalizer: the parameters plus the time input.
+func (h HeatNormalizer) InputDim() int { return h.Space.Dim() + 1 }
+
+// OutputDim implements Normalizer.
+func (h HeatNormalizer) OutputDim() int { return h.FieldDim }
+
+// Apply implements Normalizer.
+func (h HeatNormalizer) Apply(s buffer.Sample, inRow, outRow []float32) {
+	d := h.Space.Dim()
+	for i := 0; i < d; i++ {
+		span := h.Space.Max[i] - h.Space.Min[i]
+		inRow[i] = float32((float64(s.Input[i]) - h.Space.Min[i]) / span)
+	}
+	if h.TimeMax > 0 {
+		inRow[d] = float32(float64(s.Input[d]) / h.TimeMax)
+	} else {
+		inRow[d] = s.Input[d]
+	}
+	span := float32(h.FieldMax - h.FieldMin)
+	min := float32(h.FieldMin)
+	for i, v := range s.Output {
+		outRow[i] = (v - min) / span
+	}
+}
+
+// DenormalizeField maps a normalized prediction back to Kelvin in place.
+func (h HeatNormalizer) DenormalizeField(field []float32) {
+	span := float32(h.FieldMax - h.FieldMin)
+	min := float32(h.FieldMin)
+	for i := range field {
+		field[i] = field[i]*span + min
+	}
+}
+
+// KelvinMSE converts a normalized-unit MSE into Kelvin² units, for
+// comparing against the paper's raw-scale loss values.
+func (h HeatNormalizer) KelvinMSE(normalizedMSE float64) float64 {
+	span := h.FieldMax - h.FieldMin
+	return normalizedMSE * span * span
+}
+
+// BuildBatch fills the in/out matrices (rows = len(batch)) from samples.
+// The matrices must have matching widths; they are allocated by the caller
+// and reused across batches.
+func BuildBatch(norm Normalizer, batch []buffer.Sample, in, out *tensor.Matrix) {
+	if in.Rows != len(batch) || out.Rows != len(batch) {
+		panic(fmt.Sprintf("core: batch size %d, matrices %dx? %dx?", len(batch), in.Rows, out.Rows))
+	}
+	for i, s := range batch {
+		norm.Apply(s, in.Row(i), out.Row(i))
+	}
+}
+
+// BatchTensors allocates and fills fresh input/target matrices for a batch
+// — the convenience used by offline training loops that cannot reuse
+// fixed-size buffers (final partial batches vary in size).
+func BatchTensors(norm Normalizer, batch []buffer.Sample) (in, out *tensor.Matrix) {
+	in = tensor.New(len(batch), norm.InputDim())
+	out = tensor.New(len(batch), norm.OutputDim())
+	BuildBatch(norm, batch, in, out)
+	return in, out
+}
+
+// ValidationSet is a held-out dataset in normalized units, evaluated
+// periodically to measure generalization (§4.4: "10 simulations generated
+// offline and never seen during training").
+type ValidationSet struct {
+	In  *tensor.Matrix
+	Out *tensor.Matrix
+}
+
+// NewValidationSet normalizes raw samples into an evaluation set.
+func NewValidationSet(norm Normalizer, samples []buffer.Sample) *ValidationSet {
+	in := tensor.New(len(samples), norm.InputDim())
+	out := tensor.New(len(samples), norm.OutputDim())
+	for i, s := range samples {
+		norm.Apply(s, in.Row(i), out.Row(i))
+	}
+	return &ValidationSet{In: in, Out: out}
+}
+
+// Len returns the number of validation samples.
+func (v *ValidationSet) Len() int { return v.In.Rows }
+
+// Validate computes the validation MSE of net over the set, evaluated in
+// chunks to bound peak memory.
+func Validate(net *nn.Network, set *ValidationSet, chunk int) float64 {
+	if set == nil || set.Len() == 0 {
+		return 0
+	}
+	if chunk <= 0 {
+		chunk = 32
+	}
+	var sum float64
+	var count int
+	for start := 0; start < set.In.Rows; start += chunk {
+		end := start + chunk
+		if end > set.In.Rows {
+			end = set.In.Rows
+		}
+		rows := end - start
+		in := tensor.FromSlice(rows, set.In.Cols, set.In.Data[start*set.In.Cols:end*set.In.Cols])
+		want := set.Out.Data[start*set.Out.Cols : end*set.Out.Cols]
+		pred := net.Forward(in)
+		for i, p := range pred.Data {
+			d := float64(p) - float64(want[i])
+			sum += d * d
+		}
+		count += rows * set.Out.Cols
+	}
+	return sum / float64(count)
+}

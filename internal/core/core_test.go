@@ -1,0 +1,368 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"melissa/internal/buffer"
+	"melissa/internal/opt"
+	"melissa/internal/tensor"
+)
+
+const testFieldDim = 16
+
+// synthSample builds a deterministic raw sample whose field is a smooth
+// function of the parameters, standing in for the solver output.
+func synthSample(simID, step int, rng *rand.Rand) buffer.Sample {
+	params := make([]float32, 5)
+	for i := range params {
+		params[i] = float32(100 + 400*rng.Float64())
+	}
+	tSec := float64(step) * 0.01
+	input := append(params, float32(tSec))
+	field := make([]float32, testFieldDim)
+	for i := range field {
+		field[i] = 100 + 0.5*(params[0]+params[i%5])*float32(0.5+0.5*math.Exp(-tSec))
+	}
+	return buffer.Sample{SimID: simID, Step: step, Input: input, Output: field}
+}
+
+func synthSamples(n int, seed uint64) []buffer.Sample {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	out := make([]buffer.Sample, n)
+	for i := range out {
+		out[i] = synthSample(i/10, i%10+1, rng)
+	}
+	return out
+}
+
+func testNormalizer() HeatNormalizer { return NewHeatNormalizer(testFieldDim, 1.0) }
+
+func TestHeatNormalizerApply(t *testing.T) {
+	norm := testNormalizer()
+	if norm.InputDim() != 6 || norm.OutputDim() != testFieldDim {
+		t.Fatalf("dims %d/%d", norm.InputDim(), norm.OutputDim())
+	}
+	s := buffer.Sample{
+		Input:  []float32{100, 300, 500, 200, 400, 0.5},
+		Output: make([]float32, testFieldDim),
+	}
+	for i := range s.Output {
+		s.Output[i] = 300 // mid-range
+	}
+	in := make([]float32, 6)
+	out := make([]float32, testFieldDim)
+	norm.Apply(s, in, out)
+	wantIn := []float32{0, 0.5, 1, 0.25, 0.75, 0.5}
+	for i := range wantIn {
+		if math.Abs(float64(in[i]-wantIn[i])) > 1e-6 {
+			t.Fatalf("in = %v, want %v", in, wantIn)
+		}
+	}
+	for _, v := range out {
+		if math.Abs(float64(v)-0.5) > 1e-6 {
+			t.Fatalf("out = %v, want all 0.5", out)
+		}
+	}
+}
+
+func TestHeatNormalizerDenormalize(t *testing.T) {
+	norm := testNormalizer()
+	f := []float32{0, 0.5, 1}
+	norm.DenormalizeField(f)
+	want := []float32{100, 300, 500}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("denorm %v", f)
+		}
+	}
+}
+
+func TestKelvinMSE(t *testing.T) {
+	norm := testNormalizer()
+	if got := norm.KelvinMSE(1); got != 160000 {
+		t.Fatalf("KelvinMSE(1) = %v, want 400²", got)
+	}
+}
+
+func TestBuildBatch(t *testing.T) {
+	norm := testNormalizer()
+	batch := synthSamples(4, 3)
+	in := tensor.New(4, norm.InputDim())
+	out := tensor.New(4, norm.OutputDim())
+	BuildBatch(norm, batch, in, out)
+	// Every normalized value must be finite and inputs within [0,1]+slack.
+	for _, v := range in.Data {
+		if v < -0.01 || v > 1.01 {
+			t.Fatalf("input out of range: %v", v)
+		}
+	}
+	for _, v := range out.Data {
+		if math.IsNaN(float64(v)) {
+			t.Fatal("NaN in normalized output")
+		}
+	}
+}
+
+func TestModelSpecBuild(t *testing.T) {
+	spec := ModelSpec{InputDim: 6, Hidden: []int{8, 8}, OutputDim: testFieldDim, Seed: 1}
+	net, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumParams() == 0 {
+		t.Fatal("empty network")
+	}
+	if _, err := (ModelSpec{InputDim: 0, OutputDim: 1}).Build(); err == nil {
+		t.Fatal("expected error for invalid dims")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	norm := testNormalizer()
+	samples := synthSamples(20, 5)
+	set := NewValidationSet(norm, samples)
+	if set.Len() != 20 {
+		t.Fatalf("set len %d", set.Len())
+	}
+	net, _ := ModelSpec{InputDim: 6, Hidden: []int{4}, OutputDim: testFieldDim, Seed: 2}.Build()
+	// Chunked evaluation must match single-shot evaluation.
+	a := Validate(net, set, 3)
+	b := Validate(net, set, 1000)
+	if math.Abs(a-b) > 1e-6 {
+		t.Fatalf("chunked %v vs full %v", a, b)
+	}
+	if a <= 0 {
+		t.Fatal("validation loss should be positive for an untrained net")
+	}
+	if v := Validate(net, nil, 8); v != 0 {
+		t.Fatal("nil set must give 0")
+	}
+}
+
+func newTestTrainer(t *testing.T, ranks, maxBatches int, kind buffer.Kind) (*Trainer, []*buffer.Blocking) {
+	t.Helper()
+	norm := testNormalizer()
+	bufs := make([]*buffer.Blocking, ranks)
+	for r := range bufs {
+		p, err := buffer.New(buffer.Config{Kind: kind, Capacity: 1000, Threshold: 5, Seed: uint64(r + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[r] = buffer.NewBlocking(p)
+	}
+	tr, err := NewTrainer(TrainerConfig{
+		Ranks:            ranks,
+		BatchSize:        4,
+		Model:            ModelSpec{InputDim: norm.InputDim(), Hidden: []int{16}, OutputDim: norm.OutputDim(), Seed: 9},
+		Normalizer:       norm,
+		LearningRate:     1e-3,
+		Schedule:         opt.Halving{Initial: 1e-3, EverySamples: 1 << 20},
+		Validation:       NewValidationSet(norm, synthSamples(12, 99)),
+		ValidateEvery:    5,
+		MaxBatches:       maxBatches,
+		TrackOccurrences: true,
+	}, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, bufs
+}
+
+func TestTrainerSingleRankDrains(t *testing.T) {
+	tr, bufs := newTestTrainer(t, 1, 0, buffer.FIFOKind)
+	samples := synthSamples(60, 7)
+	for _, s := range samples {
+		bufs[0].Put(s)
+	}
+	bufs[0].EndReception()
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := tr.Metrics()
+	if m.Batches() != 15 { // 60 samples / batch 4
+		t.Fatalf("batches %d, want 15", m.Batches())
+	}
+	if m.Samples() != 60 {
+		t.Fatalf("samples %d, want 60", m.Samples())
+	}
+	if len(m.TrainLoss()) != 15 {
+		t.Fatalf("train loss points %d", len(m.TrainLoss()))
+	}
+	if len(m.Validation()) != 3 { // every 5 batches
+		t.Fatalf("validation points %d", len(m.Validation()))
+	}
+	if _, ok := m.MinValidation(); !ok {
+		t.Fatal("no min validation")
+	}
+}
+
+func TestTrainerLossDecreases(t *testing.T) {
+	tr, bufs := newTestTrainer(t, 1, 0, buffer.ReservoirKind)
+	go func() {
+		// Stream the same distribution repeatedly; the Reservoir repeats
+		// samples, giving the optimizer enough steps to converge.
+		samples := synthSamples(200, 11)
+		for _, s := range samples {
+			bufs[0].Put(s)
+		}
+		bufs[0].EndReception()
+	}()
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	val := tr.Metrics().Validation()
+	if len(val) < 2 {
+		t.Fatalf("need ≥2 validation points, got %d", len(val))
+	}
+	first, last := val[0].Value, val[len(val)-1].Value
+	if last >= first {
+		t.Fatalf("validation did not improve: %v -> %v", first, last)
+	}
+}
+
+func TestTrainerMultiRankReplicasIdentical(t *testing.T) {
+	const ranks = 3
+	tr, bufs := newTestTrainer(t, ranks, 0, buffer.FIFOKind)
+	samples := synthSamples(72, 13)
+	for i, s := range samples {
+		bufs[i%ranks].Put(s)
+	}
+	for _, b := range bufs {
+		b.EndReception()
+	}
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// All replicas must hold identical weights after synchronized training.
+	p0 := tr.nets[0].Params()
+	for r := 1; r < ranks; r++ {
+		pr := tr.nets[r].Params()
+		for i := range p0 {
+			for j := range p0[i].Value.Data {
+				if p0[i].Value.Data[j] != pr[i].Value.Data[j] {
+					t.Fatalf("rank %d diverged at param %d[%d]", r, i, j)
+				}
+			}
+		}
+	}
+	if tr.Metrics().Samples() != 72 {
+		t.Fatalf("samples %d, want 72", tr.Metrics().Samples())
+	}
+}
+
+func TestTrainerUnevenRankDrain(t *testing.T) {
+	// One rank gets twice the data: the other rank must keep joining
+	// collectives with zero gradients until both drain.
+	const ranks = 2
+	tr, bufs := newTestTrainer(t, ranks, 0, buffer.FIFOKind)
+	for _, s := range synthSamples(40, 17) {
+		bufs[0].Put(s)
+	}
+	for _, s := range synthSamples(8, 18) {
+		bufs[1].Put(s)
+	}
+	for _, b := range bufs {
+		b.EndReception()
+	}
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Metrics().Samples(); got != 48 {
+		t.Fatalf("samples %d, want 48", got)
+	}
+	if got := tr.Metrics().Batches(); got != 10 { // max(40,8)/4
+		t.Fatalf("batches %d, want 10", got)
+	}
+}
+
+func TestTrainerMaxBatches(t *testing.T) {
+	tr, bufs := newTestTrainer(t, 2, 3, buffer.ReservoirKind)
+	for i, s := range synthSamples(100, 19) {
+		bufs[i%2].Put(s)
+	}
+	// No EndReception: without MaxBatches this would run indefinitely.
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Metrics().Batches(); got != 3 {
+		t.Fatalf("batches %d, want 3", got)
+	}
+}
+
+func TestTrainerContextCancel(t *testing.T) {
+	tr, bufs := newTestTrainer(t, 1, 0, buffer.ReservoirKind)
+	for _, s := range synthSamples(50, 23) {
+		bufs[0].Put(s)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tr.Run(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("trainer did not stop after cancellation")
+	}
+}
+
+func TestTrainerOccurrenceTracking(t *testing.T) {
+	tr, bufs := newTestTrainer(t, 1, 0, buffer.ReservoirKind)
+	samples := synthSamples(20, 29)
+	go func() {
+		for _, s := range samples {
+			bufs[0].Put(s)
+		}
+		// Delay EndReception so the Reservoir repeats samples for a while.
+		time.Sleep(100 * time.Millisecond)
+		bufs[0].EndReception()
+	}()
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	occ := tr.Metrics().Occurrences()
+	if len(occ) == 0 || len(occ) > 20 {
+		t.Fatalf("unique occurrences %d", len(occ))
+	}
+	hist := tr.Metrics().OccurrenceHistogram()
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total != len(occ) {
+		t.Fatalf("histogram total %d != unique %d", total, len(occ))
+	}
+}
+
+func TestTrainerConfigValidation(t *testing.T) {
+	norm := testNormalizer()
+	good := TrainerConfig{Ranks: 1, BatchSize: 1, Normalizer: norm,
+		Model: ModelSpec{InputDim: 6, OutputDim: testFieldDim}}
+	cases := []func(*TrainerConfig){
+		func(c *TrainerConfig) { c.Ranks = 0 },
+		func(c *TrainerConfig) { c.BatchSize = 0 },
+		func(c *TrainerConfig) { c.Normalizer = nil },
+	}
+	for i, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		bufs := []*buffer.Blocking{buffer.NewBlocking(buffer.NewFIFO(0))}
+		if cfg.Ranks == 0 {
+			bufs = nil
+		}
+		if _, err := NewTrainer(cfg, bufs); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+	// Buffer count mismatch.
+	if _, err := NewTrainer(good, nil); err == nil {
+		t.Fatal("expected buffer count error")
+	}
+}

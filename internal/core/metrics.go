@@ -1,0 +1,203 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"melissa/internal/buffer"
+)
+
+// LossPoint is one point of a training or validation curve.
+type LossPoint struct {
+	Batch   int     // global batch counter when recorded
+	Samples int     // cumulative samples (with repetition) across ranks
+	Value   float64 // MSE in normalized units
+}
+
+// Metrics aggregates training statistics across ranks. All methods are safe
+// for concurrent use; the trainer's rank goroutines share one instance.
+type Metrics struct {
+	mu sync.Mutex
+
+	batches int
+	samples int
+
+	trainLoss  []LossPoint
+	validation []LossPoint
+
+	occurrences map[buffer.Key]int
+
+	start, end time.Time
+}
+
+// NewMetrics builds an empty collector. trackOccurrences enables the
+// per-sample repetition histogram of Figure 3.
+func NewMetrics(trackOccurrences bool) *Metrics {
+	m := &Metrics{}
+	if trackOccurrences {
+		m.occurrences = make(map[buffer.Key]int)
+	}
+	return m
+}
+
+// Begin stamps the training start time.
+func (m *Metrics) Begin() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.start = time.Now()
+}
+
+// Finish stamps the training end time.
+func (m *Metrics) Finish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.end = time.Now()
+}
+
+// RestoreCounts seeds the counters from a checkpoint.
+func (m *Metrics) RestoreCounts(batches, samples int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches = batches
+	m.samples = samples
+}
+
+// RecordStep accumulates one synchronized training step: the global batch
+// increment and the samples consumed across ranks.
+func (m *Metrics) RecordStep(samples int) (batch, totalSamples int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batches++
+	m.samples += samples
+	return m.batches, m.samples
+}
+
+// RecordTrainLoss appends a training-loss point.
+func (m *Metrics) RecordTrainLoss(batch, samples int, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.trainLoss = append(m.trainLoss, LossPoint{Batch: batch, Samples: samples, Value: v})
+}
+
+// RecordValidation appends a validation-loss point.
+func (m *Metrics) RecordValidation(batch, samples int, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.validation = append(m.validation, LossPoint{Batch: batch, Samples: samples, Value: v})
+}
+
+// CountBatch tallies sample occurrences for the Figure 3 histogram.
+func (m *Metrics) CountBatch(batch []buffer.Sample) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.occurrences == nil {
+		return
+	}
+	for _, s := range batch {
+		m.occurrences[s.Key()]++
+	}
+}
+
+// Batches returns the global number of synchronized steps.
+func (m *Metrics) Batches() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batches
+}
+
+// Samples returns the cumulative samples consumed across ranks, including
+// Reservoir repetitions.
+func (m *Metrics) Samples() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.samples
+}
+
+// TrainLoss returns the recorded training curve.
+func (m *Metrics) TrainLoss() []LossPoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]LossPoint(nil), m.trainLoss...)
+}
+
+// Validation returns the recorded validation curve.
+func (m *Metrics) Validation() []LossPoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]LossPoint(nil), m.validation...)
+}
+
+// FinalValidation returns the last validation value, or NaN-free zero when
+// none was recorded.
+func (m *Metrics) FinalValidation() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.validation) == 0 {
+		return 0, false
+	}
+	return m.validation[len(m.validation)-1].Value, true
+}
+
+// MinValidation returns the lowest recorded validation loss — the paper's
+// "Min. MSE" column of Table 1.
+func (m *Metrics) MinValidation() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.validation) == 0 {
+		return 0, false
+	}
+	min := m.validation[0].Value
+	for _, p := range m.validation[1:] {
+		if p.Value < min {
+			min = p.Value
+		}
+	}
+	return min, true
+}
+
+// Occurrences returns a copy of the per-sample selection counts.
+func (m *Metrics) Occurrences() map[buffer.Key]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[buffer.Key]int, len(m.occurrences))
+	for k, v := range m.occurrences {
+		out[k] = v
+	}
+	return out
+}
+
+// OccurrenceHistogram buckets occurrence counts: hist[k] = number of unique
+// samples selected exactly k times (Figure 3).
+func (m *Metrics) OccurrenceHistogram() map[int]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	hist := make(map[int]int)
+	for _, c := range m.occurrences {
+		hist[c]++
+	}
+	return hist
+}
+
+// WallTime returns the measured training duration.
+func (m *Metrics) WallTime() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.start.IsZero() {
+		return 0
+	}
+	end := m.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return end.Sub(m.start)
+}
+
+// Throughput returns consumed samples per wall-clock second, the metric of
+// the paper's Figure 2 and throughput columns.
+func (m *Metrics) Throughput() float64 {
+	wall := m.WallTime().Seconds()
+	if wall <= 0 {
+		return 0
+	}
+	return float64(m.Samples()) / wall
+}

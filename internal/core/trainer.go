@@ -1,0 +1,288 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"melissa/internal/buffer"
+	"melissa/internal/ddp"
+	"melissa/internal/nn"
+	"melissa/internal/opt"
+	"melissa/internal/tensor"
+)
+
+// TrainerConfig configures the data-parallel online training loop.
+type TrainerConfig struct {
+	Ranks     int // learner replicas ("GPUs"); one training buffer each
+	BatchSize int // samples per rank per synchronized step (paper: 10)
+
+	Model      ModelSpec
+	Normalizer Normalizer
+	// InitialWeights, when non-nil, warm-starts every replica from a
+	// saved checkpoint (nn weight format) instead of the seeded random
+	// init — the paper's §5 production workflow: "combine pre-training …
+	// from a static reduced dataset and few online re-training at scale".
+	InitialWeights []byte
+	LearningRate   float64      // initial (paper: 1e-3)
+	Schedule       opt.Schedule // may be nil for a constant rate
+
+	Validation    *ValidationSet
+	ValidateEvery int // in global batches (paper: 100); 0 disables
+
+	// MaxBatches stops training after this many synchronized steps;
+	// 0 trains until every buffer drains.
+	MaxBatches int
+
+	TrackOccurrences bool
+
+	// OnBatchEnd, when set, runs on rank 0 after every synchronized step
+	// (other ranks stall at the next collective meanwhile). The server
+	// uses it to take periodic checkpoints at a consistent boundary.
+	OnBatchEnd func(batches int)
+}
+
+func (c TrainerConfig) validate() error {
+	if c.Ranks < 1 {
+		return fmt.Errorf("core: ranks=%d must be ≥ 1", c.Ranks)
+	}
+	if c.BatchSize < 1 {
+		return fmt.Errorf("core: batch size=%d must be ≥ 1", c.BatchSize)
+	}
+	if c.Normalizer == nil {
+		return errors.New("core: normalizer required")
+	}
+	return nil
+}
+
+// Trainer runs the paper's training threads: each rank extracts batches
+// from its own buffer, computes gradients on its replica, all-reduces them
+// with the other ranks, and applies identical Adam updates (§3.1).
+type Trainer struct {
+	cfg     TrainerConfig
+	bufs    []*buffer.Blocking
+	nets    []*nn.Network
+	opts    []*opt.Adam
+	comm    *ddp.Communicator
+	metrics *Metrics
+
+	// localSamples[r] mirrors the global cumulative sample count on rank
+	// r; the value advances identically on every rank because it is
+	// derived from the all-reduced per-step count.
+	localSamples []int
+
+	// startBatches/startSamples seed the counters after a checkpoint
+	// restore so learning-rate schedules resume where they left off.
+	startBatches int
+	startSamples int
+}
+
+// NewTrainer builds the replicas (identical weights from the seeded spec)
+// and wires them to the per-rank buffers. len(bufs) must equal cfg.Ranks.
+func NewTrainer(cfg TrainerConfig, bufs []*buffer.Blocking) (*Trainer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(bufs) != cfg.Ranks {
+		return nil, fmt.Errorf("core: %d buffers for %d ranks", len(bufs), cfg.Ranks)
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 1e-3
+	}
+	base, err := cfg.Model.Build()
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		cfg:          cfg,
+		bufs:         bufs,
+		nets:         make([]*nn.Network, cfg.Ranks),
+		opts:         make([]*opt.Adam, cfg.Ranks),
+		comm:         ddp.NewCommunicator(cfg.Ranks),
+		metrics:      NewMetrics(cfg.TrackOccurrences),
+		localSamples: make([]int, cfg.Ranks),
+	}
+	if cfg.InitialWeights != nil {
+		if err := base.LoadWeights(bytes.NewReader(cfg.InitialWeights)); err != nil {
+			return nil, fmt.Errorf("core: loading initial weights: %w", err)
+		}
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		if r == 0 {
+			t.nets[r] = base
+		} else {
+			t.nets[r] = base.Clone()
+		}
+		t.opts[r] = opt.NewAdam(cfg.LearningRate)
+	}
+	return t, nil
+}
+
+// Network returns the rank-0 replica (identical to all others after every
+// synchronized step).
+func (t *Trainer) Network() *nn.Network { return t.nets[0] }
+
+// Optimizer returns the rank-0 optimizer, used by server checkpoints.
+func (t *Trainer) Optimizer() *opt.Adam { return t.opts[0] }
+
+// Metrics returns the shared metrics collector.
+func (t *Trainer) Metrics() *Metrics { return t.metrics }
+
+// Run trains until every rank's buffer is drained (or MaxBatches is hit),
+// spawning one goroutine per rank. Cancelling ctx ends reception on every
+// buffer, so ranks finish the remaining data and stop.
+func (t *Trainer) Run(ctx context.Context) error {
+	t.metrics.Begin()
+	defer t.metrics.Finish()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			for _, b := range t.bufs {
+				b.EndReception()
+			}
+		case <-stop:
+		}
+	}()
+
+	errs := make([]error, t.cfg.Ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < t.cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = t.rankLoop(rank)
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// rankLoop is the per-rank training thread. Collective calls must stay in
+// lock-step across ranks: every iteration performs exactly one status
+// all-reduce and, while any rank is active, one gradient all-reduce.
+func (t *Trainer) rankLoop(rank int) error {
+	net := t.nets[rank]
+	optimizer := t.opts[rank]
+	params := net.Params()
+	gbuf := ddp.NewGradBuffer(params)
+	lossFn := nn.NewMSELoss()
+	norm := t.cfg.Normalizer
+
+	in := tensor.New(t.cfg.BatchSize, norm.InputDim())
+	out := tensor.New(t.cfg.BatchSize, norm.OutputDim())
+	status := make([]float32, 2) // [active ranks, samples this step]
+
+	localBatches := t.startBatches
+	t.localSamples[rank] = t.startSamples
+	for {
+		if t.cfg.MaxBatches > 0 && localBatches >= t.cfg.MaxBatches {
+			// The batch counter advances identically on every rank, so
+			// all ranks exit here on the same iteration.
+			return nil
+		}
+		batch, ok := t.bufs[rank].GetBatch(t.cfg.BatchSize)
+
+		status[0], status[1] = 0, 0
+		if ok {
+			status[0] = 1
+			status[1] = float32(len(batch))
+		}
+		t.comm.AllReduceSum(rank, status)
+		if status[0] == 0 {
+			return nil // every buffer drained
+		}
+		stepSamples := int(status[1] + 0.5)
+
+		var trainLoss float64
+		net.ZeroGrad()
+		if ok {
+			bi, bo := in, out
+			if len(batch) != t.cfg.BatchSize {
+				bi = tensor.New(len(batch), norm.InputDim())
+				bo = tensor.New(len(batch), norm.OutputDim())
+			}
+			BuildBatch(norm, batch, bi, bo)
+			pred := net.Forward(bi)
+			trainLoss = lossFn.Forward(pred, bo)
+			net.Backward(lossFn.Backward(pred, bo))
+			t.metrics.CountBatch(batch)
+		}
+		// Drained ranks contribute zero gradients but must join the
+		// collective so active ranks can proceed.
+		ddp.SyncGradients(t.comm, rank, params, gbuf)
+
+		localBatches++
+		var globalBatch, globalSamples int
+		if rank == 0 {
+			globalBatch, globalSamples = t.metrics.RecordStep(stepSamples)
+			if ok {
+				t.metrics.RecordTrainLoss(globalBatch, globalSamples, trainLoss)
+			}
+		} else {
+			// Mirror the counters locally; the schedule needs the global
+			// sample count, which advances identically on every rank.
+			globalSamples = t.sampleCounterLocal(rank, stepSamples)
+		}
+		if t.cfg.Schedule != nil {
+			optimizer.SetLR(t.cfg.Schedule.LR(globalSamples))
+		}
+		optimizer.Step(params)
+
+		if rank == 0 && t.cfg.Validation != nil && t.cfg.ValidateEvery > 0 && localBatches%t.cfg.ValidateEvery == 0 {
+			// §4.4: validation runs on the training thread while holding
+			// the buffer mutex; incoming data queue up in the transport.
+			t.bufs[0].WithLock(func(buffer.Policy) {
+				v := Validate(net, t.cfg.Validation, t.cfg.BatchSize*4)
+				t.metrics.RecordValidation(localBatches, globalSamples, v)
+			})
+		}
+		if rank == 0 && t.cfg.OnBatchEnd != nil {
+			t.cfg.OnBatchEnd(localBatches)
+		}
+	}
+}
+
+// RestoreState loads checkpointed weights and optimizer state into every
+// replica and seeds the global counters, so a restarted server resumes the
+// exact training trajectory (§3.1). Must be called before Run.
+func (t *Trainer) RestoreState(weights, optState []byte, batches, samples int) error {
+	for r, net := range t.nets {
+		if err := net.LoadWeights(bytes.NewReader(weights)); err != nil {
+			return fmt.Errorf("core: restoring rank %d weights: %w", r, err)
+		}
+		if err := t.opts[r].LoadState(bytes.NewReader(optState)); err != nil {
+			return fmt.Errorf("core: restoring rank %d optimizer: %w", r, err)
+		}
+	}
+	t.startBatches = batches
+	t.startSamples = samples
+	t.metrics.RestoreCounts(batches, samples)
+	return nil
+}
+
+// CaptureState serializes the rank-0 weights and optimizer state for a
+// checkpoint. Call only from OnBatchEnd (a consistent step boundary) or
+// after Run returns.
+func (t *Trainer) CaptureState() (weights, optState []byte, err error) {
+	var wbuf, obuf bytes.Buffer
+	if err := t.nets[0].SaveWeights(&wbuf); err != nil {
+		return nil, nil, err
+	}
+	if err := t.opts[0].SaveState(&obuf); err != nil {
+		return nil, nil, err
+	}
+	return wbuf.Bytes(), obuf.Bytes(), nil
+}
+
+// sampleCounterLocal maintains per-rank mirrors of the global sample count
+// without touching the shared metrics (which rank 0 owns). Each rank only
+// accesses its own slot.
+func (t *Trainer) sampleCounterLocal(rank, add int) int {
+	t.localSamples[rank] += add
+	return t.localSamples[rank]
+}

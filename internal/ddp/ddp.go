@@ -1,0 +1,174 @@
+// Package ddp implements distributed data-parallel primitives: a ring
+// all-reduce over per-rank gradient buffers, broadcast, and barriers.
+//
+// The paper's server trains with "distributed data parallelism … After each
+// batch backpropagation, the locally computed vector of weight updates is
+// all-reduced between all processes and applied to each local NN copy to
+// keep them identical" (§3.1). Ranks here are goroutines (the stand-in for
+// GPU training processes) connected by channels; the ring algorithm is the
+// same bandwidth-optimal scatter-reduce/all-gather pattern NCCL uses, so
+// its cost model (2(n−1)/n · bytes) is also what the cluster simulator
+// charges for gradient synchronization.
+package ddp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Communicator connects a fixed group of ranks for collective operations.
+// Every collective must be entered by all ranks concurrently (one goroutine
+// per rank), like an MPI communicator.
+type Communicator struct {
+	n     int
+	links []chan []float32 // links[r] carries messages rank r → rank (r+1)%n
+	bcast []chan []float32 // one channel per rank for broadcast fan-out
+	bar   *barrier
+}
+
+// NewCommunicator creates a communicator for n ranks.
+func NewCommunicator(n int) *Communicator {
+	if n <= 0 {
+		panic(fmt.Sprintf("ddp: invalid communicator size %d", n))
+	}
+	c := &Communicator{
+		n:     n,
+		links: make([]chan []float32, n),
+		bcast: make([]chan []float32, n),
+		bar:   newBarrier(n),
+	}
+	for i := range c.links {
+		c.links[i] = make(chan []float32, 1)
+		c.bcast[i] = make(chan []float32, 1)
+	}
+	return c
+}
+
+// Size returns the number of ranks.
+func (c *Communicator) Size() int { return c.n }
+
+// AllReduceSum replaces buf on every rank with the element-wise sum across
+// ranks, using a ring scatter-reduce followed by a ring all-gather. All
+// ranks must call it concurrently with equal-length buffers. The reduction
+// order for each chunk is fixed by ring position, so results are
+// deterministic and identical on every rank.
+func (c *Communicator) AllReduceSum(rank int, buf []float32) {
+	if c.n == 1 {
+		return
+	}
+	n := c.n
+	bounds := chunkBounds(len(buf), n)
+	chunk := func(i int) []float32 {
+		i = ((i % n) + n) % n
+		return buf[bounds[i]:bounds[i+1]]
+	}
+
+	send := c.links[rank]
+	recv := c.links[(rank-1+n)%n]
+
+	// Scatter-reduce: after step s, rank r has accumulated s+1 terms into
+	// chunk (r-s). After n-1 steps, chunk (r+1) holds the complete sum.
+	for s := 0; s < n-1; s++ {
+		out := chunk(rank - s)
+		msg := make([]float32, len(out))
+		copy(msg, out)
+		send <- msg
+		in := <-recv
+		dst := chunk(rank - s - 1)
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// All-gather: circulate the completed chunks.
+	for s := 0; s < n-1; s++ {
+		out := chunk(rank + 1 - s)
+		msg := make([]float32, len(out))
+		copy(msg, out)
+		send <- msg
+		in := <-recv
+		copy(chunk(rank-s), in)
+	}
+}
+
+// AllReduceMean is AllReduceSum followed by division by the rank count,
+// which is how gradients are averaged across data-parallel replicas.
+func (c *Communicator) AllReduceMean(rank int, buf []float32) {
+	c.AllReduceSum(rank, buf)
+	if c.n > 1 {
+		inv := 1 / float32(c.n)
+		for i := range buf {
+			buf[i] *= inv
+		}
+	}
+}
+
+// Broadcast copies rank root's buffer into every other rank's buffer. All
+// ranks must call it concurrently; buffers must have equal length.
+func (c *Communicator) Broadcast(rank, root int, buf []float32) {
+	if c.n == 1 {
+		return
+	}
+	if rank == root {
+		msg := make([]float32, len(buf))
+		copy(msg, buf)
+		for r := 0; r < c.n; r++ {
+			if r != root {
+				c.bcast[r] <- msg
+			}
+		}
+	} else {
+		copy(buf, <-c.bcast[rank])
+	}
+	c.Barrier()
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Communicator) Barrier() { c.bar.wait() }
+
+// chunkBounds splits length len into n contiguous chunks as evenly as
+// possible and returns the n+1 boundary offsets.
+func chunkBounds(length, n int) []int {
+	bounds := make([]int, n+1)
+	base, rem := length/n, length%n
+	off := 0
+	for i := 0; i < n; i++ {
+		bounds[i] = off
+		off += base
+		if i < rem {
+			off++
+		}
+	}
+	bounds[n] = length
+	return bounds
+}
+
+// barrier is a reusable n-party barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+}

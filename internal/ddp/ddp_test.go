@@ -1,0 +1,374 @@
+package ddp
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"melissa/internal/nn"
+	"melissa/internal/opt"
+	"melissa/internal/tensor"
+)
+
+// runRanks launches one goroutine per rank and waits for completion.
+func runRanks(n int, fn func(rank int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank)
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestChunkBounds(t *testing.T) {
+	b := chunkBounds(10, 3)
+	want := []int{0, 4, 7, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+	b = chunkBounds(2, 4) // more ranks than elements: some chunks empty
+	if b[0] != 0 || b[4] != 2 {
+		t.Fatalf("bounds = %v", b)
+	}
+	for i := 0; i < 4; i++ {
+		if b[i+1] < b[i] {
+			t.Fatalf("non-monotonic bounds %v", b)
+		}
+	}
+}
+
+func TestAllReduceSumSmall(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		c := NewCommunicator(n)
+		bufs := make([][]float32, n)
+		for r := range bufs {
+			bufs[r] = []float32{float32(r + 1), float32(10 * (r + 1)), float32(100 * (r + 1))}
+		}
+		var wantSum [3]float32
+		for _, b := range bufs {
+			for i, v := range b {
+				wantSum[i] += v
+			}
+		}
+		runRanks(n, func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+		for r := 0; r < n; r++ {
+			for i := 0; i < 3; i++ {
+				if bufs[r][i] != wantSum[i] {
+					t.Fatalf("n=%d rank %d: got %v, want %v", n, r, bufs[r], wantSum)
+				}
+			}
+		}
+	}
+}
+
+func TestAllReduceLenNotDivisible(t *testing.T) {
+	// Buffer length 5 across 4 ranks exercises uneven and empty chunks.
+	n := 4
+	c := NewCommunicator(n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, 5)
+		for i := range bufs[r] {
+			bufs[r][i] = float32(r*5 + i)
+		}
+	}
+	want := make([]float32, 5)
+	for _, b := range bufs {
+		for i, v := range b {
+			want[i] += v
+		}
+	}
+	runRanks(n, func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+	for r := 0; r < n; r++ {
+		for i := range want {
+			if bufs[r][i] != want[i] {
+				t.Fatalf("rank %d elem %d: %v want %v", r, i, bufs[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllReduceBufferShorterThanRanks(t *testing.T) {
+	n := 5
+	c := NewCommunicator(n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = []float32{1, 2} // only 2 elements, 5 ranks
+	}
+	runRanks(n, func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+	for r := 0; r < n; r++ {
+		if bufs[r][0] != 5 || bufs[r][1] != 10 {
+			t.Fatalf("rank %d: %v", r, bufs[r])
+		}
+	}
+}
+
+func TestAllReduceMean(t *testing.T) {
+	n := 4
+	c := NewCommunicator(n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = []float32{float32(r)} // 0,1,2,3 → mean 1.5
+	}
+	runRanks(n, func(rank int) { c.AllReduceMean(rank, bufs[rank]) })
+	for r := 0; r < n; r++ {
+		if bufs[r][0] != 1.5 {
+			t.Fatalf("rank %d: %v, want 1.5", r, bufs[r][0])
+		}
+	}
+}
+
+// Property: all ranks end with identical buffers equal to the element-wise
+// sum (within float tolerance), for random sizes and rank counts.
+func TestAllReduceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := 1 + int(seed%6)
+		length := int(seed>>3%64) + 1
+		c := NewCommunicator(n)
+		bufs := make([][]float32, n)
+		want := make([]float64, length)
+		for r := range bufs {
+			bufs[r] = make([]float32, length)
+			for i := range bufs[r] {
+				bufs[r][i] = float32(rng.NormFloat64())
+				want[i] += float64(bufs[r][i])
+			}
+		}
+		runRanks(n, func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+		for r := 1; r < n; r++ {
+			for i := range bufs[r] {
+				if bufs[r][i] != bufs[0][i] {
+					return false // ranks must agree bit-exactly
+				}
+			}
+		}
+		for i := range want {
+			if math.Abs(float64(bufs[0][i])-want[i]) > 1e-4*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	n := 4
+	c := NewCommunicator(n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = []float32{float32(r), float32(r)}
+	}
+	runRanks(n, func(rank int) { c.Broadcast(rank, 2, bufs[rank]) })
+	for r := 0; r < n; r++ {
+		if bufs[r][0] != 2 || bufs[r][1] != 2 {
+			t.Fatalf("rank %d: %v", r, bufs[r])
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	n := 8
+	c := NewCommunicator(n)
+	var mu sync.Mutex
+	phase1 := 0
+	fail := false
+	runRanks(n, func(rank int) {
+		mu.Lock()
+		phase1++
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		if phase1 != n {
+			fail = true
+		}
+		mu.Unlock()
+		c.Barrier() // reusable
+	})
+	if fail {
+		t.Fatal("barrier released before all ranks arrived")
+	}
+}
+
+func TestGradBufferRoundtrip(t *testing.T) {
+	net := nn.ArchitectureMLP(3, []int{4}, 2, 1)
+	params := net.Params()
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = float32(i + 1)
+		}
+	}
+	buf := NewGradBuffer(params)
+	if buf.Len() != net.NumParams() {
+		t.Fatalf("buffer len %d, want %d", buf.Len(), net.NumParams())
+	}
+	buf.Gather(params)
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+	buf.Scatter(params)
+	for _, p := range params {
+		for i, g := range p.Grad.Data {
+			if g != float32(i+1) {
+				t.Fatalf("param %s grad not restored", p.Name)
+			}
+		}
+	}
+}
+
+// TestDataParallelEquivalence verifies the core DDP property: n replicas
+// training on n disjoint batch shards with gradient averaging produce
+// exactly the same weights as a single model trained on the concatenated
+// batch. This is what keeps the paper's multi-GPU runs semantically
+// equivalent to large-batch single-GPU training.
+func TestDataParallelEquivalence(t *testing.T) {
+	const n = 4
+	const shardSize = 5
+	rng := rand.New(rand.NewPCG(21, 22))
+
+	build := func() *nn.Network { return nn.ArchitectureMLP(3, []int{8}, 2, 77) }
+
+	// Shared input: n shards of shardSize rows each.
+	shards := make([]*tensor.Matrix, n)
+	targets := make([]*tensor.Matrix, n)
+	full := tensor.New(n*shardSize, 3)
+	fullTarget := tensor.New(n*shardSize, 2)
+	for s := 0; s < n; s++ {
+		shards[s] = tensor.New(shardSize, 3)
+		targets[s] = tensor.New(shardSize, 2)
+		for r := 0; r < shardSize; r++ {
+			for c := 0; c < 3; c++ {
+				v := float32(rng.NormFloat64())
+				shards[s].Set(r, c, v)
+				full.Set(s*shardSize+r, c, v)
+			}
+			for c := 0; c < 2; c++ {
+				v := float32(rng.NormFloat64())
+				targets[s].Set(r, c, v)
+				fullTarget.Set(s*shardSize+r, c, v)
+			}
+		}
+	}
+
+	// Reference: single model, full batch, SGD.
+	ref := build()
+	loss := nn.NewMSELoss()
+	const lr = 0.1
+	const steps = 5
+	for i := 0; i < steps; i++ {
+		ref.ZeroGrad()
+		ref.Backward(loss.Backward(ref.Forward(full), fullTarget))
+		for _, p := range ref.Params() {
+			tensor.Axpy(-lr, p.Grad.Data, p.Value.Data)
+		}
+	}
+
+	// DDP: n replicas on shards with gradient mean.
+	comm := NewCommunicator(n)
+	replicas := make([]*nn.Network, n)
+	for r := range replicas {
+		replicas[r] = build()
+	}
+	runRanks(n, func(rank int) {
+		net := replicas[rank]
+		l := nn.NewMSELoss()
+		gbuf := NewGradBuffer(net.Params())
+		for i := 0; i < steps; i++ {
+			net.ZeroGrad()
+			net.Backward(l.Backward(net.Forward(shards[rank]), targets[rank]))
+			SyncGradients(comm, rank, net.Params(), gbuf)
+			for _, p := range net.Params() {
+				tensor.Axpy(-lr, p.Grad.Data, p.Value.Data)
+			}
+		}
+	})
+
+	// All replicas identical.
+	for r := 1; r < n; r++ {
+		pa, pb := replicas[0].Params(), replicas[r].Params()
+		for i := range pa {
+			for j := range pa[i].Value.Data {
+				if pa[i].Value.Data[j] != pb[i].Value.Data[j] {
+					t.Fatalf("replicas 0 and %d diverged at param %d[%d]", r, i, j)
+				}
+			}
+		}
+	}
+	// Replica ≈ reference (float reduction order differs, so tolerance).
+	pr, p0 := ref.Params(), replicas[0].Params()
+	for i := range pr {
+		for j := range pr[i].Value.Data {
+			d := math.Abs(float64(pr[i].Value.Data[j] - p0[i].Value.Data[j]))
+			if d > 1e-4 {
+				t.Fatalf("DDP diverged from large-batch reference: param %d[%d] diff %v", i, j, d)
+			}
+		}
+	}
+}
+
+// TestDDPWithAdam checks that replicas stay bit-identical across Adam steps
+// (each replica applies the same averaged gradient to the same state).
+func TestDDPWithAdam(t *testing.T) {
+	const n = 3
+	comm := NewCommunicator(n)
+	replicas := make([]*nn.Network, n)
+	for r := range replicas {
+		replicas[r] = nn.ArchitectureMLP(2, []int{4}, 2, 55)
+	}
+	rng := rand.New(rand.NewPCG(1, 9))
+	inputs := make([]*tensor.Matrix, n)
+	targets := make([]*tensor.Matrix, n)
+	for r := 0; r < n; r++ {
+		inputs[r] = tensor.New(4, 2)
+		targets[r] = tensor.New(4, 2)
+		for i := range inputs[r].Data {
+			inputs[r].Data[i] = float32(rng.NormFloat64())
+			targets[r].Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	runRanks(n, func(rank int) {
+		net := replicas[rank]
+		l := nn.NewMSELoss()
+		a := opt.NewAdam(1e-3)
+		gbuf := NewGradBuffer(net.Params())
+		for i := 0; i < 10; i++ {
+			net.ZeroGrad()
+			net.Backward(l.Backward(net.Forward(inputs[rank]), targets[rank]))
+			SyncGradients(comm, rank, net.Params(), gbuf)
+			a.Step(net.Params())
+		}
+	})
+	for r := 1; r < n; r++ {
+		pa, pb := replicas[0].Params(), replicas[r].Params()
+		for i := range pa {
+			for j := range pa[i].Value.Data {
+				if pa[i].Value.Data[j] != pb[i].Value.Data[j] {
+					t.Fatalf("Adam replicas diverged (rank %d, param %d[%d])", r, i, j)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAllReduce4Ranks(b *testing.B) {
+	const n = 4
+	c := NewCommunicator(n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, 1<<16)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runRanks(n, func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
+	}
+}

@@ -1,0 +1,55 @@
+package ddp
+
+import (
+	"melissa/internal/nn"
+)
+
+// GradBuffer is a reusable flat view of a network's gradients, used to
+// all-reduce every parameter in a single collective instead of one
+// collective per tensor (mirroring PyTorch DDP's gradient bucketing).
+type GradBuffer struct {
+	flat []float32
+}
+
+// NewGradBuffer sizes a flat buffer for the given parameter list.
+func NewGradBuffer(params []*nn.Param) *GradBuffer {
+	total := 0
+	for _, p := range params {
+		total += p.Size()
+	}
+	return &GradBuffer{flat: make([]float32, total)}
+}
+
+// Len returns the number of scalar gradients in the buffer.
+func (g *GradBuffer) Len() int { return len(g.flat) }
+
+// Flat exposes the underlying buffer for collectives.
+func (g *GradBuffer) Flat() []float32 { return g.flat }
+
+// Gather copies every parameter gradient into the flat buffer.
+func (g *GradBuffer) Gather(params []*nn.Param) {
+	off := 0
+	for _, p := range params {
+		copy(g.flat[off:], p.Grad.Data)
+		off += p.Size()
+	}
+}
+
+// Scatter copies the flat buffer back into the parameter gradients.
+func (g *GradBuffer) Scatter(params []*nn.Param) {
+	off := 0
+	for _, p := range params {
+		copy(p.Grad.Data, g.flat[off:off+p.Size()])
+		off += p.Size()
+	}
+}
+
+// SyncGradients averages the gradients of params across all ranks of comm.
+// Every rank must call it concurrently after its local backward pass; on
+// return each replica holds identical averaged gradients, matching the
+// all-reduce step of §3.1.
+func SyncGradients(comm *Communicator, rank int, params []*nn.Param, buf *GradBuffer) {
+	buf.Gather(params)
+	comm.AllReduceMean(rank, buf.Flat())
+	buf.Scatter(params)
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"io"
+
+	"melissa/internal/buffer"
+	"melissa/internal/cluster"
+	"melissa/internal/des"
+	"melissa/internal/scheduler"
+	"melissa/internal/simrun"
+	"melissa/internal/trace"
+)
+
+// Jean-Zay accounting used by the paper's conclusion (§5): "1 kh/core CPU =
+// 6€, 1 kh/GPU V100 = 360€, 1TB (SSD storage) = 56€".
+const (
+	EuroPerCoreHour = 6.0 / 1000
+	EuroPerGPUHour  = 360.0 / 1000
+	EuroPerTB       = 56.0
+)
+
+// CostRow is one line of the §5 cost comparison.
+type CostRow struct {
+	Setting    string
+	CPUEuro    float64
+	GPUEuro    float64
+	StorageEur float64
+	TotalEuro  float64
+	PaperEuro  float64 // the figure reported in §5 (0 = not reported)
+}
+
+// CostAnalysisResult reproduces the paper's cost accounting for the Table 2
+// experiment: online training at scale vs offline generation+training, the
+// repeated-offline case, and the hypothetical storage bill of materializing
+// the online run's 8 TB dataset.
+type CostAnalysisResult struct {
+	Rows []CostRow
+}
+
+// CostAnalysis derives every cost from the same simulations that produce
+// Table 2 (no new fitting): resource-hours × the paper's tariffs.
+func CostAnalysis() (*CostAnalysisResult, error) {
+	model := cluster.JeanZay()
+
+	// Online: 5,120 cores for the whole run plus 4 GPUs.
+	large := LargePaperEnsemble()
+	opts := large.Options(buffer.ReservoirKind, 4)
+	opts.LeanResult = true
+	run, err := simrun.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Table 2's resource column: clients on 5,120 cores; the training
+	// server holds a 40-core, 4-GPU node for the whole run.
+	const serverCores = 40
+	onlineHours := run.TrainingEnd / 3600
+	online := CostRow{
+		Setting:   "Online Reservoir (Table 2)",
+		CPUEuro:   (float64(large.TotalCores) + serverCores) * onlineHours * EuroPerCoreHour,
+		GPUEuro:   4 * onlineHours * EuroPerGPUHour,
+		PaperEuro: 63.8,
+	}
+	online.TotalEuro = online.CPUEuro + online.GPUEuro
+
+	// Offline: generation on 2,000 cores, 100-epoch training on 4 GPUs,
+	// compressed dataset (95.5 GB in the paper) stored on SSD.
+	small := SmallPaperEnsemble()
+	genSec := model.GenerationSec(small.Simulations, small.StepsPerSim, small.CoresPerClient, small.TotalCores, 450e9)
+	genHours := genSec / 3600
+	samples := float64(small.Simulations * small.StepsPerSim)
+	trainHours := paperOfflineEpochs * samples / model.OfflineSamplesPerSec(4, small.BatchSize) / 3600
+	datasetTB := samples * model.SampleBytes / 1e12
+	offline := CostRow{
+		Setting:    "Offline gen+train (100 epochs)",
+		CPUEuro:    float64(small.TotalCores)*genHours*EuroPerCoreHour + serverCores*trainHours*EuroPerCoreHour,
+		GPUEuro:    4 * trainHours * EuroPerGPUHour,
+		StorageEur: datasetTB * EuroPerTB,
+		PaperEuro:  49.1,
+	}
+	offline.TotalEuro = offline.CPUEuro + offline.GPUEuro + offline.StorageEur
+
+	// Repeated offline training: the dataset already exists.
+	repeat := CostRow{
+		Setting:   "Offline re-train (no gen/storage)",
+		CPUEuro:   serverCores * trainHours * EuroPerCoreHour,
+		GPUEuro:   4 * trainHours * EuroPerGPUHour,
+		PaperEuro: 41.16,
+	}
+	repeat.TotalEuro = repeat.CPUEuro + repeat.GPUEuro
+
+	// Storing the online run's dataset offline: the paper's 8 TB bill.
+	storage8TB := CostRow{
+		Setting:    "Storage of the 8 TB online dataset",
+		StorageEur: float64(run.Unique) * model.SampleBytes / 1e12 * EuroPerTB,
+		PaperEuro:  480,
+	}
+	storage8TB.TotalEuro = storage8TB.StorageEur
+
+	return &CostAnalysisResult{Rows: []CostRow{online, offline, repeat, storage8TB}}, nil
+}
+
+// Render prints the cost table with the paper's figures alongside.
+func (r *CostAnalysisResult) Render(w io.Writer) {
+	tb := trace.NewTable("§5 cost analysis (1 kh/core = 6€, 1 kh/GPU = 360€, 1 TB = 56€)",
+		"Setting", "CPU €", "GPU €", "Storage €", "Total €", "Paper €")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Setting, row.CPUEuro, row.GPUEuro, row.StorageEur, row.TotalEuro, row.PaperEuro)
+	}
+	tb.Render(w)
+}
+
+// ReservationRow is one strategy in the §3.1 reservation-order experiment.
+type ReservationRow struct {
+	Strategy   string
+	GPUIdleH   float64
+	CPUIdleH   float64
+	WastedEuro float64
+}
+
+// ReservationOrder reproduces the heterogeneous-job scheduling lesson of
+// §3.1: the workflow needs a GPU allocation (server) and a much larger CPU
+// allocation (clients) from two independently-loaded partitions. Reserving
+// GPUs first leaves them idle while the busy CPU partition queues the
+// client job; reversing the order ("the most economical approach to
+// preserve our compute hour budget") idles cheap CPU cores briefly instead.
+// Partition congestion is simulated with background jobs on the DES
+// scheduler; cpuBacklogHours controls how long the CPU queue is.
+func ReservationOrder(cpuBacklogHours float64) ([]ReservationRow, error) {
+	const (
+		gpus     = 4
+		cores    = 5120
+		gpuWaitH = 0.05 // lightly loaded GPU partition
+	)
+	runStrategy := func(gpuFirst bool) ReservationRow {
+		sim := des.New()
+		gpuPart := scheduler.New(sim, gpus)
+		cpuPart := scheduler.New(sim, cores)
+
+		// Congestion: a backlog job occupies the full CPU partition for
+		// cpuBacklogHours, and a small one delays the GPU partition.
+		cpuPart.Submit(cores, func(release func()) {
+			sim.After(cpuBacklogHours*3600, release)
+		})
+		gpuPart.Submit(gpus, func(release func()) {
+			sim.After(gpuWaitH*3600, release)
+		})
+
+		var gpuStart, cpuStart des.Time = -1, -1
+		done := func() bool { return gpuStart >= 0 && cpuStart >= 0 }
+		_ = done
+		if gpuFirst {
+			gpuPart.Submit(gpus, func(release func()) {
+				gpuStart = sim.Now()
+				cpuPart.Submit(cores, func(release2 func()) {
+					cpuStart = sim.Now()
+					release2()
+					release()
+				})
+			})
+		} else {
+			cpuPart.Submit(cores, func(release func()) {
+				cpuStart = sim.Now()
+				gpuPart.Submit(gpus, func(release2 func()) {
+					gpuStart = sim.Now()
+					release2()
+					release()
+				})
+			})
+		}
+		sim.Run()
+
+		row := ReservationRow{Strategy: "CPU first"}
+		if gpuFirst {
+			row.Strategy = "GPU first"
+		}
+		if gpuStart >= 0 && cpuStart > gpuStart {
+			row.GPUIdleH = (cpuStart - gpuStart) / 3600
+		}
+		if cpuStart >= 0 && gpuStart > cpuStart {
+			row.CPUIdleH = (gpuStart - cpuStart) / 3600
+		}
+		row.WastedEuro = row.GPUIdleH*float64(gpus)*EuroPerGPUHour + row.CPUIdleH*float64(cores)*EuroPerCoreHour
+		return row
+	}
+	return []ReservationRow{runStrategy(true), runStrategy(false)}, nil
+}
+
+// RenderReservation prints the comparison.
+func RenderReservation(w io.Writer, rows []ReservationRow) {
+	tb := trace.NewTable("§3.1 reservation order on loaded partitions",
+		"Strategy", "GPU idle (h)", "CPU idle (h)", "Wasted €")
+	for _, row := range rows {
+		tb.AddRow(row.Strategy, row.GPUIdleH, row.CPUIdleH, row.WastedEuro)
+	}
+	tb.Render(w)
+}

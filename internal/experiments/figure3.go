@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"io"
+
+	"melissa/internal/buffer"
+	"melissa/internal/stats"
+	"melissa/internal/trace"
+)
+
+// Figure3Result reproduces Figure 3: the histogram of how many times each
+// simulation time step appears in training batches under the Reservoir, for
+// 1, 2 and 4 GPUs. More GPUs consume faster at fixed production, so
+// repetition increases with GPU count.
+type Figure3Result struct {
+	Ensemble   PaperEnsemble
+	GPUs       []int
+	Histograms map[int]*stats.Histogram // gpu count → occurrence histogram
+	MeanOcc    map[int]float64
+}
+
+// Figure3 runs the Reservoir timing simulation per GPU count and buckets
+// sample occurrences.
+func Figure3() (*Figure3Result, error) {
+	ens := SmallPaperEnsemble()
+	res := &Figure3Result{
+		Ensemble:   ens,
+		GPUs:       []int{1, 2, 4},
+		Histograms: make(map[int]*stats.Histogram),
+		MeanOcc:    make(map[int]float64),
+	}
+	for _, n := range res.GPUs {
+		run, err := ens.RunTiming(buffer.ReservoirKind, n)
+		if err != nil {
+			return nil, err
+		}
+		h := stats.NewHistogram()
+		for _, c := range run.Occurrences {
+			h.Add(c)
+		}
+		res.Histograms[n] = h
+		res.MeanOcc[n] = h.Mean()
+	}
+	return res, nil
+}
+
+// Render prints the per-GPU histograms side by side.
+func (r *Figure3Result) Render(w io.Writer) {
+	maxOcc := 0
+	for _, h := range r.Histograms {
+		if h.Max() > maxOcc {
+			maxOcc = h.Max()
+		}
+	}
+	headers := []string{"Occurrences"}
+	for _, n := range r.GPUs {
+		headers = append(headers, sprintGPU(n))
+	}
+	tb := trace.NewTable("Figure 3 — sample occurrences in batches (Reservoir)", headers...)
+	for occ := 1; occ <= maxOcc; occ++ {
+		row := []any{occ}
+		for _, n := range r.GPUs {
+			row = append(row, r.Histograms[n].Count(occ))
+		}
+		tb.AddRow(row...)
+	}
+	mean := []any{"mean"}
+	for _, n := range r.GPUs {
+		mean = append(mean, r.MeanOcc[n])
+	}
+	tb.AddRow(mean...)
+	tb.Render(w)
+}
+
+func sprintGPU(n int) string {
+	if n == 1 {
+		return "1 GPU"
+	}
+	return string(rune('0'+n)) + " GPUs"
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"melissa/internal/buffer"
+	"melissa/internal/cluster"
+	"melissa/internal/core"
+	"melissa/internal/simrun"
+)
+
+// QualityRun is one real-training curve produced by a quality experiment.
+type QualityRun struct {
+	Label    string
+	Train    []core.LossPoint
+	Val      []core.LossPoint
+	FinalVal float64
+	MinVal   float64
+	Batches  int
+	Samples  int
+	Unique   int
+}
+
+func newQualityRun(label string, l *learner) *QualityRun {
+	qr := &QualityRun{
+		Label:    label,
+		Train:    l.TrainCurve(),
+		Val:      l.ValCurve(),
+		FinalVal: l.FinalValidation(),
+		MinVal:   l.MinValidation(),
+		Batches:  l.Batches(),
+		Samples:  l.Samples(),
+	}
+	if occ := l.Occurrences(); occ != nil {
+		qr.Unique = len(occ)
+	}
+	return qr
+}
+
+// smallTopology maps a scale's small ensemble onto the cluster simulator,
+// preserving the paper's §4.3 ratios: 40% of the ensemble runs concurrently
+// (100 of 250), 20 cores per client, submission in 40/40/20% series.
+func smallTopology(scale Scale, kind buffer.Kind, gpus int) simrun.Options {
+	sims := scale.SimsSmall
+	s1 := (sims*2 + 4) / 5 // 40%
+	s2 := s1
+	s3 := sims - s1 - s2
+	series := []int{s1, s2, s3}
+	if s3 <= 0 {
+		series = []int{sims}
+		s1 = sims
+	}
+	return simrun.Options{
+		Model:          cluster.JeanZay(),
+		Simulations:    sims,
+		StepsPerSim:    scale.StepsPerSim,
+		CoresPerClient: 20,
+		TotalCores:     20 * s1,
+		Series:         series,
+		GPUs:           gpus,
+		BatchSize:      scale.BatchSize,
+		Buffer:         scale.BufferConfig(kind),
+	}
+}
+
+// largeTopology maps the large ensemble (Fig 6 / Table 2 analogue): half
+// the ensemble concurrent, 10 cores per client — reproducing the paper's
+// production:consumption ratio (≈273 vs 476 samples/s at 4 GPUs).
+func largeTopology(scale Scale, gpus int) simrun.Options {
+	sims := scale.SimsLarge
+	concurrent := (sims + 1) / 2
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	return simrun.Options{
+		Model:          cluster.JeanZay(),
+		Simulations:    sims,
+		StepsPerSim:    scale.StepsPerSim,
+		CoresPerClient: 10,
+		TotalCores:     10 * concurrent,
+		GPUs:           gpus,
+		BatchSize:      scale.BatchSize,
+		Buffer:         scale.BufferConfig(buffer.ReservoirKind),
+	}
+}
+
+// runOnlineQuality executes a cluster-simulated online run with real
+// training: virtual clients stream real solver data through the buffer
+// policy while every synchronized step trains the surrogate.
+func runOnlineQuality(opts simrun.Options, data *EnsembleData, l *learner) (*simrun.Result, error) {
+	opts.MakeClient = func(simID int) func(step int) buffer.Sample {
+		return func(step int) buffer.Sample { return data.Sample(simID, step) }
+	}
+	opts.OnTrainStep = l.Step
+	return simrun.Run(opts)
+}
+
+// runOffline1Epoch trains the paper's offline reference: batches uniformly
+// drawn without replacement from the full in-memory dataset, one epoch
+// (§4.4: "offline training performed over one epoch with data read from
+// files (data are seen only once)").
+func runOffline1Epoch(scale Scale, data *EnsembleData, l *learner, gpus int) {
+	samples := data.AllSamples()
+	shuffleOffline(scale, samples, 0)
+	step := scale.BatchSize * gpus
+	for start := 0; start < len(samples); start += step {
+		end := start + step
+		if end > len(samples) {
+			end = len(samples)
+		}
+		l.TrainBatch(samples[start:end])
+	}
+}
+
+// shuffleOffline applies the seeded uniform shuffle of epoch e in place.
+func shuffleOffline(scale Scale, samples []buffer.Sample, epoch uint64) {
+	rng := rand.New(rand.NewPCG(scale.Seed^0x0ff1e, 77+epoch))
+	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+}
+
+func kindLabel(kind buffer.Kind, gpus int) string {
+	if gpus == 1 {
+		return string(kind)
+	}
+	return fmt.Sprintf("%s-%dGPU", kind, gpus)
+}

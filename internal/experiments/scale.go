@@ -1,0 +1,226 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4). Timing experiments (Figure 2, the throughput columns of
+// Tables 1-2) run at the paper's full scale on the discrete-event cluster
+// simulator with the calibrated Jean-Zay performance model; training
+// quality experiments (Figures 4-6, the MSE columns) run real gradient
+// descent on solver-generated data at a reduced grid size, preserving the
+// ratios that drive the paper's conclusions (clients : GPUs : buffer
+// capacity : dataset multiplicity). EXPERIMENTS.md records paper-vs-
+// measured values for each.
+package experiments
+
+import (
+	"fmt"
+
+	"melissa/internal/buffer"
+	"melissa/internal/core"
+	"melissa/internal/sampling"
+	"melissa/internal/solver"
+)
+
+// Scale selects the size of the quality experiments.
+type Scale struct {
+	Name string
+
+	GridN       int // solver grid side (paper: 1000)
+	StepsPerSim int // time steps per simulation (paper: 100)
+	Dt          float64
+
+	SimsSmall int // the "250-simulation" ensemble analogue
+	SimsLarge int // the "20,000-simulation" ensemble analogue (Fig 6)
+	// SimsOffline sizes the fixed dataset of the Figure 6 / Table 2
+	// offline baseline (0 = SimsSmall). The paper's offline run overfits
+	// because its 514M-parameter model can memorize the 25,000-sample
+	// dataset over 100 epochs; at reduced model capacity the equivalent
+	// memorization regime needs a proportionally smaller dataset — the
+	// offline-data-size ablation sweeps the crossover.
+	SimsOffline int
+	ValSims     int // held-out validation simulations (paper: 10)
+
+	Hidden    []int // MLP hidden widths (paper: 256, 256)
+	BatchSize int   // per GPU (paper: 10)
+
+	BufferCapacity  int // paper: 6,000 ≈ a quarter of the small ensemble
+	BufferThreshold int // paper: 1,000
+
+	OfflineEpochs int // Fig 6 offline baseline (paper: 100)
+
+	ValidateEverySamples int // validation cadence in samples (paper: 100 batches × 10)
+
+	Seed uint64
+}
+
+// Tiny is the unit-test scale: everything completes in well under a second.
+func Tiny() Scale {
+	return Scale{
+		Name:  "tiny",
+		GridN: 8, StepsPerSim: 10, Dt: 0.01,
+		SimsSmall: 10, SimsLarge: 30, ValSims: 3,
+		Hidden: []int{16}, BatchSize: 5,
+		BufferCapacity: 50, BufferThreshold: 10,
+		OfflineEpochs:        3,
+		ValidateEverySamples: 100,
+		Seed:                 2023,
+	}
+}
+
+// Default is the bench scale: quality experiments take seconds to a couple
+// of minutes on a laptop core while keeping the paper's ratios
+// (capacity ≈ ¼ of the small ensemble, threshold ≈ capacity/6, large
+// ensemble = 10× small).
+func Default() Scale {
+	return Scale{
+		Name:  "default",
+		GridN: 32, StepsPerSim: 50, Dt: 0.01,
+		SimsSmall: 100, SimsLarge: 1000, SimsOffline: 15, ValSims: 10,
+		Hidden: []int{128, 128}, BatchSize: 10,
+		BufferCapacity: 1250, BufferThreshold: 200,
+		OfflineEpochs:        133, // ≈100k offline samples, matching the online budget
+		ValidateEverySamples: 1000,
+		Seed:                 2023,
+	}
+}
+
+// Large pushes closer to the paper's ensemble counts; minutes per figure.
+func Large() Scale {
+	return Scale{
+		Name:  "large",
+		GridN: 32, StepsPerSim: 100, Dt: 0.01,
+		SimsSmall: 250, SimsLarge: 2000, SimsOffline: 30, ValSims: 10,
+		Hidden: []int{256, 256}, BatchSize: 10,
+		BufferCapacity: 6000, BufferThreshold: 1000,
+		OfflineEpochs:        70,
+		ValidateEverySamples: 1000,
+		Seed:                 2023,
+	}
+}
+
+// ScaleByName resolves a preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "tiny":
+		return Tiny(), nil
+	case "default", "":
+		return Default(), nil
+	case "large":
+		return Large(), nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (tiny|default|large)", name)
+	}
+}
+
+// FieldDim returns the flattened field length.
+func (s Scale) FieldDim() int { return s.GridN * s.GridN }
+
+// OfflineSims returns the Figure 6 offline dataset size.
+func (s Scale) OfflineSims() int {
+	if s.SimsOffline > 0 {
+		return s.SimsOffline
+	}
+	return s.SimsSmall
+}
+
+// Normalizer returns the heat-problem normalizer for this scale.
+func (s Scale) Normalizer() core.HeatNormalizer {
+	return core.NewHeatNormalizer(s.FieldDim(), float64(s.StepsPerSim)*s.Dt)
+}
+
+// SolverConfig returns the per-client solver configuration.
+func (s Scale) SolverConfig() solver.Config {
+	return solver.Config{N: s.GridN, Steps: s.StepsPerSim, Dt: s.Dt}
+}
+
+// ModelSpec returns the surrogate architecture for this scale.
+func (s Scale) ModelSpec() core.ModelSpec {
+	norm := s.Normalizer()
+	return core.ModelSpec{
+		InputDim:  norm.InputDim(),
+		Hidden:    s.Hidden,
+		OutputDim: norm.OutputDim(),
+		Seed:      s.Seed,
+	}
+}
+
+// BufferConfig returns the buffer configuration for a policy kind.
+func (s Scale) BufferConfig(kind buffer.Kind) buffer.Config {
+	return buffer.Config{Kind: kind, Capacity: s.BufferCapacity, Threshold: s.BufferThreshold, Seed: s.Seed}
+}
+
+// EnsembleData holds solver-generated trajectories for quality experiments.
+type EnsembleData struct {
+	Scale  Scale
+	Params []solver.Params
+	// fields[sim][step-1] is the float32 field of (sim, step).
+	fields [][][]float32
+}
+
+// GenerateEnsemble runs the real solver for sims parameter draws from the
+// seeded Monte Carlo design (seedOffset decorrelates training vs validation
+// ensembles).
+func GenerateEnsemble(scale Scale, sims int, seedOffset uint64) (*EnsembleData, error) {
+	design := sampling.NewMonteCarlo(5, scale.Seed+seedOffset)
+	space := sampling.HeatSpace()
+	e := &EnsembleData{
+		Scale:  scale,
+		Params: make([]solver.Params, sims),
+		fields: make([][][]float32, sims),
+	}
+	cfg := scale.SolverConfig()
+	for i := 0; i < sims; i++ {
+		p, err := solver.ParamsFromVector(space.Scale(design.Next()))
+		if err != nil {
+			return nil, err
+		}
+		e.Params[i] = p
+		sim, err := solver.New(cfg, p)
+		if err != nil {
+			return nil, err
+		}
+		e.fields[i] = make([][]float32, scale.StepsPerSim)
+		err = sim.Run(func(step int, field []float64) {
+			f := make([]float32, len(field))
+			for j, v := range field {
+				f[j] = float32(v)
+			}
+			e.fields[i][step-1] = f
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Sims returns the ensemble size.
+func (e *EnsembleData) Sims() int { return len(e.fields) }
+
+// Sample assembles the raw training sample for (simID, 1-based step).
+func (e *EnsembleData) Sample(simID, step int) buffer.Sample {
+	p := e.Params[simID]
+	input := []float32{
+		float32(p.TIC), float32(p.Tx1), float32(p.Ty1), float32(p.Tx2), float32(p.Ty2),
+		float32(float64(step) * e.Scale.Dt),
+	}
+	return buffer.Sample{SimID: simID, Step: step, Input: input, Output: e.fields[simID][step-1]}
+}
+
+// AllSamples flattens the ensemble in (sim, step) order.
+func (e *EnsembleData) AllSamples() []buffer.Sample {
+	out := make([]buffer.Sample, 0, e.Sims()*e.Scale.StepsPerSim)
+	for sim := 0; sim < e.Sims(); sim++ {
+		for step := 1; step <= e.Scale.StepsPerSim; step++ {
+			out = append(out, e.Sample(sim, step))
+		}
+	}
+	return out
+}
+
+// ValidationSet generates the held-out set: ValSims fresh simulations
+// "generated offline and never seen during training" (§4.4).
+func ValidationSet(scale Scale) (*core.ValidationSet, error) {
+	val, err := GenerateEnsemble(scale, scale.ValSims, 0x5eed0ff5)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewValidationSet(scale.Normalizer(), val.AllSamples()), nil
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"melissa/internal/buffer"
+	"melissa/internal/cluster"
+	"melissa/internal/simrun"
+	"melissa/internal/trace"
+)
+
+// Table2Result reproduces Table 2: the headline comparison between offline
+// multi-epoch training on a fixed 25,000-sample dataset and online
+// Reservoir training on a 20,000-simulation (2M-sample, 8 TB) ensemble,
+// both on 4 GPUs. Timing and volume come from the paper-scale cluster
+// simulation; the MSE column reuses the Figure 6 quality runs.
+type Table2Result struct {
+	Scale Scale
+
+	OnlineTotalH     float64
+	OnlineThroughput float64
+	OnlineUnique     int
+	OnlineBytes      float64
+
+	OfflineGenerationH float64
+	OfflineTotalH      float64
+	OfflineThroughput  float64
+	OfflineUnique      int
+	OfflineBytes       float64
+
+	ThroughputRatio float64
+
+	// Quality is the Figure 6 result the MSE column is read from (nil
+	// when run without quality).
+	Quality *Figure6Result
+}
+
+// paperOfflineEpochs is the §4.6 offline baseline epoch count.
+const paperOfflineEpochs = 100
+
+// Table2 runs the timing simulations (always) and the Figure 6 quality
+// comparison (when withQuality).
+func Table2(scale Scale, withQuality bool) (*Table2Result, error) {
+	model := cluster.JeanZay()
+	res := &Table2Result{Scale: scale}
+
+	// Online: 20,000 simulations on 5,120 cores, Reservoir, 4 GPUs.
+	large := LargePaperEnsemble()
+	opts := large.Options(buffer.ReservoirKind, 4)
+	opts.LeanResult = true
+	run, err := simrun.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	res.OnlineTotalH = run.TrainingEnd / 3600
+	res.OnlineThroughput = run.MeanThroughput()
+	res.OnlineUnique = run.Unique
+	res.OnlineBytes = float64(run.Unique) * model.SampleBytes
+
+	// Offline: Table 1's dataset trained for 100 epochs.
+	small := SmallPaperEnsemble()
+	samples := float64(small.Simulations * small.StepsPerSim)
+	genSec := model.GenerationSec(small.Simulations, small.StepsPerSim, small.CoresPerClient, small.TotalCores, 450e9)
+	thr := model.OfflineSamplesPerSec(4, small.BatchSize)
+	trainSec := paperOfflineEpochs * samples / thr
+	res.OfflineGenerationH = genSec / 3600
+	res.OfflineTotalH = (genSec + trainSec) / 3600
+	res.OfflineThroughput = thr
+	res.OfflineUnique = int(samples)
+	res.OfflineBytes = samples * model.SampleBytes
+	res.ThroughputRatio = res.OnlineThroughput / res.OfflineThroughput
+
+	if withQuality {
+		q, err := Figure6(scale)
+		if err != nil {
+			return nil, err
+		}
+		res.Quality = q
+	}
+	return res, nil
+}
+
+// Render prints the table in the paper's layout.
+func (r *Table2Result) Render(w io.Writer) {
+	tb := trace.NewTable("Table 2 — offline vs online Reservoir at 4 GPUs (timing at paper scale)",
+		"Setting", "Generation(h)", "Total(h)", "Dataset(GB)", "UniqueSamples", "MSE", "Throughput(samples/s)")
+	offMSE, onMSE := any("—"), any("—")
+	if r.Quality != nil {
+		offMSE = r.Quality.Offline.FinalVal
+		onMSE = r.Quality.Online.FinalVal
+	}
+	tb.AddRow("Offline (100 epochs)", r.OfflineGenerationH, r.OfflineTotalH, r.OfflineBytes/1e9, r.OfflineUnique, offMSE, r.OfflineThroughput)
+	tb.AddRow("Reservoir (online)", "—", r.OnlineTotalH, r.OnlineBytes/1e9, r.OnlineUnique, onMSE, r.OnlineThroughput)
+	tb.Render(w)
+	fmt.Fprintf(w, "online/offline batch throughput ratio: %.1f× (paper: ≈12.5×)\n", r.ThroughputRatio)
+	if r.Quality != nil {
+		fmt.Fprintf(w, "online validation improvement: %.1f%% (paper: 47%%)\n", 100*r.Quality.Improvement)
+	}
+}

@@ -1,0 +1,324 @@
+// Package launcher orchestrates and monitors the whole workflow (§3.1): it
+// starts the training server, submits client jobs to the available
+// execution slots (optionally in successive series, like the paper's
+// 100/100/50 submission pattern), restarts failed or unresponsive clients,
+// and — when the server itself dies — kills the running clients and brings
+// up a replacement server from the last checkpoint, re-running only the
+// simulations whose data is incomplete.
+//
+// In this in-process live mode, "jobs" are goroutines and "the batch
+// scheduler" is a slot semaphore; the discrete-event Slurm model used by
+// the timing experiments lives in internal/scheduler.
+package launcher
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"melissa/internal/client"
+	"melissa/internal/core"
+	"melissa/internal/nn"
+	"melissa/internal/sampling"
+	"melissa/internal/server"
+	"melissa/internal/solver"
+)
+
+// Config assembles an ensemble run.
+type Config struct {
+	Server server.Config
+
+	// Solver configures every ensemble member; Params are drawn from the
+	// design below.
+	Solver solver.Config
+	// Design draws simulation parameters; seeded for reproducibility.
+	Design sampling.Sampler
+	// Space maps unit design points to physical parameters.
+	Space sampling.Space
+	// Simulations is the ensemble size (paper: 250 small runs, 20,000 at
+	// scale).
+	Simulations int
+
+	// MaxConcurrentClients bounds simultaneously running clients — the
+	// finite resource c behind the paper's inter-simulation bias (§3.2.1).
+	MaxConcurrentClients int
+	// Series optionally splits submission into successive groups (the
+	// paper submits 100, then 100, then 50); the launcher waits for a
+	// series to finish before submitting the next. Sizes must sum to
+	// Simulations. Empty means one series.
+	Series []int
+	// InterSeriesDelay models the scheduler gap between series.
+	InterSeriesDelay time.Duration
+
+	// MaxClientRetries bounds restarts per client.
+	MaxClientRetries int
+	// MaxServerRestarts bounds server recoveries from checkpoint.
+	MaxServerRestarts int
+
+	// HeartbeatInterval for clients; 0 disables heartbeats.
+	HeartbeatInterval time.Duration
+	// ClientCheckpoints enables solver-state checkpoints so restarted
+	// clients resume mid-run.
+	ClientCheckpoints client.Checkpointer
+
+	// JobHook, when set, may mutate a job before each attempt —
+	// fault-injection entry point for tests.
+	JobHook func(simID, attempt int, job *client.HeatJob)
+
+	// InjectServerFailureAfterBatches, when > 0, simulates a server crash
+	// after that many batches on the first server instance (test hook for
+	// the recovery path).
+	InjectServerFailureAfterBatches int
+}
+
+// Result summarizes a completed ensemble run.
+type Result struct {
+	Network        *nn.Network
+	Metrics        *core.Metrics
+	ClientRestarts int
+	ServerRestarts int
+}
+
+// Launcher runs one configured ensemble.
+type Launcher struct {
+	cfg    Config
+	params []solver.Params
+	slots  *semaphore
+
+	clientRestarts atomic.Int64
+}
+
+// Resize changes the number of concurrent client slots while the ensemble
+// runs — the paper's elasticity (§3.1). Growing admits queued clients
+// immediately; shrinking takes effect as running clients complete.
+func (l *Launcher) Resize(concurrent int) { l.slots.Resize(concurrent) }
+
+// ConcurrentClients reports the clients currently running.
+func (l *Launcher) ConcurrentClients() int { return l.slots.InUse() }
+
+// New validates the configuration and pre-draws the ensemble parameters
+// from the design so that restarted runs reuse identical inputs.
+func New(cfg Config) (*Launcher, error) {
+	if cfg.Simulations < 1 {
+		return nil, errors.New("launcher: Simulations must be ≥ 1")
+	}
+	if cfg.MaxConcurrentClients < 1 {
+		cfg.MaxConcurrentClients = 1
+	}
+	if cfg.Design == nil {
+		return nil, errors.New("launcher: Design sampler required")
+	}
+	if len(cfg.Series) > 0 {
+		total := 0
+		for _, s := range cfg.Series {
+			if s <= 0 {
+				return nil, fmt.Errorf("launcher: series size %d must be positive", s)
+			}
+			total += s
+		}
+		if total != cfg.Simulations {
+			return nil, fmt.Errorf("launcher: series sum %d != simulations %d", total, cfg.Simulations)
+		}
+	}
+	l := &Launcher{
+		cfg:    cfg,
+		params: make([]solver.Params, cfg.Simulations),
+		slots:  newSemaphore(cfg.MaxConcurrentClients),
+	}
+	for i := range l.params {
+		p, err := solver.ParamsFromVector(cfg.Space.Scale(cfg.Design.Next()))
+		if err != nil {
+			return nil, err
+		}
+		l.params[i] = p
+	}
+	cfg.Server.ExpectedClients = cfg.Simulations
+	l.cfg = cfg
+	return l, nil
+}
+
+// Params exposes the pre-drawn ensemble parameters (examples print them).
+func (l *Launcher) Params() []solver.Params { return l.params }
+
+// Run executes the ensemble to completion, recovering from client and
+// server failures within the configured budgets.
+func (l *Launcher) Run(ctx context.Context) (*Result, error) {
+	serverRestarts := 0
+	for attempt := 0; ; attempt++ {
+		srv, injected, err := l.runServerAttempt(ctx, attempt)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if err == nil && !injected {
+			return &Result{
+				Network:        srv.Trainer().Network(),
+				Metrics:        srv.Metrics(),
+				ClientRestarts: int(l.clientRestarts.Load()),
+				ServerRestarts: serverRestarts,
+			}, nil
+		}
+		if err != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if serverRestarts >= l.cfg.MaxServerRestarts {
+			if err == nil {
+				err = errors.New("launcher: injected server failure")
+			}
+			return nil, fmt.Errorf("launcher: server failed permanently after %d restarts: %w", serverRestarts, err)
+		}
+		serverRestarts++
+	}
+}
+
+// runServerAttempt brings up one server instance (restoring the checkpoint
+// on non-first attempts), drives the pending clients against it, and waits
+// for it to finish. injected reports a simulated server crash.
+func (l *Launcher) runServerAttempt(ctx context.Context, attempt int) (srv *server.Server, injected bool, err error) {
+	scfg := l.cfg.Server
+	restartCh := make(chan int32, l.cfg.Simulations)
+	scfg.OnUnresponsive = func(id int32) { restartCh <- id }
+
+	serverCtx, failServer := context.WithCancel(ctx)
+	defer failServer()
+	var injectedFlag atomic.Bool
+	if attempt == 0 && l.cfg.InjectServerFailureAfterBatches > 0 {
+		limit := l.cfg.InjectServerFailureAfterBatches
+		prev := scfg.Trainer.OnBatchEnd
+		scfg.Trainer.OnBatchEnd = func(batches int) {
+			if batches == limit {
+				injectedFlag.Store(true)
+				failServer() // the "crash": training stops mid-ensemble
+			}
+			if prev != nil {
+				prev(batches)
+			}
+		}
+	}
+
+	srv, err = server.New(scfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if attempt > 0 && scfg.CheckpointPath != "" {
+		if rerr := srv.RestoreCheckpoint(scfg.CheckpointPath); rerr != nil {
+			return nil, false, fmt.Errorf("launcher: restoring server checkpoint: %w", rerr)
+		}
+	}
+
+	// The paper's launcher kills all running clients when the server
+	// dies; cancelling this context is that kill switch.
+	clientCtx, killClients := context.WithCancel(ctx)
+	defer killClients()
+
+	var clientWG sync.WaitGroup
+	clientWG.Add(1)
+	go func() {
+		defer clientWG.Done()
+		l.submitClients(clientCtx, srv, restartCh)
+	}()
+
+	runErr := srv.Run(serverCtx)
+	killClients()
+	clientWG.Wait()
+	return srv, injectedFlag.Load(), runErr
+}
+
+// submitClients pushes the pending simulations through the execution slots,
+// series by series, restarting failures up to the retry budget.
+func (l *Launcher) submitClients(ctx context.Context, srv *server.Server, restartCh <-chan int32) {
+	completed := srv.CompletedSims()
+
+	// Per-client cancel functions let the watchdog path kill a hung
+	// client so its slot frees up for the restart.
+	var mu sync.Mutex
+	running := map[int]context.CancelFunc{}
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case id := <-restartCh:
+				mu.Lock()
+				if cancel, ok := running[int(id)]; ok {
+					cancel()
+				}
+				mu.Unlock()
+			}
+		}
+	}()
+
+	series := l.cfg.Series
+	if len(series) == 0 {
+		series = []int{l.cfg.Simulations}
+	}
+	simID := 0
+	for si, size := range series {
+		if si > 0 && l.cfg.InterSeriesDelay > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(l.cfg.InterSeriesDelay):
+			}
+		}
+		var seriesWG sync.WaitGroup
+		for i := 0; i < size; i++ {
+			id := simID
+			simID++
+			if completed[int32(id)] {
+				continue // data already complete from a previous server
+			}
+			if err := l.slots.Acquire(ctx); err != nil {
+				return
+			}
+			seriesWG.Add(1)
+			go func() {
+				defer seriesWG.Done()
+				defer l.slots.Release()
+				l.runClientWithRetries(ctx, srv, id, running, &mu)
+			}()
+		}
+		seriesWG.Wait()
+	}
+}
+
+func (l *Launcher) runClientWithRetries(ctx context.Context, srv *server.Server, simID int, running map[int]context.CancelFunc, mu *sync.Mutex) {
+	for attempt := 0; attempt <= l.cfg.MaxClientRetries; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		job := client.HeatJob{
+			Client: client.Config{
+				ClientID:          simID,
+				SimID:             simID,
+				ServerAddrs:       srv.Addrs(),
+				HeartbeatInterval: l.cfg.HeartbeatInterval,
+				Restart:           attempt,
+			},
+			Solver:     l.cfg.Solver,
+			Params:     l.params[simID],
+			Checkpoint: l.cfg.ClientCheckpoints,
+		}
+		if l.cfg.JobHook != nil {
+			l.cfg.JobHook(simID, attempt, &job)
+		}
+		cctx, cancel := context.WithCancel(ctx)
+		mu.Lock()
+		running[simID] = cancel
+		mu.Unlock()
+		err := client.RunHeat(cctx, job)
+		mu.Lock()
+		delete(running, simID)
+		mu.Unlock()
+		cancel()
+		if err == nil {
+			return
+		}
+		if ctx.Err() != nil {
+			return // launcher shutdown, not a client fault
+		}
+		l.clientRestarts.Add(1)
+	}
+}

@@ -1,0 +1,223 @@
+package launcher
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"melissa/internal/buffer"
+	"melissa/internal/client"
+	"melissa/internal/core"
+	"melissa/internal/opt"
+	"melissa/internal/sampling"
+	"melissa/internal/server"
+	"melissa/internal/solver"
+)
+
+const (
+	gridN  = 6
+	steps  = 6
+	nField = gridN * gridN
+)
+
+func testConfig(sims int, kind buffer.Kind) Config {
+	norm := core.NewHeatNormalizer(nField, float64(steps)*0.01)
+	return Config{
+		Server: server.Config{
+			Ranks:  1,
+			Buffer: buffer.Config{Kind: kind, Capacity: 400, Threshold: 2, Seed: 3},
+			Trainer: core.TrainerConfig{
+				BatchSize:        4,
+				Model:            core.ModelSpec{InputDim: norm.InputDim(), Hidden: []int{12}, OutputDim: norm.OutputDim(), Seed: 5},
+				Normalizer:       norm,
+				LearningRate:     1e-3,
+				Schedule:         opt.Constant(1e-3),
+				TrackOccurrences: true,
+			},
+		},
+		Solver:               solver.Config{N: gridN, Steps: steps, Dt: 0.01},
+		Design:               sampling.NewMonteCarlo(5, 11),
+		Space:                sampling.HeatSpace(),
+		Simulations:          sims,
+		MaxConcurrentClients: 2,
+		MaxClientRetries:     3,
+		MaxServerRestarts:    2,
+	}
+}
+
+func TestLauncherValidation(t *testing.T) {
+	cfg := testConfig(4, buffer.FIFOKind)
+	cfg.Simulations = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for 0 simulations")
+	}
+	cfg = testConfig(4, buffer.FIFOKind)
+	cfg.Design = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for missing design")
+	}
+	cfg = testConfig(4, buffer.FIFOKind)
+	cfg.Series = []int{2, 1} // doesn't sum to 4
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for series mismatch")
+	}
+	cfg = testConfig(4, buffer.FIFOKind)
+	cfg.Series = []int{2, -2, 4}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for negative series size")
+	}
+}
+
+func TestLauncherHappyPath(t *testing.T) {
+	cfg := testConfig(5, buffer.FIFOKind)
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Params()) != 5 {
+		t.Fatal("ensemble parameters not drawn")
+	}
+	res, err := l.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientRestarts != 0 || res.ServerRestarts != 0 {
+		t.Fatalf("unexpected restarts: %+v", res)
+	}
+	occ := res.Metrics.Occurrences()
+	if len(occ) != 5*steps {
+		t.Fatalf("unique samples %d, want %d", len(occ), 5*steps)
+	}
+	if res.Network == nil {
+		t.Fatal("no trained network")
+	}
+}
+
+func TestLauncherSeriesSubmission(t *testing.T) {
+	cfg := testConfig(6, buffer.ReservoirKind)
+	cfg.Series = []int{3, 2, 1}
+	cfg.InterSeriesDelay = 10 * time.Millisecond
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Metrics.Occurrences()); got != 6*steps {
+		t.Fatalf("unique samples %d, want %d", got, 6*steps)
+	}
+}
+
+func TestLauncherRestartsFailedClients(t *testing.T) {
+	cfg := testConfig(4, buffer.FIFOKind)
+	// Sim 2 fails on its first two attempts, succeeds on the third.
+	cfg.JobHook = func(simID, attempt int, job *client.HeatJob) {
+		if simID == 2 && attempt < 2 {
+			job.FailAtStep = 3
+		}
+	}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientRestarts != 2 {
+		t.Fatalf("client restarts %d, want 2", res.ClientRestarts)
+	}
+	occ := res.Metrics.Occurrences()
+	if len(occ) != 4*steps {
+		t.Fatalf("unique samples %d, want %d (dedup across restarts)", len(occ), 4*steps)
+	}
+	for k, c := range occ {
+		if c != 1 {
+			t.Fatalf("sample %v trained %d times", k, c)
+		}
+	}
+}
+
+func TestLauncherWatchdogKillsHungClient(t *testing.T) {
+	cfg := testConfig(2, buffer.FIFOKind)
+	cfg.Server.WatchdogTimeout = 150 * time.Millisecond
+	cfg.HeartbeatInterval = 0 // silence between steps
+	// Sim 1 hangs (huge per-step delay) on attempt 0 only.
+	cfg.JobHook = func(simID, attempt int, job *client.HeatJob) {
+		if simID == 1 && attempt == 0 {
+			job.StepDelay = time.Hour
+		}
+	}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := l.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientRestarts < 1 {
+		t.Fatalf("expected at least one watchdog-driven restart, got %d", res.ClientRestarts)
+	}
+	if got := len(res.Metrics.Occurrences()); got != 2*steps {
+		t.Fatalf("unique samples %d, want %d", got, 2*steps)
+	}
+}
+
+func TestLauncherServerRecovery(t *testing.T) {
+	cfg := testConfig(4, buffer.FIFOKind)
+	cfg.Server.CheckpointPath = filepath.Join(t.TempDir(), "srv.ckpt")
+	cfg.Server.CheckpointEveryBatches = 1
+	cfg.InjectServerFailureAfterBatches = 2
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerRestarts != 1 {
+		t.Fatalf("server restarts %d, want 1", res.ServerRestarts)
+	}
+	// The second instance must finish the ensemble; at-least-once training
+	// across the crash boundary.
+	occ := res.Metrics.Occurrences()
+	keys := map[buffer.Key]bool{}
+	for k := range occ {
+		keys[k] = true
+	}
+	// The restored instance re-trains what was lost after the last
+	// checkpoint; the final instance alone must still have seen the tail
+	// of every simulation (completion implies all goodbyes arrived).
+	if res.Metrics.Batches() == 0 {
+		t.Fatal("no training on recovered server")
+	}
+	if len(keys) == 0 {
+		t.Fatal("no samples trained on recovered server")
+	}
+}
+
+func TestLauncherRespectsContextCancel(t *testing.T) {
+	cfg := testConfig(3, buffer.FIFOKind)
+	cfg.JobHook = func(simID, attempt int, job *client.HeatJob) {
+		job.StepDelay = 50 * time.Millisecond // slow everything down
+	}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := l.Run(ctx); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

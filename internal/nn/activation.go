@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math"
+
+	"melissa/internal/tensor"
+)
+
+// ReLU is the rectified linear activation used by the paper's surrogate
+// (§4.1: "2 hidden layers of 256 neurons with ReLU activation").
+type ReLU struct {
+	lastX *tensor.Matrix
+	out   *tensor.Matrix
+	dx    *tensor.Matrix
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	r.lastX = x
+	if r.out == nil || r.out.Rows != x.Rows || r.out.Cols != x.Cols {
+		r.out = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		if v > 0 {
+			r.out.Data[i] = v
+		} else {
+			r.out.Data[i] = 0
+		}
+	}
+	return r.out
+}
+
+// Backward implements Layer: the gradient passes only where the input was
+// strictly positive.
+func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if r.lastX == nil {
+		panic("nn: ReLU.Backward called before Forward")
+	}
+	if r.dx == nil || r.dx.Rows != dy.Rows || r.dx.Cols != dy.Cols {
+		r.dx = tensor.New(dy.Rows, dy.Cols)
+	}
+	for i, v := range r.lastX.Data {
+		if v > 0 {
+			r.dx.Data[i] = dy.Data[i]
+		} else {
+			r.dx.Data[i] = 0
+		}
+	}
+	return r.dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return NewReLU() }
+
+// Tanh is a hyperbolic-tangent activation, provided for surrogate variants
+// that prefer smooth activations (e.g. PINN-style direct models).
+type Tanh struct {
+	out *tensor.Matrix
+	dx  *tensor.Matrix
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if t.out == nil || t.out.Rows != x.Rows || t.out.Cols != x.Cols {
+		t.out = tensor.New(x.Rows, x.Cols)
+	}
+	for i, v := range x.Data {
+		t.out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	return t.out
+}
+
+// Backward implements Layer: d tanh(x)/dx = 1 − tanh(x)².
+func (t *Tanh) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if t.out == nil {
+		panic("nn: Tanh.Backward called before Forward")
+	}
+	if t.dx == nil || t.dx.Rows != dy.Rows || t.dx.Cols != dy.Cols {
+		t.dx = tensor.New(dy.Rows, dy.Cols)
+	}
+	for i, y := range t.out.Data {
+		t.dx.Data[i] = dy.Data[i] * (1 - y*y)
+	}
+	return t.dx
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (t *Tanh) Clone() Layer { return NewTanh() }

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+
+	"melissa/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·W + b for a batch x of
+// shape [batch, in]. W has shape [in, out] and b broadcasts across the
+// batch.
+type Dense struct {
+	name string
+	w, b *Param
+
+	lastX *tensor.Matrix // input recorded by Forward for the weight gradient
+	out   *tensor.Matrix // reused across batches of the same size
+	dx    *tensor.Matrix
+}
+
+// NewDense creates a Dense layer with Xavier-uniform weights drawn from
+// init and zero biases.
+func NewDense(name string, in, out int, init *Initializer) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Dense dims %dx%d", in, out))
+	}
+	w := tensor.New(in, out)
+	init.XavierUniform(w, in, out)
+	return &Dense{
+		name: name,
+		w:    &Param{Name: name + ".weight", Value: w, Grad: tensor.New(in, out)},
+		b:    &Param{Name: name + ".bias", Value: tensor.New(1, out), Grad: tensor.New(1, out)},
+	}
+}
+
+// In returns the input width of the layer.
+func (d *Dense) In() int { return d.w.Value.Rows }
+
+// Out returns the output width of the layer.
+func (d *Dense) Out() int { return d.w.Value.Cols }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.In() {
+		panic(fmt.Sprintf("nn: %s forward got %d features, want %d", d.name, x.Cols, d.In()))
+	}
+	d.lastX = x
+	if d.out == nil || d.out.Rows != x.Rows {
+		d.out = tensor.New(x.Rows, d.Out())
+	}
+	tensor.MatMul(d.out, x, d.w.Value)
+	d.out.AddRowVector(d.b.Value.Data)
+	return d.out
+}
+
+// Backward implements Layer: dW += xᵀ·dy, db += Σ_batch dy, dx = dy·Wᵀ.
+func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward called before Forward")
+	}
+	tensor.MatMulATBAdd(d.w.Grad, d.lastX, dy)
+	dy.SumRowsInto(d.b.Grad.Data)
+	if d.dx == nil || d.dx.Rows != dy.Rows {
+		d.dx = tensor.New(dy.Rows, d.In())
+	}
+	tensor.MatMulABT(d.dx, dy, d.w.Value)
+	return d.dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// Clone implements Layer.
+func (d *Dense) Clone() Layer {
+	return &Dense{
+		name: d.name,
+		w:    &Param{Name: d.w.Name, Value: d.w.Value.Clone(), Grad: tensor.New(d.In(), d.Out())},
+		b:    &Param{Name: d.b.Name, Value: d.b.Value.Clone(), Grad: tensor.New(1, d.Out())},
+	}
+}

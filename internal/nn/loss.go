@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"fmt"
+
+	"melissa/internal/tensor"
+)
+
+// MSELoss is the mean-squared-error loss averaged over every element of the
+// batch (batch size × output width), matching PyTorch's nn.MSELoss default
+// reduction that the paper's training loop uses.
+type MSELoss struct {
+	grad *tensor.Matrix
+}
+
+// NewMSELoss returns an MSE loss.
+func NewMSELoss() *MSELoss { return &MSELoss{} }
+
+// Forward returns the scalar loss for predictions pred against target.
+func (l *MSELoss) Forward(pred, target *tensor.Matrix) float64 {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic(fmt.Sprintf("nn: MSE shape mismatch %dx%d vs %dx%d", pred.Rows, pred.Cols, target.Rows, target.Cols))
+	}
+	var sum float64
+	for i, p := range pred.Data {
+		d := float64(p) - float64(target.Data[i])
+		sum += d * d
+	}
+	return sum / float64(len(pred.Data))
+}
+
+// Backward returns dLoss/dPred for the most recent shapes:
+// 2·(pred − target)/N with N the total element count. The returned matrix is
+// reused between calls.
+func (l *MSELoss) Backward(pred, target *tensor.Matrix) *tensor.Matrix {
+	if l.grad == nil || l.grad.Rows != pred.Rows || l.grad.Cols != pred.Cols {
+		l.grad = tensor.New(pred.Rows, pred.Cols)
+	}
+	scale := 2 / float32(len(pred.Data))
+	for i, p := range pred.Data {
+		l.grad.Data[i] = scale * (p - target.Data[i])
+	}
+	return l.grad
+}
+
+// MSE computes the mean-squared error between two flat vectors; a
+// convenience for validation metrics.
+func MSE(pred, target []float32) float64 {
+	if len(pred) != len(target) {
+		panic("nn: MSE length mismatch")
+	}
+	var sum float64
+	for i := range pred {
+		d := float64(pred[i]) - float64(target[i])
+		sum += d * d
+	}
+	return sum / float64(len(pred))
+}

@@ -1,0 +1,140 @@
+// Package nn implements the neural-network stack used to train deep
+// surrogates: dense layers with manual backpropagation, activations, the
+// mean-squared-error loss, seeded initialization, and binary serialization
+// for checkpoints. The paper's surrogate (§4.1) is a multilayer perceptron
+// taking the simulation parameters plus the requested time step and
+// producing the full temperature field; ArchitectureMLP builds exactly that
+// shape.
+package nn
+
+import (
+	"fmt"
+
+	"melissa/internal/tensor"
+)
+
+// Param is one learnable parameter tensor together with its gradient
+// accumulator. Optimizers walk Params slices; the distributed data-parallel
+// layer all-reduces the Grad buffers between replicas.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// Size returns the number of scalar elements in the parameter.
+func (p *Param) Size() int { return len(p.Value.Data) }
+
+// Layer is a differentiable module. Forward must record whatever it needs
+// for the subsequent Backward; Backward accumulates into parameter
+// gradients and returns the gradient with respect to its input. Layers are
+// stateful and not safe for concurrent use — each data-parallel replica
+// owns its own copy (see Clone).
+type Layer interface {
+	// Forward computes the layer output for a batch (rows = samples).
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	// Backward propagates the loss gradient dy and returns dx. It must be
+	// called exactly once per Forward.
+	Backward(dy *tensor.Matrix) *tensor.Matrix
+	// Params returns the learnable parameters, empty for stateless layers.
+	Params() []*Param
+	// Clone returns a deep copy with identical weights and fresh gradients.
+	Clone() Layer
+}
+
+// Network is a sequential stack of layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork assembles a sequential network from layers.
+func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+
+// Forward runs the batch x through every layer and returns the output.
+func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dy through the network in reverse, accumulating
+// parameter gradients, and returns the gradient w.r.t. the network input.
+func (n *Network) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dy = n.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns all learnable parameters in a stable order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient. Call before each batch.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar learnable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Size()
+	}
+	return total
+}
+
+// Clone deep-copies the network (weights copied, gradients zeroed).
+// Data-parallel replicas are created this way so that all ranks start from
+// byte-identical weights, mirroring how PyTorch DDP broadcasts rank-0
+// weights at startup.
+func (n *Network) Clone() *Network {
+	out := &Network{Layers: make([]Layer, len(n.Layers))}
+	for i, l := range n.Layers {
+		out.Layers[i] = l.Clone()
+	}
+	return out
+}
+
+// CopyWeightsFrom overwrites this network's parameter values with src's.
+// Shapes must match exactly.
+func (n *Network) CopyWeightsFrom(src *Network) error {
+	dst, s := n.Params(), src.Params()
+	if len(dst) != len(s) {
+		return fmt.Errorf("nn: parameter count mismatch %d vs %d", len(dst), len(s))
+	}
+	for i := range dst {
+		if dst[i].Size() != s[i].Size() {
+			return fmt.Errorf("nn: parameter %q size mismatch %d vs %d", dst[i].Name, dst[i].Size(), s[i].Size())
+		}
+		copy(dst[i].Value.Data, s[i].Value.Data)
+	}
+	return nil
+}
+
+// ArchitectureMLP builds the paper's direct surrogate architecture: an
+// input layer of inputDim neurons (the 5 temperature parameters plus the
+// time step), hidden ReLU layers, and a linear output producing the
+// flattened temperature field. Weights are Xavier-initialized from the
+// seeded rng stream so runs are reproducible (§3.1: "all the stochastic
+// components … are seeded").
+func ArchitectureMLP(inputDim int, hidden []int, outputDim int, seed uint64) *Network {
+	init := NewInitializer(seed)
+	var layers []Layer
+	prev := inputDim
+	for i, h := range hidden {
+		layers = append(layers, NewDense(fmt.Sprintf("hidden%d", i), prev, h, init))
+		layers = append(layers, NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewDense("output", prev, outputDim, init))
+	return NewNetwork(layers...)
+}

@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"melissa/internal/nn"
+)
+
+// Adam implements Kingma & Ba's Adam optimizer, the one the paper trains
+// with (§4.1). Default hyperparameters match PyTorch: β1=0.9, β2=0.999,
+// ε=1e-8.
+type Adam struct {
+	lr    float64
+	beta1 float64
+	beta2 float64
+	eps   float64
+	step  uint64
+	m, v  [][]float32
+}
+
+// NewAdam returns an Adam optimizer with PyTorch-default betas and epsilon.
+func NewAdam(lr float64) *Adam {
+	return &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8}
+}
+
+// NewAdamWithBetas returns an Adam optimizer with explicit hyperparameters.
+func NewAdamWithBetas(lr, beta1, beta2, eps float64) *Adam {
+	return &Adam{lr: lr, beta1: beta1, beta2: beta2, eps: eps}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*nn.Param) {
+	a.ensureState(params)
+	a.step++
+	// Bias-corrected step size folds the corrections into the learning
+	// rate, the standard trick from the Adam paper §2.
+	bc1 := 1 - math.Pow(a.beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.beta2, float64(a.step))
+	alpha := float32(a.lr * math.Sqrt(bc2) / bc1)
+	b1, b2 := float32(a.beta1), float32(a.beta2)
+	eps := float32(a.eps)
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			m[j] = b1*m[j] + (1-b1)*g
+			v[j] = b2*v[j] + (1-b2)*g*g
+			p.Value.Data[j] -= alpha * m[j] / (float32(math.Sqrt(float64(v[j]))) + eps)
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// StepCount reports the number of optimizer steps taken, used by tests and
+// checkpoint assertions.
+func (a *Adam) StepCount() uint64 { return a.step }
+
+func (a *Adam) ensureState(params []*nn.Param) {
+	if len(a.m) == len(params) {
+		return
+	}
+	a.m = make([][]float32, len(params))
+	a.v = make([][]float32, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float32, p.Size())
+		a.v[i] = make([]float32, p.Size())
+	}
+}
+
+// SaveState implements Optimizer. Layout: step u64 | nParams u32 | per
+// param: len u32, m f32s, v f32s.
+func (a *Adam) SaveState(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, a.step); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(a.m))); err != nil {
+		return err
+	}
+	for i := range a.m {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(a.m[i]))); err != nil {
+			return err
+		}
+		if err := writeF32s(w, a.m[i]); err != nil {
+			return err
+		}
+		if err := writeF32s(w, a.v[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState implements Optimizer.
+func (a *Adam) LoadState(r io.Reader) error {
+	if err := binary.Read(r, binary.LittleEndian, &a.step); err != nil {
+		return fmt.Errorf("opt: reading adam step: %w", err)
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	a.m = make([][]float32, n)
+	a.v = make([][]float32, n)
+	for i := range a.m {
+		var m uint32
+		if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+			return err
+		}
+		a.m[i] = make([]float32, m)
+		a.v[i] = make([]float32, m)
+		if err := readF32s(r, a.m[i]); err != nil {
+			return err
+		}
+		if err := readF32s(r, a.v[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeF32s(w io.Writer, data []float32) error {
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readF32s(r io.Reader, dst []float32) error {
+	buf := make([]byte, 4*len(dst))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// Package opt provides the optimizers and learning-rate schedules used to
+// train deep surrogates: plain SGD, the Adam optimizer the paper uses
+// (§4.1, starting learning rate 1e-3), and the halving schedule of §4.4–4.5
+// (lr halved every N training samples down to a floor). Optimizer state can
+// be serialized so server checkpoints resume training bit-exactly.
+package opt
+
+import (
+	"io"
+
+	"melissa/internal/nn"
+)
+
+// Optimizer updates network parameters from their accumulated gradients.
+// Implementations are stateful (per-parameter moments) and not safe for
+// concurrent use; each data-parallel replica owns one.
+type Optimizer interface {
+	// Step applies one update using the current learning rate. The caller
+	// is responsible for zeroing gradients afterwards.
+	Step(params []*nn.Param)
+	// SetLR changes the learning rate used by subsequent steps.
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+	// SaveState serializes optimizer state (moments, step counter).
+	SaveState(w io.Writer) error
+	// LoadState restores state written by SaveState. The parameter layout
+	// must match.
+	LoadState(r io.Reader) error
+}
+
+// Schedule maps training progress, measured in samples seen, to a learning
+// rate. Measuring in samples rather than batches keeps multi-GPU runs
+// comparable: with n GPUs each synchronized step consumes n×batch samples,
+// so the paper scales the halving frequency accordingly (§4.5).
+type Schedule interface {
+	LR(samplesSeen int) float64
+}
+
+// Constant is a schedule that always returns the same learning rate.
+type Constant float64
+
+// LR implements Schedule.
+func (c Constant) LR(int) float64 { return float64(c) }
+
+// Halving is the paper's schedule: the learning rate starts at Initial and
+// is halved every EverySamples training samples, never dropping below Min.
+// With Min = 0 there is no floor.
+type Halving struct {
+	Initial      float64
+	EverySamples int
+	Min          float64
+}
+
+// LR implements Schedule.
+func (h Halving) LR(samplesSeen int) float64 {
+	lr := h.Initial
+	if h.EverySamples > 0 {
+		for n := samplesSeen / h.EverySamples; n > 0; n-- {
+			lr /= 2
+			if h.Min > 0 && lr <= h.Min {
+				return h.Min
+			}
+		}
+	}
+	if h.Min > 0 && lr < h.Min {
+		return h.Min
+	}
+	return lr
+}
+
+// PaperSchedule returns the schedule used in the paper's experiments:
+// initial 1e-3, halved every 10,000 samples, floor 2.5e-4 (§4.5).
+func PaperSchedule() Halving {
+	return Halving{Initial: 1e-3, EverySamples: 10000, Min: 2.5e-4}
+}

@@ -1,0 +1,236 @@
+package opt
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"melissa/internal/nn"
+	"melissa/internal/tensor"
+)
+
+// singleParam builds a one-element parameter with the given value and grad.
+func singleParam(value, grad float32) []*nn.Param {
+	p := &nn.Param{
+		Name:  "p",
+		Value: tensor.FromSlice(1, 1, []float32{value}),
+		Grad:  tensor.FromSlice(1, 1, []float32{grad}),
+	}
+	return []*nn.Param{p}
+}
+
+func TestSGDStep(t *testing.T) {
+	params := singleParam(1.0, 0.5)
+	s := NewSGD(0.1, 0)
+	s.Step(params)
+	if got := params[0].Value.Data[0]; math.Abs(float64(got)-0.95) > 1e-6 {
+		t.Fatalf("value = %v, want 0.95", got)
+	}
+}
+
+func TestSGDMomentum(t *testing.T) {
+	params := singleParam(0, 1)
+	s := NewSGD(1, 0.9)
+	s.Step(params) // v=1, w=-1
+	if got := params[0].Value.Data[0]; got != -1 {
+		t.Fatalf("after step 1: %v", got)
+	}
+	s.Step(params) // v=0.9+1=1.9, w=-2.9
+	if got := params[0].Value.Data[0]; math.Abs(float64(got)+2.9) > 1e-6 {
+		t.Fatalf("after step 2: %v, want -2.9", got)
+	}
+}
+
+// TestAdamMatchesReference checks two Adam steps against hand-computed
+// values with constant gradient g=1, lr=0.1.
+func TestAdamMatchesReference(t *testing.T) {
+	params := singleParam(1.0, 1.0)
+	a := NewAdam(0.1)
+
+	// Step 1: m=0.1, v=0.001; mhat=1, vhat=1 → w -= 0.1*1/(1+eps) ≈ 0.9.
+	a.Step(params)
+	if got := float64(params[0].Value.Data[0]); math.Abs(got-0.9) > 1e-5 {
+		t.Fatalf("after step 1: %v, want ≈0.9", got)
+	}
+
+	// Step 2 (same grad): m=0.19, v=0.001999; bc1=0.19, bc2=0.001999
+	// mhat=1, vhat=1 → w ≈ 0.8.
+	params[0].Grad.Data[0] = 1.0
+	a.Step(params)
+	if got := float64(params[0].Value.Data[0]); math.Abs(got-0.8) > 1e-4 {
+		t.Fatalf("after step 2: %v, want ≈0.8", got)
+	}
+	if a.StepCount() != 2 {
+		t.Fatalf("step count %d", a.StepCount())
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = (w-3)^2 with gradient 2(w-3).
+	params := singleParam(0, 0)
+	a := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		w := params[0].Value.Data[0]
+		params[0].Grad.Data[0] = 2 * (w - 3)
+		a.Step(params)
+	}
+	if got := float64(params[0].Value.Data[0]); math.Abs(got-3) > 0.01 {
+		t.Fatalf("converged to %v, want 3", got)
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	a := NewAdam(1e-3)
+	if a.LR() != 1e-3 {
+		t.Fatal("initial LR wrong")
+	}
+	a.SetLR(5e-4)
+	if a.LR() != 5e-4 {
+		t.Fatal("SetLR failed")
+	}
+	s := NewSGD(0.1, 0)
+	s.SetLR(0.2)
+	if s.LR() != 0.2 {
+		t.Fatal("SGD SetLR failed")
+	}
+}
+
+func TestHalvingSchedule(t *testing.T) {
+	h := Halving{Initial: 1e-3, EverySamples: 10000, Min: 2.5e-4}
+	cases := []struct {
+		samples int
+		want    float64
+	}{
+		{0, 1e-3},
+		{9999, 1e-3},
+		{10000, 5e-4},
+		{19999, 5e-4},
+		{20000, 2.5e-4},
+		{30000, 2.5e-4},   // floor reached
+		{1000000, 2.5e-4}, // stays at floor
+	}
+	for _, c := range cases {
+		if got := h.LR(c.samples); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("LR(%d) = %v, want %v", c.samples, got, c.want)
+		}
+	}
+}
+
+func TestHalvingNoFloor(t *testing.T) {
+	h := Halving{Initial: 1, EverySamples: 10}
+	if got := h.LR(40); got != 1.0/16 {
+		t.Fatalf("LR(40) = %v, want 1/16", got)
+	}
+}
+
+func TestPaperSchedule(t *testing.T) {
+	h := PaperSchedule()
+	if h.LR(0) != 1e-3 || h.LR(10000) != 5e-4 || h.LR(100000) != 2.5e-4 {
+		t.Fatal("paper schedule wrong")
+	}
+}
+
+func TestConstantSchedule(t *testing.T) {
+	c := Constant(0.01)
+	if c.LR(0) != 0.01 || c.LR(1e6) != 0.01 {
+		t.Fatal("constant schedule wrong")
+	}
+}
+
+// TestAdamCheckpointResume verifies that saving optimizer state
+// mid-training and resuming produces the identical trajectory as an
+// uninterrupted run — the property server checkpoints rely on (§3.1).
+func TestAdamCheckpointResume(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	grads := make([]float32, 40)
+	for i := range grads {
+		grads[i] = float32(rng.NormFloat64())
+	}
+
+	run := func(restartAt int) float32 {
+		params := singleParam(1.0, 0)
+		a := NewAdam(0.05)
+		for i, g := range grads {
+			if restartAt > 0 && i == restartAt {
+				var buf bytes.Buffer
+				if err := a.SaveState(&buf); err != nil {
+					t.Fatal(err)
+				}
+				a = NewAdam(0.05)
+				if err := a.LoadState(&buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			params[0].Grad.Data[0] = g
+			a.Step(params)
+		}
+		return params[0].Value.Data[0]
+	}
+
+	direct := run(0)
+	resumed := run(20)
+	if direct != resumed {
+		t.Fatalf("resume diverged: %v vs %v", direct, resumed)
+	}
+}
+
+func TestSGDCheckpointResume(t *testing.T) {
+	params := singleParam(1, 0)
+	s := NewSGD(0.1, 0.9)
+	params[0].Grad.Data[0] = 1
+	s.Step(params)
+	var buf bytes.Buffer
+	if err := s.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSGD(0.1, 0.9)
+	if err := s2.LoadState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Both optimizers must now produce the same next step.
+	paramsA := singleParam(params[0].Value.Data[0], 1)
+	paramsB := singleParam(params[0].Value.Data[0], 1)
+	s.Step(paramsA)
+	s2.Step(paramsB)
+	if paramsA[0].Value.Data[0] != paramsB[0].Value.Data[0] {
+		t.Fatalf("momentum state not restored: %v vs %v", paramsA[0].Value.Data[0], paramsB[0].Value.Data[0])
+	}
+}
+
+func TestAdamLoadStateRejectsGarbage(t *testing.T) {
+	a := NewAdam(0.1)
+	if err := a.LoadState(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestAdamOnNetwork trains the paper's MLP shape (tiny) on a smooth target
+// and requires an order-of-magnitude loss reduction.
+func TestAdamOnNetwork(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	net := nn.ArchitectureMLP(3, []int{32}, 4, 11)
+	loss := nn.NewMSELoss()
+	a := NewAdam(1e-2)
+
+	x := tensor.New(64, 3)
+	target := tensor.New(64, 4)
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 3; c++ {
+			x.Set(r, c, float32(rng.Float64()))
+		}
+		for c := 0; c < 4; c++ {
+			target.Set(r, c, x.At(r, 0)*float32(c)+x.At(r, 1))
+		}
+	}
+	initial := loss.Forward(net.Forward(x), target)
+	for i := 0; i < 300; i++ {
+		net.ZeroGrad()
+		net.Backward(loss.Backward(net.Forward(x), target))
+		a.Step(net.Params())
+	}
+	final := loss.Forward(net.Forward(x), target)
+	if final > initial/10 {
+		t.Fatalf("Adam failed to train: %v -> %v", initial, final)
+	}
+}

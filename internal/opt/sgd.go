@@ -1,0 +1,93 @@
+package opt
+
+import (
+	"encoding/binary"
+	"io"
+
+	"melissa/internal/nn"
+	"melissa/internal/tensor"
+)
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	lr       float64
+	momentum float64
+	velocity [][]float32 // lazily sized to the parameter layout
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and
+// momentum coefficient (0 disables momentum).
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*nn.Param) {
+	if s.momentum == 0 {
+		for _, p := range params {
+			tensor.Axpy(float32(-s.lr), p.Grad.Data, p.Value.Data)
+		}
+		return
+	}
+	s.ensureState(params)
+	mu := float32(s.momentum)
+	for i, p := range params {
+		v := s.velocity[i]
+		for j, g := range p.Grad.Data {
+			v[j] = mu*v[j] + g
+			p.Value.Data[j] -= float32(s.lr) * v[j]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+func (s *SGD) ensureState(params []*nn.Param) {
+	if len(s.velocity) == len(params) {
+		return
+	}
+	s.velocity = make([][]float32, len(params))
+	for i, p := range params {
+		s.velocity[i] = make([]float32, p.Size())
+	}
+}
+
+// SaveState implements Optimizer.
+func (s *SGD) SaveState(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s.velocity))); err != nil {
+		return err
+	}
+	for _, v := range s.velocity {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(v))); err != nil {
+			return err
+		}
+		if err := writeF32s(w, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState implements Optimizer.
+func (s *SGD) LoadState(r io.Reader) error {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	s.velocity = make([][]float32, n)
+	for i := range s.velocity {
+		var m uint32
+		if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+			return err
+		}
+		s.velocity[i] = make([]float32, m)
+		if err := readF32s(r, s.velocity[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+// Package protocol defines the wire messages exchanged between ensemble
+// clients and the training server, and their binary framing. It is the Go
+// analogue of the paper's ZMQ message layer (§3.1): a client announces
+// itself (Hello), streams one TimeStep message per computed solver step,
+// emits Heartbeats while computing, and closes with Goodbye
+// ("finalize_communication … to signal the server that no more data will be
+// sent").
+//
+// Framing: every message is [payload length u32 | type u8 | payload],
+// little-endian throughout. Fields are float32 — the client casts from the
+// solver's float64 before sending, performing the precision reduction in
+// situ (§3.2.2).
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType discriminates frame payloads.
+type MsgType uint8
+
+// Wire message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeTimeStep
+	TypeGoodbye
+	TypeHeartbeat
+)
+
+// MaxFrameSize bounds a frame payload; larger frames indicate corruption.
+const MaxFrameSize = 1 << 30
+
+// Message is any protocol message.
+type Message interface {
+	Type() MsgType
+	encodeTo(buf []byte) []byte
+}
+
+// Hello announces a client connection to one server rank.
+type Hello struct {
+	ClientID int32
+	SimID    int32
+	// Steps is the number of time steps the client intends to produce, so
+	// the server can account for expected data.
+	Steps int32
+	// Restart counts how many times this client was restarted by the
+	// launcher; greater than zero warns the server that duplicate time
+	// steps may follow and must be discarded against its message log.
+	Restart int32
+}
+
+// Type implements Message.
+func (Hello) Type() MsgType { return TypeHello }
+
+// TimeStep carries one solver time step: the simulation inputs and the
+// flattened field, already reduced to float32 client-side.
+type TimeStep struct {
+	SimID int32
+	Step  int32
+	Input []float32
+	Field []float32
+}
+
+// Type implements Message.
+func (TimeStep) Type() MsgType { return TypeTimeStep }
+
+// Goodbye signals that a client has produced all of its data.
+type Goodbye struct {
+	ClientID int32
+	SimID    int32
+}
+
+// Type implements Message.
+func (Goodbye) Type() MsgType { return TypeGoodbye }
+
+// Heartbeat keeps the server's liveness watchdog fed during long solver
+// steps.
+type Heartbeat struct {
+	ClientID int32
+}
+
+// Type implements Message.
+func (Heartbeat) Type() MsgType { return TypeHeartbeat }
+
+func (m Hello) encodeTo(buf []byte) []byte {
+	buf = appendU32(buf, uint32(m.ClientID))
+	buf = appendU32(buf, uint32(m.SimID))
+	buf = appendU32(buf, uint32(m.Steps))
+	buf = appendU32(buf, uint32(m.Restart))
+	return buf
+}
+
+func (m TimeStep) encodeTo(buf []byte) []byte {
+	buf = appendU32(buf, uint32(m.SimID))
+	buf = appendU32(buf, uint32(m.Step))
+	buf = appendF32s(buf, m.Input)
+	buf = appendF32s(buf, m.Field)
+	return buf
+}
+
+func (m Goodbye) encodeTo(buf []byte) []byte {
+	buf = appendU32(buf, uint32(m.ClientID))
+	buf = appendU32(buf, uint32(m.SimID))
+	return buf
+}
+
+func (m Heartbeat) encodeTo(buf []byte) []byte {
+	return appendU32(buf, uint32(m.ClientID))
+}
+
+// Encode serializes msg into a self-contained frame.
+func Encode(msg Message) []byte {
+	payload := msg.encodeTo(make([]byte, 0, 64))
+	frame := make([]byte, 0, len(payload)+5)
+	frame = appendU32(frame, uint32(len(payload)+1))
+	frame = append(frame, byte(msg.Type()))
+	frame = append(frame, payload...)
+	return frame
+}
+
+// Write frames and writes msg to w.
+func Write(w io.Writer, msg Message) error {
+	_, err := w.Write(Encode(msg))
+	return err
+}
+
+// Read reads one framed message from r. It returns io.EOF cleanly when the
+// stream ends between frames.
+func Read(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("protocol: truncated frame header: %w", err)
+		}
+		return nil, err
+	}
+	size := binary.LittleEndian.Uint32(lenBuf[:])
+	if size == 0 || size > MaxFrameSize {
+		return nil, fmt.Errorf("protocol: invalid frame size %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("protocol: truncated frame body: %w", err)
+	}
+	return decodeBody(body)
+}
+
+func decodeBody(body []byte) (Message, error) {
+	typ := MsgType(body[0])
+	d := decoder{buf: body[1:]}
+	switch typ {
+	case TypeHello:
+		m := Hello{
+			ClientID: int32(d.u32()),
+			SimID:    int32(d.u32()),
+			Steps:    int32(d.u32()),
+			Restart:  int32(d.u32()),
+		}
+		return m, d.err
+	case TypeTimeStep:
+		m := TimeStep{SimID: int32(d.u32()), Step: int32(d.u32())}
+		m.Input = d.f32s()
+		m.Field = d.f32s()
+		return m, d.err
+	case TypeGoodbye:
+		m := Goodbye{ClientID: int32(d.u32()), SimID: int32(d.u32())}
+		return m, d.err
+	case TypeHeartbeat:
+		m := Heartbeat{ClientID: int32(d.u32())}
+		return m, d.err
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type %d", typ)
+	}
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 4 {
+		d.err = fmt.Errorf("protocol: short payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf)
+	d.buf = d.buf[4:]
+	return v
+}
+
+func (d *decoder) f32s() []float32 {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)) < uint64(n)*4 {
+		d.err = fmt.Errorf("protocol: short float payload (%d floats, %d bytes left)", n, len(d.buf))
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.buf[4*i:]))
+	}
+	d.buf = d.buf[4*n:]
+	return out
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func appendF32s(buf []byte, vals []float32) []byte {
+	buf = appendU32(buf, uint32(len(vals)))
+	for _, v := range vals {
+		buf = appendU32(buf, math.Float32bits(v))
+	}
+	return buf
+}

@@ -1,0 +1,104 @@
+// Package scheduler is a Slurm/OAR-style batch scheduler over the virtual
+// clock of internal/des: jobs request cores, wait in a FIFO queue, start
+// when resources free up, and release on completion. It also implements the
+// paper's schedule-in-schedule pattern (§3.1): a pilot job reserves a large
+// allocation and sub-jobs are scheduled inside it, avoiding per-job
+// scheduler overheads for short ensemble members.
+package scheduler
+
+import (
+	"fmt"
+
+	"melissa/internal/des"
+)
+
+// Cluster is a pool of cores managed by a FIFO scheduler.
+type Cluster struct {
+	sim   *des.Simulation
+	total int
+	free  int
+	queue []*job
+	// SubmitOverheadSec is charged between submission and eligibility,
+	// modelling batch-scheduler latency.
+	SubmitOverheadSec float64
+
+	started, finished int
+}
+
+// New creates a cluster with totalCores cores scheduled on sim's clock.
+func New(sim *des.Simulation, totalCores int) *Cluster {
+	if totalCores < 1 {
+		panic(fmt.Sprintf("scheduler: invalid core count %d", totalCores))
+	}
+	return &Cluster{sim: sim, total: totalCores, free: totalCores}
+}
+
+// TotalCores returns the cluster capacity.
+func (c *Cluster) TotalCores() int { return c.total }
+
+// FreeCores returns the currently idle cores.
+func (c *Cluster) FreeCores() int { return c.free }
+
+// Started and Finished report job counts, for monitoring.
+func (c *Cluster) Started() int  { return c.started }
+func (c *Cluster) Finished() int { return c.finished }
+
+type job struct {
+	cores int
+	start func(release func())
+}
+
+// Submit queues a job needing cores. When resources are available, start is
+// invoked on the virtual clock; the job must call release exactly once when
+// done, returning its cores to the pool. Jobs larger than the cluster are
+// rejected with a panic — a configuration bug, as in real Slurm.
+func (c *Cluster) Submit(cores int, start func(release func())) {
+	if cores > c.total {
+		panic(fmt.Sprintf("scheduler: job wants %d cores, cluster has %d", cores, c.total))
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	j := &job{cores: cores, start: start}
+	c.sim.After(c.SubmitOverheadSec, func() {
+		c.queue = append(c.queue, j)
+		c.tryStart()
+	})
+}
+
+// tryStart launches queued jobs in FIFO order while resources allow.
+// Strict FIFO (no backfill): a large job at the head blocks smaller ones,
+// as in the paper's description of busy partitions.
+func (c *Cluster) tryStart() {
+	for len(c.queue) > 0 && c.queue[0].cores <= c.free {
+		j := c.queue[0]
+		c.queue = c.queue[1:]
+		c.free -= j.cores
+		c.started++
+		released := false
+		j.start(func() {
+			if released {
+				panic("scheduler: double release")
+			}
+			released = true
+			c.free += j.cores
+			c.finished++
+			c.tryStart()
+		})
+	}
+}
+
+// QueueLen returns the number of jobs waiting for resources.
+func (c *Cluster) QueueLen() int { return len(c.queue) }
+
+// Reserve implements schedule-in-schedule: it submits a pilot job for
+// cores and, once it starts, hands the caller a nested Cluster managing
+// that allocation. The caller schedules ensemble members into the pilot
+// without further interaction with the outer scheduler and calls release
+// when the whole series is done.
+func (c *Cluster) Reserve(cores int, onReady func(pilot *Cluster, release func())) {
+	c.Submit(cores, func(release func()) {
+		pilot := New(c.sim, cores)
+		onReady(pilot, release)
+	})
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"melissa/internal/buffer"
+)
+
+// checkpointFile is the on-disk server checkpoint (§3.1): everything a
+// replacement server instance needs to resume training without retraining
+// on already-seen data or losing buffered samples.
+type checkpointFile struct {
+	Ranks   int
+	Batches int
+	Samples int
+
+	Weights  []byte
+	OptState []byte
+
+	Seen []map[buffer.Key]bool
+	Sims []map[int32]SimState
+
+	BufSeen   [][]buffer.Sample
+	BufUnseen [][]buffer.Sample
+}
+
+// WriteCheckpoint atomically persists the full server state. It is called
+// from the trainer's rank-0 batch boundary, so the weights are consistent;
+// buffer contents and message logs are captured under their locks.
+func (s *Server) WriteCheckpoint(path string) error {
+	weights, optState, err := s.trainer.CaptureState()
+	if err != nil {
+		return err
+	}
+	ck := checkpointFile{
+		Ranks:    s.cfg.Ranks,
+		Batches:  s.trainer.Metrics().Batches(),
+		Samples:  s.trainer.Metrics().Samples(),
+		Weights:  weights,
+		OptState: optState,
+	}
+
+	s.mu.Lock()
+	ck.Seen = make([]map[buffer.Key]bool, len(s.seen))
+	for r, m := range s.seen {
+		cp := make(map[buffer.Key]bool, len(m))
+		for k, v := range m {
+			cp[k] = v
+		}
+		ck.Seen[r] = cp
+	}
+	ck.Sims = make([]map[int32]SimState, len(s.sims))
+	for r, m := range s.sims {
+		cp := make(map[int32]SimState, len(m))
+		for id, st := range m {
+			cp[id] = *st
+		}
+		ck.Sims[r] = cp
+	}
+	s.mu.Unlock()
+
+	ck.BufSeen = make([][]buffer.Sample, s.cfg.Ranks)
+	ck.BufUnseen = make([][]buffer.Sample, s.cfg.Ranks)
+	for r, b := range s.bufs {
+		b.WithLock(func(p buffer.Policy) {
+			if snap, ok := p.(buffer.Snapshotter); ok {
+				ck.BufSeen[r], ck.BufUnseen[r] = snap.Snapshot()
+			}
+		})
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(&ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// RestoreCheckpoint loads a checkpoint written by WriteCheckpoint into a
+// freshly constructed server (same configuration). Call before Run.
+func (s *Server) RestoreCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var ck checkpointFile
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return fmt.Errorf("server: decoding checkpoint: %w", err)
+	}
+	if ck.Ranks != s.cfg.Ranks {
+		return fmt.Errorf("server: checkpoint has %d ranks, config has %d", ck.Ranks, s.cfg.Ranks)
+	}
+	if err := s.trainer.RestoreState(ck.Weights, ck.OptState, ck.Batches, ck.Samples); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.seen = ck.Seen
+	s.sims = make([]map[int32]*SimState, len(ck.Sims))
+	for r, m := range ck.Sims {
+		s.sims[r] = make(map[int32]*SimState, len(m))
+		for id, st := range m {
+			cp := st
+			s.sims[r][id] = &cp
+		}
+	}
+	s.mu.Unlock()
+	for r, b := range s.bufs {
+		r := r
+		b.WithLock(func(p buffer.Policy) {
+			if snap, ok := p.(buffer.Snapshotter); ok {
+				snap.RestoreSnapshot(ck.BufSeen[r], ck.BufUnseen[r])
+			}
+		})
+		// If the ensemble had already completed for this rank, reception
+		// is over and the buffer only needs draining.
+		s.mu.Lock()
+		done := s.receptionComplete(r)
+		s.mu.Unlock()
+		if done {
+			b.EndReception()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+// Package server implements the Melissa training server (§3.1): per rank,
+// a data-aggregator goroutine receives time steps from ensemble clients
+// over the transport and stores them in the rank's training buffer, while
+// a training goroutine (internal/core) extracts batches and performs
+// data-parallel gradient descent. The server also provides the paper's
+// fault-tolerance features: a per-client message log that discards
+// replayed time steps after client restarts, a liveness watchdog that
+// reports unresponsive clients to the launcher, and periodic checkpoints
+// from which a replacement server instance resumes training.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"melissa/internal/buffer"
+	"melissa/internal/core"
+	"melissa/internal/protocol"
+	"melissa/internal/transport"
+)
+
+// Config assembles a server.
+type Config struct {
+	// Ranks is the number of training processes ("GPUs"); each gets its
+	// own listener, aggregator, and training buffer.
+	Ranks int
+	// ListenHost is the host for rank listeners; tests use "127.0.0.1:0"
+	// semantics: each rank listens on ListenHost with an ephemeral port.
+	ListenHost string
+	// QueueLen sizes each rank's transport ingest queue.
+	QueueLen int
+
+	// Buffer configures the per-rank training buffer; the seed is offset
+	// by rank so replicas draw independent streams.
+	Buffer buffer.Config
+
+	// Trainer carries the model, batch size, schedule and validation
+	// configuration. Ranks is overridden by Config.Ranks.
+	Trainer core.TrainerConfig
+
+	// ExpectedClients is the ensemble size: after a Goodbye from this many
+	// distinct simulations, a rank ends reception on its buffer.
+	ExpectedClients int
+
+	// WatchdogTimeout bounds client silence before the launcher is told to
+	// restart it; 0 disables the watchdog.
+	WatchdogTimeout time.Duration
+	// OnUnresponsive is invoked (from a server goroutine) with the IDs of
+	// clients the watchdog expired.
+	OnUnresponsive func(clientID int32)
+
+	// CheckpointPath enables periodic checkpoints when non-empty.
+	CheckpointPath string
+	// CheckpointEveryBatches is the checkpoint cadence (default 500).
+	CheckpointEveryBatches int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ListenHost == "" {
+		c.ListenHost = "127.0.0.1:0"
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 4096
+	}
+	if c.CheckpointEveryBatches <= 0 {
+		c.CheckpointEveryBatches = 500
+	}
+	return c
+}
+
+// Server is a live training server.
+type Server struct {
+	cfg       Config
+	listeners []*transport.RankListener
+	bufs      []*buffer.Blocking
+	policies  []buffer.Policy
+	trainer   *core.Trainer
+	watchdog  *transport.Watchdog
+
+	mu    sync.Mutex
+	seen  []map[buffer.Key]bool // per-rank message log for dedup
+	sims  []map[int32]*SimState // per-rank ensemble-member accounting
+	ended []bool                // per-rank EndReception issued
+
+	aggWG sync.WaitGroup
+}
+
+// SimState tracks one ensemble member on one rank: its owner client, the
+// declared trajectory length (from Hello), how many distinct steps this
+// rank has received, and whether a Goodbye arrived. Reception ends on a
+// rank only when every completed simulation has delivered this rank's full
+// round-robin share — which makes termination robust to a restarted
+// client's Goodbye racing ahead of the failed client's in-flight data on
+// another connection.
+type SimState struct {
+	ClientID int32
+	Steps    int32
+	Received int32
+	Goodbye  bool
+}
+
+// New builds the server and starts its listeners. Training does not start
+// until Run.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("server: ranks=%d must be ≥ 1", cfg.Ranks)
+	}
+	if cfg.ExpectedClients < 1 {
+		return nil, errors.New("server: ExpectedClients must be ≥ 1")
+	}
+	s := &Server{
+		cfg:   cfg,
+		seen:  make([]map[buffer.Key]bool, cfg.Ranks),
+		sims:  make([]map[int32]*SimState, cfg.Ranks),
+		ended: make([]bool, cfg.Ranks),
+	}
+	if cfg.WatchdogTimeout > 0 {
+		s.watchdog = transport.NewWatchdog(cfg.WatchdogTimeout)
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		s.seen[r] = make(map[buffer.Key]bool)
+		s.sims[r] = make(map[int32]*SimState)
+
+		bcfg := cfg.Buffer
+		bcfg.Seed += uint64(r) * 1000003 // distinct stream per rank
+		p, err := buffer.New(bcfg)
+		if err != nil {
+			s.closeListeners()
+			return nil, err
+		}
+		s.policies = append(s.policies, p)
+		s.bufs = append(s.bufs, buffer.NewBlocking(p))
+
+		l, err := transport.Listen(cfg.ListenHost, cfg.QueueLen)
+		if err != nil {
+			s.closeListeners()
+			return nil, err
+		}
+		s.listeners = append(s.listeners, l)
+	}
+
+	tcfg := cfg.Trainer
+	tcfg.Ranks = cfg.Ranks
+	if cfg.CheckpointPath != "" {
+		every := cfg.CheckpointEveryBatches
+		userHook := tcfg.OnBatchEnd
+		tcfg.OnBatchEnd = func(batches int) {
+			if batches%every == 0 {
+				if err := s.WriteCheckpoint(cfg.CheckpointPath); err != nil {
+					// Checkpoint failures must not kill training; the
+					// previous checkpoint remains valid.
+					fmt.Printf("server: checkpoint failed: %v\n", err)
+				}
+			}
+			if userHook != nil {
+				userHook(batches)
+			}
+		}
+	}
+	trainer, err := core.NewTrainer(tcfg, s.bufs)
+	if err != nil {
+		s.closeListeners()
+		return nil, err
+	}
+	s.trainer = trainer
+	return s, nil
+}
+
+// Addrs returns the per-rank listener addresses that clients dial.
+func (s *Server) Addrs() []string {
+	addrs := make([]string, len(s.listeners))
+	for i, l := range s.listeners {
+		addrs[i] = l.Addr()
+	}
+	return addrs
+}
+
+// Trainer exposes the training engine (metrics, trained network).
+func (s *Server) Trainer() *core.Trainer { return s.trainer }
+
+// Metrics is a convenience for s.Trainer().Metrics().
+func (s *Server) Metrics() *core.Metrics { return s.trainer.Metrics() }
+
+// Run starts the aggregators and the watchdog, trains until every rank's
+// buffer drains, then shuts the listeners down. It returns the first
+// training error, if any.
+func (s *Server) Run(ctx context.Context) error {
+	for r := range s.listeners {
+		s.aggWG.Add(1)
+		go s.aggregate(r)
+	}
+
+	var watchdogStop chan struct{}
+	if s.watchdog != nil && s.cfg.OnUnresponsive != nil {
+		watchdogStop = make(chan struct{})
+		go s.watchdogLoop(watchdogStop)
+	}
+
+	err := s.trainer.Run(ctx)
+
+	if watchdogStop != nil {
+		close(watchdogStop)
+	}
+	s.closeListeners()
+	s.aggWG.Wait()
+	return err
+}
+
+func (s *Server) watchdogLoop(stop chan struct{}) {
+	interval := s.cfg.WatchdogTimeout / 2
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			for _, id := range s.watchdog.Expired() {
+				s.cfg.OnUnresponsive(id)
+			}
+		}
+	}
+}
+
+// aggregate is the per-rank data-aggregator thread (§3.1): it polls the
+// transport for new data and stores it into the rank's training buffer,
+// deduplicating against the message log.
+func (s *Server) aggregate(rank int) {
+	defer s.aggWG.Done()
+	for env := range s.listeners[rank].Incoming() {
+		switch m := env.Msg.(type) {
+		case protocol.Hello:
+			s.mu.Lock()
+			st := s.simState(rank, m.SimID)
+			st.ClientID = m.ClientID
+			st.Steps = m.Steps
+			s.mu.Unlock()
+			if s.watchdog != nil {
+				s.watchdog.Beat(m.ClientID)
+			}
+		case protocol.Heartbeat:
+			if s.watchdog != nil {
+				s.watchdog.Beat(m.ClientID)
+			}
+		case protocol.TimeStep:
+			key := buffer.Key{SimID: int(m.SimID), Step: int(m.Step)}
+			s.mu.Lock()
+			dup := s.seen[rank][key]
+			var owner int32 = -1
+			var done bool
+			if !dup {
+				s.seen[rank][key] = true
+				st := s.simState(rank, m.SimID)
+				st.Received++
+				owner = st.ClientID
+				done = s.receptionComplete(rank)
+			}
+			s.mu.Unlock()
+			if s.watchdog != nil && owner >= 0 {
+				s.watchdog.Beat(owner)
+			}
+			if dup {
+				continue // replay after client restart: discard (§3.1)
+			}
+			// Blocking put: a full buffer suspends ingestion, and TCP
+			// backpressure propagates the stall to the clients.
+			s.bufs[rank].Put(buffer.Sample{
+				SimID:  int(m.SimID),
+				Step:   int(m.Step),
+				Input:  m.Input,
+				Output: m.Field,
+			})
+			if done {
+				s.bufs[rank].EndReception()
+			}
+		case protocol.Goodbye:
+			s.mu.Lock()
+			s.simState(rank, m.SimID).Goodbye = true
+			done := s.receptionComplete(rank)
+			s.mu.Unlock()
+			if s.watchdog != nil {
+				s.watchdog.Remove(m.ClientID)
+			}
+			if done {
+				s.bufs[rank].EndReception()
+			}
+		}
+	}
+}
+
+// simState returns (creating if needed) the rank's record for a sim. The
+// caller must hold s.mu.
+func (s *Server) simState(rank int, simID int32) *SimState {
+	st, ok := s.sims[rank][simID]
+	if !ok {
+		st = &SimState{ClientID: -1}
+		s.sims[rank][simID] = st
+	}
+	return st
+}
+
+// receptionComplete decides whether rank has everything it will ever get:
+// Goodbyes from the whole ensemble and, for every announced simulation,
+// this rank's full round-robin share of time steps. The caller must hold
+// s.mu; the method marks the rank ended at most once.
+func (s *Server) receptionComplete(rank int) bool {
+	if s.ended[rank] {
+		return false
+	}
+	goodbyes := 0
+	for _, st := range s.sims[rank] {
+		if st.Goodbye {
+			goodbyes++
+		}
+	}
+	if goodbyes < s.cfg.ExpectedClients {
+		return false
+	}
+	for _, st := range s.sims[rank] {
+		// Only completed members gate termination: a sim that never said
+		// Goodbye was abandoned (its restarted replacement will Goodbye
+		// under the same sim id). Steps unknown (no Hello processed)
+		// cannot be verified; fall back to the goodbye-only rule for it.
+		if st.Goodbye && st.Steps > 0 && st.Received < expectedOnRank(st.ClientID, st.Steps, rank, s.cfg.Ranks) {
+			return false
+		}
+	}
+	s.ended[rank] = true
+	return true
+}
+
+// expectedOnRank counts the time steps of a client's trajectory that the
+// round-robin distribution (§3.2.2: rank = (clientID + step) mod R) routes
+// to this rank.
+func expectedOnRank(clientID, steps int32, rank, ranks int) int32 {
+	if ranks == 1 {
+		return steps
+	}
+	var count int32
+	for t := int32(1); t <= steps; t++ {
+		if (int(clientID)+int(t))%ranks == rank {
+			count++
+		}
+	}
+	return count
+}
+
+func (s *Server) closeListeners() {
+	for _, l := range s.listeners {
+		if l != nil {
+			l.Close()
+		}
+	}
+}
+
+// CompletedSims returns the set of simulations for which rank 0 received a
+// Goodbye; the launcher uses it after a server restart to decide which
+// clients must be re-run.
+func (s *Server) CompletedSims() map[int32]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int32]bool)
+	for id, st := range s.sims[0] {
+		if st.Goodbye {
+			out[id] = true
+		}
+	}
+	return out
+}

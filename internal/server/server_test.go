@@ -1,0 +1,384 @@
+package server
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"melissa/internal/buffer"
+	"melissa/internal/client"
+	"melissa/internal/core"
+	"melissa/internal/opt"
+	"melissa/internal/solver"
+)
+
+const (
+	testGridN  = 6
+	testSteps  = 8
+	testDt     = 0.01
+	testNField = testGridN * testGridN
+)
+
+func testSolverConfig() solver.Config {
+	return solver.Config{N: testGridN, Steps: testSteps, Dt: testDt}
+}
+
+func testParams(i int) solver.Params {
+	return solver.Params{
+		TIC: 100 + float64(i*37%400),
+		Tx1: 150 + float64(i*61%300),
+		Tx2: 200 + float64(i*13%300),
+		Ty1: 250 + float64(i*29%200),
+		Ty2: 300 + float64(i*47%200),
+	}
+}
+
+func testConfig(ranks, expectedClients int, kind buffer.Kind) Config {
+	norm := core.NewHeatNormalizer(testNField, float64(testSteps)*testDt)
+	return Config{
+		Ranks:           ranks,
+		Buffer:          buffer.Config{Kind: kind, Capacity: 500, Threshold: 2, Seed: 42},
+		ExpectedClients: expectedClients,
+		Trainer: core.TrainerConfig{
+			BatchSize:        4,
+			Model:            core.ModelSpec{InputDim: norm.InputDim(), Hidden: []int{16}, OutputDim: norm.OutputDim(), Seed: 7},
+			Normalizer:       norm,
+			LearningRate:     1e-3,
+			Schedule:         opt.Constant(1e-3),
+			TrackOccurrences: true,
+		},
+	}
+}
+
+// runServer starts srv.Run in the background and returns a wait function.
+func runServer(t *testing.T, srv *Server, ctx context.Context) func() error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	return func() error {
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(60 * time.Second):
+			t.Fatal("server did not terminate")
+			return nil
+		}
+	}
+}
+
+func runClient(t *testing.T, srv *Server, simID, restart, failAt int) error {
+	t.Helper()
+	job := client.HeatJob{
+		Client: client.Config{
+			ClientID:    simID,
+			SimID:       simID,
+			ServerAddrs: srv.Addrs(),
+			Restart:     restart,
+		},
+		Solver:     testSolverConfig(),
+		Params:     testParams(simID),
+		FailAtStep: failAt,
+	}
+	return client.RunHeat(context.Background(), job)
+}
+
+func TestEndToEndSingleRank(t *testing.T) {
+	srv, err := New(testConfig(1, 3, buffer.FIFOKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := runServer(t, srv, context.Background())
+
+	for sim := 0; sim < 3; sim++ {
+		if err := runClient(t, srv, sim, 0, 0); err != nil {
+			t.Fatalf("client %d: %v", sim, err)
+		}
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := srv.Metrics()
+	if got := m.Samples(); got != 3*testSteps {
+		t.Fatalf("trained samples %d, want %d", got, 3*testSteps)
+	}
+	occ := m.Occurrences()
+	if len(occ) != 3*testSteps {
+		t.Fatalf("unique samples %d, want %d", len(occ), 3*testSteps)
+	}
+	for k, c := range occ {
+		if c != 1 { // FIFO: every sample exactly once
+			t.Fatalf("sample %v trained %d times", k, c)
+		}
+	}
+}
+
+func TestEndToEndMultiRankConcurrentClients(t *testing.T) {
+	const ranks = 2
+	const clients = 4
+	srv, err := New(testConfig(ranks, clients, buffer.ReservoirKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := runServer(t, srv, context.Background())
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for sim := 0; sim < clients; sim++ {
+		wg.Add(1)
+		go func(sim int) {
+			defer wg.Done()
+			errs[sim] = runClient(t, srv, sim, 0, 0)
+		}(sim)
+	}
+	wg.Wait()
+	for sim, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", sim, err)
+		}
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	m := srv.Metrics()
+	// The Reservoir may repeat samples, but every produced sample must be
+	// trained on at least once.
+	occ := m.Occurrences()
+	if len(occ) != clients*testSteps {
+		t.Fatalf("unique samples %d, want %d", len(occ), clients*testSteps)
+	}
+	if m.Samples() < clients*testSteps {
+		t.Fatalf("samples %d below unique count", m.Samples())
+	}
+	if m.Batches() == 0 {
+		t.Fatal("no batches trained")
+	}
+}
+
+func TestRoundRobinReachesAllRanks(t *testing.T) {
+	const ranks = 3
+	srv, err := New(testConfig(ranks, 1, buffer.FIFOKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := runServer(t, srv, context.Background())
+	if err := runClient(t, srv, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Each rank's message log must hold its round-robin share.
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	total := 0
+	for r := 0; r < ranks; r++ {
+		n := len(srv.seen[r])
+		if n == 0 {
+			t.Fatalf("rank %d received nothing", r)
+		}
+		total += n
+	}
+	if total != testSteps {
+		t.Fatalf("total received %d, want %d", total, testSteps)
+	}
+}
+
+// TestClientRestartDeduplication reproduces the paper's fault-tolerance
+// protocol: a client fails mid-run, is restarted, and replays its steps;
+// the server's message log must discard the duplicates so no time step is
+// trained twice (FIFO ⇒ exactly-once).
+func TestClientRestartDeduplication(t *testing.T) {
+	srv, err := New(testConfig(1, 1, buffer.FIFOKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := runServer(t, srv, context.Background())
+
+	// First attempt dies after 5 of 8 steps (no Goodbye).
+	if err := runClient(t, srv, 0, 0, 5); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	// Restart replays steps 1-5 and completes 6-8.
+	if err := runClient(t, srv, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	occ := srv.Metrics().Occurrences()
+	if len(occ) != testSteps {
+		t.Fatalf("unique samples %d, want %d", len(occ), testSteps)
+	}
+	for k, c := range occ {
+		if c != 1 {
+			t.Fatalf("sample %v trained %d times; dedup failed", k, c)
+		}
+	}
+}
+
+// TestClientRestartWithCheckpoint verifies the client-side checkpoint path:
+// the restarted client resumes from the saved field instead of step 0 and
+// the server still assembles the complete trajectory.
+func TestClientRestartWithCheckpoint(t *testing.T) {
+	srv, err := New(testConfig(1, 1, buffer.FIFOKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := runServer(t, srv, context.Background())
+
+	ck := &client.FileCheckpointer{Dir: t.TempDir()}
+	job := client.HeatJob{
+		Client:     client.Config{ClientID: 0, SimID: 0, ServerAddrs: srv.Addrs()},
+		Solver:     testSolverConfig(),
+		Params:     testParams(0),
+		Checkpoint: ck,
+		FailAtStep: 4,
+	}
+	if err := client.RunHeat(context.Background(), job); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	step, _, err := ck.Load(0)
+	if err != nil || step != 4 {
+		t.Fatalf("checkpoint step %d err %v, want 4", step, err)
+	}
+	job.FailAtStep = 0
+	job.Client.Restart = 1
+	if err := client.RunHeat(context.Background(), job); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	occ := srv.Metrics().Occurrences()
+	if len(occ) != testSteps {
+		t.Fatalf("unique samples %d, want %d", len(occ), testSteps)
+	}
+}
+
+func TestWatchdogReportsSilentClient(t *testing.T) {
+	cfg := testConfig(1, 1, buffer.FIFOKind)
+	cfg.WatchdogTimeout = 100 * time.Millisecond
+	var reported atomic.Int32
+	reported.Store(-1)
+	cfg.OnUnresponsive = func(id int32) { reported.Store(id) }
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait := runServer(t, srv, context.Background())
+
+	// A client that says hello and then goes silent.
+	api, err := client.InitCommunication(client.Config{ClientID: 9, SimID: 9, ServerAddrs: srv.Addrs()}, testSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reported.Load() != 9 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never reported the silent client")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	api.Abort()
+
+	// Complete the ensemble so the server terminates cleanly.
+	if err := runClient(t, srv, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerCheckpointRestart kills a server mid-run and restores a fresh
+// instance from its checkpoint: training counters resume, already-received
+// steps are deduplicated, and the union of trained samples covers the whole
+// ensemble.
+func TestServerCheckpointRestart(t *testing.T) {
+	ckPath := filepath.Join(t.TempDir(), "server.ckpt")
+
+	cfg := testConfig(1, 2, buffer.FIFOKind)
+	cfg.CheckpointPath = ckPath
+	cfg.CheckpointEveryBatches = 1
+	srv1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	wait1 := runServer(t, srv1, ctx1)
+
+	// Sim 0 completes; sim 1 dies halfway (no Goodbye).
+	if err := runClient(t, srv1, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := runClient(t, srv1, 1, 0, 4); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	// Let the trainer drain what it has, then kill the server.
+	time.Sleep(200 * time.Millisecond)
+	cancel1()
+	if err := wait1(); err != nil {
+		t.Fatal(err)
+	}
+	occ1 := srv1.Metrics().Occurrences()
+	if len(occ1) == 0 {
+		t.Fatal("first instance trained nothing")
+	}
+
+	// Replacement server restores the checkpoint.
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.RestoreCheckpoint(ckPath); err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Metrics().Batches() == 0 {
+		t.Fatal("restored batch counter is zero")
+	}
+	if done := srv2.CompletedSims(); !done[0] || done[1] {
+		t.Fatalf("restored goodbyes wrong: %v", done)
+	}
+	wait2 := runServer(t, srv2, context.Background())
+
+	// The launcher would restart only the incomplete client (sim 1).
+	if err := runClient(t, srv2, 1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait2(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Union of both instances' trained samples covers the full ensemble.
+	union := map[buffer.Key]bool{}
+	for k := range occ1 {
+		union[k] = true
+	}
+	for k := range srv2.Metrics().Occurrences() {
+		union[k] = true
+	}
+	if len(union) != 2*testSteps {
+		t.Fatalf("union covers %d samples, want %d", len(union), 2*testSteps)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := testConfig(0, 1, buffer.FIFOKind)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for ranks=0")
+	}
+	cfg = testConfig(1, 0, buffer.FIFOKind)
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for ExpectedClients=0")
+	}
+	cfg = testConfig(1, 1, "bogus")
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for unknown buffer kind")
+	}
+}

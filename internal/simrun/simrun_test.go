@@ -1,0 +1,331 @@
+package simrun
+
+import (
+	"math"
+	"testing"
+
+	"melissa/internal/buffer"
+	"melissa/internal/cluster"
+)
+
+func baseOpts(kind buffer.Kind) Options {
+	return Options{
+		Model:          cluster.JeanZay(),
+		Simulations:    20,
+		StepsPerSim:    25,
+		CoresPerClient: 20,
+		TotalCores:     200, // 10 concurrent clients
+		GPUs:           1,
+		BatchSize:      10,
+		Buffer:         buffer.Config{Kind: kind, Capacity: 120, Threshold: 20, Seed: 1},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Options){
+		func(o *Options) { o.Simulations = 0 },
+		func(o *Options) { o.GPUs = 0 },
+		func(o *Options) { o.BatchSize = 0 },
+		func(o *Options) { o.CoresPerClient = 0 },
+		func(o *Options) { o.TotalCores = 10 }, // < cores per client
+		func(o *Options) { o.Series = []int{5, 5} },
+		func(o *Options) { o.Series = []int{20, 0} },
+	}
+	for i, mutate := range bad {
+		o := baseOpts(buffer.FIFOKind)
+		mutate(&o)
+		if _, err := Run(o); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestFIFOConservation(t *testing.T) {
+	o := baseOpts(buffer.FIFOKind)
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o.Simulations * o.StepsPerSim
+	if res.Unique != want {
+		t.Fatalf("unique %d, want %d", res.Unique, want)
+	}
+	if res.Samples != want { // FIFO: every sample exactly once
+		t.Fatalf("samples %d, want %d", res.Samples, want)
+	}
+	for k, c := range res.Occurrences {
+		if c != 1 {
+			t.Fatalf("sample %v consumed %d times", k, c)
+		}
+	}
+	if res.TrainingEnd <= 0 || res.GenerationEnd <= 0 {
+		t.Fatalf("times not recorded: %+v", res)
+	}
+	if res.TrainingEnd < res.GenerationEnd {
+		t.Fatal("training cannot finish before the last sample is produced")
+	}
+}
+
+func TestFIROConservation(t *testing.T) {
+	res, err := Run(baseOpts(buffer.FIROKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20 * 25
+	if res.Unique != want || res.Samples != want {
+		t.Fatalf("unique %d samples %d, want %d each", res.Unique, res.Samples, want)
+	}
+}
+
+func TestReservoirRepeatsAndCoverage(t *testing.T) {
+	res, err := Run(baseOpts(buffer.ReservoirKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20 * 25
+	if res.Unique != want {
+		t.Fatalf("unique %d, want %d (no unseen data dropped)", res.Unique, want)
+	}
+	if res.Samples <= want {
+		t.Fatalf("samples %d: Reservoir should repeat when the GPU outpaces production", res.Samples)
+	}
+}
+
+// TestReservoirOutperformsFIFO is the core Figure 2 claim at miniature
+// scale: with production slower than GPU capacity, the Reservoir sustains a
+// higher mean throughput than FIFO on the same workload.
+func TestReservoirOutperformsFIFO(t *testing.T) {
+	fifo, err := Run(baseOpts(buffer.FIFOKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(baseOpts(buffer.ReservoirKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanThroughput() <= fifo.MeanThroughput()*1.1 {
+		t.Fatalf("Reservoir %.1f vs FIFO %.1f samples/s: expected ≥10%% advantage",
+			res.MeanThroughput(), fifo.MeanThroughput())
+	}
+}
+
+func TestSeriesSubmissionGaps(t *testing.T) {
+	o := baseOpts(buffer.FIFOKind)
+	o.Series = []int{10, 10}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two series of 10 concurrent clients, ~23.4 s per sim, plus the 10 s
+	// inter-series gap: generation must take at least two waves + gap.
+	simSec := o.Model.SimulationSec(o.CoresPerClient, o.StepsPerSim)
+	min := 2*simSec + o.Model.SeriesGapSec
+	if res.GenerationEnd < min*0.95 {
+		t.Fatalf("generation end %.1f < expected ≥ %.1f", res.GenerationEnd, min)
+	}
+	if res.Unique != 500 {
+		t.Fatalf("unique %d", res.Unique)
+	}
+}
+
+func TestMultiGPUDistribution(t *testing.T) {
+	o := baseOpts(buffer.FIFOKind)
+	o.GPUs = 4
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unique != 500 || res.Samples != 500 {
+		t.Fatalf("unique %d samples %d", res.Unique, res.Samples)
+	}
+}
+
+func TestReservoirScalesWithGPUs(t *testing.T) {
+	// Table 1's scaling claim: at fixed production, only the Reservoir's
+	// throughput grows with the number of GPUs.
+	run := func(kind buffer.Kind, gpus int) float64 {
+		o := baseOpts(kind)
+		o.GPUs = gpus
+		o.Simulations = 40
+		res, err := Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanThroughput()
+	}
+	r1 := run(buffer.ReservoirKind, 1)
+	r4 := run(buffer.ReservoirKind, 4)
+	if r4 < 2.5*r1 {
+		t.Fatalf("Reservoir 4-GPU throughput %.1f not ≥2.5× 1-GPU %.1f", r4, r1)
+	}
+	f1 := run(buffer.FIFOKind, 1)
+	f4 := run(buffer.FIFOKind, 4)
+	if f4 > 1.5*f1 {
+		t.Fatalf("FIFO should not scale with GPUs (production-bound): %.1f vs %.1f", f4, f1)
+	}
+}
+
+func TestOnTrainStepCallback(t *testing.T) {
+	o := baseOpts(buffer.FIFOKind)
+	total := 0
+	o.OnTrainStep = func(step int, batches [][]buffer.Sample) {
+		for _, b := range batches {
+			total += len(b)
+		}
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != res.Samples {
+		t.Fatalf("callback saw %d samples, result says %d", total, res.Samples)
+	}
+}
+
+func TestMakeClientGeneratesPayload(t *testing.T) {
+	o := baseOpts(buffer.FIFOKind)
+	o.Simulations = 3
+	o.StepsPerSim = 4
+	o.MakeClient = func(simID int) func(step int) buffer.Sample {
+		return func(step int) buffer.Sample {
+			return buffer.Sample{SimID: simID, Step: step, Input: []float32{float32(simID)}, Output: []float32{float32(step)}}
+		}
+	}
+	saw := 0
+	o.OnTrainStep = func(_ int, batches [][]buffer.Sample) {
+		for _, b := range batches {
+			for _, s := range b {
+				if len(s.Input) != 1 || len(s.Output) != 1 {
+					t.Error("payload missing")
+				}
+				saw++
+			}
+		}
+	}
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	if saw != 12 {
+		t.Fatalf("saw %d samples, want 12", saw)
+	}
+}
+
+func TestMaxStepsBoundsTraining(t *testing.T) {
+	o := baseOpts(buffer.ReservoirKind)
+	o.MaxSteps = 7
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Batches != 7 {
+		t.Fatalf("batches %d, want 7", res.Batches)
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	res, err := Run(baseOpts(buffer.ReservoirKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	times, rates := res.ThroughputSeries(10)
+	if len(times) == 0 || len(times) != len(rates) {
+		t.Fatalf("series lengths %d/%d", len(times), len(rates))
+	}
+	for i, r := range rates {
+		if r <= 0 || math.IsInf(r, 0) {
+			t.Fatalf("rate[%d] = %v", i, r)
+		}
+	}
+	// Times must be increasing.
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatal("non-monotone series times")
+		}
+	}
+}
+
+func TestTracePopulationBounded(t *testing.T) {
+	o := baseOpts(buffer.ReservoirKind)
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	for _, tp := range res.Trace {
+		if tp.Total > o.Buffer.Capacity {
+			t.Fatalf("population %d exceeds capacity %d", tp.Total, o.Buffer.Capacity)
+		}
+		if tp.Seen+tp.Unseen != tp.Total {
+			t.Fatalf("trace inconsistency: %+v", tp)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(baseOpts(buffer.ReservoirKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseOpts(buffer.ReservoirKind))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Samples != b.Samples || a.Batches != b.Batches || a.TrainingEnd != b.TrainingEnd {
+		t.Fatalf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+// TestOverproductionBackpressure drives far more production than the GPU
+// consumes through a small buffer, exercising the network-queue stall path
+// (regression: batch assembly must stay non-reentrant and bounded).
+func TestOverproductionBackpressure(t *testing.T) {
+	o := baseOpts(buffer.FIFOKind)
+	o.Buffer.Capacity = 20
+	o.Buffer.Threshold = 4
+	o.TotalCores = 400 // every client concurrent: production ≫ consumption
+	maxBatch := 0
+	o.OnTrainStep = func(_ int, batches [][]buffer.Sample) {
+		for _, b := range batches {
+			if len(b) > maxBatch {
+				maxBatch = len(b)
+			}
+		}
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxBatch > o.BatchSize {
+		t.Fatalf("batch grew to %d, cap %d (reentrant pump)", maxBatch, o.BatchSize)
+	}
+	want := o.Simulations * o.StepsPerSim
+	if res.Unique != want || res.Samples != want {
+		t.Fatalf("conservation broken: unique %d samples %d want %d", res.Unique, res.Samples, want)
+	}
+	// Throughput bounded by the GPU model, not inflated by queue bursts.
+	if thr := res.MeanThroughput(); thr > 150 {
+		t.Fatalf("throughput %.1f exceeds the 1-GPU bound ≈148", thr)
+	}
+}
+
+// TestOverproductionReservoirCoverage: same regime through the Reservoir —
+// full coverage, bounded throughput, repetition present.
+func TestOverproductionReservoirCoverage(t *testing.T) {
+	o := baseOpts(buffer.ReservoirKind)
+	o.Buffer.Capacity = 50
+	o.Buffer.Threshold = 10
+	o.TotalCores = 400
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o.Simulations * o.StepsPerSim
+	if res.Unique != want {
+		t.Fatalf("unique %d, want %d (unseen data must survive backpressure)", res.Unique, want)
+	}
+	if thr := res.MeanThroughput(); thr > 150 {
+		t.Fatalf("throughput %.1f exceeds the GPU bound", thr)
+	}
+}

@@ -1,0 +1,139 @@
+package solver
+
+import "sync"
+
+// engine evaluates the implicit operator A = (1+4r)·I − r·S with the field
+// partitioned into horizontal strips, one per worker. Strip workers only
+// read their own rows plus one halo row from each neighbour, received over
+// channels — the shared-memory analogue of the paper's MPI 2D domain
+// partitioning (§4.1). The interior stencil never reads across a strip
+// except through the exchanged halos, so the structure would port directly
+// to distributed memory.
+type engine struct {
+	n      int
+	r      float64
+	strips []strip
+}
+
+// strip is one worker's share of rows [r0, r1) plus halo plumbing. upCh
+// receives the neighbour row r0−1; downCh receives row r1.
+type strip struct {
+	r0, r1 int
+	upCh   chan []float64
+	downCh chan []float64
+	haloUp []float64
+	haloDn []float64
+}
+
+func newEngine(n, workers int, r float64) *engine {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	e := &engine{n: n, r: r, strips: make([]strip, workers)}
+	base, rem := n/workers, n%workers
+	row := 0
+	for w := range e.strips {
+		rows := base
+		if w < rem {
+			rows++
+		}
+		e.strips[w] = strip{
+			r0:     row,
+			r1:     row + rows,
+			upCh:   make(chan []float64, 1),
+			downCh: make(chan []float64, 1),
+			haloUp: make([]float64, n),
+			haloDn: make([]float64, n),
+		}
+		row += rows
+	}
+	return e
+}
+
+// apply computes dst = A·src. All workers first publish their boundary rows
+// to neighbours, then receive halos, then compute their strip — a classic
+// BSP halo-exchange superstep.
+func (e *engine) apply(dst, src []float64) {
+	if len(e.strips) == 1 {
+		s := &e.strips[0]
+		e.applyStrip(dst, src, s, nil, nil)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := range e.strips {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := &e.strips[w]
+			n := e.n
+			// Publish boundary rows. Copies keep the message semantics of
+			// a real halo exchange: the receiver never aliases the
+			// sender's memory.
+			if w > 0 {
+				top := make([]float64, n)
+				copy(top, src[s.r0*n:(s.r0+1)*n])
+				e.strips[w-1].downCh <- top
+			}
+			if w < len(e.strips)-1 {
+				bottom := make([]float64, n)
+				copy(bottom, src[(s.r1-1)*n:s.r1*n])
+				e.strips[w+1].upCh <- bottom
+			}
+			var haloUp, haloDn []float64
+			if w > 0 {
+				haloUp = <-s.upCh
+			}
+			if w < len(e.strips)-1 {
+				haloDn = <-s.downCh
+			}
+			e.applyStrip(dst, src, s, haloUp, haloDn)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// applyStrip evaluates rows [s.r0, s.r1). haloUp/haloDn supply rows r0−1
+// and r1 when they belong to another strip; nil means the row is either a
+// physical boundary (its Dirichlet contribution lives in the RHS, not in A)
+// or owned by this strip.
+func (e *engine) applyStrip(dst, src []float64, s *strip, haloUp, haloDn []float64) {
+	n := e.n
+	r := e.r
+	diag := 1 + 4*r
+	for i := s.r0; i < s.r1; i++ {
+		var rowUp, rowDn []float64
+		switch {
+		case i > s.r0:
+			rowUp = src[(i-1)*n : i*n]
+		case haloUp != nil:
+			rowUp = haloUp
+		}
+		switch {
+		case i < s.r1-1:
+			rowDn = src[(i+1)*n : (i+2)*n]
+		case haloDn != nil:
+			rowDn = haloDn
+		}
+		row := src[i*n : (i+1)*n]
+		out := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			acc := diag * row[j]
+			if j > 0 {
+				acc -= r * row[j-1]
+			}
+			if j < n-1 {
+				acc -= r * row[j+1]
+			}
+			if rowUp != nil {
+				acc -= r * rowUp[j]
+			}
+			if rowDn != nil {
+				acc -= r * rowDn[j]
+			}
+			out[j] = acc
+		}
+	}
+}

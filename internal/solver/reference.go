@@ -1,0 +1,107 @@
+package solver
+
+import "math"
+
+// AnalyticEqualBoundaries evaluates the exact series solution of the heat
+// equation on [0,L]² when all four boundaries are held at tb and the
+// initial condition is the constant tic:
+//
+//	u(x,y,t) = tb + (tic−tb) Σ_{m,n odd} 16/(π²mn) ·
+//	           sin(mπx/L) sin(nπy/L) exp(−α π² (m²+n²) t / L²)
+//
+// Used by tests to validate the discrete solver against ground truth.
+func AnalyticEqualBoundaries(tic, tb, alpha, l, x, y, t float64, terms int) float64 {
+	var sum float64
+	for m := 1; m <= terms; m += 2 {
+		for n := 1; n <= terms; n += 2 {
+			coef := 16 / (math.Pi * math.Pi * float64(m) * float64(n))
+			decay := math.Exp(-alpha * math.Pi * math.Pi * float64(m*m+n*n) * t / (l * l))
+			sum += coef * decay *
+				math.Sin(float64(m)*math.Pi*x/l) *
+				math.Sin(float64(n)*math.Pi*y/l)
+		}
+	}
+	return tb + (tic-tb)*sum
+}
+
+// DenseStep performs one implicit Euler step by assembling the full
+// (N²)×(N²) system and solving it with Gaussian elimination. Exponentially
+// expensive — for small-N validation of the matrix-free CG path only.
+func DenseStep(cfg Config, par Params, u []float64) []float64 {
+	cfg = cfg.withDefaults()
+	n := cfg.N
+	size := n * n
+	h := cfg.L / float64(n+1)
+	r := cfg.Alpha * cfg.Dt / (h * h)
+
+	a := make([][]float64, size)
+	b := make([]float64, size)
+	for i := range a {
+		a[i] = make([]float64, size)
+	}
+	idx := func(i, j int) int { return i*n + j }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			k := idx(i, j)
+			a[k][k] = 1 + 4*r
+			b[k] = u[k]
+			if j > 0 {
+				a[k][idx(i, j-1)] = -r
+			} else {
+				b[k] += r * par.Tx1
+			}
+			if j < n-1 {
+				a[k][idx(i, j+1)] = -r
+			} else {
+				b[k] += r * par.Tx2
+			}
+			if i > 0 {
+				a[k][idx(i-1, j)] = -r
+			} else {
+				b[k] += r * par.Ty1
+			}
+			if i < n-1 {
+				a[k][idx(i+1, j)] = -r
+			} else {
+				b[k] += r * par.Ty2
+			}
+		}
+	}
+	return gaussSolve(a, b)
+}
+
+// gaussSolve solves a·x = b in place with partial pivoting.
+func gaussSolve(a [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for row := col + 1; row < n; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for row := col + 1; row < n; row++ {
+			f := a[row][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for row := n - 1; row >= 0; row-- {
+		s := b[row]
+		for k := row + 1; k < n; k++ {
+			s -= a[row][k] * x[k]
+		}
+		x[row] = s / a[row][row]
+	}
+	return x
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.AddN(8, 2)
+	if h.Count(1) != 2 || h.Count(3) != 1 || h.Count(8) != 2 || h.Count(5) != 0 {
+		t.Fatalf("counts wrong: %s", h)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Max() != 8 {
+		t.Fatalf("max %d", h.Max())
+	}
+	keys := h.Keys()
+	want := []int{1, 3, 8}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys %v", keys)
+		}
+	}
+	// mean = (1*2 + 3*1 + 8*2)/5 = 21/5
+	if math.Abs(h.Mean()-4.2) > 1e-12 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if h.String() != "1:2 3:1 8:2" {
+		t.Fatalf("string %q", h.String())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Max() != 0 || h.Total() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	// Sample std of this classic dataset is ~2.138.
+	if math.Abs(s.Std()-2.13809) > 1e-4 {
+		t.Fatalf("std %v", s.Std())
+	}
+}
+
+func TestSummarySingleValue(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Std() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-value summary wrong")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	xs := make([]float64, 100)
+	ys := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i * i)
+	}
+	dx, dy := Decimate(xs, ys, 5)
+	if len(dx) != 5 || len(dy) != 5 {
+		t.Fatalf("lengths %d/%d", len(dx), len(dy))
+	}
+	if dx[0] != 0 || dx[4] != 99 {
+		t.Fatalf("endpoints not kept: %v", dx)
+	}
+	// Short series are returned unchanged.
+	sx, sy := Decimate(xs[:3], ys[:3], 5)
+	if len(sx) != 3 || len(sy) != 3 {
+		t.Fatal("short series modified")
+	}
+}
+
+func TestDecimateMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Decimate(make([]float64, 3), make([]float64, 4), 2)
+}

@@ -1,0 +1,160 @@
+// Package tensor provides dense float32 matrices and the linear-algebra
+// kernels used by the neural-network training stack. It is deliberately
+// small: row-major matrices, a blocked GEMM with optional goroutine
+// parallelism, and the vector primitives needed by optimizers and
+// all-reduce. Everything is allocation-explicit so training loops can reuse
+// buffers across batches.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major float32 matrix. Data has length Rows*Cols;
+// element (r, c) lives at Data[r*Cols+c].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data as a rows×cols matrix without copying. The slice
+// length must equal rows*cols.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a slice sharing the matrix storage.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.mustSameShape(src)
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Add accumulates src into m element-wise.
+func (m *Matrix) Add(src *Matrix) {
+	m.mustSameShape(src)
+	Axpy(1, src.Data, m.Data)
+}
+
+// Sub subtracts src from m element-wise.
+func (m *Matrix) Sub(src *Matrix) {
+	m.mustSameShape(src)
+	Axpy(-1, src.Data, m.Data)
+}
+
+// Scale multiplies every element by a.
+func (m *Matrix) Scale(a float32) { Scal(a, m.Data) }
+
+// AddRowVector adds the vector v (length Cols) to every row of m. Used for
+// bias broadcast in dense layers.
+func (m *Matrix) AddRowVector(v []float32) {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector length %d != cols %d", len(v), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, x := range v {
+			row[c] += x
+		}
+	}
+}
+
+// SumRowsInto accumulates the column sums of m into dst (length Cols).
+// Used for bias gradients.
+func (m *Matrix) SumRowsInto(dst []float32) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: SumRowsInto length %d != cols %d", len(dst), m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, x := range row {
+			dst[c] += x
+		}
+	}
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Data[c*m.Rows+r] = m.Data[r*m.Cols+c]
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between m
+// and other. Useful in tests.
+func (m *Matrix) MaxAbsDiff(other *Matrix) float64 {
+	m.mustSameShape(other)
+	var max float64
+	for i, v := range m.Data {
+		d := math.Abs(float64(v) - float64(other.Data[i]))
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Norm2 returns the Frobenius norm of m, accumulated in float64.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+func (m *Matrix) mustSameShape(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+}

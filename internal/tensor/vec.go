@@ -1,0 +1,64 @@
+package tensor
+
+// Axpy computes y += a*x element-wise. The four-way unrolled body helps the
+// compiler keep the accumulator stream in registers; it is the hot loop of
+// both GEMM and the optimizers.
+func Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += a * x[i]
+		y[i+1] += a * x[i+1]
+		y[i+2] += a * x[i+2]
+		y[i+3] += a * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// Dot returns the inner product of x and y accumulated in float32 pairs and
+// summed in float64 for stability on long vectors.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Scal multiplies every element of x by a in place.
+func Scal(a float32, x []float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// SumF64 returns the sum of x accumulated in float64.
+func SumF64(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}
+
+// Zero clears x in place.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}

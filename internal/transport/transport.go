@@ -1,0 +1,202 @@
+// Package transport provides the messaging layer between ensemble clients
+// and the training server: length-framed protocol messages over TCP, one
+// listener per server rank, and client-side fan-out connections to every
+// rank. It replaces the paper's ZMQ transport (§3.1) while keeping its
+// properties: dynamic N×M client/server connections, non-blocking ingest
+// into per-rank queues, and client failure detection via liveness
+// timeouts.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"melissa/internal/protocol"
+)
+
+// Envelope is a decoded message tagged with its connection origin.
+type Envelope struct {
+	Msg  protocol.Message
+	Addr string
+}
+
+// RankListener accepts client connections for one server rank, decoding
+// frames into the Incoming channel. The channel is buffered: it plays the
+// role of the ZMQ receive queue in which "newly produced data sent by the
+// clients still accumulate" while the trainer holds the buffer lock (§4.4).
+type RankListener struct {
+	ln       net.Listener
+	incoming chan Envelope
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a rank listener on addr (use "127.0.0.1:0" to pick a free
+// port). queueLen sizes the ingest channel.
+func Listen(addr string, queueLen int) (*RankListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	if queueLen <= 0 {
+		queueLen = 1024
+	}
+	l := &RankListener{
+		ln:       ln,
+		incoming: make(chan Envelope, queueLen),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *RankListener) Addr() string { return l.ln.Addr().String() }
+
+// Incoming returns the stream of decoded messages from every connected
+// client. It is closed after Close once all connection readers exit.
+func (l *RankListener) Incoming() <-chan Envelope { return l.incoming }
+
+// Close stops accepting, closes every client connection, and closes the
+// Incoming channel once drained.
+func (l *RankListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.ln.Close()
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	go func() {
+		l.wg.Wait()
+		close(l.incoming)
+	}()
+	return err
+}
+
+func (l *RankListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.readLoop(conn)
+	}
+}
+
+func (l *RankListener) readLoop(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		conn.Close()
+	}()
+	addr := conn.RemoteAddr().String()
+	for {
+		msg, err := protocol.Read(conn)
+		if err != nil {
+			// EOF on client disconnect, decode errors on corruption:
+			// either way this connection is done; the launcher's
+			// watchdog handles the consequences.
+			return
+		}
+		l.mu.Lock()
+		closed := l.closed
+		l.mu.Unlock()
+		if closed {
+			return
+		}
+		l.incoming <- Envelope{Msg: msg, Addr: addr}
+	}
+}
+
+// ClientConn is a client's fan-out to all server ranks. The paper's clients
+// connect "to all the ranks of the server" and spread time steps across
+// them round-robin (§3.2.2).
+type ClientConn struct {
+	conns []net.Conn
+	locks []sync.Mutex
+}
+
+// Dial connects to every rank address. On failure it closes any partial
+// connections and returns the error.
+func Dial(addrs []string, timeout time.Duration) (*ClientConn, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("transport: no rank addresses")
+	}
+	c := &ClientConn{conns: make([]net.Conn, len(addrs)), locks: make([]sync.Mutex, len(addrs))}
+	for i, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", i, addr, err)
+		}
+		c.conns[i] = conn
+	}
+	return c, nil
+}
+
+// Ranks returns the number of connected server ranks.
+func (c *ClientConn) Ranks() int { return len(c.conns) }
+
+// Send writes msg to the given rank. Safe for concurrent use; writes to the
+// same rank are serialized to keep frames intact.
+func (c *ClientConn) Send(rank int, msg protocol.Message) error {
+	if rank < 0 || rank >= len(c.conns) {
+		return fmt.Errorf("transport: rank %d out of range [0,%d)", rank, len(c.conns))
+	}
+	if c.conns[rank] == nil {
+		return fmt.Errorf("transport: rank %d connection closed", rank)
+	}
+	c.locks[rank].Lock()
+	defer c.locks[rank].Unlock()
+	return protocol.Write(c.conns[rank], msg)
+}
+
+// SendAll writes msg to every rank (Hello and Goodbye go to all ranks).
+func (c *ClientConn) SendAll(msg protocol.Message) error {
+	for rank := range c.conns {
+		if err := c.Send(rank, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes every rank connection.
+func (c *ClientConn) Close() error {
+	var first error
+	for i, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		c.conns[i] = nil
+	}
+	return first
+}

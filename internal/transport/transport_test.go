@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"melissa/internal/protocol"
+)
+
+const dialTimeout = 2 * time.Second
+
+func TestSingleClientSingleRank(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	c, err := Dial([]string{l.Addr()}, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	want := protocol.TimeStep{SimID: 1, Step: 2, Input: []float32{3}, Field: []float32{4, 5}}
+	if err := c.Send(0, want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-l.Incoming():
+		got, ok := env.Msg.(protocol.TimeStep)
+		if !ok || got.SimID != 1 || got.Step != 2 || got.Field[1] != 5 {
+			t.Fatalf("got %+v", env.Msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never arrived")
+	}
+}
+
+func TestMultipleRanksRoundRobin(t *testing.T) {
+	const ranks = 3
+	listeners := make([]*RankListener, ranks)
+	addrs := make([]string, ranks)
+	for i := range listeners {
+		l, err := Listen("127.0.0.1:0", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		listeners[i] = l
+		addrs[i] = l.Addr()
+	}
+	c, err := Dial(addrs, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Ranks() != ranks {
+		t.Fatalf("ranks %d", c.Ranks())
+	}
+
+	// Distribute steps round-robin as the client library does.
+	for step := 0; step < 6; step++ {
+		if err := c.Send(step%ranks, protocol.TimeStep{SimID: 0, Step: int32(step)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < ranks; r++ {
+		var got []int32
+		for i := 0; i < 2; i++ {
+			select {
+			case env := <-listeners[r].Incoming():
+				got = append(got, env.Msg.(protocol.TimeStep).Step)
+			case <-time.After(2 * time.Second):
+				t.Fatalf("rank %d: timed out", r)
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if got[0] != int32(r) || got[1] != int32(r+3) {
+			t.Fatalf("rank %d received %v", r, got)
+		}
+	}
+}
+
+func TestSendAll(t *testing.T) {
+	const ranks = 2
+	listeners := make([]*RankListener, ranks)
+	addrs := make([]string, ranks)
+	for i := range listeners {
+		l, err := Listen("127.0.0.1:0", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		listeners[i] = l
+		addrs[i] = l.Addr()
+	}
+	c, err := Dial(addrs, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendAll(protocol.Hello{ClientID: 9, Steps: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		select {
+		case env := <-listeners[r].Incoming():
+			if h, ok := env.Msg.(protocol.Hello); !ok || h.ClientID != 9 {
+				t.Fatalf("rank %d: %+v", r, env.Msg)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("rank %d never got hello", r)
+		}
+	}
+}
+
+func TestManyConcurrentClients(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const clients = 8
+	const perClient = 20
+	var wg sync.WaitGroup
+	for id := 0; id < clients; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial([]string{l.Addr()}, dialTimeout)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for s := 0; s < perClient; s++ {
+				if err := c.Send(0, protocol.TimeStep{SimID: int32(id), Step: int32(s)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(id)
+	}
+
+	received := map[int32]int{}
+	for i := 0; i < clients*perClient; i++ {
+		select {
+		case env := <-l.Incoming():
+			received[env.Msg.(protocol.TimeStep).SimID]++
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d messages", i)
+		}
+	}
+	wg.Wait()
+	for id := int32(0); id < clients; id++ {
+		if received[id] != perClient {
+			t.Fatalf("client %d delivered %d/%d", id, received[id], perClient)
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial([]string{"127.0.0.1:1"}, 200*time.Millisecond); err == nil {
+		t.Fatal("expected connection error")
+	}
+	if _, err := Dial(nil, dialTimeout); err == nil {
+		t.Fatal("expected error for empty address list")
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := Dial([]string{l.Addr()}, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(5, protocol.Heartbeat{}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	if err := c.Send(-1, protocol.Heartbeat{}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := Dial([]string{l.Addr()}, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Send(0, protocol.Heartbeat{}); err == nil {
+		t.Fatal("expected error after close")
+	}
+}
+
+func TestGarbageBytesDropConnection(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt frame must not crash the listener or emit a message.
+	raw.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	raw.Close()
+
+	// The listener still serves new clients.
+	c, err := Dial([]string{l.Addr()}, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(0, protocol.Heartbeat{ClientID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-l.Incoming():
+		if hb, ok := env.Msg.(protocol.Heartbeat); !ok || hb.ClientID != 3 {
+			t.Fatalf("got %+v", env.Msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("listener stopped serving after garbage input")
+	}
+}
+
+func TestListenerCloseClosesIncoming(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial([]string{l.Addr()}, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	l.Close()
+	select {
+	case _, open := <-l.Incoming():
+		if open {
+			// Drain until closed.
+			for range l.Incoming() {
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Incoming never closed")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	w := NewWatchdog(time.Minute)
+	now := time.Unix(1000, 0)
+	w.SetClock(func() time.Time { return now })
+
+	w.Beat(1)
+	w.Beat(2)
+	if got := w.Watched(); got != 2 {
+		t.Fatalf("watched %d", got)
+	}
+	if exp := w.Expired(); len(exp) != 0 {
+		t.Fatalf("premature expiry: %v", exp)
+	}
+
+	now = now.Add(30 * time.Second)
+	w.Beat(2) // client 2 stays alive
+	now = now.Add(45 * time.Second)
+	exp := w.Expired()
+	if len(exp) != 1 || exp[0] != 1 {
+		t.Fatalf("expired %v, want [1]", exp)
+	}
+	// Expiry is reported once.
+	if exp := w.Expired(); len(exp) != 0 {
+		t.Fatalf("repeated expiry: %v", exp)
+	}
+
+	w.Remove(2)
+	if w.Watched() != 0 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestWatchdogConcurrentBeats(t *testing.T) {
+	w := NewWatchdog(time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int32) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				w.Beat(id)
+			}
+		}(int32(i))
+	}
+	wg.Wait()
+	if w.Watched() != 8 {
+		t.Fatalf("watched %d", w.Watched())
+	}
+}

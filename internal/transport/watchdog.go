@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Watchdog tracks client liveness. The server beats it on every received
+// message (including heartbeats); the launcher polls Expired to find
+// unresponsive clients and "properly kill and restart faulty ones" (§3.1).
+type Watchdog struct {
+	mu      sync.Mutex
+	last    map[int32]time.Time
+	timeout time.Duration
+	now     func() time.Time // injectable clock for tests
+}
+
+// NewWatchdog builds a watchdog with the given liveness timeout.
+func NewWatchdog(timeout time.Duration) *Watchdog {
+	return &Watchdog{
+		last:    make(map[int32]time.Time),
+		timeout: timeout,
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the time source; tests use a fake clock.
+func (w *Watchdog) SetClock(now func() time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.now = now
+}
+
+// Beat records activity from a client.
+func (w *Watchdog) Beat(clientID int32) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.last[clientID] = w.now()
+}
+
+// Remove forgets a client (after Goodbye or a deliberate kill).
+func (w *Watchdog) Remove(clientID int32) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.last, clientID)
+}
+
+// Watched returns the number of clients currently tracked.
+func (w *Watchdog) Watched() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.last)
+}
+
+// Expired returns the clients whose last activity is older than the
+// timeout. Expired clients are removed from tracking, so each expiry is
+// reported once; callers restart the client, which re-registers it via
+// Beat.
+func (w *Watchdog) Expired() []int32 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []int32
+	now := w.now()
+	for id, last := range w.last {
+		if now.Sub(last) > w.timeout {
+			out = append(out, id)
+			delete(w.last, id)
+		}
+	}
+	return out
+}

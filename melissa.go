@@ -1,0 +1,384 @@
+// Package melissa is a Go implementation of the Melissa framework from
+// "High Throughput Training of Deep Surrogates from Large Ensemble Runs"
+// (SC '23): online training of deep surrogate models from large ensembles
+// of simulation runs, streamed directly from the solvers to a data-parallel
+// training server through training buffers (FIFO, FIRO, and the paper's
+// Reservoir) — no intermediate files, fault-tolerant, and reproducible.
+//
+// The package exposes the high-level workflow:
+//
+//	cfg := melissa.DefaultConfig()
+//	cfg.Simulations = 100
+//	res, err := melissa.RunOnline(context.Background(), cfg)
+//	field := res.Surrogate.Predict(melissa.HeatParams{...}, 0.5)
+//
+// Lower-level building blocks (buffers, the cluster simulator, the
+// experiment harness reproducing the paper's tables and figures) live in
+// the internal packages; the cmd/ binaries and examples/ show them in use.
+package melissa
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"melissa/internal/buffer"
+	"melissa/internal/core"
+	"melissa/internal/launcher"
+	"melissa/internal/opt"
+	"melissa/internal/sampling"
+	"melissa/internal/server"
+	"melissa/internal/solver"
+)
+
+// BufferPolicy selects the training buffer algorithm (§3.2.3 of the paper).
+type BufferPolicy string
+
+// The three policies evaluated in the paper. Reservoir is the paper's
+// contribution and the recommended default.
+const (
+	FIFO      BufferPolicy = "FIFO"
+	FIRO      BufferPolicy = "FIRO"
+	Reservoir BufferPolicy = "Reservoir"
+)
+
+// HeatParams are the inputs of one heat-equation simulation: the initial
+// temperature and the four boundary temperatures (Kelvin).
+type HeatParams struct {
+	TIC, TX1, TY1, TX2, TY2 float64
+}
+
+func (p HeatParams) toSolver() solver.Params {
+	return solver.Params{TIC: p.TIC, Tx1: p.TX1, Ty1: p.TY1, Tx2: p.TX2, Ty2: p.TY2}
+}
+
+// Config assembles an online ensemble-training run.
+type Config struct {
+	// Ensemble
+	Simulations int     // ensemble members to run
+	GridN       int     // solver grid side; the surrogate predicts N² values
+	StepsPerSim int     // time steps per simulation
+	Dt          float64 // seconds per step
+
+	// Concurrency
+	MaxConcurrentClients int // simulation clients running at once
+	Ranks                int // data-parallel training processes ("GPUs")
+
+	// Surrogate
+	Hidden    []int // MLP hidden layer widths (paper: 256, 256)
+	BatchSize int   // per rank (paper: 10)
+
+	// Buffer (paper defaults: Reservoir, capacity 6000, threshold 1000 —
+	// scale capacity to roughly a quarter of the ensemble's sample count)
+	Buffer    BufferPolicy
+	Capacity  int
+	Threshold int
+
+	// Learning rate schedule: initial 1e-3, halved every HalveEvery
+	// samples down to MinLR (§4.5). HalveEvery 0 keeps it constant.
+	LearningRate float64
+	HalveEvery   int
+	MinLR        float64
+
+	// Validation
+	ValidationSims int // held-out simulations (paper: 10); 0 disables
+	ValidateEvery  int // batches between validations (paper: 100)
+
+	// Fault tolerance
+	MaxClientRetries  int
+	MaxServerRestarts int
+	WatchdogTimeout   time.Duration
+	CheckpointPath    string // server checkpoint location; "" disables
+
+	// WarmStart, when set, initializes training from an existing
+	// surrogate's weights instead of a random init — the §5 production
+	// workflow: offline pre-training on a reduced dataset followed by
+	// online re-training at scale. The architecture must match.
+	WarmStart *Surrogate
+
+	// Design selects the experimental design drawing the simulation
+	// parameters: "monte-carlo" (default), "latin-hypercube" or "halton"
+	// (§3.1).
+	Design string
+	// Sampler, when set, overrides Design with a custom draw function
+	// returning points in the unit hypercube [0,1)^5. This is the hook
+	// for adaptive experimental designs (§5 future work; see
+	// examples/adaptive-sampling).
+	Sampler func() []float64
+
+	// Seed drives every stochastic component (§3.1).
+	Seed uint64
+}
+
+// DefaultConfig returns a laptop-scale configuration with the paper's
+// ratios.
+func DefaultConfig() Config {
+	return Config{
+		Simulations:          20,
+		GridN:                16,
+		StepsPerSim:          20,
+		Dt:                   0.01,
+		MaxConcurrentClients: 4,
+		Ranks:                1,
+		Hidden:               []int{64, 64},
+		BatchSize:            10,
+		Buffer:               Reservoir,
+		Capacity:             200,
+		Threshold:            30,
+		LearningRate:         1e-3,
+		HalveEvery:           10000,
+		MinLR:                2.5e-4,
+		ValidationSims:       2,
+		ValidateEvery:        50,
+		MaxClientRetries:     2,
+		MaxServerRestarts:    1,
+		Seed:                 2023,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Simulations < 1 {
+		return fmt.Errorf("melissa: Simulations=%d must be ≥ 1", c.Simulations)
+	}
+	if c.GridN < 1 || c.StepsPerSim < 1 {
+		return fmt.Errorf("melissa: grid %d × steps %d invalid", c.GridN, c.StepsPerSim)
+	}
+	if c.Ranks < 1 || c.BatchSize < 1 {
+		return fmt.Errorf("melissa: ranks %d batch %d invalid", c.Ranks, c.BatchSize)
+	}
+	switch c.Buffer {
+	case FIFO, FIRO, Reservoir:
+	default:
+		return fmt.Errorf("melissa: unknown buffer policy %q", c.Buffer)
+	}
+	return nil
+}
+
+// Point is one point of a loss curve.
+type Point struct {
+	Batch   int
+	Samples int
+	MSE     float64
+}
+
+// RunResult reports a completed online training run.
+type RunResult struct {
+	// Surrogate is the trained model, ready for prediction.
+	Surrogate *Surrogate
+	// Batches and Samples count the synchronized training steps and the
+	// samples consumed (including Reservoir repetitions).
+	Batches int
+	Samples int
+	// UniqueSamples counts distinct time steps trained on.
+	UniqueSamples int
+	// ValidationMSE is the final validation loss (normalized units);
+	// ValidationMSEKelvin the same in Kelvin².
+	ValidationMSE       float64
+	ValidationMSEKelvin float64
+	// ValidationCurve and TrainCurve are the recorded histories.
+	ValidationCurve []Point
+	TrainCurve      []Point
+	// Throughput is samples consumed per wall-clock second.
+	Throughput float64
+	// WallTime is the total training duration.
+	WallTime time.Duration
+	// ClientRestarts and ServerRestarts count fault recoveries.
+	ClientRestarts int
+	ServerRestarts int
+}
+
+// RunOnline executes the full online workflow: launcher, training server,
+// and ensemble clients streaming solver data, with fault tolerance, exactly
+// as described in §3 of the paper — scaled to the local machine (clients
+// and server ranks are processes-in-goroutines connected over loopback
+// TCP).
+func RunOnline(ctx context.Context, cfg Config) (*RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	norm := core.NewHeatNormalizer(cfg.GridN*cfg.GridN, float64(cfg.StepsPerSim)*cfg.Dt)
+
+	var valSet *core.ValidationSet
+	if cfg.ValidationSims > 0 {
+		vs, err := generateValidation(cfg, norm)
+		if err != nil {
+			return nil, err
+		}
+		valSet = vs
+	}
+
+	var schedule opt.Schedule
+	if cfg.HalveEvery > 0 {
+		schedule = opt.Halving{Initial: cfg.LearningRate, EverySamples: cfg.HalveEvery, Min: cfg.MinLR}
+	} else {
+		schedule = opt.Constant(cfg.LearningRate)
+	}
+
+	var initialWeights []byte
+	if cfg.WarmStart != nil {
+		var buf bytes.Buffer
+		if err := cfg.WarmStart.Save(&buf); err != nil {
+			return nil, err
+		}
+		initialWeights = buf.Bytes()
+	}
+
+	var design sampling.Sampler
+	if cfg.Sampler != nil {
+		design = funcSampler{dim: 5, fn: cfg.Sampler}
+	} else {
+		kind := sampling.Kind(cfg.Design)
+		if cfg.Design == "" {
+			kind = sampling.MonteCarloKind
+		}
+		var err error
+		design, err = sampling.New(kind, 5, cfg.Seed, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	lcfg := launcher.Config{
+		Server: server.Config{
+			Ranks: cfg.Ranks,
+			Buffer: buffer.Config{
+				Kind:      buffer.Kind(cfg.Buffer),
+				Capacity:  cfg.Capacity,
+				Threshold: cfg.Threshold,
+				Seed:      cfg.Seed,
+			},
+			Trainer: core.TrainerConfig{
+				BatchSize: cfg.BatchSize,
+				Model: core.ModelSpec{
+					InputDim:  norm.InputDim(),
+					Hidden:    cfg.Hidden,
+					OutputDim: norm.OutputDim(),
+					Seed:      cfg.Seed,
+				},
+				Normalizer:       norm,
+				InitialWeights:   initialWeights,
+				LearningRate:     cfg.LearningRate,
+				Schedule:         schedule,
+				Validation:       valSet,
+				ValidateEvery:    cfg.ValidateEvery,
+				TrackOccurrences: true,
+			},
+			WatchdogTimeout: cfg.WatchdogTimeout,
+			CheckpointPath:  cfg.CheckpointPath,
+		},
+		Solver:               solver.Config{N: cfg.GridN, Steps: cfg.StepsPerSim, Dt: cfg.Dt},
+		Design:               design,
+		Space:                sampling.HeatSpace(),
+		Simulations:          cfg.Simulations,
+		MaxConcurrentClients: cfg.MaxConcurrentClients,
+		MaxClientRetries:     cfg.MaxClientRetries,
+		MaxServerRestarts:    cfg.MaxServerRestarts,
+	}
+	l, err := launcher.New(lcfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := l.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	m := res.Metrics
+	out := &RunResult{
+		Surrogate: &Surrogate{
+			net:   res.Network,
+			norm:  norm,
+			gridN: cfg.GridN,
+		},
+		Batches:        m.Batches(),
+		Samples:        m.Samples(),
+		UniqueSamples:  len(m.Occurrences()),
+		Throughput:     m.Throughput(),
+		WallTime:       m.WallTime(),
+		ClientRestarts: res.ClientRestarts,
+		ServerRestarts: res.ServerRestarts,
+	}
+	if v, ok := m.FinalValidation(); ok {
+		out.ValidationMSE = v
+		out.ValidationMSEKelvin = norm.KelvinMSE(v)
+	}
+	for _, p := range m.Validation() {
+		out.ValidationCurve = append(out.ValidationCurve, Point{Batch: p.Batch, Samples: p.Samples, MSE: p.Value})
+	}
+	for _, p := range m.TrainLoss() {
+		out.TrainCurve = append(out.TrainCurve, Point{Batch: p.Batch, Samples: p.Samples, MSE: p.Value})
+	}
+	return out, nil
+}
+
+// funcSampler adapts a user draw function to the sampling interface.
+type funcSampler struct {
+	dim int
+	fn  func() []float64
+}
+
+func (f funcSampler) Next() []float64 {
+	p := f.fn()
+	if len(p) != f.dim {
+		panic(fmt.Sprintf("melissa: custom sampler returned %d dims, want %d", len(p), f.dim))
+	}
+	return p
+}
+
+func (f funcSampler) Dim() int { return f.dim }
+
+// generateValidation produces the held-out set with a decorrelated design
+// stream.
+func generateValidation(cfg Config, norm core.HeatNormalizer) (*core.ValidationSet, error) {
+	design := sampling.NewMonteCarlo(5, cfg.Seed^0x5eed0ff5)
+	space := sampling.HeatSpace()
+	var samples []buffer.Sample
+	for i := 0; i < cfg.ValidationSims; i++ {
+		p, err := solver.ParamsFromVector(space.Scale(design.Next()))
+		if err != nil {
+			return nil, err
+		}
+		sim, err := solver.New(solver.Config{N: cfg.GridN, Steps: cfg.StepsPerSim, Dt: cfg.Dt}, p)
+		if err != nil {
+			return nil, err
+		}
+		base := p.Vector()
+		err = sim.Run(func(step int, field []float64) {
+			input := make([]float32, 0, 6)
+			for _, v := range base {
+				input = append(input, float32(v))
+			}
+			input = append(input, float32(float64(step)*cfg.Dt))
+			out := make([]float32, len(field))
+			for j, v := range field {
+				out[j] = float32(v)
+			}
+			samples = append(samples, buffer.Sample{SimID: -1 - i, Step: step, Input: input, Output: out})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.NewValidationSet(norm, samples), nil
+}
+
+// Solve runs the reference heat-equation solver directly, returning the
+// temperature field after each step — the ground truth that examples
+// compare surrogate predictions against.
+func Solve(p HeatParams, gridN, steps int, dt float64) ([][]float64, error) {
+	sim, err := solver.New(solver.Config{N: gridN, Steps: steps, Dt: dt}, p.toSolver())
+	if err != nil {
+		return nil, err
+	}
+	var fields [][]float64
+	err = sim.Run(func(_ int, field []float64) {
+		cp := make([]float64, len(field))
+		copy(cp, field)
+		fields = append(fields, cp)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fields, nil
+}

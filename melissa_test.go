@@ -1,0 +1,193 @@
+package melissa
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+	"time"
+)
+
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Simulations = 6
+	cfg.GridN = 8
+	cfg.StepsPerSim = 8
+	cfg.MaxConcurrentClients = 3
+	cfg.Hidden = []int{16}
+	cfg.BatchSize = 4
+	cfg.Capacity = 100
+	cfg.Threshold = 8
+	cfg.ValidationSims = 1
+	cfg.ValidateEvery = 10
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Simulations = 0 },
+		func(c *Config) { c.GridN = 0 },
+		func(c *Config) { c.StepsPerSim = 0 },
+		func(c *Config) { c.Ranks = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.Buffer = "bogus" },
+	}
+	for i, mutate := range bad {
+		cfg := tinyConfig()
+		mutate(&cfg)
+		if _, err := RunOnline(context.Background(), cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunOnlineEndToEnd(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := RunOnline(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Surrogate == nil {
+		t.Fatal("no surrogate")
+	}
+	want := cfg.Simulations * cfg.StepsPerSim
+	if res.UniqueSamples != want {
+		t.Fatalf("unique %d, want %d", res.UniqueSamples, want)
+	}
+	if res.Samples < want || res.Batches == 0 {
+		t.Fatalf("samples %d batches %d", res.Samples, res.Batches)
+	}
+	if res.ValidationMSE <= 0 {
+		t.Fatal("no validation recorded")
+	}
+	if res.ValidationMSEKelvin <= res.ValidationMSE {
+		t.Fatal("Kelvin-scale MSE should exceed normalized MSE")
+	}
+	if len(res.ValidationCurve) == 0 || len(res.TrainCurve) == 0 {
+		t.Fatal("curves missing")
+	}
+	if res.Throughput <= 0 || res.WallTime <= 0 {
+		t.Fatal("throughput accounting broken")
+	}
+
+	// The surrogate predicts fields of the right shape within the
+	// physically plausible range (trained on [100,500] K).
+	p := HeatParams{TIC: 300, TX1: 200, TY1: 400, TX2: 250, TY2: 350}
+	field := res.Surrogate.Predict(p, 0.04)
+	if len(field) != cfg.GridN*cfg.GridN {
+		t.Fatalf("field length %d", len(field))
+	}
+	for _, v := range field {
+		if v < 0 || v > 700 || math.IsNaN(v) {
+			t.Fatalf("implausible prediction %v", v)
+		}
+	}
+}
+
+func TestRunOnlineDeterministicConfigSurface(t *testing.T) {
+	// Two runs with the same seed produce the same unique-sample set size
+	// and the same network shape. (Wall-clock interleaving means training
+	// order — and thus exact weights — can differ across live runs; full
+	// determinism is a property of the simulated mode.)
+	cfg := tinyConfig()
+	a, err := RunOnline(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnline(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UniqueSamples != b.UniqueSamples {
+		t.Fatal("unique sample sets differ across seeded runs")
+	}
+	if a.Surrogate.NumParams() != b.Surrogate.NumParams() {
+		t.Fatal("architectures differ")
+	}
+}
+
+func TestSurrogateSaveLoadRoundtrip(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := RunOnline(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Surrogate.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSurrogate(&buf, cfg.GridN, cfg.StepsPerSim, cfg.Dt, cfg.Hidden, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := HeatParams{TIC: 150, TX1: 450, TY1: 300, TX2: 200, TY2: 380}
+	a := res.Surrogate.Predict(p, 0.05)
+	b := loaded.Predict(p, 0.05)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded surrogate predicts differently")
+		}
+	}
+}
+
+func TestPredictBatchMatchesSingle(t *testing.T) {
+	res, err := RunOnline(context.Background(), tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []HeatParams{
+		{TIC: 300, TX1: 200, TY1: 400, TX2: 250, TY2: 350},
+		{TIC: 120, TX1: 480, TY1: 160, TX2: 440, TY2: 220},
+	}
+	ts := []float64{0.02, 0.06}
+	batch, err := res.Surrogate.PredictBatch(ps, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ps {
+		single := res.Surrogate.Predict(ps[i], ts[i])
+		for j := range single {
+			if math.Abs(single[j]-batch[i][j]) > 1e-3 {
+				t.Fatalf("batch/single mismatch at %d/%d: %v vs %v", i, j, batch[i][j], single[j])
+			}
+		}
+	}
+	if _, err := res.Surrogate.PredictBatch(ps, ts[:1]); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestSolveGroundTruth(t *testing.T) {
+	p := HeatParams{TIC: 300, TX1: 300, TY1: 300, TX2: 300, TY2: 300}
+	fields, err := Solve(p, 8, 5, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 5 || len(fields[0]) != 64 {
+		t.Fatalf("shape %d × %d", len(fields), len(fields[0]))
+	}
+	// Uniform temperatures stay uniform.
+	for _, f := range fields {
+		for _, v := range f {
+			if math.Abs(v-300) > 1e-8 {
+				t.Fatalf("steady state drifted: %v", v)
+			}
+		}
+	}
+	if _, err := Solve(p, 0, 5, 0.01); err == nil {
+		t.Fatal("expected error for invalid grid")
+	}
+}
+
+func TestRunOnlineContextCancel(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Simulations = 50 // long enough to cancel mid-run
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := RunOnline(ctx, cfg); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}

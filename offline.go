@@ -1,0 +1,215 @@
+package melissa
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"melissa/internal/buffer"
+	"melissa/internal/core"
+	"melissa/internal/dataset"
+	"melissa/internal/nn"
+	"melissa/internal/opt"
+	"melissa/internal/sampling"
+	"melissa/internal/solver"
+)
+
+// DatasetInfo describes a generated offline dataset.
+type DatasetInfo struct {
+	Dir         string
+	Simulations int
+	Samples     int
+	Bytes       int64
+}
+
+// GenerateDataset runs the ensemble like RunOnline but writes every time
+// step to disk (one binary file per simulation) instead of streaming it to
+// a server — the paper's offline data-generation mode (§4.6: "the
+// framework reveals itself also useful to quickly generate datasets by
+// leveraging the parallelism of its clients"). Generation is parallel
+// across MaxConcurrentClients solver instances.
+func GenerateDataset(ctx context.Context, cfg Config, dir string) (*DatasetInfo, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	design := sampling.NewMonteCarlo(5, cfg.Seed)
+	space := sampling.HeatSpace()
+	params := make([]solver.Params, cfg.Simulations)
+	for i := range params {
+		p, err := solver.ParamsFromVector(space.Scale(design.Next()))
+		if err != nil {
+			return nil, err
+		}
+		params[i] = p
+	}
+
+	concurrency := cfg.MaxConcurrentClients
+	if concurrency < 1 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, concurrency)
+	errs := make([]error, cfg.Simulations)
+	var wg sync.WaitGroup
+	for sim := 0; sim < cfg.Simulations; sim++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(sim int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[sim] = writeSimulation(dir, sim, cfg, params[sim])
+		}(sim)
+	}
+	wg.Wait()
+	for sim, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("melissa: generating sim %d: %w", sim, err)
+		}
+	}
+
+	ds, err := dataset.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer ds.Close()
+	return &DatasetInfo{
+		Dir:         dir,
+		Simulations: ds.Sims(),
+		Samples:     ds.Len(),
+		Bytes:       ds.Bytes(),
+	}, nil
+}
+
+func writeSimulation(dir string, simID int, cfg Config, p solver.Params) error {
+	sim, err := solver.New(solver.Config{N: cfg.GridN, Steps: cfg.StepsPerSim, Dt: cfg.Dt}, p)
+	if err != nil {
+		return err
+	}
+	w, err := dataset.Create(dir, simID, cfg.StepsPerSim, 6, cfg.GridN*cfg.GridN)
+	if err != nil {
+		return err
+	}
+	base := p.Vector()
+	err = sim.Run(func(step int, field []float64) {
+		input := make([]float32, 0, 6)
+		for _, v := range base {
+			input = append(input, float32(v))
+		}
+		input = append(input, float32(float64(step)*cfg.Dt))
+		out := make([]float32, len(field))
+		for i, v := range field {
+			out[i] = float32(v)
+		}
+		if werr := w.WriteStep(input, out); werr != nil && err == nil {
+			err = werr
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// TrainOffline is the classical baseline the paper compares against (§4.6):
+// multi-epoch training over a fixed on-disk dataset served by a
+// multi-worker loader. Combined with GenerateDataset and Config.WarmStart,
+// it supports the §5 production workflow — offline pre-training on a small
+// dataset followed by online re-training at scale.
+func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWorkers int) (*RunResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if epochs < 1 {
+		return nil, fmt.Errorf("melissa: epochs=%d must be ≥ 1", epochs)
+	}
+	ds, err := dataset.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer ds.Close()
+
+	norm := core.NewHeatNormalizer(cfg.GridN*cfg.GridN, float64(cfg.StepsPerSim)*cfg.Dt)
+	net := nn.ArchitectureMLP(norm.InputDim(), cfg.Hidden, norm.OutputDim(), cfg.Seed)
+	if cfg.WarmStart != nil {
+		var buf bytes.Buffer
+		if err := cfg.WarmStart.Save(&buf); err != nil {
+			return nil, err
+		}
+		if err := net.LoadWeights(&buf); err != nil {
+			return nil, fmt.Errorf("melissa: warm start: %w", err)
+		}
+	}
+
+	var valSet *core.ValidationSet
+	if cfg.ValidationSims > 0 {
+		valSet, err = generateValidation(cfg, norm)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var schedule opt.Schedule = opt.Constant(cfg.LearningRate)
+	if cfg.HalveEvery > 0 {
+		schedule = opt.Halving{Initial: cfg.LearningRate, EverySamples: cfg.HalveEvery, Min: cfg.MinLR}
+	}
+	adam := opt.NewAdam(cfg.LearningRate)
+	lossFn := nn.NewMSELoss()
+	metrics := core.NewMetrics(false)
+	metrics.Begin()
+
+	loader := dataset.NewLoader(ds, cfg.BatchSize*cfg.Ranks, loaderWorkers, cfg.Seed^0x0ff1e)
+	for epoch := 0; epoch < epochs; epoch++ {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		err := loader.Epoch(func(batch []buffer.Sample) error {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			bi, bo := core.BatchTensors(norm, batch)
+			net.ZeroGrad()
+			pred := net.Forward(bi)
+			loss := lossFn.Forward(pred, bo)
+			net.Backward(lossFn.Backward(pred, bo))
+			b, s := metrics.RecordStep(len(batch))
+			metrics.RecordTrainLoss(b, s, loss)
+			adam.SetLR(schedule.LR(s))
+			adam.Step(net.Params())
+			if valSet != nil && cfg.ValidateEvery > 0 && b%cfg.ValidateEvery == 0 {
+				metrics.RecordValidation(b, s, core.Validate(net, valSet, cfg.BatchSize*4))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	metrics.Finish()
+
+	out := &RunResult{
+		Surrogate:     &Surrogate{net: net, norm: norm, gridN: cfg.GridN},
+		Batches:       metrics.Batches(),
+		Samples:       metrics.Samples(),
+		UniqueSamples: ds.Len(),
+		Throughput:    metrics.Throughput(),
+		WallTime:      metrics.WallTime(),
+	}
+	if valSet != nil {
+		v := core.Validate(net, valSet, cfg.BatchSize*4)
+		metrics.RecordValidation(metrics.Batches(), metrics.Samples(), v)
+		out.ValidationMSE = v
+		out.ValidationMSEKelvin = norm.KelvinMSE(v)
+	}
+	for _, p := range metrics.Validation() {
+		out.ValidationCurve = append(out.ValidationCurve, Point{Batch: p.Batch, Samples: p.Samples, MSE: p.Value})
+	}
+	for _, p := range metrics.TrainLoss() {
+		out.TrainCurve = append(out.TrainCurve, Point{Batch: p.Batch, Samples: p.Samples, MSE: p.Value})
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package melissa
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"melissa/internal/core"
+	"melissa/internal/nn"
+	"melissa/internal/tensor"
+)
+
+// Surrogate is a trained direct deep surrogate of the heat equation: given
+// the simulation parameters and a physical time, it predicts the full
+// temperature field in one forward pass (§2.1 "direct models":
+// f_θ(X, t) ≈ u_t^X).
+type Surrogate struct {
+	net   *nn.Network
+	norm  core.HeatNormalizer
+	gridN int
+}
+
+// GridN returns the predicted field's side length.
+func (s *Surrogate) GridN() int { return s.gridN }
+
+// NumParams returns the number of learnable parameters.
+func (s *Surrogate) NumParams() int { return s.net.NumParams() }
+
+// Predict returns the temperature field (Kelvin, row-major gridN×gridN) at
+// physical time t seconds for the given parameters.
+func (s *Surrogate) Predict(p HeatParams, t float64) []float64 {
+	in := tensor.New(1, s.norm.InputDim())
+	space := s.norm.Space
+	raw := []float64{p.TIC, p.TX1, p.TY1, p.TX2, p.TY2}
+	for i, v := range raw {
+		in.Set(0, i, float32((v-space.Min[i])/(space.Max[i]-space.Min[i])))
+	}
+	if s.norm.TimeMax > 0 {
+		in.Set(0, len(raw), float32(t/s.norm.TimeMax))
+	}
+	pred := s.net.Forward(in)
+	out := make([]float32, len(pred.Data))
+	copy(out, pred.Data)
+	s.norm.DenormalizeField(out)
+	field := make([]float64, len(out))
+	for i, v := range out {
+		field[i] = float64(v)
+	}
+	return field
+}
+
+// PredictBatch evaluates many (params, time) queries in one forward pass,
+// amortizing the matrix multiplies — this is where the surrogate's
+// orders-of-magnitude speedup over the solver comes from.
+func (s *Surrogate) PredictBatch(ps []HeatParams, ts []float64) ([][]float64, error) {
+	if len(ps) != len(ts) {
+		return nil, fmt.Errorf("melissa: %d params for %d times", len(ps), len(ts))
+	}
+	in := tensor.New(len(ps), s.norm.InputDim())
+	space := s.norm.Space
+	for r, p := range ps {
+		raw := []float64{p.TIC, p.TX1, p.TY1, p.TX2, p.TY2}
+		for i, v := range raw {
+			in.Set(r, i, float32((v-space.Min[i])/(space.Max[i]-space.Min[i])))
+		}
+		if s.norm.TimeMax > 0 {
+			in.Set(r, len(raw), float32(ts[r]/s.norm.TimeMax))
+		}
+	}
+	pred := s.net.Forward(in)
+	out := make([][]float64, len(ps))
+	width := s.norm.OutputDim()
+	for r := range out {
+		row := make([]float32, width)
+		copy(row, pred.Data[r*width:(r+1)*width])
+		s.norm.DenormalizeField(row)
+		field := make([]float64, width)
+		for i, v := range row {
+			field[i] = float64(v)
+		}
+		out[r] = field
+	}
+	return out, nil
+}
+
+// Save writes the surrogate weights to w (the nn checkpoint format).
+func (s *Surrogate) Save(w io.Writer) error { return s.net.SaveWeights(w) }
+
+// SaveFile writes the surrogate weights to path.
+func (s *Surrogate) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.net.SaveWeights(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSurrogate reconstructs a surrogate from saved weights. The
+// architecture parameters must match those used in training.
+func LoadSurrogate(r io.Reader, gridN, stepsPerSim int, dt float64, hidden []int, seed uint64) (*Surrogate, error) {
+	norm := core.NewHeatNormalizer(gridN*gridN, float64(stepsPerSim)*dt)
+	net := nn.ArchitectureMLP(norm.InputDim(), hidden, norm.OutputDim(), seed)
+	if err := net.LoadWeights(r); err != nil {
+		return nil, err
+	}
+	return &Surrogate{net: net, norm: norm, gridN: gridN}, nil
+}
+
+// LoadSurrogateFile reads a surrogate from a weights file.
+func LoadSurrogateFile(path string, gridN, stepsPerSim int, dt float64, hidden []int, seed uint64) (*Surrogate, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSurrogate(f, gridN, stepsPerSim, dt, hidden, seed)
+}
