@@ -73,7 +73,15 @@ func (b *Blocking) Get() (Sample, bool) {
 // ok=false only when the buffer drained before yielding any sample; a
 // shorter final batch is returned with ok=true while draining.
 func (b *Blocking) GetBatch(n int) ([]Sample, bool) {
-	batch := make([]Sample, 0, n)
+	return b.GetBatchInto(make([]Sample, 0, n), n)
+}
+
+// GetBatchInto is GetBatch assembling into dst's storage (dst is truncated
+// first), so a training loop can reuse one batch slice across steps and
+// assemble batches without allocating. The returned slice aliases dst when
+// capacity suffices.
+func (b *Blocking) GetBatchInto(dst []Sample, n int) ([]Sample, bool) {
+	batch := dst[:0]
 	for len(batch) < n {
 		s, ok := b.Get()
 		if !ok {

@@ -164,15 +164,19 @@ func Validate(net *nn.Network, set *ValidationSet, chunk int) float64 {
 	}
 	var sum float64
 	var count int
+	// One reusable view header serves every chunk; the network's layers
+	// pool their activations per chunk shape, so repeated validation
+	// passes allocate nothing.
+	var in tensor.Matrix
 	for start := 0; start < set.In.Rows; start += chunk {
 		end := start + chunk
 		if end > set.In.Rows {
 			end = set.In.Rows
 		}
 		rows := end - start
-		in := tensor.FromSlice(rows, set.In.Cols, set.In.Data[start*set.In.Cols:end*set.In.Cols])
+		set.In.ViewRows(&in, start, end)
 		want := set.Out.Data[start*set.Out.Cols : end*set.Out.Cols]
-		pred := net.Forward(in)
+		pred := net.Forward(&in)
 		for i, p := range pred.Data {
 			d := float64(p) - float64(want[i])
 			sum += d * d

@@ -162,89 +162,129 @@ func (t *Trainer) Run(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
+// rankState is the per-rank training-thread state. Everything the hot loop
+// touches is preallocated here once, so a steady-state synchronized step
+// performs no heap allocations: the batch slice, the batch matrices (plus
+// reusable prefix-view headers for short tail batches) and the status
+// buffer are all reused across steps.
+type rankState struct {
+	rank      int
+	net       *nn.Network
+	optimizer *opt.Adam
+	lossFn    *nn.MSELoss
+
+	in, out         *tensor.Matrix // full-batch input/target storage
+	viewIn, viewOut tensor.Matrix  // reusable prefix views for tail batches
+	batch           []buffer.Sample
+	status          [2]float32 // [active ranks, samples this step]
+	localBatches    int
+}
+
+// newRankState preallocates the per-rank training state.
+func (t *Trainer) newRankState(rank int) *rankState {
+	norm := t.cfg.Normalizer
+	st := &rankState{
+		rank:         rank,
+		net:          t.nets[rank],
+		optimizer:    t.opts[rank],
+		lossFn:       nn.NewMSELoss(),
+		in:           tensor.New(t.cfg.BatchSize, norm.InputDim()),
+		out:          tensor.New(t.cfg.BatchSize, norm.OutputDim()),
+		batch:        make([]buffer.Sample, 0, t.cfg.BatchSize),
+		localBatches: t.startBatches,
+	}
+	t.localSamples[rank] = t.startSamples
+	return st
+}
+
 // rankLoop is the per-rank training thread. Collective calls must stay in
 // lock-step across ranks: every iteration performs exactly one status
 // all-reduce and, while any rank is active, one gradient all-reduce.
 func (t *Trainer) rankLoop(rank int) error {
-	net := t.nets[rank]
-	optimizer := t.opts[rank]
-	params := net.Params()
-	gbuf := ddp.NewGradBuffer(params)
-	lossFn := nn.NewMSELoss()
-	norm := t.cfg.Normalizer
-
-	in := tensor.New(t.cfg.BatchSize, norm.InputDim())
-	out := tensor.New(t.cfg.BatchSize, norm.OutputDim())
-	status := make([]float32, 2) // [active ranks, samples this step]
-
-	localBatches := t.startBatches
-	t.localSamples[rank] = t.startSamples
-	for {
-		if t.cfg.MaxBatches > 0 && localBatches >= t.cfg.MaxBatches {
-			// The batch counter advances identically on every rank, so
-			// all ranks exit here on the same iteration.
-			return nil
-		}
-		batch, ok := t.bufs[rank].GetBatch(t.cfg.BatchSize)
-
-		status[0], status[1] = 0, 0
-		if ok {
-			status[0] = 1
-			status[1] = float32(len(batch))
-		}
-		t.comm.AllReduceSum(rank, status)
-		if status[0] == 0 {
-			return nil // every buffer drained
-		}
-		stepSamples := int(status[1] + 0.5)
-
-		var trainLoss float64
-		net.ZeroGrad()
-		if ok {
-			bi, bo := in, out
-			if len(batch) != t.cfg.BatchSize {
-				bi = tensor.New(len(batch), norm.InputDim())
-				bo = tensor.New(len(batch), norm.OutputDim())
-			}
-			BuildBatch(norm, batch, bi, bo)
-			pred := net.Forward(bi)
-			trainLoss = lossFn.Forward(pred, bo)
-			net.Backward(lossFn.Backward(pred, bo))
-			t.metrics.CountBatch(batch)
-		}
-		// Drained ranks contribute zero gradients but must join the
-		// collective so active ranks can proceed.
-		ddp.SyncGradients(t.comm, rank, params, gbuf)
-
-		localBatches++
-		var globalBatch, globalSamples int
-		if rank == 0 {
-			globalBatch, globalSamples = t.metrics.RecordStep(stepSamples)
-			if ok {
-				t.metrics.RecordTrainLoss(globalBatch, globalSamples, trainLoss)
-			}
-		} else {
-			// Mirror the counters locally; the schedule needs the global
-			// sample count, which advances identically on every rank.
-			globalSamples = t.sampleCounterLocal(rank, stepSamples)
-		}
-		if t.cfg.Schedule != nil {
-			optimizer.SetLR(t.cfg.Schedule.LR(globalSamples))
-		}
-		optimizer.Step(params)
-
-		if rank == 0 && t.cfg.Validation != nil && t.cfg.ValidateEvery > 0 && localBatches%t.cfg.ValidateEvery == 0 {
-			// §4.4: validation runs on the training thread while holding
-			// the buffer mutex; incoming data queue up in the transport.
-			t.bufs[0].WithLock(func(buffer.Policy) {
-				v := Validate(net, t.cfg.Validation, t.cfg.BatchSize*4)
-				t.metrics.RecordValidation(localBatches, globalSamples, v)
-			})
-		}
-		if rank == 0 && t.cfg.OnBatchEnd != nil {
-			t.cfg.OnBatchEnd(localBatches)
-		}
+	st := t.newRankState(rank)
+	for t.step(st) {
 	}
+	return nil
+}
+
+// step performs one synchronized training step and reports whether the
+// rank should continue. It is the measured unit of BenchmarkTrainStep and
+// is allocation-free in steady state.
+func (t *Trainer) step(st *rankState) bool {
+	rank := st.rank
+	if t.cfg.MaxBatches > 0 && st.localBatches >= t.cfg.MaxBatches {
+		// The batch counter advances identically on every rank, so all
+		// ranks exit here on the same iteration.
+		return false
+	}
+	norm := t.cfg.Normalizer
+	batch, ok := t.bufs[rank].GetBatchInto(st.batch, t.cfg.BatchSize)
+	if ok {
+		st.batch = batch[:0] // keep (possibly grown) storage for reuse
+	}
+
+	st.status[0], st.status[1] = 0, 0
+	if ok {
+		st.status[0] = 1
+		st.status[1] = float32(len(batch))
+	}
+	t.comm.AllReduceSum(rank, st.status[:])
+	if st.status[0] == 0 {
+		return false // every buffer drained
+	}
+	stepSamples := int(st.status[1] + 0.5)
+
+	var trainLoss float64
+	st.net.ZeroGrad()
+	if ok {
+		bi, bo := st.in, st.out
+		if len(batch) != t.cfg.BatchSize {
+			// Tail batch: view the leading rows of the preallocated
+			// matrices instead of allocating shorter ones.
+			st.in.ViewRows(&st.viewIn, 0, len(batch))
+			st.out.ViewRows(&st.viewOut, 0, len(batch))
+			bi, bo = &st.viewIn, &st.viewOut
+		}
+		BuildBatch(norm, batch, bi, bo)
+		pred := st.net.Forward(bi)
+		trainLoss = st.lossFn.Forward(pred, bo)
+		st.net.Backward(st.lossFn.Backward(pred, bo))
+		t.metrics.CountBatch(batch)
+	}
+	// Drained ranks contribute zero gradients but must join the
+	// collective so active ranks can proceed. The all-reduce runs in
+	// place on the network's gradient slab.
+	ddp.SyncGradients(t.comm, rank, st.net.FlatGrads())
+
+	st.localBatches++
+	var globalBatch, globalSamples int
+	if rank == 0 {
+		globalBatch, globalSamples = t.metrics.RecordStep(stepSamples)
+		if ok {
+			t.metrics.RecordTrainLoss(globalBatch, globalSamples, trainLoss)
+		}
+	} else {
+		// Mirror the counters locally; the schedule needs the global
+		// sample count, which advances identically on every rank.
+		globalSamples = t.sampleCounterLocal(rank, stepSamples)
+	}
+	if t.cfg.Schedule != nil {
+		st.optimizer.SetLR(t.cfg.Schedule.LR(globalSamples))
+	}
+	st.optimizer.StepFlat(st.net.FlatParams(), st.net.FlatGrads())
+
+	if rank == 0 && t.cfg.Validation != nil && t.cfg.ValidateEvery > 0 && st.localBatches%t.cfg.ValidateEvery == 0 {
+		// §4.4: validation runs on the training thread while holding
+		// the buffer mutex; incoming data queue up in the transport.
+		t.bufs[0].WithLock(func(buffer.Policy) {
+			v := Validate(st.net, t.cfg.Validation, t.cfg.BatchSize*4)
+			t.metrics.RecordValidation(st.localBatches, globalSamples, v)
+		})
+	}
+	if rank == 0 && t.cfg.OnBatchEnd != nil {
+		t.cfg.OnBatchEnd(st.localBatches)
+	}
+	return true
 }
 
 // RestoreState loads checkpointed weights and optimizer state into every

@@ -1,5 +1,5 @@
 // Package ddp implements distributed data-parallel primitives: a ring
-// all-reduce over per-rank gradient buffers, broadcast, and barriers.
+// all-reduce over per-rank gradient slabs, broadcast, and barriers.
 //
 // The paper's server trains with "distributed data parallelism … After each
 // batch backpropagation, the locally computed vector of weight updates is
@@ -9,6 +9,14 @@
 // same bandwidth-optimal scatter-reduce/all-gather pattern NCCL uses, so
 // its cost model (2(n−1)/n · bytes) is also what the cluster simulator
 // charges for gradient synchronization.
+//
+// Collectives operate directly on the caller's flat buffer — for training,
+// nn.Network.FlatGrads — so there is no gather/scatter staging copy. Every
+// link recycles its message buffers through a free list, making
+// AllReduceSum, AllReduceMean and Broadcast allocation-free in steady
+// state: a buffer is only written by a rank that holds it, and ownership
+// passes data → receiver → free list → sender, so reuse is race-free by
+// construction.
 package ddp
 
 import (
@@ -16,13 +24,48 @@ import (
 	"sync"
 )
 
+// link is one directed channel of the ring (or one broadcast fan-out arm)
+// together with its recycled message buffers. Senders draw an owned buffer
+// from free, fill it and pass it through data; receivers consume it and
+// return it to free. Two buffers keep the pipeline full without ever
+// sharing a buffer between writer and reader.
+type link struct {
+	data chan []float32
+	free chan []float32
+}
+
+func newLink() link {
+	l := link{
+		data: make(chan []float32, linkDepth),
+		free: make(chan []float32, linkDepth),
+	}
+	for i := 0; i < linkDepth; i++ {
+		l.free <- nil // sized lazily on first send
+	}
+	return l
+}
+
+// linkDepth is the number of in-flight message buffers per link.
+const linkDepth = 2
+
+// send fills a recycled buffer with msg and passes it down the link.
+func (l *link) send(msg []float32) {
+	buf := <-l.free
+	if cap(buf) < len(msg) {
+		buf = make([]float32, len(msg))
+	}
+	buf = buf[:len(msg)]
+	copy(buf, msg)
+	l.data <- buf
+}
+
 // Communicator connects a fixed group of ranks for collective operations.
 // Every collective must be entered by all ranks concurrently (one goroutine
 // per rank), like an MPI communicator.
 type Communicator struct {
 	n     int
-	links []chan []float32 // links[r] carries messages rank r → rank (r+1)%n
-	bcast []chan []float32 // one channel per rank for broadcast fan-out
+	links []link // links[r] carries messages rank r → rank (r+1)%n
+	bcast []link // one link per rank for broadcast fan-out
 	bar   *barrier
 }
 
@@ -33,19 +76,32 @@ func NewCommunicator(n int) *Communicator {
 	}
 	c := &Communicator{
 		n:     n,
-		links: make([]chan []float32, n),
-		bcast: make([]chan []float32, n),
+		links: make([]link, n),
+		bcast: make([]link, n),
 		bar:   newBarrier(n),
 	}
 	for i := range c.links {
-		c.links[i] = make(chan []float32, 1)
-		c.bcast[i] = make(chan []float32, 1)
+		c.links[i] = newLink()
+		c.bcast[i] = newLink()
 	}
 	return c
 }
 
 // Size returns the number of ranks.
 func (c *Communicator) Size() int { return c.n }
+
+// chunkRange returns the bounds [lo, hi) of the i-th of n near-equal
+// contiguous chunks of a length-sized buffer. Pure arithmetic — no
+// boundary slice is materialized on the hot path.
+func chunkRange(length, n, i int) (lo, hi int) {
+	base, rem := length/n, length%n
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
 
 // AllReduceSum replaces buf on every rank with the element-wise sum across
 // ranks, using a ring scatter-reduce followed by a ring all-gather. All
@@ -57,36 +113,31 @@ func (c *Communicator) AllReduceSum(rank int, buf []float32) {
 		return
 	}
 	n := c.n
-	bounds := chunkBounds(len(buf), n)
 	chunk := func(i int) []float32 {
-		i = ((i % n) + n) % n
-		return buf[bounds[i]:bounds[i+1]]
+		lo, hi := chunkRange(len(buf), n, ((i%n)+n)%n)
+		return buf[lo:hi]
 	}
 
-	send := c.links[rank]
-	recv := c.links[(rank-1+n)%n]
+	send := &c.links[rank]
+	recv := &c.links[(rank-1+n)%n]
 
 	// Scatter-reduce: after step s, rank r has accumulated s+1 terms into
 	// chunk (r-s). After n-1 steps, chunk (r+1) holds the complete sum.
 	for s := 0; s < n-1; s++ {
-		out := chunk(rank - s)
-		msg := make([]float32, len(out))
-		copy(msg, out)
-		send <- msg
-		in := <-recv
+		send.send(chunk(rank - s))
+		in := <-recv.data
 		dst := chunk(rank - s - 1)
 		for i := range dst {
 			dst[i] += in[i]
 		}
+		recv.free <- in
 	}
 	// All-gather: circulate the completed chunks.
 	for s := 0; s < n-1; s++ {
-		out := chunk(rank + 1 - s)
-		msg := make([]float32, len(out))
-		copy(msg, out)
-		send <- msg
-		in := <-recv
+		send.send(chunk(rank + 1 - s))
+		in := <-recv.data
 		copy(chunk(rank-s), in)
+		recv.free <- in
 	}
 }
 
@@ -102,6 +153,15 @@ func (c *Communicator) AllReduceMean(rank int, buf []float32) {
 	}
 }
 
+// SyncGradients averages a network's gradient slab (nn.Network.FlatGrads)
+// across all ranks of comm. Every rank must call it concurrently after its
+// local backward pass; on return each replica holds identical averaged
+// gradients, matching the all-reduce step of §3.1. The collective operates
+// on the slab in place — no gather/scatter staging.
+func SyncGradients(comm *Communicator, rank int, grads []float32) {
+	comm.AllReduceMean(rank, grads)
+}
+
 // Broadcast copies rank root's buffer into every other rank's buffer. All
 // ranks must call it concurrently; buffers must have equal length.
 func (c *Communicator) Broadcast(rank, root int, buf []float32) {
@@ -109,38 +169,21 @@ func (c *Communicator) Broadcast(rank, root int, buf []float32) {
 		return
 	}
 	if rank == root {
-		msg := make([]float32, len(buf))
-		copy(msg, buf)
 		for r := 0; r < c.n; r++ {
 			if r != root {
-				c.bcast[r] <- msg
+				c.bcast[r].send(buf)
 			}
 		}
 	} else {
-		copy(buf, <-c.bcast[rank])
+		in := <-c.bcast[rank].data
+		copy(buf, in)
+		c.bcast[rank].free <- in
 	}
 	c.Barrier()
 }
 
 // Barrier blocks until every rank has entered it.
 func (c *Communicator) Barrier() { c.bar.wait() }
-
-// chunkBounds splits length len into n contiguous chunks as evenly as
-// possible and returns the n+1 boundary offsets.
-func chunkBounds(length, n int) []int {
-	bounds := make([]int, n+1)
-	base, rem := length/n, length%n
-	off := 0
-	for i := 0; i < n; i++ {
-		bounds[i] = off
-		off += base
-		if i < rem {
-			off++
-		}
-	}
-	bounds[n] = length
-	return bounds
-}
 
 // barrier is a reusable n-party barrier.
 type barrier struct {

@@ -25,22 +25,27 @@ func runRanks(n int, fn func(rank int)) {
 	wg.Wait()
 }
 
-func TestChunkBounds(t *testing.T) {
-	b := chunkBounds(10, 3)
-	want := []int{0, 4, 7, 10}
-	for i := range want {
-		if b[i] != want[i] {
-			t.Fatalf("bounds = %v, want %v", b, want)
+func TestChunkRange(t *testing.T) {
+	wantLo := []int{0, 4, 7}
+	wantHi := []int{4, 7, 10}
+	for i := 0; i < 3; i++ {
+		lo, hi := chunkRange(10, 3, i)
+		if lo != wantLo[i] || hi != wantHi[i] {
+			t.Fatalf("chunkRange(10,3,%d) = [%d,%d), want [%d,%d)", i, lo, hi, wantLo[i], wantHi[i])
 		}
 	}
-	b = chunkBounds(2, 4) // more ranks than elements: some chunks empty
-	if b[0] != 0 || b[4] != 2 {
-		t.Fatalf("bounds = %v", b)
-	}
+	// More ranks than elements: some chunks empty, bounds monotone and
+	// tiling [0, length).
+	prev := 0
 	for i := 0; i < 4; i++ {
-		if b[i+1] < b[i] {
-			t.Fatalf("non-monotonic bounds %v", b)
+		lo, hi := chunkRange(2, 4, i)
+		if lo != prev || hi < lo {
+			t.Fatalf("chunkRange(2,4,%d) = [%d,%d), prev end %d", i, lo, hi, prev)
 		}
+		prev = hi
+	}
+	if prev != 2 {
+		t.Fatalf("chunks do not cover length: end %d", prev)
 	}
 }
 
@@ -200,29 +205,26 @@ func TestBarrier(t *testing.T) {
 	}
 }
 
-func TestGradBufferRoundtrip(t *testing.T) {
+// TestFlatGradSlabViews verifies the invariant SyncGradients relies on: a
+// network's parameter gradients are contiguous views into the slab that
+// FlatGrads exposes, in Params() order.
+func TestFlatGradSlabViews(t *testing.T) {
 	net := nn.ArchitectureMLP(3, []int{4}, 2, 1)
-	params := net.Params()
-	for _, p := range params {
-		for i := range p.Grad.Data {
-			p.Grad.Data[i] = float32(i + 1)
-		}
+	flat := net.FlatGrads()
+	if len(flat) != net.NumParams() {
+		t.Fatalf("grad slab len %d, want %d", len(flat), net.NumParams())
 	}
-	buf := NewGradBuffer(params)
-	if buf.Len() != net.NumParams() {
-		t.Fatalf("buffer len %d, want %d", buf.Len(), net.NumParams())
+	for i := range flat {
+		flat[i] = float32(i + 1)
 	}
-	buf.Gather(params)
-	for _, p := range params {
-		p.Grad.Zero()
-	}
-	buf.Scatter(params)
-	for _, p := range params {
+	off := 0
+	for _, p := range net.Params() {
 		for i, g := range p.Grad.Data {
-			if g != float32(i+1) {
-				t.Fatalf("param %s grad not restored", p.Name)
+			if g != float32(off+i+1) {
+				t.Fatalf("param %s grad[%d] = %v, not a slab view", p.Name, i, g)
 			}
 		}
+		off += p.Size()
 	}
 }
 
@@ -282,14 +284,11 @@ func TestDataParallelEquivalence(t *testing.T) {
 	runRanks(n, func(rank int) {
 		net := replicas[rank]
 		l := nn.NewMSELoss()
-		gbuf := NewGradBuffer(net.Params())
 		for i := 0; i < steps; i++ {
 			net.ZeroGrad()
 			net.Backward(l.Backward(net.Forward(shards[rank]), targets[rank]))
-			SyncGradients(comm, rank, net.Params(), gbuf)
-			for _, p := range net.Params() {
-				tensor.Axpy(-lr, p.Grad.Data, p.Value.Data)
-			}
+			SyncGradients(comm, rank, net.FlatGrads())
+			tensor.Axpy(-lr, net.FlatGrads(), net.FlatParams())
 		}
 	})
 
@@ -340,12 +339,11 @@ func TestDDPWithAdam(t *testing.T) {
 		net := replicas[rank]
 		l := nn.NewMSELoss()
 		a := opt.NewAdam(1e-3)
-		gbuf := NewGradBuffer(net.Params())
 		for i := 0; i < 10; i++ {
 			net.ZeroGrad()
 			net.Backward(l.Backward(net.Forward(inputs[rank]), targets[rank]))
-			SyncGradients(comm, rank, net.Params(), gbuf)
-			a.Step(net.Params())
+			SyncGradients(comm, rank, net.FlatGrads())
+			a.StepFlat(net.FlatParams(), net.FlatGrads())
 		}
 	})
 	for r := 1; r < n; r++ {
@@ -357,18 +355,5 @@ func TestDDPWithAdam(t *testing.T) {
 				}
 			}
 		}
-	}
-}
-
-func BenchmarkAllReduce4Ranks(b *testing.B) {
-	const n = 4
-	c := NewCommunicator(n)
-	bufs := make([][]float32, n)
-	for r := range bufs {
-		bufs[r] = make([]float32, 1<<16)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		runRanks(n, func(rank int) { c.AllReduceSum(rank, bufs[rank]) })
 	}
 }

@@ -40,10 +40,15 @@ type CostAnalysisResult struct {
 // CostAnalysis derives every cost from the same simulations that produce
 // Table 2 (no new fitting): resource-hours × the paper's tariffs.
 func CostAnalysis() (*CostAnalysisResult, error) {
+	return costAnalysisEnsemble(LargePaperEnsemble())
+}
+
+// costAnalysisEnsemble is CostAnalysis with the online ensemble injected,
+// so short-mode tests can smoke the pipeline at TinyPaperEnsemble scale.
+func costAnalysisEnsemble(large PaperEnsemble) (*CostAnalysisResult, error) {
 	model := cluster.JeanZay()
 
-	// Online: 5,120 cores for the whole run plus 4 GPUs.
-	large := LargePaperEnsemble()
+	// Online: the ensemble's cores for the whole run plus 4 GPUs.
 	opts := large.Options(buffer.ReservoirKind, 4)
 	opts.LeanResult = true
 	run, err := simrun.Run(opts)

@@ -303,7 +303,27 @@ func TestTable1Timing(t *testing.T) {
 
 func TestTable2Timing(t *testing.T) {
 	if testing.Short() {
-		t.Skip("paper-scale Table 2 simulation takes ~20s")
+		// Tiny-scale fallback: the identical pipeline on the ~20×
+		// smaller ensemble, checking structure instead of paper bands.
+		res, err := table2Ensemble(TinyPaperEnsemble(), Tiny(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OnlineUnique != 1000*100 {
+			t.Fatalf("tiny online unique %d", res.OnlineUnique)
+		}
+		if res.OnlineTotalH <= 0 || res.OfflineTotalH <= 0 {
+			t.Fatalf("non-positive hours: %+v", res)
+		}
+		if res.ThroughputRatio <= 1 {
+			t.Fatalf("online should out-throughput offline: ratio %.2f", res.ThroughputRatio)
+		}
+		var sb strings.Builder
+		res.Render(&sb)
+		if !strings.Contains(sb.String(), "ratio") {
+			t.Fatal("render broken")
+		}
+		return
 	}
 	res, err := Table2(Tiny(), false)
 	if err != nil {
@@ -410,7 +430,7 @@ func TestAblationAllReduce(t *testing.T) {
 // at the default quality scale. Skipped with -short (≈20 s).
 func TestFigure4DefaultShapes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("default-scale quality run")
+		t.Skip("default-scale quality run (~14 s); the tiny-scale fallback is TestFigure4TinyMechanics")
 	}
 	res, err := Figure4(Default())
 	if err != nil {
@@ -496,7 +516,7 @@ func TestAblationOfflineDataTiny(t *testing.T) {
 // (paper: 47% lower validation MSE; this scale reproduces ≈50%).
 func TestFigure6DefaultShapes(t *testing.T) {
 	if testing.Short() {
-		t.Skip("default-scale quality run")
+		t.Skip("default-scale quality run (~50 s); the tiny-scale fallback is TestFigure6TinyMechanics")
 	}
 	res, err := Figure6(Default())
 	if err != nil {
@@ -515,7 +535,24 @@ func TestFigure6DefaultShapes(t *testing.T) {
 
 func TestCostAnalysis(t *testing.T) {
 	if testing.Short() {
-		t.Skip("paper-scale Table 2 simulation")
+		// Tiny-scale fallback: smoke the accounting pipeline on the
+		// small ensemble; euro figures only make sense at paper scale.
+		res, err := costAnalysisEnsemble(TinyPaperEnsemble())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			t.Fatalf("rows %d", len(res.Rows))
+		}
+		for _, row := range res.Rows {
+			if row.TotalEuro <= 0 {
+				t.Fatalf("non-positive cost row %+v", row)
+			}
+			if sum := row.CPUEuro + row.GPUEuro + row.StorageEur; sum != row.TotalEuro {
+				t.Fatalf("row %q total %.4f != parts %.4f", row.Setting, row.TotalEuro, sum)
+			}
+		}
+		return
 	}
 	res, err := CostAnalysis()
 	if err != nil {

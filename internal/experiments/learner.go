@@ -27,11 +27,29 @@ type learner struct {
 	valEverySmpls int
 	nextVal       int
 
+	// Grow-on-demand batch storage plus reusable view headers, so the
+	// per-batch assembly allocates nothing once the largest batch size
+	// has been seen.
+	inBuf, outBuf   *tensor.Matrix
+	inView, outView tensor.Matrix
+
 	batches    int
 	samples    int
 	trainCurve []core.LossPoint
 	valCurve   []core.LossPoint
 	occ        map[buffer.Key]int
+}
+
+// batchTensors returns rows-row views over the learner's reusable batch
+// storage, growing it when a larger batch arrives.
+func (l *learner) batchTensors(rows int) (in, out *tensor.Matrix) {
+	if l.inBuf == nil || l.inBuf.Rows < rows {
+		l.inBuf = tensor.New(rows, l.norm.InputDim())
+		l.outBuf = tensor.New(rows, l.norm.OutputDim())
+	}
+	l.inBuf.ViewRows(&l.inView, 0, rows)
+	l.outBuf.ViewRows(&l.outView, 0, rows)
+	return &l.inView, &l.outView
 }
 
 func newLearner(scale Scale, valSet *core.ValidationSet, sched opt.Schedule, trackOcc bool) (*learner, error) {
@@ -74,8 +92,7 @@ func (l *learner) TrainBatch(batch []buffer.Sample) {
 	if len(batch) == 0 {
 		return
 	}
-	in := tensor.New(len(batch), l.norm.InputDim())
-	out := tensor.New(len(batch), l.norm.OutputDim())
+	in, out := l.batchTensors(len(batch))
 	core.BuildBatch(l.norm, batch, in, out)
 
 	l.net.ZeroGrad()
@@ -85,7 +102,7 @@ func (l *learner) TrainBatch(batch []buffer.Sample) {
 	if l.sched != nil {
 		l.adam.SetLR(l.sched.LR(l.samples))
 	}
-	l.adam.Step(l.net.Params())
+	l.adam.StepFlat(l.net.FlatParams(), l.net.FlatGrads())
 
 	l.batches++
 	l.samples += len(batch)

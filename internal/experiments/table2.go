@@ -42,11 +42,17 @@ const paperOfflineEpochs = 100
 // Table2 runs the timing simulations (always) and the Figure 6 quality
 // comparison (when withQuality).
 func Table2(scale Scale, withQuality bool) (*Table2Result, error) {
+	return table2Ensemble(LargePaperEnsemble(), scale, withQuality)
+}
+
+// table2Ensemble is Table2 with the online ensemble injected, so short-mode
+// tests can drive the identical pipeline at TinyPaperEnsemble scale.
+func table2Ensemble(large PaperEnsemble, scale Scale, withQuality bool) (*Table2Result, error) {
 	model := cluster.JeanZay()
 	res := &Table2Result{Scale: scale}
 
-	// Online: 20,000 simulations on 5,120 cores, Reservoir, 4 GPUs.
-	large := LargePaperEnsemble()
+	// Online: the paper's 20,000 simulations on 5,120 cores, Reservoir,
+	// 4 GPUs.
 	opts := large.Options(buffer.ReservoirKind, 4)
 	opts.LeanResult = true
 	run, err := simrun.Run(opts)

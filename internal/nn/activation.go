@@ -10,8 +10,8 @@ import (
 // (§4.1: "2 hidden layers of 256 neurons with ReLU activation").
 type ReLU struct {
 	lastX *tensor.Matrix
-	out   *tensor.Matrix
-	dx    *tensor.Matrix
+	out   scratch
+	dx    scratch
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -20,17 +20,15 @@ func NewReLU() *ReLU { return &ReLU{} }
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
 	r.lastX = x
-	if r.out == nil || r.out.Rows != x.Rows || r.out.Cols != x.Cols {
-		r.out = tensor.New(x.Rows, x.Cols)
-	}
+	out := r.out.get(x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v > 0 {
-			r.out.Data[i] = v
+			out.Data[i] = v
 		} else {
-			r.out.Data[i] = 0
+			out.Data[i] = 0
 		}
 	}
-	return r.out
+	return out
 }
 
 // Backward implements Layer: the gradient passes only where the input was
@@ -39,17 +37,15 @@ func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if r.lastX == nil {
 		panic("nn: ReLU.Backward called before Forward")
 	}
-	if r.dx == nil || r.dx.Rows != dy.Rows || r.dx.Cols != dy.Cols {
-		r.dx = tensor.New(dy.Rows, dy.Cols)
-	}
+	dx := r.dx.get(dy.Rows, dy.Cols)
 	for i, v := range r.lastX.Data {
 		if v > 0 {
-			r.dx.Data[i] = dy.Data[i]
+			dx.Data[i] = dy.Data[i]
 		} else {
-			r.dx.Data[i] = 0
+			dx.Data[i] = 0
 		}
 	}
-	return r.dx
+	return dx
 }
 
 // Params implements Layer.
@@ -61,8 +57,9 @@ func (r *ReLU) Clone() Layer { return NewReLU() }
 // Tanh is a hyperbolic-tangent activation, provided for surrogate variants
 // that prefer smooth activations (e.g. PINN-style direct models).
 type Tanh struct {
-	out *tensor.Matrix
-	dx  *tensor.Matrix
+	lastOut *tensor.Matrix // output recorded by Forward for the derivative
+	out     scratch
+	dx      scratch
 }
 
 // NewTanh returns a Tanh activation layer.
@@ -70,27 +67,24 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Matrix) *tensor.Matrix {
-	if t.out == nil || t.out.Rows != x.Rows || t.out.Cols != x.Cols {
-		t.out = tensor.New(x.Rows, x.Cols)
-	}
+	out := t.out.get(x.Rows, x.Cols)
 	for i, v := range x.Data {
-		t.out.Data[i] = float32(math.Tanh(float64(v)))
+		out.Data[i] = float32(math.Tanh(float64(v)))
 	}
-	return t.out
+	t.lastOut = out
+	return out
 }
 
 // Backward implements Layer: d tanh(x)/dx = 1 − tanh(x)².
 func (t *Tanh) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	if t.out == nil {
+	if t.lastOut == nil {
 		panic("nn: Tanh.Backward called before Forward")
 	}
-	if t.dx == nil || t.dx.Rows != dy.Rows || t.dx.Cols != dy.Cols {
-		t.dx = tensor.New(dy.Rows, dy.Cols)
+	dx := t.dx.get(dy.Rows, dy.Cols)
+	for i, y := range t.lastOut.Data {
+		dx.Data[i] = dy.Data[i] * (1 - y*y)
 	}
-	for i, y := range t.out.Data {
-		t.dx.Data[i] = dy.Data[i] * (1 - y*y)
-	}
-	return t.dx
+	return dx
 }
 
 // Params implements Layer.

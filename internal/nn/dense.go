@@ -14,8 +14,8 @@ type Dense struct {
 	w, b *Param
 
 	lastX *tensor.Matrix // input recorded by Forward for the weight gradient
-	out   *tensor.Matrix // reused across batches of the same size
-	dx    *tensor.Matrix
+	out   scratch        // output activations, cached per batch shape
+	dx    scratch        // input gradients, cached per batch shape
 }
 
 // NewDense creates a Dense layer with Xavier-uniform weights drawn from
@@ -45,12 +45,10 @@ func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: %s forward got %d features, want %d", d.name, x.Cols, d.In()))
 	}
 	d.lastX = x
-	if d.out == nil || d.out.Rows != x.Rows {
-		d.out = tensor.New(x.Rows, d.Out())
-	}
-	tensor.MatMul(d.out, x, d.w.Value)
-	d.out.AddRowVector(d.b.Value.Data)
-	return d.out
+	out := d.out.get(x.Rows, d.Out())
+	tensor.MatMul(out, x, d.w.Value)
+	out.AddRowVector(d.b.Value.Data)
+	return out
 }
 
 // Backward implements Layer: dW += xᵀ·dy, db += Σ_batch dy, dx = dy·Wᵀ.
@@ -60,11 +58,9 @@ func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	}
 	tensor.MatMulATBAdd(d.w.Grad, d.lastX, dy)
 	dy.SumRowsInto(d.b.Grad.Data)
-	if d.dx == nil || d.dx.Rows != dy.Rows {
-		d.dx = tensor.New(dy.Rows, d.In())
-	}
-	tensor.MatMulABT(d.dx, dy, d.w.Value)
-	return d.dx
+	dx := d.dx.get(dy.Rows, d.In())
+	tensor.MatMulABT(dx, dy, d.w.Value)
+	return dx
 }
 
 // Params implements Layer.

@@ -10,7 +10,7 @@ import (
 // batch (batch size × output width), matching PyTorch's nn.MSELoss default
 // reduction that the paper's training loop uses.
 type MSELoss struct {
-	grad *tensor.Matrix
+	grad scratch
 }
 
 // NewMSELoss returns an MSE loss.
@@ -33,14 +33,12 @@ func (l *MSELoss) Forward(pred, target *tensor.Matrix) float64 {
 // 2·(pred − target)/N with N the total element count. The returned matrix is
 // reused between calls.
 func (l *MSELoss) Backward(pred, target *tensor.Matrix) *tensor.Matrix {
-	if l.grad == nil || l.grad.Rows != pred.Rows || l.grad.Cols != pred.Cols {
-		l.grad = tensor.New(pred.Rows, pred.Cols)
-	}
+	grad := l.grad.get(pred.Rows, pred.Cols)
 	scale := 2 / float32(len(pred.Data))
 	for i, p := range pred.Data {
-		l.grad.Data[i] = scale * (p - target.Data[i])
+		grad.Data[i] = scale * (p - target.Data[i])
 	}
-	return l.grad
+	return grad
 }
 
 // MSE computes the mean-squared error between two flat vectors; a

@@ -5,6 +5,17 @@
 // taking the simulation parameters plus the requested time step and
 // producing the full temperature field; ArchitectureMLP builds exactly that
 // shape.
+//
+// # Flat parameter slabs
+//
+// Every Network fuses its parameters into two contiguous float32 slabs —
+// one for values, one for gradients — and each Param's matrices become
+// zero-copy views into them (in Params() order). FlatParams and FlatGrads
+// expose the slabs, which is what makes the training hot path
+// allocation-free: the ddp layer all-reduces the gradient slab directly
+// with no gather/scatter staging, optimizers update the value slab in one
+// fused vectorized pass, ZeroGrad is a single memclr, and checkpoints
+// serialize the value slab as one bulk write.
 package nn
 
 import (
@@ -15,7 +26,8 @@ import (
 
 // Param is one learnable parameter tensor together with its gradient
 // accumulator. Optimizers walk Params slices; the distributed data-parallel
-// layer all-reduces the Grad buffers between replicas.
+// layer all-reduces the Grad buffers between replicas. Inside a Network both
+// matrices are views into the network's flat slabs.
 type Param struct {
 	Name  string
 	Value *tensor.Matrix
@@ -42,13 +54,57 @@ type Layer interface {
 	Clone() Layer
 }
 
-// Network is a sequential stack of layers.
+// Network is a sequential stack of layers whose parameters and gradients
+// are backed by two contiguous slabs (see the package comment).
 type Network struct {
 	Layers []Layer
+
+	params     []*Param  // cached stable order, set by fuse
+	flatValues []float32 // contiguous backing of every Param.Value
+	flatGrads  []float32 // contiguous backing of every Param.Grad
 }
 
-// NewNetwork assembles a sequential network from layers.
-func NewNetwork(layers ...Layer) *Network { return &Network{Layers: layers} }
+// NewNetwork assembles a sequential network from layers and fuses the
+// parameter storage into flat slabs.
+func NewNetwork(layers ...Layer) *Network {
+	n := &Network{Layers: layers}
+	n.fuse()
+	return n
+}
+
+// fuse repacks every parameter into the two contiguous slabs, preserving
+// current values and gradients, and re-points the Param matrices at slab
+// views. Layers keep their *tensor.Matrix pointers, so the swap is
+// invisible to forward/backward code.
+func (n *Network) fuse() {
+	n.params = n.params[:0]
+	for _, l := range n.Layers {
+		n.params = append(n.params, l.Params()...)
+	}
+	total := 0
+	for _, p := range n.params {
+		total += p.Size()
+	}
+	n.flatValues = make([]float32, total)
+	n.flatGrads = make([]float32, total)
+	off := 0
+	for _, p := range n.params {
+		sz := p.Size()
+		copy(n.flatValues[off:off+sz], p.Value.Data)
+		copy(n.flatGrads[off:off+sz], p.Grad.Data)
+		p.Value.Data = n.flatValues[off : off+sz : off+sz]
+		p.Grad.Data = n.flatGrads[off : off+sz : off+sz]
+		off += sz
+	}
+}
+
+// FlatParams returns the contiguous slab backing every parameter value, in
+// Params() order. Mutating it mutates the network weights.
+func (n *Network) FlatParams() []float32 { return n.flatValues }
+
+// FlatGrads returns the contiguous slab backing every parameter gradient,
+// in Params() order. The ddp layer all-reduces it directly.
+func (n *Network) FlatGrads() []float32 { return n.flatGrads }
 
 // Forward runs the batch x through every layer and returns the output.
 func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
@@ -69,15 +125,24 @@ func (n *Network) Backward(dy *tensor.Matrix) *tensor.Matrix {
 
 // Params returns all learnable parameters in a stable order.
 func (n *Network) Params() []*Param {
-	var ps []*Param
-	for _, l := range n.Layers {
-		ps = append(ps, l.Params()...)
+	if n.params == nil && len(n.Layers) > 0 {
+		// Network built without NewNetwork; fall back to a dynamic walk.
+		var ps []*Param
+		for _, l := range n.Layers {
+			ps = append(ps, l.Params()...)
+		}
+		return ps
 	}
-	return ps
+	return n.params
 }
 
-// ZeroGrad clears every parameter gradient. Call before each batch.
+// ZeroGrad clears every parameter gradient — a single memclr of the
+// gradient slab. Call before each batch.
 func (n *Network) ZeroGrad() {
+	if n.flatGrads != nil {
+		tensor.Zero(n.flatGrads)
+		return
+	}
 	for _, p := range n.Params() {
 		p.Grad.Zero()
 	}
@@ -85,6 +150,9 @@ func (n *Network) ZeroGrad() {
 
 // NumParams returns the total number of scalar learnable parameters.
 func (n *Network) NumParams() int {
+	if n.flatValues != nil {
+		return len(n.flatValues)
+	}
 	total := 0
 	for _, p := range n.Params() {
 		total += p.Size()
@@ -92,20 +160,21 @@ func (n *Network) NumParams() int {
 	return total
 }
 
-// Clone deep-copies the network (weights copied, gradients zeroed).
-// Data-parallel replicas are created this way so that all ranks start from
-// byte-identical weights, mirroring how PyTorch DDP broadcasts rank-0
-// weights at startup.
+// Clone deep-copies the network (weights copied, gradients zeroed) into its
+// own fresh slabs. Data-parallel replicas are created this way so that all
+// ranks start from byte-identical weights, mirroring how PyTorch DDP
+// broadcasts rank-0 weights at startup.
 func (n *Network) Clone() *Network {
-	out := &Network{Layers: make([]Layer, len(n.Layers))}
+	layers := make([]Layer, len(n.Layers))
 	for i, l := range n.Layers {
-		out.Layers[i] = l.Clone()
+		layers[i] = l.Clone()
 	}
-	return out
+	return NewNetwork(layers...)
 }
 
 // CopyWeightsFrom overwrites this network's parameter values with src's.
-// Shapes must match exactly.
+// Shapes must match exactly. When both networks are slab-fused the copy is
+// one bulk memmove.
 func (n *Network) CopyWeightsFrom(src *Network) error {
 	dst, s := n.Params(), src.Params()
 	if len(dst) != len(s) {
@@ -115,6 +184,12 @@ func (n *Network) CopyWeightsFrom(src *Network) error {
 		if dst[i].Size() != s[i].Size() {
 			return fmt.Errorf("nn: parameter %q size mismatch %d vs %d", dst[i].Name, dst[i].Size(), s[i].Size())
 		}
+	}
+	if n.flatValues != nil && src.flatValues != nil && len(n.flatValues) == len(src.flatValues) {
+		copy(n.flatValues, src.flatValues)
+		return nil
+	}
+	for i := range dst {
 		copy(dst[i].Value.Data, s[i].Value.Data)
 	}
 	return nil

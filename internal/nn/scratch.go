@@ -1,0 +1,37 @@
+package nn
+
+import "melissa/internal/tensor"
+
+// scratchCap bounds how many distinct batch shapes a layer caches. Training
+// alternates between only a handful of row counts (the synchronized batch,
+// tail batches, and the validation chunk sizes), so a tiny cache removes
+// all steady-state activation allocations; if more shapes ever cycle
+// through, the oldest slot is recycled.
+const scratchCap = 16
+
+// scratch is a per-layer pool of activation matrices keyed by shape, so
+// alternating batch sizes (training batch, tail batch, validation chunk)
+// all reuse storage instead of reallocating on every shape switch.
+type scratch struct {
+	mats []*tensor.Matrix
+	next int // round-robin eviction cursor
+}
+
+// get returns a cached rows×cols matrix, allocating only the first time a
+// shape is seen. Contents are whatever the previous use left; callers
+// overwrite every element.
+func (s *scratch) get(rows, cols int) *tensor.Matrix {
+	for _, m := range s.mats {
+		if m.Rows == rows && m.Cols == cols {
+			return m
+		}
+	}
+	m := tensor.New(rows, cols)
+	if len(s.mats) < scratchCap {
+		s.mats = append(s.mats, m)
+	} else {
+		s.mats[s.next] = m
+		s.next = (s.next + 1) % scratchCap
+	}
+	return m
+}

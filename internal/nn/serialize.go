@@ -8,18 +8,25 @@ import (
 	"math"
 )
 
-// Binary weight format used for server checkpoints (§3.1 fault tolerance):
+// Binary weight format used for server checkpoints (§3.1 fault tolerance).
+// Version 2 splits metadata from data so the value slab serializes as one
+// bulk write:
 //
 //	magic "MLNW" | version u32 | paramCount u32
-//	per param: nameLen u32 | name | rows u32 | cols u32 | rows*cols f32 (LE)
+//	per param: nameLen u32 | name | rows u32 | cols u32
+//	all parameter values as one contiguous f32 (LE) blob, Params() order
+//
+// Version 1 interleaved each parameter's values with its metadata; it is
+// still accepted by LoadWeights.
 const (
 	weightsMagic   = "MLNW"
-	weightsVersion = 1
+	weightsVersion = 2
 )
 
 // SaveWeights writes every parameter value of n to w in the checkpoint
-// format. Gradients are not persisted; optimizer state is serialized
-// separately by the opt package.
+// format. For slab-fused networks the data section is a single bulk write
+// of the value slab. Gradients are not persisted; optimizer state is
+// serialized separately by the opt package.
 func (n *Network) SaveWeights(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(weightsMagic); err != nil {
@@ -42,16 +49,24 @@ func (n *Network) SaveWeights(w io.Writer) error {
 		if err := binary.Write(bw, binary.LittleEndian, uint32(p.Value.Cols)); err != nil {
 			return err
 		}
-		if err := writeF32s(bw, p.Value.Data); err != nil {
+	}
+	if n.flatValues != nil {
+		if err := writeF32s(bw, n.flatValues); err != nil {
 			return err
+		}
+	} else {
+		for _, p := range params {
+			if err := writeF32s(bw, p.Value.Data); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
-// LoadWeights reads a checkpoint previously written by SaveWeights into the
-// network, which must have the identical architecture (same parameter
-// names, order and shapes).
+// LoadWeights reads a checkpoint previously written by SaveWeights (either
+// format version) into the network, which must have the identical
+// architecture (same parameter names, order and shapes).
 func (n *Network) LoadWeights(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -65,7 +80,7 @@ func (n *Network) LoadWeights(r io.Reader) error {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return err
 	}
-	if version != weightsVersion {
+	if version != 1 && version != weightsVersion {
 		return fmt.Errorf("nn: unsupported weights version %d", version)
 	}
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
@@ -75,7 +90,7 @@ func (n *Network) LoadWeights(r io.Reader) error {
 	if int(count) != len(params) {
 		return fmt.Errorf("nn: checkpoint has %d params, network has %d", count, len(params))
 	}
-	for _, p := range params {
+	readMeta := func(p *Param) error {
 		name, err := readString(br)
 		if err != nil {
 			return err
@@ -93,6 +108,28 @@ func (n *Network) LoadWeights(r io.Reader) error {
 		if int(rows) != p.Value.Rows || int(cols) != p.Value.Cols {
 			return fmt.Errorf("nn: param %q shape %dx%d, want %dx%d", name, rows, cols, p.Value.Rows, p.Value.Cols)
 		}
+		return nil
+	}
+	if version == 1 {
+		for _, p := range params {
+			if err := readMeta(p); err != nil {
+				return err
+			}
+			if err := readF32s(br, p.Value.Data); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, p := range params {
+		if err := readMeta(p); err != nil {
+			return err
+		}
+	}
+	if n.flatValues != nil {
+		return readF32s(br, n.flatValues)
+	}
+	for _, p := range params {
 		if err := readF32s(br, p.Value.Data); err != nil {
 			return err
 		}

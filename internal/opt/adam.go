@@ -7,18 +7,22 @@ import (
 	"math"
 
 	"melissa/internal/nn"
+	"melissa/internal/tensor"
 )
 
 // Adam implements Kingma & Ba's Adam optimizer, the one the paper trains
 // with (§4.1). Default hyperparameters match PyTorch: β1=0.9, β2=0.999,
-// ε=1e-8.
+// ε=1e-8. The first and second moments are stored as two flat slabs
+// matching the network's parameter slab layout, so StepFlat applies the
+// whole update as one fused vectorized pass and checkpoints serialize the
+// moments as bulk writes.
 type Adam struct {
 	lr    float64
 	beta1 float64
 	beta2 float64
 	eps   float64
 	step  uint64
-	m, v  [][]float32
+	m, v  []float32 // flat moment slabs, Params() order
 }
 
 // NewAdam returns an Adam optimizer with PyTorch-default betas and epsilon.
@@ -31,25 +35,46 @@ func NewAdamWithBetas(lr, beta1, beta2, eps float64) *Adam {
 	return &Adam{lr: lr, beta1: beta1, beta2: beta2, eps: eps}
 }
 
-// Step implements Optimizer.
-func (a *Adam) Step(params []*nn.Param) {
-	a.ensureState(params)
+// alpha advances the step counter and returns the bias-corrected step size
+// along with the float32 hyperparameters. Folding the corrections into the
+// learning rate is the standard trick from the Adam paper §2.
+func (a *Adam) alpha() (alpha, b1, b2, eps float32) {
 	a.step++
-	// Bias-corrected step size folds the corrections into the learning
-	// rate, the standard trick from the Adam paper §2.
 	bc1 := 1 - math.Pow(a.beta1, float64(a.step))
 	bc2 := 1 - math.Pow(a.beta2, float64(a.step))
-	alpha := float32(a.lr * math.Sqrt(bc2) / bc1)
-	b1, b2 := float32(a.beta1), float32(a.beta2)
-	eps := float32(a.eps)
-	for i, p := range params {
-		m, v := a.m[i], a.v[i]
+	return float32(a.lr * math.Sqrt(bc2) / bc1), float32(a.beta1), float32(a.beta2), float32(a.eps)
+}
+
+// Step implements Optimizer, walking the parameter list against the flat
+// moment slabs. StepFlat is the fused equivalent for slab-backed networks;
+// both orderings produce bit-identical results.
+func (a *Adam) Step(params []*nn.Param) {
+	a.ensureState(totalSize(params))
+	alpha, b1, b2, eps := a.alpha()
+	off := 0
+	for _, p := range params {
+		sz := p.Size()
+		m, v := a.m[off:off+sz], a.v[off:off+sz]
 		for j, g := range p.Grad.Data {
 			m[j] = b1*m[j] + (1-b1)*g
 			v[j] = b2*v[j] + (1-b2)*g*g
 			p.Value.Data[j] -= alpha * m[j] / (float32(math.Sqrt(float64(v[j]))) + eps)
 		}
+		off += sz
 	}
+}
+
+// StepFlat implements Optimizer: one fused pass over the network's flat
+// value and gradient slabs (nn.Network.FlatParams/FlatGrads), parallelized
+// over slab chunks. This is the training hot path; it performs no
+// allocations in steady state.
+func (a *Adam) StepFlat(values, grads []float32) {
+	if len(values) != len(grads) {
+		panic(fmt.Sprintf("opt: StepFlat slab lengths %d vs %d", len(values), len(grads)))
+	}
+	a.ensureState(len(values))
+	alpha, b1, b2, eps := a.alpha()
+	tensor.AdamStep(values, grads, a.m, a.v, alpha, b1, b2, eps)
 }
 
 // SetLR implements Optimizer.
@@ -62,39 +87,41 @@ func (a *Adam) LR() float64 { return a.lr }
 // checkpoint assertions.
 func (a *Adam) StepCount() uint64 { return a.step }
 
-func (a *Adam) ensureState(params []*nn.Param) {
-	if len(a.m) == len(params) {
+func (a *Adam) ensureState(total int) {
+	if len(a.m) == total {
 		return
 	}
-	a.m = make([][]float32, len(params))
-	a.v = make([][]float32, len(params))
-	for i, p := range params {
-		a.m[i] = make([]float32, p.Size())
-		a.v[i] = make([]float32, p.Size())
-	}
+	a.m = make([]float32, total)
+	a.v = make([]float32, total)
 }
 
-// SaveState implements Optimizer. Layout: step u64 | nParams u32 | per
-// param: len u32, m f32s, v f32s.
+// totalSize sums the scalar element counts of params.
+func totalSize(params []*nn.Param) int {
+	total := 0
+	for _, p := range params {
+		total += p.Size()
+	}
+	return total
+}
+
+// SaveState implements Optimizer. Layout: step u64 | segments u32 | per
+// segment: len u32, m f32s, v f32s. The flat slabs serialize as a single
+// segment (two bulk writes); LoadState concatenates any number of segments,
+// so checkpoints written by the historical per-parameter layout still load.
 func (a *Adam) SaveState(w io.Writer) error {
 	if err := binary.Write(w, binary.LittleEndian, a.step); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(1)); err != nil {
 		return err
 	}
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(a.m))); err != nil {
 		return err
 	}
-	for i := range a.m {
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(a.m[i]))); err != nil {
-			return err
-		}
-		if err := writeF32s(w, a.m[i]); err != nil {
-			return err
-		}
-		if err := writeF32s(w, a.v[i]); err != nil {
-			return err
-		}
+	if err := writeF32s(w, a.m); err != nil {
+		return err
 	}
-	return nil
+	return writeF32s(w, a.v)
 }
 
 // LoadState implements Optimizer.
@@ -102,23 +129,27 @@ func (a *Adam) LoadState(r io.Reader) error {
 	if err := binary.Read(r, binary.LittleEndian, &a.step); err != nil {
 		return fmt.Errorf("opt: reading adam step: %w", err)
 	}
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+	var segments uint32
+	if err := binary.Read(r, binary.LittleEndian, &segments); err != nil {
 		return err
 	}
-	a.m = make([][]float32, n)
-	a.v = make([][]float32, n)
-	for i := range a.m {
-		var m uint32
-		if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+	a.m = a.m[:0]
+	a.v = a.v[:0]
+	for i := uint32(0); i < segments; i++ {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 			return err
 		}
-		a.m[i] = make([]float32, m)
-		a.v[i] = make([]float32, m)
-		if err := readF32s(r, a.m[i]); err != nil {
+		if n > 1<<30 {
+			return fmt.Errorf("opt: unreasonable adam segment length %d", n)
+		}
+		off := len(a.m)
+		a.m = append(a.m, make([]float32, n)...)
+		a.v = append(a.v, make([]float32, n)...)
+		if err := readF32s(r, a.m[off:]); err != nil {
 			return err
 		}
-		if err := readF32s(r, a.v[i]); err != nil {
+		if err := readF32s(r, a.v[off:]); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,12 @@
 // (§4.1, starting learning rate 1e-3), and the halving schedule of §4.4–4.5
 // (lr halved every N training samples down to a floor). Optimizer state can
 // be serialized so server checkpoints resume training bit-exactly.
+//
+// Optimizer moments live in flat slabs mirroring nn.Network's parameter
+// slab layout. The training hot path calls StepFlat with the network's
+// value and gradient slabs, which applies the whole update as one fused,
+// allocation-free pass; Step remains for parameter lists that are not
+// slab-backed. Both produce bit-identical results.
 package opt
 
 import (
@@ -18,6 +24,11 @@ type Optimizer interface {
 	// Step applies one update using the current learning rate. The caller
 	// is responsible for zeroing gradients afterwards.
 	Step(params []*nn.Param)
+	// StepFlat applies one update directly to a network's flat value and
+	// gradient slabs (nn.Network.FlatParams/FlatGrads). It is the
+	// allocation-free hot path and is bit-identical to Step over the
+	// equivalent parameter list.
+	StepFlat(values, grads []float32)
 	// SetLR changes the learning rate used by subsequent steps.
 	SetLR(lr float64)
 	// LR reports the current learning rate.

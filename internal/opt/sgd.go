@@ -2,17 +2,20 @@ package opt
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 
 	"melissa/internal/nn"
 	"melissa/internal/tensor"
 )
 
-// SGD is stochastic gradient descent with optional momentum.
+// SGD is stochastic gradient descent with optional momentum. Like Adam, the
+// velocity state is a single flat slab matching the network's parameter
+// slab layout.
 type SGD struct {
 	lr       float64
 	momentum float64
-	velocity [][]float32 // lazily sized to the parameter layout
+	velocity []float32 // flat slab, lazily sized to the parameter layout
 }
 
 // NewSGD returns an SGD optimizer with the given learning rate and
@@ -29,14 +32,36 @@ func (s *SGD) Step(params []*nn.Param) {
 		}
 		return
 	}
-	s.ensureState(params)
+	s.ensureState(totalSize(params))
 	mu := float32(s.momentum)
-	for i, p := range params {
-		v := s.velocity[i]
+	off := 0
+	for _, p := range params {
+		sz := p.Size()
+		v := s.velocity[off : off+sz]
 		for j, g := range p.Grad.Data {
 			v[j] = mu*v[j] + g
 			p.Value.Data[j] -= float32(s.lr) * v[j]
 		}
+		off += sz
+	}
+}
+
+// StepFlat implements Optimizer: one pass over the flat value and gradient
+// slabs with no steady-state allocations.
+func (s *SGD) StepFlat(values, grads []float32) {
+	if len(values) != len(grads) {
+		panic(fmt.Sprintf("opt: StepFlat slab lengths %d vs %d", len(values), len(grads)))
+	}
+	if s.momentum == 0 {
+		tensor.Axpy(float32(-s.lr), grads, values)
+		return
+	}
+	s.ensureState(len(values))
+	mu, lr := float32(s.momentum), float32(s.lr)
+	v := s.velocity
+	for j, g := range grads {
+		v[j] = mu*v[j] + g
+		values[j] -= lr * v[j]
 	}
 }
 
@@ -46,46 +71,44 @@ func (s *SGD) SetLR(lr float64) { s.lr = lr }
 // LR implements Optimizer.
 func (s *SGD) LR() float64 { return s.lr }
 
-func (s *SGD) ensureState(params []*nn.Param) {
-	if len(s.velocity) == len(params) {
+func (s *SGD) ensureState(total int) {
+	if len(s.velocity) == total {
 		return
 	}
-	s.velocity = make([][]float32, len(params))
-	for i, p := range params {
-		s.velocity[i] = make([]float32, p.Size())
-	}
+	s.velocity = make([]float32, total)
 }
 
-// SaveState implements Optimizer.
+// SaveState implements Optimizer. Layout mirrors Adam's: segments u32 | per
+// segment: len u32, velocity f32s — written as one bulk segment.
 func (s *SGD) SaveState(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(1)); err != nil {
+		return err
+	}
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(s.velocity))); err != nil {
 		return err
 	}
-	for _, v := range s.velocity {
-		if err := binary.Write(w, binary.LittleEndian, uint32(len(v))); err != nil {
-			return err
-		}
-		if err := writeF32s(w, v); err != nil {
-			return err
-		}
-	}
-	return nil
+	return writeF32s(w, s.velocity)
 }
 
-// LoadState implements Optimizer.
+// LoadState implements Optimizer, concatenating any number of segments so
+// per-parameter checkpoints from the historical layout still load.
 func (s *SGD) LoadState(r io.Reader) error {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+	var segments uint32
+	if err := binary.Read(r, binary.LittleEndian, &segments); err != nil {
 		return err
 	}
-	s.velocity = make([][]float32, n)
-	for i := range s.velocity {
-		var m uint32
-		if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+	s.velocity = s.velocity[:0]
+	for i := uint32(0); i < segments; i++ {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 			return err
 		}
-		s.velocity[i] = make([]float32, m)
-		if err := readF32s(r, s.velocity[i]); err != nil {
+		if n > 1<<30 {
+			return fmt.Errorf("opt: unreasonable sgd segment length %d", n)
+		}
+		off := len(s.velocity)
+		s.velocity = append(s.velocity, make([]float32, n)...)
+		if err := readF32s(r, s.velocity[off:]); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,43 @@
+package tensor
+
+import "math"
+
+// sqrt32 is the float32 square root via the hardware float64 instruction,
+// matching the rounding of the historical per-parameter Adam loop.
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
+
+// adamWorkFactor estimates the per-element cost of the Adam update relative
+// to a GEMM multiply-add, so the shared parallel threshold applies.
+const adamWorkFactor = 8
+
+// AdamStep applies one fused Adam update over flat parameter slabs:
+//
+//	m = β1·m + (1−β1)·g
+//	v = β2·v + (1−β2)·g²
+//	w −= α·m/(√v + ε)
+//
+// with α the bias-corrected step size. All four slices must have equal
+// length. The pass is a single sweep over the slabs, parallelized over
+// contiguous chunks through the worker pool; every element is independent,
+// so the result is bit-identical to the serial per-parameter loop.
+func AdamStep(values, grads, m, v []float32, alpha, beta1, beta2, eps float32) {
+	if len(grads) != len(values) || len(m) != len(values) || len(v) != len(values) {
+		panic("tensor: AdamStep slab length mismatch")
+	}
+	parallel(len(values), len(values)*adamWorkFactor, task{
+		op: opAdam, vals: values, grads: grads, m: m, v: v,
+		alpha: alpha, beta1: beta1, beta2: beta2, eps: eps,
+	})
+}
+
+func adamRange(values, grads, m, v []float32, alpha, b1, b2, eps float32, i0, i1 int) {
+	values = values[i0:i1]
+	grads = grads[i0:i1]
+	m = m[i0:i1]
+	v = v[i0:i1]
+	for j, g := range grads {
+		m[j] = b1*m[j] + (1-b1)*g
+		v[j] = b2*v[j] + (1-b2)*g*g
+		values[j] -= alpha * m[j] / (sqrt32(v[j]) + eps)
+	}
+}

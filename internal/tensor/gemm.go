@@ -2,19 +2,19 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 )
 
-// gemmParallelThreshold is the minimum number of multiply-adds before MatMul
-// fans work out to multiple goroutines; below it the spawn cost dominates.
+// gemmParallelThreshold is the minimum number of multiply-adds before a
+// kernel fans work out to the worker pool; below it the dispatch cost
+// dominates.
 const gemmParallelThreshold = 1 << 16
 
 // MatMul computes dst = a·b. dst must be preallocated with shape
 // a.Rows×b.Cols and must not alias a or b. The kernel iterates i,k,j so the
 // inner loop walks rows of b sequentially, which keeps accesses
 // cache-friendly for row-major storage. Work is split across row blocks of
-// dst when the problem is large enough and GOMAXPROCS > 1.
+// dst via the allocation-free worker pool when the problem is large enough
+// and GOMAXPROCS > 1.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
@@ -22,9 +22,7 @@ func MatMul(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(r0, r1 int) {
-		matMulRange(dst, a, b, r0, r1)
-	})
+	parallel(a.Rows, a.Rows*a.Cols*b.Cols, task{op: opMatMul, dst: dst, a: a, b: b})
 }
 
 func matMulRange(dst, a, b *Matrix, r0, r1 int) {
@@ -54,16 +52,18 @@ func MatMulABT(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulABT dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(r0, r1 int) {
-		for i := r0; i < r1; i++ {
-			ai := a.Data[i*a.Cols : (i+1)*a.Cols]
-			di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-			for j := 0; j < b.Rows; j++ {
-				bj := b.Data[j*b.Cols : (j+1)*b.Cols]
-				di[j] = Dot(ai, bj)
-			}
+	parallel(a.Rows, a.Rows*a.Cols*b.Rows, task{op: opMatMulABT, dst: dst, a: a, b: b})
+}
+
+func matMulABTRange(dst, a, b *Matrix, r0, r1 int) {
+	for i := r0; i < r1; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		di := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			bj := b.Data[j*b.Cols : (j+1)*b.Cols]
+			di[j] = Dot(ai, bj)
 		}
-	})
+	}
 }
 
 // MatMulATBAdd computes dst += aᵀ·b. dst must have shape a.Cols×b.Cols. The
@@ -76,42 +76,17 @@ func MatMulATBAdd(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulATBAdd dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
 	// Parallelize over rows of dst (columns of a) so writers never overlap.
-	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(c0, c1 int) {
-		for k := 0; k < a.Rows; k++ {
-			ak := a.Data[k*a.Cols : (k+1)*a.Cols]
-			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for c := c0; c < c1; c++ {
-				if aik := ak[c]; aik != 0 {
-					Axpy(aik, bk, dst.Data[c*dst.Cols:(c+1)*dst.Cols])
-				}
-			}
-		}
-	})
+	parallel(a.Cols, a.Rows*a.Cols*b.Cols, task{op: opMatMulATBAdd, dst: dst, a: a, b: b})
 }
 
-// parallelRows splits [0, rows) into contiguous chunks and runs fn on each,
-// in parallel when the estimated work is large enough.
-func parallelRows(rows, work int, fn func(r0, r1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	if workers <= 1 || work < gemmParallelThreshold {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for r0 := 0; r0 < rows; r0 += chunk {
-		r1 := r0 + chunk
-		if r1 > rows {
-			r1 = rows
+func matMulATBAddRange(dst, a, b *Matrix, c0, c1 int) {
+	for k := 0; k < a.Rows; k++ {
+		ak := a.Data[k*a.Cols : (k+1)*a.Cols]
+		bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for c := c0; c < c1; c++ {
+			if aik := ak[c]; aik != 0 {
+				Axpy(aik, bk, dst.Data[c*dst.Cols:(c+1)*dst.Cols])
+			}
 		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			fn(r0, r1)
-		}(r0, r1)
 	}
-	wg.Wait()
 }

@@ -1,0 +1,125 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The kernels in this package parallelize across row (or chunk) ranges. A
+// naive `go func` per range allocates a closure and a goroutine per call,
+// which puts garbage on the training hot path. Instead a fixed pool of
+// worker goroutines consumes op-coded task descriptors from a channel:
+// descriptors are plain structs sent by value, so steady-state dispatch
+// performs zero allocations.
+
+// op selects the kernel a worker runs for a task.
+type op uint8
+
+const (
+	opMatMul op = iota
+	opMatMulABT
+	opMatMulATBAdd
+	opAdam
+)
+
+// task is one contiguous index range [i0, i1) of a parallel kernel, plus the
+// operands the kernel needs. It is sent by value; the struct must stay free
+// of per-call heap references beyond the operands themselves.
+type task struct {
+	op        op
+	dst, a, b *Matrix
+	vals      []float32
+	grads     []float32
+	m, v      []float32
+	alpha     float32
+	beta1     float32
+	beta2     float32
+	eps       float32
+	i0, i1    int
+	wg        *sync.WaitGroup
+}
+
+// run executes the task's range.
+func (t *task) run() {
+	switch t.op {
+	case opMatMul:
+		matMulRange(t.dst, t.a, t.b, t.i0, t.i1)
+	case opMatMulABT:
+		matMulABTRange(t.dst, t.a, t.b, t.i0, t.i1)
+	case opMatMulATBAdd:
+		matMulATBAddRange(t.dst, t.a, t.b, t.i0, t.i1)
+	case opAdam:
+		adamRange(t.vals, t.grads, t.m, t.v, t.alpha, t.beta1, t.beta2, t.eps, t.i0, t.i1)
+	}
+}
+
+var (
+	poolOnce sync.Once
+	poolSize int
+	poolCh   chan task
+
+	// wgPool recycles the per-call WaitGroups so dispatch itself does not
+	// allocate. (A stack WaitGroup would escape into the channel.)
+	wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+)
+
+// startPool launches the worker goroutines on first use. The pool is sized
+// to GOMAXPROCS at startup; tasks are tiny and independent, so a queue a few
+// times deeper than the pool keeps every worker fed.
+func startPool() {
+	poolSize = runtime.GOMAXPROCS(0)
+	poolCh = make(chan task, 4*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for t := range poolCh {
+				t.run()
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallel splits [0, n) into contiguous chunks and runs t's kernel on each.
+// Below the work threshold (or single-proc) it runs inline. The caller's
+// goroutine executes the final chunk itself, and any chunk that cannot be
+// enqueued without blocking (pool saturated by other ranks) also runs
+// inline, so the scheme cannot deadlock and never waits on a full queue.
+// Chunk boundaries depend only on n and the pool size, and every kernel is
+// element-independent across chunks, so results are bit-identical to a
+// serial run.
+func parallel(n, work int, t task) {
+	poolOnce.Do(startPool)
+	if n < 1 {
+		return
+	}
+	workers := poolSize
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || work < gemmParallelThreshold {
+		t.i0, t.i1 = 0, n
+		t.run()
+		return
+	}
+	wg := wgPool.Get().(*sync.WaitGroup)
+	t.wg = wg
+	chunk := (n + workers - 1) / workers
+	last := 0
+	for i0 := chunk; i0 < n; i0 += chunk {
+		// Enqueue the previous chunk, keeping the final one for this
+		// goroutine.
+		t.i0, t.i1 = last, i0
+		wg.Add(1)
+		select {
+		case poolCh <- t:
+		default:
+			t.run()
+			wg.Done()
+		}
+		last = i0
+	}
+	t.i0, t.i1 = last, n
+	t.run()
+	wg.Wait()
+	wgPool.Put(wg)
+}

@@ -1,9 +1,11 @@
 // Package tensor provides dense float32 matrices and the linear-algebra
 // kernels used by the neural-network training stack. It is deliberately
-// small: row-major matrices, a blocked GEMM with optional goroutine
-// parallelism, and the vector primitives needed by optimizers and
+// small: row-major matrices, a blocked GEMM, a fused Adam update over flat
+// parameter slabs, and the vector primitives needed by optimizers and
 // all-reduce. Everything is allocation-explicit so training loops can reuse
-// buffers across batches.
+// buffers across batches, and parallel kernels dispatch op-coded tasks to a
+// persistent worker pool (see pool.go) rather than spawning goroutines, so
+// the training hot path stays allocation-free.
 package tensor
 
 import (
@@ -33,6 +35,17 @@ func FromSlice(rows, cols int, data []float32) *Matrix {
 		panic(fmt.Sprintf("tensor: FromSlice length %d != %d*%d", len(data), rows, cols))
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// ViewRows points dst at rows [r0, r1) of m, sharing storage. Writing
+// through dst writes m. The dst header is caller-owned so hot loops can
+// reuse one header for varying batch prefixes without allocating.
+func (m *Matrix) ViewRows(dst *Matrix, r0, r1 int) {
+	if r0 < 0 || r1 < r0 || r1 > m.Rows {
+		panic(fmt.Sprintf("tensor: ViewRows [%d,%d) of %d rows", r0, r1, m.Rows))
+	}
+	dst.Rows, dst.Cols = r1-r0, m.Cols
+	dst.Data = m.Data[r0*m.Cols : r1*m.Cols]
 }
 
 // At returns the element at row r, column c.

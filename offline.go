@@ -14,6 +14,7 @@ import (
 	"melissa/internal/opt"
 	"melissa/internal/sampling"
 	"melissa/internal/solver"
+	"melissa/internal/tensor"
 )
 
 // DatasetInfo describes a generated offline dataset.
@@ -163,6 +164,11 @@ func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWor
 	metrics.Begin()
 
 	loader := dataset.NewLoader(ds, cfg.BatchSize*cfg.Ranks, loaderWorkers, cfg.Seed^0x0ff1e)
+	// Reusable batch storage: full batches use the preallocated matrices
+	// directly, the final partial batch of each epoch a prefix view.
+	batchIn := tensor.New(cfg.BatchSize*cfg.Ranks, norm.InputDim())
+	batchOut := tensor.New(cfg.BatchSize*cfg.Ranks, norm.OutputDim())
+	var inView, outView tensor.Matrix
 	for epoch := 0; epoch < epochs; epoch++ {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -171,7 +177,10 @@ func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWor
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			bi, bo := core.BatchTensors(norm, batch)
+			batchIn.ViewRows(&inView, 0, len(batch))
+			batchOut.ViewRows(&outView, 0, len(batch))
+			bi, bo := &inView, &outView
+			core.BuildBatch(norm, batch, bi, bo)
 			net.ZeroGrad()
 			pred := net.Forward(bi)
 			loss := lossFn.Forward(pred, bo)
@@ -179,7 +188,7 @@ func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWor
 			b, s := metrics.RecordStep(len(batch))
 			metrics.RecordTrainLoss(b, s, loss)
 			adam.SetLR(schedule.LR(s))
-			adam.Step(net.Params())
+			adam.StepFlat(net.FlatParams(), net.FlatGrads())
 			if valSet != nil && cfg.ValidateEvery > 0 && b%cfg.ValidateEvery == 0 {
 				metrics.RecordValidation(b, s, core.Validate(net, valSet, cfg.BatchSize*4))
 			}
