@@ -1,8 +1,8 @@
-// Command melissa-client runs one ensemble member: it solves the heat
-// equation for sampled (or explicit) parameters and streams every computed
-// time step to the training server whose rank addresses are published in
-// -addr-file. This is the standalone-process counterpart of the in-process
-// clients the launcher spawns.
+// Command melissa-client runs one ensemble member: it simulates the
+// selected problem for sampled (or explicit) parameters and streams every
+// computed time step to the training server whose rank addresses are
+// published in -addr-file. This is the standalone-process counterpart of
+// the in-process clients the launcher spawns.
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"melissa"
 	"melissa/internal/client"
 	"melissa/internal/sampling"
 	"melissa/internal/solver"
@@ -21,22 +22,28 @@ import (
 func main() {
 	var (
 		id       = flag.Int("id", 0, "client / simulation id (also selects sampled parameters)")
+		problem  = flag.String("problem", "heat", "registered problem to simulate ("+strings.Join(melissa.Problems(), "|")+")")
 		gridN    = flag.Int("grid", 16, "solver grid side")
 		steps    = flag.Int("steps", 20, "time steps to produce")
 		dt       = flag.Float64("dt", 0.01, "seconds per time step")
-		workers  = flag.Int("workers", 1, "solver domain partitions")
+		workers  = flag.Int("workers", 1, "solver domain partitions (heat only)")
 		addrFile = flag.String("addr-file", "melissa-addrs.txt", "file with server rank addresses")
 		seed     = flag.Uint64("seed", 2023, "experimental-design seed (must match the ensemble)")
 		design   = flag.String("design", "monte-carlo", "monte-carlo|latin-hypercube|halton")
 		restart  = flag.Int("restart", 0, "restart count (server discards replayed steps)")
 		ckptDir  = flag.String("checkpoint-dir", "", "resume from solver checkpoints in this directory")
-		tic      = flag.Float64("tic", -1, "explicit initial temperature (overrides the design)")
+		tic      = flag.Float64("tic", -1, "explicit initial temperature (heat only; overrides the design)")
 		tx1      = flag.Float64("tx1", -1, "explicit boundary x=0")
 		ty1      = flag.Float64("ty1", -1, "explicit boundary y=0")
 		tx2      = flag.Float64("tx2", -1, "explicit boundary x=L")
 		ty2      = flag.Float64("ty2", -1, "explicit boundary y=L")
 	)
 	flag.Parse()
+
+	prob, err := melissa.ProblemByName(*problem)
+	if err != nil {
+		fatal(err)
+	}
 
 	data, err := os.ReadFile(*addrFile)
 	if err != nil {
@@ -49,28 +56,34 @@ func main() {
 		}
 	}
 
-	var params solver.Params
-	if *tic >= 0 {
-		params = solver.Params{TIC: *tic, Tx1: *tx1, Ty1: *ty1, Tx2: *tx2, Ty2: *ty2}
+	if *tic >= 0 && *problem != melissa.HeatName {
+		fatal(fmt.Errorf("explicit temperature flags (-tic/-tx1/...) only apply to -problem %s", melissa.HeatName))
+	}
+
+	var params []float64
+	if *problem == melissa.HeatName && *tic >= 0 {
+		params = melissa.HeatParams{TIC: *tic, TX1: *tx1, TY1: *ty1, TX2: *tx2, TY2: *ty2}.Vector()
 	} else {
 		// Re-derive this client's parameters from the shared seeded
 		// design: draw and discard the first id points.
-		s, err := sampling.New(sampling.Kind(*design), 5, *seed, 0)
+		min, max := prob.ParamBounds()
+		space, err := sampling.NewSpace(min, max)
 		if err != nil {
 			fatal(err)
 		}
-		space := sampling.HeatSpace()
+		s, err := sampling.New(sampling.Kind(*design), space.Dim(), *seed, 0)
+		if err != nil {
+			fatal(err)
+		}
 		var point []float64
 		for i := 0; i <= *id; i++ {
 			point = s.Next()
 		}
-		params, err = solver.ParamsFromVector(space.Scale(point))
-		if err != nil {
-			fatal(err)
-		}
+		params = space.Scale(point)
 	}
 
-	job := client.HeatJob{
+	mcfg := melissa.Config{GridN: *gridN, StepsPerSim: *steps, Dt: *dt, Workers: *workers}
+	job := client.Job{
 		Client: client.Config{
 			ClientID:          *id,
 			SimID:             *id,
@@ -78,14 +91,17 @@ func main() {
 			HeartbeatInterval: 2 * time.Second,
 			Restart:           *restart,
 		},
-		Solver: solver.Config{N: *gridN, Steps: *steps, Dt: *dt, Workers: *workers},
+		NewSim: func() (solver.Simulator, error) { return prob.NewSimulator(mcfg, params) },
 		Params: params,
+		Steps:  *steps,
+		Dt:     *dt,
 	}
 	if *ckptDir != "" {
 		job.Checkpoint = &client.FileCheckpointer{Dir: *ckptDir, Every: 5}
 	}
-	fmt.Printf("melissa-client %d: params %+v, %d steps on %d-rank server\n", *id, params, *steps, len(addrs))
-	if err := client.RunHeat(context.Background(), job); err != nil {
+	fmt.Printf("melissa-client %d: problem %s, params %v, %d steps on %d-rank server\n",
+		*id, prob.Name(), params, *steps, len(addrs))
+	if err := client.Run(context.Background(), job); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("melissa-client %d: done\n", *id)

@@ -17,6 +17,7 @@ import (
 
 func main() {
 	var (
+		problem    = flag.String("problem", "heat", "registered problem ("+strings.Join(melissa.Problems(), "|")+")")
 		sims       = flag.Int("simulations", 20, "ensemble size")
 		gridN      = flag.Int("grid", 16, "solver grid side")
 		steps      = flag.Int("steps", 20, "time steps per simulation")
@@ -36,6 +37,11 @@ func main() {
 	flag.Parse()
 
 	cfg := melissa.DefaultConfig()
+	prob, err := melissa.ProblemByName(*problem)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Problem = prob
 	cfg.Simulations = *sims
 	cfg.GridN = *gridN
 	cfg.StepsPerSim = *steps

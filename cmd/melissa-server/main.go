@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"melissa"
 	"melissa/internal/buffer"
 	"melissa/internal/core"
 	"melissa/internal/opt"
@@ -29,6 +30,7 @@ func main() {
 	var (
 		ranks     = flag.Int("ranks", 1, "training processes (data-parallel replicas)")
 		clients   = flag.Int("clients", 1, "expected ensemble size (Goodbyes to wait for)")
+		problem   = flag.String("problem", "heat", "registered problem ("+strings.Join(melissa.Problems(), "|")+"; must match clients)")
 		gridN     = flag.Int("grid", 16, "solver grid side (must match clients)")
 		steps     = flag.Int("steps", 20, "time steps per simulation (must match clients)")
 		dt        = flag.Float64("dt", 0.01, "seconds per time step")
@@ -54,7 +56,12 @@ func main() {
 		hiddenDims = append(hiddenDims, h)
 	}
 
-	norm := core.NewHeatNormalizer(*gridN**gridN, float64(*steps)**dt)
+	prob, err := melissa.ProblemByName(*problem)
+	if err != nil {
+		fatal(err)
+	}
+	mcfg := melissa.Config{GridN: *gridN, StepsPerSim: *steps, Dt: *dt}
+	norm := core.AdaptNormalizer(prob.Normalizer(mcfg))
 	cfg := server.Config{
 		Ranks:      *ranks,
 		ListenHost: "127.0.0.1:0",
@@ -99,8 +106,8 @@ func main() {
 	if err := os.WriteFile(*addrFile, []byte(strings.Join(srv.Addrs(), "\n")+"\n"), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("melissa-server: %d rank(s) listening (%s), waiting for %d client(s)\n",
-		*ranks, strings.Join(srv.Addrs(), " "), *clients)
+	fmt.Printf("melissa-server: problem %s, %d rank(s) listening (%s), waiting for %d client(s)\n",
+		prob.Name(), *ranks, strings.Join(srv.Addrs(), " "), *clients)
 
 	if err := srv.Run(context.Background()); err != nil {
 		fatal(err)

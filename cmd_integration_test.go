@@ -2,7 +2,7 @@ package melissa
 
 // End-to-end test of the standalone binaries: a melissa-server process and
 // several melissa-client processes cooperating over TCP, exactly as a user
-// would run them from a shell.
+// would run them from a shell — once per registered problem.
 
 import (
 	"fmt"
@@ -28,12 +28,37 @@ func TestMultiProcessServerAndClients(t *testing.T) {
 		}
 	}
 
+	t.Run("heat", func(t *testing.T) {
+		weights := runMultiProcessEnsemble(t, serverBin, clientBin, HeatName)
+		// The written weights are a raw nn payload; the legacy loader
+		// restores them with the architecture supplied explicitly.
+		s, err := LoadSurrogateLegacyFile(weights, 8, 6, 0.01, []int{64, 64}, 2023)
+		if err != nil {
+			t.Fatal(err)
+		}
+		field := s.PredictHeat(HeatParams{TIC: 300, TX1: 200, TY1: 400, TX2: 250, TY2: 350}, 0.03)
+		if len(field) != 64 {
+			t.Fatalf("field length %d", len(field))
+		}
+	})
+	t.Run("gray-scott", func(t *testing.T) {
+		// The same binaries run the second problem end-to-end with just a
+		// flag change; the streamed fields are two-channel (128 values).
+		runMultiProcessEnsemble(t, serverBin, clientBin, GrayScottName)
+	})
+}
+
+// runMultiProcessEnsemble drives one server + 3 clients for a problem and
+// returns the path of the written weights file.
+func runMultiProcessEnsemble(t *testing.T, serverBin, clientBin, problem string) string {
+	t.Helper()
+	dir := t.TempDir()
 	addrFile := filepath.Join(dir, "addrs.txt")
 	weights := filepath.Join(dir, "weights.bin")
 	const clients = 3
 
 	srv := exec.Command(serverBin,
-		"-ranks", "2", "-clients", fmt.Sprint(clients),
+		"-ranks", "2", "-clients", fmt.Sprint(clients), "-problem", problem,
 		"-grid", "8", "-steps", "6", "-batch", "4",
 		"-buffer", "Reservoir", "-capacity", "60", "-threshold", "8",
 		"-addr-file", addrFile, "-out", weights)
@@ -62,7 +87,7 @@ func TestMultiProcessServerAndClients(t *testing.T) {
 	for id := 0; id < clients; id++ {
 		go func(id int) {
 			out, err := exec.Command(clientBin,
-				"-id", fmt.Sprint(id), "-grid", "8", "-steps", "6",
+				"-id", fmt.Sprint(id), "-problem", problem, "-grid", "8", "-steps", "6",
 				"-addr-file", addrFile).CombinedOutput()
 			if err != nil {
 				err = fmt.Errorf("client %d: %v\n%s", id, err, out)
@@ -89,14 +114,5 @@ func TestMultiProcessServerAndClients(t *testing.T) {
 	if !strings.Contains(srvOut.String(), "trained") {
 		t.Fatalf("server output missing summary:\n%s", srvOut.String())
 	}
-
-	// The written weights load back into a surrogate.
-	s, err := LoadSurrogateFile(weights, 8, 6, 0.01, []int{64, 64}, 2023)
-	if err != nil {
-		t.Fatal(err)
-	}
-	field := s.Predict(HeatParams{TIC: 300, TX1: 200, TY1: 400, TX2: 250, TY2: 350}, 0.03)
-	if len(field) != 64 {
-		t.Fatalf("field length %d", len(field))
-	}
+	return weights
 }

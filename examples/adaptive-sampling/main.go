@@ -119,7 +119,7 @@ func probeError(s *melissa.Surrogate, unit []float64) float64 {
 		return 0
 	}
 	truth := fields[probeStep-1]
-	pred := s.Predict(p, float64(probeStep)*dt)
+	pred := s.PredictHeat(p, float64(probeStep)*dt)
 	var mse float64
 	for i := range truth {
 		d := pred[i] - truth[i]

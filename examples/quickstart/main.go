@@ -1,10 +1,16 @@
-// Quickstart: train a deep surrogate of the 2D heat equation from a small
-// online ensemble, then compare one prediction against the real solver.
+// Quickstart: train a deep surrogate from a small online ensemble through
+// the problem-plugin API, compare one prediction against the real solver,
+// and round-trip the model through a self-describing checkpoint.
+//
+// The pipeline is problem-agnostic: Config.Problem selects the scenario
+// (here the paper's 2D heat equation; see examples/gray-scott for the
+// reaction–diffusion scenario behind the exact same API).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"log"
@@ -15,14 +21,15 @@ import (
 
 func main() {
 	cfg := melissa.DefaultConfig()
+	cfg.Problem = melissa.Heat() // the default; spelled out for the tour
 	cfg.Simulations = 30
 	cfg.GridN = 16
 	cfg.StepsPerSim = 20
 	cfg.MaxConcurrentClients = 4
 	cfg.Buffer = melissa.Reservoir
 
-	fmt.Printf("training surrogate from %d online simulations (%d×%d grid, %d steps each)...\n",
-		cfg.Simulations, cfg.GridN, cfg.GridN, cfg.StepsPerSim)
+	fmt.Printf("training %q surrogate from %d online simulations (%d×%d grid, %d steps each)...\n",
+		cfg.Problem.Name(), cfg.Simulations, cfg.GridN, cfg.GridN, cfg.StepsPerSim)
 	res, err := melissa.RunOnline(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -31,11 +38,13 @@ func main() {
 		res.Batches, res.Samples, res.UniqueSamples, res.Throughput, res.ValidationMSE)
 
 	// Query the surrogate on unseen parameters and compare with the solver.
+	// Parameters are plain vectors in the problem's canonical order;
+	// HeatParams is the typed convenience for this problem.
 	p := melissa.HeatParams{TIC: 320, TX1: 180, TY1: 420, TX2: 260, TY2: 360}
 	t := float64(cfg.StepsPerSim) * cfg.Dt / 2 // mid-trajectory
-	pred := res.Surrogate.Predict(p, t)
+	pred := res.Surrogate.Predict(p.Vector(), t)
 
-	truth, err := melissa.Solve(p, cfg.GridN, cfg.StepsPerSim, cfg.Dt)
+	truth, err := melissa.Simulate(cfg.Problem, cfg, p.Vector())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,11 +62,24 @@ func main() {
 	fmt.Printf("surrogate vs solver at t=%.2fs: RMSE %.2f K, max error %.2f K (field spans 180-420 K)\n",
 		t, rmse, maxErr)
 
+	// Checkpoints are self-describing: Save embeds the problem name and
+	// architecture, so loading needs no arguments at all.
+	var ckpt bytes.Buffer
+	if err := res.Surrogate.Save(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := melissa.LoadSurrogate(&ckpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint round-trip: problem %q, %d parameters, grid %d\n",
+		loaded.Meta().Problem, loaded.NumParams(), loaded.GridN())
+
 	// The surrogate predicts the center temperature trend over time.
 	fmt.Println("center temperature over time (surrogate):")
 	c := (cfg.GridN/2)*cfg.GridN + cfg.GridN/2
 	for step := 1; step <= cfg.StepsPerSim; step += 5 {
 		tt := float64(step) * cfg.Dt
-		fmt.Printf("  t=%.2fs: %.1f K\n", tt, res.Surrogate.Predict(p, tt)[c])
+		fmt.Printf("  t=%.2fs: %.1f K\n", tt, loaded.PredictHeat(p, tt)[c])
 	}
 }

@@ -54,7 +54,7 @@ func main() {
 
 	// Surrogate: one batched forward pass.
 	start = time.Now()
-	preds, err := res.Surrogate.PredictBatch(params, times)
+	preds, err := res.Surrogate.PredictBatchHeat(params, times)
 	if err != nil {
 		log.Fatal(err)
 	}

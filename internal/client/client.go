@@ -148,12 +148,22 @@ func toF32(in []float64) []float32 {
 	return out
 }
 
-// HeatJob fully describes one ensemble member: the solver configuration and
-// the sampled parameters.
-type HeatJob struct {
+// Job fully describes one ensemble member of any problem: a simulator
+// factory, the raw physical parameters it was drawn with (the prefix of
+// every streamed input vector), and the trajectory geometry. This is the
+// problem-agnostic contract the launcher schedules; HeatJob remains as the
+// heat-equation convenience wrapper.
+type Job struct {
 	Client Config
-	Solver solver.Config
-	Params solver.Params
+	// NewSim constructs the simulator; called once per attempt so a
+	// restarted client starts from fresh (or checkpointed) solver state.
+	NewSim func() (solver.Simulator, error)
+	// Params are the raw physical parameters; each Send transmits them
+	// followed by the physical time of the step.
+	Params []float64
+	// Steps is the trajectory length, Dt the physical seconds per step.
+	Steps int
+	Dt    float64
 	// Checkpoint optionally persists solver state so a restarted client
 	// resumes "from the last checkpoint only" (§3.1) instead of step 0.
 	Checkpoint Checkpointer
@@ -165,11 +175,14 @@ type HeatJob struct {
 	FailAtStep int
 }
 
-// RunHeat executes the instrumented heat solver: init, one Send per
+// Run executes one instrumented ensemble member: init, one Send per
 // computed time step, finalize. The context aborts the client between
 // steps, emulating a kill by the launcher or a node failure.
-func RunHeat(ctx context.Context, job HeatJob) error {
-	sim, err := solver.New(job.Solver, job.Params)
+func Run(ctx context.Context, job Job) error {
+	if job.NewSim == nil {
+		return fmt.Errorf("client %d: no simulator factory", job.Client.ClientID)
+	}
+	sim, err := job.NewSim()
 	if err != nil {
 		return err
 	}
@@ -187,16 +200,16 @@ func RunHeat(ctx context.Context, job HeatJob) error {
 		}
 	}
 
-	api, err := InitCommunication(job.Client, job.Solver.Steps)
+	api, err := InitCommunication(job.Client, job.Steps)
 	if err != nil {
 		return err
 	}
 
-	// Raw surrogate inputs: the 5 temperatures and the physical time,
+	// Raw surrogate inputs: the physical parameters and the physical time,
 	// normalized downstream by the trainer.
-	base := job.Params.Vector()
+	base := job.Params
 
-	for sim.StepIndex() < job.Solver.Steps {
+	for sim.StepIndex() < job.Steps {
 		select {
 		case <-ctx.Done():
 			api.Abort()
@@ -219,7 +232,7 @@ func RunHeat(ctx context.Context, job HeatJob) error {
 			case <-time.After(job.StepDelay):
 			}
 		}
-		input := append(append(make([]float64, 0, len(base)+1), base...), float64(step)*sim.Config().Dt)
+		input := append(append(make([]float64, 0, len(base)+1), base...), float64(step)*job.Dt)
 		if err := api.Send(step, input, sim.Field()); err != nil {
 			api.Abort()
 			return fmt.Errorf("client %d: send step %d: %w", job.Client.ClientID, step, err)
@@ -236,4 +249,31 @@ func RunHeat(ctx context.Context, job HeatJob) error {
 		}
 	}
 	return api.FinalizeCommunication()
+}
+
+// HeatJob describes one heat-equation ensemble member: the solver
+// configuration and the sampled parameters.
+type HeatJob struct {
+	Client     Config
+	Solver     solver.Config
+	Params     solver.Params
+	Checkpoint Checkpointer
+	StepDelay  time.Duration
+	FailAtStep int
+}
+
+// RunHeat executes the instrumented heat solver through the generic Run
+// path — the original convenience entry point.
+func RunHeat(ctx context.Context, job HeatJob) error {
+	cfg := job.Solver.WithDefaults()
+	return Run(ctx, Job{
+		Client: job.Client,
+		NewSim: func() (solver.Simulator, error) { return solver.New(job.Solver, job.Params) },
+		Params: job.Params.Vector(),
+		Steps:  cfg.Steps,
+		Dt:     cfg.Dt,
+		Checkpoint: job.Checkpoint,
+		StepDelay:  job.StepDelay,
+		FailAtStep: job.FailAtStep,
+	})
 }

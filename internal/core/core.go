@@ -43,59 +43,113 @@ type Normalizer interface {
 	Apply(s buffer.Sample, inRow, outRow []float32)
 }
 
-// HeatNormalizer normalizes the heat-equation problem: the five temperature
-// parameters and the field to [0,1] over the sampled range, and physical
-// time to [0,1] over the simulation horizon.
-type HeatNormalizer struct {
-	// Space is the parameter design space (paper: [100,500] K per dim).
+// RowNormalizer is the row-oriented half of the public normalizer
+// contract: it maps one raw input vector and one raw field to normalized
+// rows, without knowing about the streamed Sample framing. The root
+// package's Normalizer interface satisfies it.
+type RowNormalizer interface {
+	InputDim() int
+	OutputDim() int
+	NormalizeInput(raw, dst []float32)
+	NormalizeOutput(raw, dst []float32)
+}
+
+// AdaptNormalizer bridges a row-oriented normalizer to the trainer-side
+// sample interface. Normalizers that already implement Normalizer (like
+// FieldNormalizer) pass through unwrapped.
+func AdaptNormalizer(n RowNormalizer) Normalizer {
+	if cn, ok := n.(Normalizer); ok {
+		return cn
+	}
+	return rowAdapter{n}
+}
+
+type rowAdapter struct{ n RowNormalizer }
+
+func (a rowAdapter) InputDim() int  { return a.n.InputDim() }
+func (a rowAdapter) OutputDim() int { return a.n.OutputDim() }
+func (a rowAdapter) Apply(s buffer.Sample, inRow, outRow []float32) {
+	a.n.NormalizeInput(s.Input, inRow)
+	a.n.NormalizeOutput(s.Output, outRow)
+}
+
+// FieldNormalizer is the generic affine normalizer every field-predicting
+// problem shares: design parameters map to [0,1] over their sampled box,
+// physical time to [0,1] over the simulation horizon, and the flattened
+// field to [0,1] over its physical bounds. The heat equation (paper setup)
+// and Gray–Scott both instantiate it with their own ranges.
+type FieldNormalizer struct {
+	// Space is the parameter design space (heat paper: [100,500] K per dim).
 	Space sampling.Space
-	// TimeMax is the simulation horizon Steps·Δt in seconds.
+	// TimeMax is the simulation horizon Steps·Δt.
 	TimeMax float64
-	// FieldMin/FieldMax bound the temperature field (the maximum principle
-	// guarantees the field stays within the sampled temperature range).
+	// FieldMin/FieldMax bound the physical field values (for the heat
+	// equation the maximum principle guarantees the field stays within the
+	// sampled temperature range).
 	FieldMin, FieldMax float64
-	// FieldDim is the flattened field length N².
+	// FieldDim is the flattened field length (channels × grid points).
 	FieldDim int
 }
 
-// NewHeatNormalizer builds the normalizer for the paper's setup.
-func NewHeatNormalizer(fieldDim int, timeMax float64) HeatNormalizer {
-	return HeatNormalizer{
-		Space:    sampling.HeatSpace(),
+// NewFieldNormalizer builds a normalizer from a problem's geometry.
+func NewFieldNormalizer(space sampling.Space, timeMax, fieldMin, fieldMax float64, fieldDim int) FieldNormalizer {
+	return FieldNormalizer{
+		Space:    space,
 		TimeMax:  timeMax,
-		FieldMin: 100,
-		FieldMax: 500,
+		FieldMin: fieldMin,
+		FieldMax: fieldMax,
 		FieldDim: fieldDim,
 	}
 }
 
+// HeatNormalizer is the paper's heat-equation instantiation of the generic
+// field normalizer; the alias keeps the original name working.
+type HeatNormalizer = FieldNormalizer
+
+// NewHeatNormalizer builds the normalizer for the paper's setup.
+func NewHeatNormalizer(fieldDim int, timeMax float64) FieldNormalizer {
+	return NewFieldNormalizer(sampling.HeatSpace(), timeMax, 100, 500, fieldDim)
+}
+
 // InputDim implements Normalizer: the parameters plus the time input.
-func (h HeatNormalizer) InputDim() int { return h.Space.Dim() + 1 }
+func (h FieldNormalizer) InputDim() int { return h.Space.Dim() + 1 }
 
 // OutputDim implements Normalizer.
-func (h HeatNormalizer) OutputDim() int { return h.FieldDim }
+func (h FieldNormalizer) OutputDim() int { return h.FieldDim }
 
-// Apply implements Normalizer.
-func (h HeatNormalizer) Apply(s buffer.Sample, inRow, outRow []float32) {
+// NormalizeInput writes the normalized network input for one raw input
+// vector (the physical parameters followed by the physical time).
+func (h FieldNormalizer) NormalizeInput(raw, dst []float32) {
 	d := h.Space.Dim()
 	for i := 0; i < d; i++ {
 		span := h.Space.Max[i] - h.Space.Min[i]
-		inRow[i] = float32((float64(s.Input[i]) - h.Space.Min[i]) / span)
+		dst[i] = float32((float64(raw[i]) - h.Space.Min[i]) / span)
 	}
 	if h.TimeMax > 0 {
-		inRow[d] = float32(float64(s.Input[d]) / h.TimeMax)
+		dst[d] = float32(float64(raw[d]) / h.TimeMax)
 	} else {
-		inRow[d] = s.Input[d]
-	}
-	span := float32(h.FieldMax - h.FieldMin)
-	min := float32(h.FieldMin)
-	for i, v := range s.Output {
-		outRow[i] = (v - min) / span
+		dst[d] = raw[d]
 	}
 }
 
-// DenormalizeField maps a normalized prediction back to Kelvin in place.
-func (h HeatNormalizer) DenormalizeField(field []float32) {
+// NormalizeOutput writes the normalized training target for one raw field.
+func (h FieldNormalizer) NormalizeOutput(raw, dst []float32) {
+	span := float32(h.FieldMax - h.FieldMin)
+	min := float32(h.FieldMin)
+	for i, v := range raw {
+		dst[i] = (v - min) / span
+	}
+}
+
+// Apply implements Normalizer.
+func (h FieldNormalizer) Apply(s buffer.Sample, inRow, outRow []float32) {
+	h.NormalizeInput(s.Input, inRow)
+	h.NormalizeOutput(s.Output, outRow)
+}
+
+// DenormalizeField maps a normalized prediction back to physical units in
+// place.
+func (h FieldNormalizer) DenormalizeField(field []float32) {
 	span := float32(h.FieldMax - h.FieldMin)
 	min := float32(h.FieldMin)
 	for i := range field {
@@ -103,11 +157,17 @@ func (h HeatNormalizer) DenormalizeField(field []float32) {
 	}
 }
 
-// KelvinMSE converts a normalized-unit MSE into Kelvin² units, for
-// comparing against the paper's raw-scale loss values.
-func (h HeatNormalizer) KelvinMSE(normalizedMSE float64) float64 {
+// RawMSE converts a normalized-unit MSE into physical units² (Kelvin² for
+// the heat equation), for comparing against the paper's raw-scale loss
+// values.
+func (h FieldNormalizer) RawMSE(normalizedMSE float64) float64 {
 	span := h.FieldMax - h.FieldMin
 	return normalizedMSE * span * span
+}
+
+// KelvinMSE is RawMSE under its original heat-equation name.
+func (h FieldNormalizer) KelvinMSE(normalizedMSE float64) float64 {
+	return h.RawMSE(normalizedMSE)
 }
 
 // BuildBatch fills the in/out matrices (rows = len(batch)) from samples.

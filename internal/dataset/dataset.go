@@ -223,6 +223,16 @@ func (d *Dataset) Bytes() int64 { return d.bytes }
 // Sims returns the number of simulations.
 func (d *Dataset) Sims() int { return len(d.readers) }
 
+// Dims returns the per-sample input and field widths recorded in the file
+// headers, so consumers can validate the dataset against their model
+// before training on it.
+func (d *Dataset) Dims() (inputDim, fieldDim int) {
+	if len(d.readers) == 0 {
+		return 0, 0
+	}
+	return d.readers[0].InputDim, d.readers[0].FieldDim
+}
+
 // Get reads sample i (0-based over the flattened index).
 func (d *Dataset) Get(i int) (buffer.Sample, error) {
 	if i < 0 || i >= len(d.index) {

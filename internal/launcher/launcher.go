@@ -31,9 +31,12 @@ import (
 type Config struct {
 	Server server.Config
 
-	// Solver configures every ensemble member; Params are drawn from the
-	// design below.
-	Solver solver.Config
+	// NewSim constructs one ensemble member's simulator for drawn physical
+	// parameters — the problem-plugin hook: the launcher never sees the
+	// concrete PDE. Steps and Dt describe the emitted trajectories.
+	NewSim func(params []float64) (solver.Simulator, error)
+	Steps  int
+	Dt     float64
 	// Design draws simulation parameters; seeded for reproducibility.
 	Design sampling.Sampler
 	// Space maps unit design points to physical parameters.
@@ -66,7 +69,7 @@ type Config struct {
 
 	// JobHook, when set, may mutate a job before each attempt —
 	// fault-injection entry point for tests.
-	JobHook func(simID, attempt int, job *client.HeatJob)
+	JobHook func(simID, attempt int, job *client.Job)
 
 	// InjectServerFailureAfterBatches, when > 0, simulates a server crash
 	// after that many batches on the first server instance (test hook for
@@ -85,7 +88,7 @@ type Result struct {
 // Launcher runs one configured ensemble.
 type Launcher struct {
 	cfg    Config
-	params []solver.Params
+	params [][]float64
 	slots  *semaphore
 
 	clientRestarts atomic.Int64
@@ -111,6 +114,12 @@ func New(cfg Config) (*Launcher, error) {
 	if cfg.Design == nil {
 		return nil, errors.New("launcher: Design sampler required")
 	}
+	if cfg.NewSim == nil {
+		return nil, errors.New("launcher: NewSim simulator factory required")
+	}
+	if cfg.Steps < 1 {
+		return nil, fmt.Errorf("launcher: Steps=%d must be ≥ 1", cfg.Steps)
+	}
 	if len(cfg.Series) > 0 {
 		total := 0
 		for _, s := range cfg.Series {
@@ -125,15 +134,17 @@ func New(cfg Config) (*Launcher, error) {
 	}
 	l := &Launcher{
 		cfg:    cfg,
-		params: make([]solver.Params, cfg.Simulations),
+		params: make([][]float64, cfg.Simulations),
 		slots:  newSemaphore(cfg.MaxConcurrentClients),
 	}
 	for i := range l.params {
-		p, err := solver.ParamsFromVector(cfg.Space.Scale(cfg.Design.Next()))
-		if err != nil {
-			return nil, err
+		pt := cfg.Design.Next()
+		if len(pt) != cfg.Space.Dim() {
+			// Custom designs are user code; surface the mismatch as an
+			// error instead of letting Space.Scale panic mid-ensemble.
+			return nil, fmt.Errorf("launcher: design returned a %d-dimensional point, problem wants %d", len(pt), cfg.Space.Dim())
 		}
-		l.params[i] = p
+		l.params[i] = cfg.Space.Scale(pt)
 	}
 	cfg.Server.ExpectedClients = cfg.Simulations
 	l.cfg = cfg
@@ -141,7 +152,7 @@ func New(cfg Config) (*Launcher, error) {
 }
 
 // Params exposes the pre-drawn ensemble parameters (examples print them).
-func (l *Launcher) Params() []solver.Params { return l.params }
+func (l *Launcher) Params() [][]float64 { return l.params }
 
 // Run executes the ensemble to completion, recovering from client and
 // server failures within the configured budgets.
@@ -289,7 +300,8 @@ func (l *Launcher) runClientWithRetries(ctx context.Context, srv *server.Server,
 		if ctx.Err() != nil {
 			return
 		}
-		job := client.HeatJob{
+		params := l.params[simID]
+		job := client.Job{
 			Client: client.Config{
 				ClientID:          simID,
 				SimID:             simID,
@@ -297,8 +309,10 @@ func (l *Launcher) runClientWithRetries(ctx context.Context, srv *server.Server,
 				HeartbeatInterval: l.cfg.HeartbeatInterval,
 				Restart:           attempt,
 			},
-			Solver:     l.cfg.Solver,
-			Params:     l.params[simID],
+			NewSim:     func() (solver.Simulator, error) { return l.cfg.NewSim(params) },
+			Params:     params,
+			Steps:      l.cfg.Steps,
+			Dt:         l.cfg.Dt,
 			Checkpoint: l.cfg.ClientCheckpoints,
 		}
 		if l.cfg.JobHook != nil {
@@ -308,7 +322,7 @@ func (l *Launcher) runClientWithRetries(ctx context.Context, srv *server.Server,
 		mu.Lock()
 		running[simID] = cancel
 		mu.Unlock()
-		err := client.RunHeat(cctx, job)
+		err := client.Run(cctx, job)
 		mu.Lock()
 		delete(running, simID)
 		mu.Unlock()

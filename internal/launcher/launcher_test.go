@@ -36,7 +36,15 @@ func testConfig(sims int, kind buffer.Kind) Config {
 				TrackOccurrences: true,
 			},
 		},
-		Solver:               solver.Config{N: gridN, Steps: steps, Dt: 0.01},
+		NewSim: func(params []float64) (solver.Simulator, error) {
+			p, err := solver.ParamsFromVector(params)
+			if err != nil {
+				return nil, err
+			}
+			return solver.New(solver.Config{N: gridN, Steps: steps, Dt: 0.01}, p)
+		},
+		Steps:                steps,
+		Dt:                   0.01,
 		Design:               sampling.NewMonteCarlo(5, 11),
 		Space:                sampling.HeatSpace(),
 		Simulations:          sims,
@@ -66,6 +74,16 @@ func TestLauncherValidation(t *testing.T) {
 	cfg.Series = []int{2, -2, 4}
 	if _, err := New(cfg); err == nil {
 		t.Fatal("expected error for negative series size")
+	}
+	cfg = testConfig(4, buffer.FIFOKind)
+	cfg.NewSim = nil
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for missing simulator factory")
+	}
+	cfg = testConfig(4, buffer.FIFOKind)
+	cfg.Design = sampling.NewMonteCarlo(3, 11) // wrong dimensionality
+	if _, err := New(cfg); err == nil {
+		t.Fatal("expected error for design/space dimension mismatch")
 	}
 }
 
@@ -114,7 +132,7 @@ func TestLauncherSeriesSubmission(t *testing.T) {
 func TestLauncherRestartsFailedClients(t *testing.T) {
 	cfg := testConfig(4, buffer.FIFOKind)
 	// Sim 2 fails on its first two attempts, succeeds on the third.
-	cfg.JobHook = func(simID, attempt int, job *client.HeatJob) {
+	cfg.JobHook = func(simID, attempt int, job *client.Job) {
 		if simID == 2 && attempt < 2 {
 			job.FailAtStep = 3
 		}
@@ -146,7 +164,7 @@ func TestLauncherWatchdogKillsHungClient(t *testing.T) {
 	cfg.Server.WatchdogTimeout = 150 * time.Millisecond
 	cfg.HeartbeatInterval = 0 // silence between steps
 	// Sim 1 hangs (huge per-step delay) on attempt 0 only.
-	cfg.JobHook = func(simID, attempt int, job *client.HeatJob) {
+	cfg.JobHook = func(simID, attempt int, job *client.Job) {
 		if simID == 1 && attempt == 0 {
 			job.StepDelay = time.Hour
 		}
@@ -205,7 +223,7 @@ func TestLauncherServerRecovery(t *testing.T) {
 
 func TestLauncherRespectsContextCancel(t *testing.T) {
 	cfg := testConfig(3, buffer.FIFOKind)
-	cfg.JobHook = func(simID, attempt int, job *client.HeatJob) {
+	cfg.JobHook = func(simID, attempt int, job *client.Job) {
 		job.StepDelay = 50 * time.Millisecond // slow everything down
 	}
 	l, err := New(cfg)

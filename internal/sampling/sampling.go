@@ -54,6 +54,17 @@ func HeatSpace() Space {
 	return Space{Min: min, Max: max}
 }
 
+// GrayScottSpace is the design space of the Gray–Scott reaction–diffusion
+// scenario: feed rate F, kill rate k, and the two diffusion coefficients,
+// bounded to the patterned regime of the (F, k) plane and to explicitly
+// stable diffusion at Δt = 1.
+func GrayScottSpace() Space {
+	return Space{
+		Min: []float64{0.010, 0.045, 0.08, 0.04},
+		Max: []float64{0.070, 0.065, 0.20, 0.10},
+	}
+}
+
 // Dim returns the space dimensionality.
 func (s Space) Dim() int { return len(s.Min) }
 

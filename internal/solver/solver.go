@@ -91,6 +91,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithDefaults returns the configuration completed with default values, as
+// New applies them — callers that need the effective Dt or worker count
+// before constructing a simulation use this.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.N < 1 {
@@ -190,15 +195,7 @@ func (s *Simulation) StepOnce() error {
 // client library instruments: "a send is issued to transfer time steps
 // u_t^X as soon as computed" (§3.1).
 func (s *Simulation) Run(emit func(step int, field []float64)) error {
-	for s.step < s.cfg.Steps {
-		if err := s.StepOnce(); err != nil {
-			return fmt.Errorf("step %d: %w", s.step+1, err)
-		}
-		if emit != nil {
-			emit(s.step, s.u)
-		}
-	}
-	return nil
+	return Run(s, s.cfg.Steps, emit)
 }
 
 // buildRHS assembles b = u^n + r·(Dirichlet neighbour contributions).

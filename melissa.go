@@ -5,16 +5,29 @@
 // training server through training buffers (FIFO, FIRO, and the paper's
 // Reservoir) — no intermediate files, fault-tolerant, and reproducible.
 //
-// The package exposes the high-level workflow:
+// The framework is problem-agnostic: a Problem bundles a parameter space,
+// a Simulator factory, a Normalizer, and the output field geometry, and
+// the whole pipeline — launcher, streaming clients, training server,
+// validation, offline dataset generation — runs against that interface.
+// Two problems ship registered out of the box: the paper's 2D heat
+// equation ("heat", the default) and 2D Gray–Scott reaction–diffusion
+// ("gray-scott"). Additional scenarios plug in via RegisterProblem without
+// touching the pipeline.
+//
+// The high-level workflow:
 //
 //	cfg := melissa.DefaultConfig()
+//	cfg.Problem = melissa.GrayScott() // or leave nil for the heat equation
 //	cfg.Simulations = 100
 //	res, err := melissa.RunOnline(context.Background(), cfg)
-//	field := res.Surrogate.Predict(melissa.HeatParams{...}, 0.5)
+//	field := res.Surrogate.Predict([]float64{0.03, 0.06, 0.16, 0.08}, 0.5)
 //
-// Lower-level building blocks (buffers, the cluster simulator, the
-// experiment harness reproducing the paper's tables and figures) live in
-// the internal packages; the cmd/ binaries and examples/ show them in use.
+// Surrogate checkpoints are self-describing: Save records the problem name
+// and architecture, so LoadSurrogate(r) reconstructs a usable model with no
+// further arguments. Lower-level building blocks (buffers, the cluster
+// simulator, the experiment harness reproducing the paper's tables and
+// figures) live in the internal packages; the cmd/ binaries and examples/
+// show them in use.
 package melissa
 
 import (
@@ -44,22 +57,32 @@ const (
 )
 
 // HeatParams are the inputs of one heat-equation simulation: the initial
-// temperature and the four boundary temperatures (Kelvin).
+// temperature and the four boundary temperatures (Kelvin). They are the
+// typed convenience over the generic parameter vectors the Problem API
+// works with.
 type HeatParams struct {
 	TIC, TX1, TY1, TX2, TY2 float64
 }
 
-func (p HeatParams) toSolver() solver.Params {
-	return solver.Params{TIC: p.TIC, Tx1: p.TX1, Ty1: p.TY1, Tx2: p.TX2, Ty2: p.TY2}
+// Vector returns the parameters in the canonical order used across the
+// framework: (T_IC, T_x1, T_y1, T_x2, T_y2), matching §4.1.
+func (p HeatParams) Vector() []float64 {
+	return []float64{p.TIC, p.TX1, p.TY1, p.TX2, p.TY2}
 }
 
 // Config assembles an online ensemble-training run.
 type Config struct {
+	// Problem selects the simulation scenario; nil means the heat
+	// equation, the paper's demonstrator. See RegisterProblem for adding
+	// scenarios.
+	Problem Problem
+
 	// Ensemble
 	Simulations int     // ensemble members to run
-	GridN       int     // solver grid side; the surrogate predicts N² values
+	GridN       int     // solver grid side; output size follows Problem.FieldShape
 	StepsPerSim int     // time steps per simulation
 	Dt          float64 // seconds per step
+	Workers     int     // solver domain partitions per client (problems may ignore it)
 
 	// Concurrency
 	MaxConcurrentClients int // simulation clients running at once
@@ -102,13 +125,21 @@ type Config struct {
 	// (§3.1).
 	Design string
 	// Sampler, when set, overrides Design with a custom draw function
-	// returning points in the unit hypercube [0,1)^5. This is the hook
-	// for adaptive experimental designs (§5 future work; see
-	// examples/adaptive-sampling).
+	// returning points in the unit hypercube [0,1)^d, d the problem's
+	// parameter count. This is the hook for adaptive experimental designs
+	// (§5 future work; see examples/adaptive-sampling).
 	Sampler func() []float64
 
 	// Seed drives every stochastic component (§3.1).
 	Seed uint64
+}
+
+// problem returns the configured problem, defaulting to the heat equation.
+func (c Config) problem() Problem {
+	if c.Problem != nil {
+		return c.Problem
+	}
+	return Heat()
 }
 
 // DefaultConfig returns a laptop-scale configuration with the paper's
@@ -144,6 +175,9 @@ func (c Config) validate() error {
 	if c.GridN < 1 || c.StepsPerSim < 1 {
 		return fmt.Errorf("melissa: grid %d × steps %d invalid", c.GridN, c.StepsPerSim)
 	}
+	if c.Dt <= 0 {
+		return fmt.Errorf("melissa: Dt=%g must be > 0 — the surrogate's time input degenerates otherwise", c.Dt)
+	}
 	if c.Ranks < 1 || c.BatchSize < 1 {
 		return fmt.Errorf("melissa: ranks %d batch %d invalid", c.Ranks, c.BatchSize)
 	}
@@ -151,6 +185,15 @@ func (c Config) validate() error {
 	case FIFO, FIRO, Reservoir:
 	default:
 		return fmt.Errorf("melissa: unknown buffer policy %q", c.Buffer)
+	}
+	if c.Capacity < 1 {
+		return fmt.Errorf("melissa: buffer Capacity=%d must be ≥ 1", c.Capacity)
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("melissa: buffer Threshold=%d must be ≥ 0", c.Threshold)
+	}
+	if c.Threshold > c.Capacity {
+		return fmt.Errorf("melissa: buffer Threshold=%d exceeds Capacity=%d — extraction could never start", c.Threshold, c.Capacity)
 	}
 	return nil
 }
@@ -173,7 +216,8 @@ type RunResult struct {
 	// UniqueSamples counts distinct time steps trained on.
 	UniqueSamples int
 	// ValidationMSE is the final validation loss (normalized units);
-	// ValidationMSEKelvin the same in Kelvin².
+	// ValidationMSEKelvin the same in the problem's physical units²
+	// (Kelvin² for the heat equation, hence the name).
 	ValidationMSE       float64
 	ValidationMSEKelvin float64
 	// ValidationCurve and TrainCurve are the recorded histories.
@@ -188,20 +232,47 @@ type RunResult struct {
 	ServerRestarts int
 }
 
-// RunOnline executes the full online workflow: launcher, training server,
-// and ensemble clients streaming solver data, with fault tolerance, exactly
-// as described in §3 of the paper — scaled to the local machine (clients
-// and server ranks are processes-in-goroutines connected over loopback
-// TCP).
+// RunOnline executes the full online workflow for the configured problem:
+// launcher, training server, and ensemble clients streaming solver data,
+// with fault tolerance, exactly as described in §3 of the paper — scaled to
+// the local machine (clients and server ranks are processes-in-goroutines
+// connected over loopback TCP).
 func RunOnline(ctx context.Context, cfg Config) (*RunResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	norm := core.NewHeatNormalizer(cfg.GridN*cfg.GridN, float64(cfg.StepsPerSim)*cfg.Dt)
+	prob := cfg.problem()
+	space, err := problemSpace(prob)
+	if err != nil {
+		return nil, err
+	}
+	norm := prob.Normalizer(cfg)
+
+	var design sampling.Sampler
+	if cfg.Sampler != nil {
+		// Validate the custom sampler's dimensionality on its first draw,
+		// before any solver time is spent on the validation set; the drawn
+		// point is replayed so the ensemble stream is unchanged. The
+		// launcher re-checks every subsequent draw.
+		first := cfg.Sampler()
+		if len(first) != space.Dim() {
+			return nil, fmt.Errorf("melissa: custom sampler returned a %d-dimensional point, problem %q wants %d", len(first), prob.Name(), space.Dim())
+		}
+		design = &replaySampler{first: first, rest: funcSampler{dim: space.Dim(), fn: cfg.Sampler}}
+	} else {
+		kind := sampling.Kind(cfg.Design)
+		if cfg.Design == "" {
+			kind = sampling.MonteCarloKind
+		}
+		design, err = sampling.New(kind, space.Dim(), cfg.Seed, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	var valSet *core.ValidationSet
 	if cfg.ValidationSims > 0 {
-		vs, err := generateValidation(cfg, norm)
+		vs, err := generateValidation(cfg, prob, space, norm)
 		if err != nil {
 			return nil, err
 		}
@@ -218,25 +289,10 @@ func RunOnline(ctx context.Context, cfg Config) (*RunResult, error) {
 	var initialWeights []byte
 	if cfg.WarmStart != nil {
 		var buf bytes.Buffer
-		if err := cfg.WarmStart.Save(&buf); err != nil {
+		if err := cfg.WarmStart.net.SaveWeights(&buf); err != nil {
 			return nil, err
 		}
 		initialWeights = buf.Bytes()
-	}
-
-	var design sampling.Sampler
-	if cfg.Sampler != nil {
-		design = funcSampler{dim: 5, fn: cfg.Sampler}
-	} else {
-		kind := sampling.Kind(cfg.Design)
-		if cfg.Design == "" {
-			kind = sampling.MonteCarloKind
-		}
-		var err error
-		design, err = sampling.New(kind, 5, cfg.Seed, 0)
-		if err != nil {
-			return nil, err
-		}
 	}
 
 	lcfg := launcher.Config{
@@ -256,7 +312,7 @@ func RunOnline(ctx context.Context, cfg Config) (*RunResult, error) {
 					OutputDim: norm.OutputDim(),
 					Seed:      cfg.Seed,
 				},
-				Normalizer:       norm,
+				Normalizer:       coreNormalizer(norm),
 				InitialWeights:   initialWeights,
 				LearningRate:     cfg.LearningRate,
 				Schedule:         schedule,
@@ -267,9 +323,11 @@ func RunOnline(ctx context.Context, cfg Config) (*RunResult, error) {
 			WatchdogTimeout: cfg.WatchdogTimeout,
 			CheckpointPath:  cfg.CheckpointPath,
 		},
-		Solver:               solver.Config{N: cfg.GridN, Steps: cfg.StepsPerSim, Dt: cfg.Dt},
+		NewSim:               func(params []float64) (solver.Simulator, error) { return prob.NewSimulator(cfg, params) },
+		Steps:                cfg.StepsPerSim,
+		Dt:                   cfg.Dt,
 		Design:               design,
-		Space:                sampling.HeatSpace(),
+		Space:                space,
 		Simulations:          cfg.Simulations,
 		MaxConcurrentClients: cfg.MaxConcurrentClients,
 		MaxClientRetries:     cfg.MaxClientRetries,
@@ -286,11 +344,7 @@ func RunOnline(ctx context.Context, cfg Config) (*RunResult, error) {
 
 	m := res.Metrics
 	out := &RunResult{
-		Surrogate: &Surrogate{
-			net:   res.Network,
-			norm:  norm,
-			gridN: cfg.GridN,
-		},
+		Surrogate:      newSurrogate(res.Network, norm, surrogateMeta(cfg, prob)),
 		Batches:        m.Batches(),
 		Samples:        m.Samples(),
 		UniqueSamples:  len(m.Occurrences()),
@@ -301,7 +355,7 @@ func RunOnline(ctx context.Context, cfg Config) (*RunResult, error) {
 	}
 	if v, ok := m.FinalValidation(); ok {
 		out.ValidationMSE = v
-		out.ValidationMSEKelvin = norm.KelvinMSE(v)
+		out.ValidationMSEKelvin = norm.RawMSE(v)
 	}
 	for _, p := range m.Validation() {
 		out.ValidationCurve = append(out.ValidationCurve, Point{Batch: p.Batch, Samples: p.Samples, MSE: p.Value})
@@ -312,73 +366,57 @@ func RunOnline(ctx context.Context, cfg Config) (*RunResult, error) {
 	return out, nil
 }
 
-// funcSampler adapts a user draw function to the sampling interface.
+// funcSampler adapts a user draw function to the sampling interface. Draw
+// dimensionality is validated by the launcher, which surfaces a mismatch
+// as an error from RunOnline instead of a panic mid-ensemble.
 type funcSampler struct {
 	dim int
 	fn  func() []float64
 }
 
-func (f funcSampler) Next() []float64 {
-	p := f.fn()
-	if len(p) != f.dim {
-		panic(fmt.Sprintf("melissa: custom sampler returned %d dims, want %d", len(p), f.dim))
-	}
-	return p
-}
+func (f funcSampler) Next() []float64 { return f.fn() }
 
 func (f funcSampler) Dim() int { return f.dim }
 
+// replaySampler re-emits the point consumed by the up-front dimensionality
+// check before delegating to the live stream.
+type replaySampler struct {
+	first []float64
+	rest  funcSampler
+}
+
+func (r *replaySampler) Next() []float64 {
+	if r.first != nil {
+		p := r.first
+		r.first = nil
+		return p
+	}
+	return r.rest.Next()
+}
+
+func (r *replaySampler) Dim() int { return r.rest.Dim() }
+
 // generateValidation produces the held-out set with a decorrelated design
 // stream.
-func generateValidation(cfg Config, norm core.HeatNormalizer) (*core.ValidationSet, error) {
-	design := sampling.NewMonteCarlo(5, cfg.Seed^0x5eed0ff5)
-	space := sampling.HeatSpace()
+func generateValidation(cfg Config, prob Problem, space sampling.Space, norm Normalizer) (*core.ValidationSet, error) {
+	design := sampling.NewMonteCarlo(space.Dim(), cfg.Seed^0x5eed0ff5)
 	var samples []buffer.Sample
 	for i := 0; i < cfg.ValidationSims; i++ {
-		p, err := solver.ParamsFromVector(space.Scale(design.Next()))
-		if err != nil {
-			return nil, err
-		}
-		sim, err := solver.New(solver.Config{N: cfg.GridN, Steps: cfg.StepsPerSim, Dt: cfg.Dt}, p)
-		if err != nil {
-			return nil, err
-		}
-		base := p.Vector()
-		err = sim.Run(func(step int, field []float64) {
-			input := make([]float32, 0, 6)
-			for _, v := range base {
-				input = append(input, float32(v))
-			}
-			input = append(input, float32(float64(step)*cfg.Dt))
-			out := make([]float32, len(field))
-			for j, v := range field {
-				out[j] = float32(v)
-			}
-			samples = append(samples, buffer.Sample{SimID: -1 - i, Step: step, Input: input, Output: out})
+		params := space.Scale(design.Next())
+		err := streamSteps(cfg, prob, params, func(step int, input, output []float32) error {
+			samples = append(samples, buffer.Sample{SimID: -1 - i, Step: step, Input: input, Output: output})
+			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
-	return core.NewValidationSet(norm, samples), nil
+	return core.NewValidationSet(coreNormalizer(norm), samples), nil
 }
 
 // Solve runs the reference heat-equation solver directly, returning the
-// temperature field after each step — the ground truth that examples
-// compare surrogate predictions against.
+// temperature field after each step — the typed convenience over
+// Simulate(Heat(), ...).
 func Solve(p HeatParams, gridN, steps int, dt float64) ([][]float64, error) {
-	sim, err := solver.New(solver.Config{N: gridN, Steps: steps, Dt: dt}, p.toSolver())
-	if err != nil {
-		return nil, err
-	}
-	var fields [][]float64
-	err = sim.Run(func(_ int, field []float64) {
-		cp := make([]float64, len(field))
-		copy(cp, field)
-		fields = append(fields, cp)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return fields, nil
+	return Simulate(Heat(), Config{GridN: gridN, StepsPerSim: steps, Dt: dt}, p.Vector())
 }

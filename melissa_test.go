@@ -31,6 +31,12 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Ranks = 0 },
 		func(c *Config) { c.BatchSize = 0 },
 		func(c *Config) { c.Buffer = "bogus" },
+		func(c *Config) { c.Dt = 0 },
+		func(c *Config) { c.Dt = -0.01 },
+		func(c *Config) { c.Capacity = 0 },
+		func(c *Config) { c.Capacity = -5 },
+		func(c *Config) { c.Threshold = -1 },
+		func(c *Config) { c.Threshold = c.Capacity + 1 },
 	}
 	for i, mutate := range bad {
 		cfg := tinyConfig()
@@ -73,7 +79,7 @@ func TestRunOnlineEndToEnd(t *testing.T) {
 	// The surrogate predicts fields of the right shape within the
 	// physically plausible range (trained on [100,500] K).
 	p := HeatParams{TIC: 300, TX1: 200, TY1: 400, TX2: 250, TY2: 350}
-	field := res.Surrogate.Predict(p, 0.04)
+	field := res.Surrogate.PredictHeat(p, 0.04)
 	if len(field) != cfg.GridN*cfg.GridN {
 		t.Fatalf("field length %d", len(field))
 	}
@@ -116,13 +122,16 @@ func TestSurrogateSaveLoadRoundtrip(t *testing.T) {
 	if err := res.Surrogate.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadSurrogate(&buf, cfg.GridN, cfg.StepsPerSim, cfg.Dt, cfg.Hidden, cfg.Seed)
+	loaded, err := LoadSurrogate(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if m := loaded.Meta(); m.Problem != HeatName || m.GridN != cfg.GridN || m.StepsPerSim != cfg.StepsPerSim {
+		t.Fatalf("metadata not restored: %+v", m)
+	}
 	p := HeatParams{TIC: 150, TX1: 450, TY1: 300, TX2: 200, TY2: 380}
-	a := res.Surrogate.Predict(p, 0.05)
-	b := loaded.Predict(p, 0.05)
+	a := res.Surrogate.PredictHeat(p, 0.05)
+	b := loaded.PredictHeat(p, 0.05)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatal("loaded surrogate predicts differently")
@@ -140,20 +149,23 @@ func TestPredictBatchMatchesSingle(t *testing.T) {
 		{TIC: 120, TX1: 480, TY1: 160, TX2: 440, TY2: 220},
 	}
 	ts := []float64{0.02, 0.06}
-	batch, err := res.Surrogate.PredictBatch(ps, ts)
+	batch, err := res.Surrogate.PredictBatchHeat(ps, ts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range ps {
-		single := res.Surrogate.Predict(ps[i], ts[i])
+		single := res.Surrogate.PredictHeat(ps[i], ts[i])
 		for j := range single {
 			if math.Abs(single[j]-batch[i][j]) > 1e-3 {
 				t.Fatalf("batch/single mismatch at %d/%d: %v vs %v", i, j, batch[i][j], single[j])
 			}
 		}
 	}
-	if _, err := res.Surrogate.PredictBatch(ps, ts[:1]); err == nil {
+	if _, err := res.Surrogate.PredictBatchHeat(ps, ts[:1]); err == nil {
 		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := res.Surrogate.PredictBatch([][]float64{{1, 2}}, []float64{0.1}); err == nil {
+		t.Fatal("expected parameter-dimension error")
 	}
 }
 

@@ -13,7 +13,6 @@ import (
 	"melissa/internal/nn"
 	"melissa/internal/opt"
 	"melissa/internal/sampling"
-	"melissa/internal/solver"
 	"melissa/internal/tensor"
 )
 
@@ -30,20 +29,21 @@ type DatasetInfo struct {
 // a server — the paper's offline data-generation mode (§4.6: "the
 // framework reveals itself also useful to quickly generate datasets by
 // leveraging the parallelism of its clients"). Generation is parallel
-// across MaxConcurrentClients solver instances.
+// across MaxConcurrentClients solver instances and works for any
+// configured Problem.
 func GenerateDataset(ctx context.Context, cfg Config, dir string) (*DatasetInfo, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	design := sampling.NewMonteCarlo(5, cfg.Seed)
-	space := sampling.HeatSpace()
-	params := make([]solver.Params, cfg.Simulations)
+	prob := cfg.problem()
+	space, err := problemSpace(prob)
+	if err != nil {
+		return nil, err
+	}
+	design := sampling.NewMonteCarlo(space.Dim(), cfg.Seed)
+	params := make([][]float64, cfg.Simulations)
 	for i := range params {
-		p, err := solver.ParamsFromVector(space.Scale(design.Next()))
-		if err != nil {
-			return nil, err
-		}
-		params[i] = p
+		params[i] = space.Scale(design.Next())
 	}
 
 	concurrency := cfg.MaxConcurrentClients
@@ -63,7 +63,7 @@ func GenerateDataset(ctx context.Context, cfg Config, dir string) (*DatasetInfo,
 		go func(sim int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[sim] = writeSimulation(dir, sim, cfg, params[sim])
+			errs[sim] = writeSimulation(dir, sim, cfg, prob, params[sim])
 		}(sim)
 	}
 	wg.Wait()
@@ -86,29 +86,13 @@ func GenerateDataset(ctx context.Context, cfg Config, dir string) (*DatasetInfo,
 	}, nil
 }
 
-func writeSimulation(dir string, simID int, cfg Config, p solver.Params) error {
-	sim, err := solver.New(solver.Config{N: cfg.GridN, Steps: cfg.StepsPerSim, Dt: cfg.Dt}, p)
+func writeSimulation(dir string, simID int, cfg Config, prob Problem, params []float64) error {
+	w, err := dataset.Create(dir, simID, cfg.StepsPerSim, len(params)+1, fieldDim(prob, cfg))
 	if err != nil {
 		return err
 	}
-	w, err := dataset.Create(dir, simID, cfg.StepsPerSim, 6, cfg.GridN*cfg.GridN)
-	if err != nil {
-		return err
-	}
-	base := p.Vector()
-	err = sim.Run(func(step int, field []float64) {
-		input := make([]float32, 0, 6)
-		for _, v := range base {
-			input = append(input, float32(v))
-		}
-		input = append(input, float32(float64(step)*cfg.Dt))
-		out := make([]float32, len(field))
-		for i, v := range field {
-			out[i] = float32(v)
-		}
-		if werr := w.WriteStep(input, out); werr != nil && err == nil {
-			err = werr
-		}
+	err = streamSteps(cfg, prob, params, func(_ int, input, output []float32) error {
+		return w.WriteStep(input, output)
 	})
 	if err != nil {
 		return err
@@ -134,11 +118,21 @@ func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWor
 	}
 	defer ds.Close()
 
-	norm := core.NewHeatNormalizer(cfg.GridN*cfg.GridN, float64(cfg.StepsPerSim)*cfg.Dt)
+	prob := cfg.problem()
+	space, err := problemSpace(prob)
+	if err != nil {
+		return nil, err
+	}
+	norm := prob.Normalizer(cfg)
+	if inDim, fDim := ds.Dims(); inDim != norm.InputDim() || fDim != norm.OutputDim() {
+		return nil, fmt.Errorf("melissa: dataset %s has %d-dim inputs and %d-value fields, problem %q expects %d/%d — generated for a different problem or geometry?",
+			dir, inDim, fDim, prob.Name(), norm.InputDim(), norm.OutputDim())
+	}
+	cnorm := coreNormalizer(norm)
 	net := nn.ArchitectureMLP(norm.InputDim(), cfg.Hidden, norm.OutputDim(), cfg.Seed)
 	if cfg.WarmStart != nil {
 		var buf bytes.Buffer
-		if err := cfg.WarmStart.Save(&buf); err != nil {
+		if err := cfg.WarmStart.net.SaveWeights(&buf); err != nil {
 			return nil, err
 		}
 		if err := net.LoadWeights(&buf); err != nil {
@@ -148,7 +142,7 @@ func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWor
 
 	var valSet *core.ValidationSet
 	if cfg.ValidationSims > 0 {
-		valSet, err = generateValidation(cfg, norm)
+		valSet, err = generateValidation(cfg, prob, space, norm)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +174,7 @@ func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWor
 			batchIn.ViewRows(&inView, 0, len(batch))
 			batchOut.ViewRows(&outView, 0, len(batch))
 			bi, bo := &inView, &outView
-			core.BuildBatch(norm, batch, bi, bo)
+			core.BuildBatch(cnorm, batch, bi, bo)
 			net.ZeroGrad()
 			pred := net.Forward(bi)
 			loss := lossFn.Forward(pred, bo)
@@ -201,7 +195,7 @@ func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWor
 	metrics.Finish()
 
 	out := &RunResult{
-		Surrogate:     &Surrogate{net: net, norm: norm, gridN: cfg.GridN},
+		Surrogate:     newSurrogate(net, norm, surrogateMeta(cfg, prob)),
 		Batches:       metrics.Batches(),
 		Samples:       metrics.Samples(),
 		UniqueSamples: ds.Len(),
@@ -212,7 +206,7 @@ func TrainOffline(ctx context.Context, cfg Config, dir string, epochs, loaderWor
 		v := core.Validate(net, valSet, cfg.BatchSize*4)
 		metrics.RecordValidation(metrics.Batches(), metrics.Samples(), v)
 		out.ValidationMSE = v
-		out.ValidationMSEKelvin = norm.KelvinMSE(v)
+		out.ValidationMSEKelvin = norm.RawMSE(v)
 	}
 	for _, p := range metrics.Validation() {
 		out.ValidationCurve = append(out.ValidationCurve, Point{Batch: p.Batch, Samples: p.Samples, MSE: p.Value})

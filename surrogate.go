@@ -1,77 +1,154 @@
 package melissa
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"sync"
 
-	"melissa/internal/core"
 	"melissa/internal/nn"
 	"melissa/internal/tensor"
 )
 
-// Surrogate is a trained direct deep surrogate of the heat equation: given
-// the simulation parameters and a physical time, it predicts the full
-// temperature field in one forward pass (§2.1 "direct models":
+// Surrogate is a trained direct deep surrogate of a simulation problem:
+// given the design parameters and a physical time, it predicts the full
+// flattened field in one forward pass (§2.1 "direct models":
 // f_θ(X, t) ≈ u_t^X).
 type Surrogate struct {
-	net   *nn.Network
-	norm  core.HeatNormalizer
-	gridN int
+	net  *nn.Network
+	norm Normalizer
+	meta Meta
+
+	// Prediction scratch: the input row, the raw input staging buffer and
+	// the denormalization buffer are reused across Predict calls so the
+	// steady-state single-query path performs no heap allocations.
+	mu     sync.Mutex
+	rawIn  []float32
+	in     *tensor.Matrix
+	outBuf []float32
 }
 
+// Meta describes a surrogate's provenance: the problem it models and the
+// architecture hyperparameters needed to rebuild the network. Save embeds
+// it in checkpoints so LoadSurrogate needs no further arguments.
+type Meta struct {
+	Problem     string
+	GridN       int
+	StepsPerSim int
+	Dt          float64
+	Hidden      []int
+	Seed        uint64
+}
+
+func surrogateMeta(cfg Config, prob Problem) Meta {
+	return Meta{
+		Problem:     prob.Name(),
+		GridN:       cfg.GridN,
+		StepsPerSim: cfg.StepsPerSim,
+		Dt:          cfg.Dt,
+		Hidden:      append([]int(nil), cfg.Hidden...),
+		Seed:        cfg.Seed,
+	}
+}
+
+func newSurrogate(net *nn.Network, norm Normalizer, meta Meta) *Surrogate {
+	return &Surrogate{
+		net:    net,
+		norm:   norm,
+		meta:   meta,
+		rawIn:  make([]float32, norm.InputDim()),
+		in:     tensor.New(1, norm.InputDim()),
+		outBuf: make([]float32, norm.OutputDim()),
+	}
+}
+
+// Meta returns the surrogate's provenance record.
+func (s *Surrogate) Meta() Meta { return s.meta }
+
 // GridN returns the predicted field's side length.
-func (s *Surrogate) GridN() int { return s.gridN }
+func (s *Surrogate) GridN() int { return s.meta.GridN }
+
+// ParamDim returns the number of design parameters Predict expects.
+func (s *Surrogate) ParamDim() int { return s.norm.InputDim() - 1 }
+
+// OutputDim returns the flattened field length Predict returns.
+func (s *Surrogate) OutputDim() int { return s.norm.OutputDim() }
 
 // NumParams returns the number of learnable parameters.
 func (s *Surrogate) NumParams() int { return s.net.NumParams() }
 
-// Predict returns the temperature field (Kelvin, row-major gridN×gridN) at
-// physical time t seconds for the given parameters.
-func (s *Surrogate) Predict(p HeatParams, t float64) []float64 {
-	in := tensor.New(1, s.norm.InputDim())
-	space := s.norm.Space
-	raw := []float64{p.TIC, p.TX1, p.TY1, p.TX2, p.TY2}
-	for i, v := range raw {
-		in.Set(0, i, float32((v-space.Min[i])/(space.Max[i]-space.Min[i])))
+// Predict returns the physical field (flattened, problem geometry) at
+// physical time t for the given design parameters (in the problem's
+// canonical order). It panics if len(params) differs from ParamDim.
+func (s *Surrogate) Predict(params []float64, t float64) []float64 {
+	return s.PredictInto(nil, params, t)
+}
+
+// PredictHeat is the typed heat-equation convenience over Predict.
+func (s *Surrogate) PredictHeat(p HeatParams, t float64) []float64 {
+	return s.Predict(p.Vector(), t)
+}
+
+// PredictInto is Predict with a caller-supplied destination: dst is grown
+// as needed and returned. With a destination of sufficient capacity the
+// steady-state call performs no heap allocations — the hot path for dense
+// parameter sweeps. Safe for concurrent use (calls serialize on an
+// internal scratch lock).
+func (s *Surrogate) PredictInto(dst []float64, params []float64, t float64) []float64 {
+	if len(params) != s.ParamDim() {
+		panic(fmt.Sprintf("melissa: Predict got %d parameters, problem %q wants %d", len(params), s.meta.Problem, s.ParamDim()))
 	}
-	if s.norm.TimeMax > 0 {
-		in.Set(0, len(raw), float32(t/s.norm.TimeMax))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, v := range params {
+		s.rawIn[i] = float32(v)
 	}
-	pred := s.net.Forward(in)
-	out := make([]float32, len(pred.Data))
-	copy(out, pred.Data)
-	s.norm.DenormalizeField(out)
-	field := make([]float64, len(out))
-	for i, v := range out {
-		field[i] = float64(v)
+	s.rawIn[len(params)] = float32(t)
+	s.norm.NormalizeInput(s.rawIn, s.in.Data)
+	pred := s.net.Forward(s.in)
+	copy(s.outBuf, pred.Data)
+	s.norm.DenormalizeField(s.outBuf)
+	width := s.norm.OutputDim()
+	if cap(dst) < width {
+		dst = make([]float64, width)
 	}
-	return field
+	dst = dst[:width]
+	for i, v := range s.outBuf {
+		dst[i] = float64(v)
+	}
+	return dst
 }
 
 // PredictBatch evaluates many (params, time) queries in one forward pass,
 // amortizing the matrix multiplies — this is where the surrogate's
 // orders-of-magnitude speedup over the solver comes from.
-func (s *Surrogate) PredictBatch(ps []HeatParams, ts []float64) ([][]float64, error) {
-	if len(ps) != len(ts) {
-		return nil, fmt.Errorf("melissa: %d params for %d times", len(ps), len(ts))
+func (s *Surrogate) PredictBatch(params [][]float64, ts []float64) ([][]float64, error) {
+	if len(params) != len(ts) {
+		return nil, fmt.Errorf("melissa: %d params for %d times", len(params), len(ts))
 	}
-	in := tensor.New(len(ps), s.norm.InputDim())
-	space := s.norm.Space
-	for r, p := range ps {
-		raw := []float64{p.TIC, p.TX1, p.TY1, p.TX2, p.TY2}
-		for i, v := range raw {
-			in.Set(r, i, float32((v-space.Min[i])/(space.Max[i]-space.Min[i])))
+	dim := s.ParamDim()
+	in := tensor.New(len(params), s.norm.InputDim())
+	raw := make([]float32, s.norm.InputDim())
+	for r, p := range params {
+		if len(p) != dim {
+			return nil, fmt.Errorf("melissa: query %d has %d parameters, problem %q wants %d", r, len(p), s.meta.Problem, dim)
 		}
-		if s.norm.TimeMax > 0 {
-			in.Set(r, len(raw), float32(ts[r]/s.norm.TimeMax))
+		for i, v := range p {
+			raw[i] = float32(v)
 		}
+		raw[dim] = float32(ts[r])
+		s.norm.NormalizeInput(raw, in.Row(r))
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	pred := s.net.Forward(in)
-	out := make([][]float64, len(ps))
+	out := make([][]float64, len(params))
 	width := s.norm.OutputDim()
+	row := make([]float32, width)
 	for r := range out {
-		row := make([]float32, width)
 		copy(row, pred.Data[r*width:(r+1)*width])
 		s.norm.DenormalizeField(row)
 		field := make([]float64, width)
@@ -83,39 +160,230 @@ func (s *Surrogate) PredictBatch(ps []HeatParams, ts []float64) ([][]float64, er
 	return out, nil
 }
 
-// Save writes the surrogate weights to w (the nn checkpoint format).
-func (s *Surrogate) Save(w io.Writer) error { return s.net.SaveWeights(w) }
+// PredictBatchHeat is the typed heat-equation convenience over
+// PredictBatch.
+func (s *Surrogate) PredictBatchHeat(ps []HeatParams, ts []float64) ([][]float64, error) {
+	vecs := make([][]float64, len(ps))
+	for i, p := range ps {
+		vecs[i] = p.Vector()
+	}
+	return s.PredictBatch(vecs, ts)
+}
 
-// SaveFile writes the surrogate weights to path.
+// Checkpoint metadata block: it precedes the nn weight payload so saved
+// surrogates are self-describing —
+//
+//	magic "MLSG" | version u32 | problem string | gridN u32 | steps u32 |
+//	dt f64 | hiddenCount u32 | hidden u32... | seed u64 | nn weights
+//
+// Weight payloads without the block (the server's raw checkpoints, files
+// from before the metadata header) still load through the legacy loaders,
+// which take the architecture explicitly.
+const (
+	surrogateMagic   = "MLSG"
+	surrogateVersion = 1
+)
+
+// Save writes the surrogate to w: the metadata block followed by the
+// network weights, so LoadSurrogate can reconstruct it without any
+// architecture arguments.
+func (s *Surrogate) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(surrogateMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(surrogateVersion)); err != nil {
+		return err
+	}
+	if err := writeString(bw, s.meta.Problem); err != nil {
+		return err
+	}
+	for _, v := range []uint32{uint32(s.meta.GridN), uint32(s.meta.StepsPerSim)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(s.meta.Dt)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(s.meta.Hidden))); err != nil {
+		return err
+	}
+	for _, h := range s.meta.Hidden {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(h)); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, s.meta.Seed); err != nil {
+		return err
+	}
+	if err := s.net.SaveWeights(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the surrogate (metadata + weights) to path.
 func (s *Surrogate) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := s.net.SaveWeights(f); err != nil {
+	if err := s.Save(f); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// LoadSurrogate reconstructs a surrogate from saved weights. The
-// architecture parameters must match those used in training.
-func LoadSurrogate(r io.Reader, gridN, stepsPerSim int, dt float64, hidden []int, seed uint64) (*Surrogate, error) {
-	norm := core.NewHeatNormalizer(gridN*gridN, float64(stepsPerSim)*dt)
-	net := nn.ArchitectureMLP(norm.InputDim(), hidden, norm.OutputDim(), seed)
-	if err := net.LoadWeights(r); err != nil {
+// LoadSurrogate reconstructs a surrogate from a checkpoint written by Save.
+// The embedded metadata names the problem (resolved through the registry)
+// and the architecture, so no further arguments are needed. For raw weight
+// payloads without metadata, use LoadSurrogateLegacy.
+func LoadSurrogate(r io.Reader) (*Surrogate, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("melissa: reading checkpoint magic: %w", err)
+	}
+	if string(magic) != surrogateMagic {
+		return nil, fmt.Errorf("melissa: checkpoint has no metadata block (magic %q) — re-read the payload with LoadSurrogateLegacy and an explicit architecture (this reader has already been partially consumed)", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return nil, err
 	}
-	return &Surrogate{net: net, norm: norm, gridN: gridN}, nil
+	if version != surrogateVersion {
+		return nil, fmt.Errorf("melissa: unsupported surrogate checkpoint version %d", version)
+	}
+	probName, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var gridN, steps uint32
+	if err := binary.Read(br, binary.LittleEndian, &gridN); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &steps); err != nil {
+		return nil, err
+	}
+	if gridN < 1 || gridN > 1<<16 {
+		return nil, fmt.Errorf("melissa: unreasonable checkpoint grid size %d", gridN)
+	}
+	if steps < 1 || steps > 1<<30 {
+		return nil, fmt.Errorf("melissa: unreasonable checkpoint step count %d", steps)
+	}
+	var dtBits uint64
+	if err := binary.Read(br, binary.LittleEndian, &dtBits); err != nil {
+		return nil, err
+	}
+	var hiddenCount uint32
+	if err := binary.Read(br, binary.LittleEndian, &hiddenCount); err != nil {
+		return nil, err
+	}
+	if hiddenCount > 1<<10 {
+		return nil, fmt.Errorf("melissa: unreasonable hidden layer count %d", hiddenCount)
+	}
+	hidden := make([]int, hiddenCount)
+	for i := range hidden {
+		var h uint32
+		if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+			return nil, err
+		}
+		if h < 1 || h > 1<<20 {
+			return nil, fmt.Errorf("melissa: unreasonable checkpoint hidden width %d", h)
+		}
+		hidden[i] = int(h)
+	}
+	var seed uint64
+	if err := binary.Read(br, binary.LittleEndian, &seed); err != nil {
+		return nil, err
+	}
+
+	prob, err := ProblemByName(probName)
+	if err != nil {
+		return nil, fmt.Errorf("melissa: checkpoint problem: %w", err)
+	}
+	meta := Meta{
+		Problem:     probName,
+		GridN:       int(gridN),
+		StepsPerSim: int(steps),
+		Dt:          math.Float64frombits(dtBits),
+		Hidden:      hidden,
+		Seed:        seed,
+	}
+	cfg := Config{
+		Problem:     prob,
+		GridN:       meta.GridN,
+		StepsPerSim: meta.StepsPerSim,
+		Dt:          meta.Dt,
+		Hidden:      hidden,
+		Seed:        seed,
+	}
+	norm := prob.Normalizer(cfg)
+	net := nn.ArchitectureMLP(norm.InputDim(), hidden, norm.OutputDim(), seed)
+	if err := net.LoadWeights(br); err != nil {
+		return nil, err
+	}
+	return newSurrogate(net, norm, meta), nil
 }
 
-// LoadSurrogateFile reads a surrogate from a weights file.
-func LoadSurrogateFile(path string, gridN, stepsPerSim int, dt float64, hidden []int, seed uint64) (*Surrogate, error) {
+// LoadSurrogateFile reads a self-describing surrogate checkpoint from path.
+func LoadSurrogateFile(path string) (*Surrogate, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return LoadSurrogate(f, gridN, stepsPerSim, dt, hidden, seed)
+	return LoadSurrogate(f)
+}
+
+// LoadSurrogateLegacy reconstructs a heat-equation surrogate from a raw
+// weight payload without a metadata block (a server checkpoint, or a file
+// saved before metadata existed). The architecture parameters must match
+// those used in training.
+func LoadSurrogateLegacy(r io.Reader, gridN, stepsPerSim int, dt float64, hidden []int, seed uint64) (*Surrogate, error) {
+	prob := Heat()
+	cfg := Config{Problem: prob, GridN: gridN, StepsPerSim: stepsPerSim, Dt: dt, Hidden: hidden, Seed: seed}
+	norm := prob.Normalizer(cfg)
+	net := nn.ArchitectureMLP(norm.InputDim(), hidden, norm.OutputDim(), seed)
+	if err := net.LoadWeights(r); err != nil {
+		return nil, err
+	}
+	meta := Meta{Problem: prob.Name(), GridN: gridN, StepsPerSim: stepsPerSim, Dt: dt, Hidden: append([]int(nil), hidden...), Seed: seed}
+	return newSurrogate(net, norm, meta), nil
+}
+
+// LoadSurrogateLegacyFile reads a raw heat-equation weights file.
+func LoadSurrogateLegacyFile(path string, gridN, stepsPerSim int, dt float64, hidden []int, seed uint64) (*Surrogate, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSurrogateLegacy(f, gridN, stepsPerSim, dt, hidden, seed)
+}
+
+// writeString / readString mirror the nn checkpoint string encoding.
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("melissa: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
 }

@@ -1,0 +1,188 @@
+package melissa
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"melissa/internal/nn"
+)
+
+// freshSurrogate builds an untrained (seeded random) surrogate for a
+// problem — checkpoint and prediction mechanics don't need a training run.
+func freshSurrogate(prob Problem) *Surrogate {
+	cfg := DefaultConfig()
+	cfg.Problem = prob
+	cfg.GridN = 8
+	cfg.StepsPerSim = 6
+	cfg.Hidden = []int{24, 24}
+	if prob.Name() == GrayScottName {
+		cfg.Dt = 1
+	}
+	norm := prob.Normalizer(cfg)
+	net := nn.ArchitectureMLP(norm.InputDim(), cfg.Hidden, norm.OutputDim(), cfg.Seed)
+	return newSurrogate(net, norm, surrogateMeta(cfg, prob))
+}
+
+// midPoint returns a mid-range parameter vector for a problem.
+func midPoint(prob Problem) []float64 {
+	min, max := prob.ParamBounds()
+	p := make([]float64, len(min))
+	for i := range p {
+		p[i] = (min[i] + max[i]) / 2
+	}
+	return p
+}
+
+// TestCheckpointRoundTripBothProblems: Save → LoadSurrogate must restore a
+// bit-identical predictor for every registered problem, with no
+// architecture arguments supplied at load time.
+func TestCheckpointRoundTripBothProblems(t *testing.T) {
+	for _, name := range Problems() {
+		prob, err := ProblemByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := freshSurrogate(prob)
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		loaded, err := LoadSurrogate(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if loaded.Meta().Problem != name {
+			t.Fatalf("%s: restored as %q", name, loaded.Meta().Problem)
+		}
+		p := midPoint(prob)
+		a := s.Predict(p, 3)
+		b := loaded.Predict(p, 3)
+		if len(a) != len(b) || len(a) != s.OutputDim() {
+			t.Fatalf("%s: prediction shapes %d/%d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: loaded surrogate predicts differently at %d: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestLegacyWeightsCompat: raw v2 nn payloads (no metadata block) still
+// load through the legacy signature, bit-identically.
+func TestLegacyWeightsCompat(t *testing.T) {
+	s := freshSurrogate(Heat())
+	var raw bytes.Buffer
+	if err := s.net.SaveWeights(&raw); err != nil { // what a server checkpoint holds
+		t.Fatal(err)
+	}
+	payload := raw.Bytes()
+
+	// The metadata-aware loader must reject it with a pointer to the
+	// legacy path, not misparse it.
+	if _, err := LoadSurrogate(bytes.NewReader(payload)); err == nil {
+		t.Fatal("LoadSurrogate accepted a raw weights payload")
+	}
+
+	m := s.Meta()
+	loaded, err := LoadSurrogateLegacy(bytes.NewReader(payload), m.GridN, m.StepsPerSim, m.Dt, m.Hidden, m.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := midPoint(Heat())
+	a := s.Predict(p, 0.03)
+	b := loaded.Predict(p, 0.03)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("legacy-loaded surrogate predicts differently at %d", i)
+		}
+	}
+}
+
+// TestTrainedCheckpointRoundTrip covers the full path: an online-trained
+// Gray–Scott surrogate survives SaveFile/LoadSurrogateFile bit-identically.
+func TestTrainedCheckpointRoundTrip(t *testing.T) {
+	cfg := tinyGrayScottConfig()
+	res, err := RunOnline(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/gs.surrogate"
+	if err := res.Surrogate.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSurrogateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := midPoint(GrayScott())
+	a := res.Surrogate.Predict(p, 4)
+	b := loaded.Predict(p, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trained round-trip diverged at %d", i)
+		}
+	}
+}
+
+// TestPredictZeroAlloc is the allocation gate for the satellite scratch
+// path: steady-state PredictInto with a reused destination must not touch
+// the heap.
+func TestPredictZeroAlloc(t *testing.T) {
+	s := freshSurrogate(Heat())
+	params := midPoint(Heat())
+	dst := make([]float64, 0, s.OutputDim())
+	// Warm up the network's pooled activations for the 1-row shape.
+	dst = s.PredictInto(dst, params, 0.02)
+	dst = s.PredictInto(dst, params, 0.02)
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = s.PredictInto(dst, params, 0.02)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictInto allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	s := freshSurrogate(GrayScott())
+	params := midPoint(GrayScott())
+	a := s.Predict(params, 2)
+	dst := make([]float64, 3) // too short: must be grown, not truncated
+	b := s.PredictInto(dst, params, 2)
+	if len(b) != s.OutputDim() {
+		t.Fatalf("PredictInto returned %d values", len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("PredictInto diverges from Predict at %d", i)
+		}
+	}
+}
+
+func TestPredictWrongDimPanics(t *testing.T) {
+	s := freshSurrogate(Heat())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong parameter count")
+		}
+	}()
+	s.Predict([]float64{1, 2}, 0.1)
+}
+
+// BenchmarkPredict measures the single-query hot path with the reusable
+// scratch destination — the companion of the allocation gate above.
+func BenchmarkPredict(b *testing.B) {
+	cfg := DefaultConfig()
+	norm := Heat().Normalizer(cfg)
+	net := nn.ArchitectureMLP(norm.InputDim(), cfg.Hidden, norm.OutputDim(), cfg.Seed)
+	s := newSurrogate(net, norm, surrogateMeta(cfg, Heat()))
+	params := midPoint(Heat())
+	dst := make([]float64, 0, s.OutputDim())
+	dst = s.PredictInto(dst, params, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.PredictInto(dst, params, 0.05)
+	}
+}
