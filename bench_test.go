@@ -1,4 +1,4 @@
-package melissa
+package melissa_test
 
 // One benchmark per table and figure of the paper's evaluation (§4), plus
 // the ablations DESIGN.md calls out. Each benchmark executes the experiment
@@ -10,12 +10,17 @@ package melissa
 // cluster runs on the discrete-event simulator at full scale; quality
 // experiments run real training at the MELISSA_SCALE preset
 // (tiny|default|large, default "default").
+//
+// This file lives in the external test package: internal/experiments
+// imports melissa (for the Problem API), so importing it from an
+// in-package test would cycle.
 
 import (
 	"context"
 	"os"
 	"testing"
 
+	"melissa"
 	"melissa/internal/buffer"
 	"melissa/internal/experiments"
 )
@@ -246,14 +251,14 @@ func BenchmarkCostAnalysis(b *testing.B) {
 // scale — the system the examples exercise, as opposed to the simulated
 // cluster above.
 func BenchmarkLiveOnlineTraining(b *testing.B) {
-	cfg := DefaultConfig()
+	cfg := melissa.DefaultConfig()
 	cfg.Simulations = 8
 	cfg.GridN = 12
 	cfg.StepsPerSim = 10
 	cfg.ValidationSims = 0
 	cfg.Hidden = []int{32}
 	for i := 0; i < b.N; i++ {
-		res, err := RunOnline(context.Background(), cfg)
+		res, err := melissa.RunOnline(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 //
 //	melissa-bench -experiment all -scale default [-csv out/]
 //	melissa-bench -experiment fig2
+//	melissa-bench -experiment fig4 -problem gray-scott
 //	melissa-bench -experiment table2 -quality=false
 package main
 
@@ -13,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"melissa"
 	"melissa/internal/experiments"
 )
 
@@ -21,6 +24,8 @@ func main() {
 	var (
 		experiment = flag.String("experiment", "all", "fig2|fig3|fig4|fig5|fig6|table1|table2|appendixA|cost|ablations|all")
 		scaleName  = flag.String("scale", "default", "quality-experiment scale: tiny|default|large")
+		problem    = flag.String("problem", "heat", "registered problem for quality experiments ("+strings.Join(melissa.Problems(), "|")+")")
+		dt         = flag.Float64("dt", 0, "solver time step for quality experiments (0 = problem default)")
 		csvDir     = flag.String("csv", "", "directory for CSV series dumps (optional)")
 		quality    = flag.Bool("quality", true, "include real-training MSE columns in table1/table2")
 	)
@@ -29,6 +34,19 @@ func main() {
 	scale, err := experiments.ScaleByName(*scaleName)
 	if err != nil {
 		fatal(err)
+	}
+	prob, err := melissa.ProblemByName(*problem)
+	if err != nil {
+		fatal(err)
+	}
+	scale.Problem = prob
+	// The scale presets carry the heat equation's Dt; other problems have
+	// their own stable step size, so resolve the default per problem
+	// instead of silently running a near-static ensemble.
+	if *dt > 0 {
+		scale.Dt = *dt
+	} else {
+		scale.Dt = melissa.DefaultDtFor(prob)
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

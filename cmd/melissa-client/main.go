@@ -25,7 +25,7 @@ func main() {
 		problem  = flag.String("problem", "heat", "registered problem to simulate ("+strings.Join(melissa.Problems(), "|")+")")
 		gridN    = flag.Int("grid", 16, "solver grid side")
 		steps    = flag.Int("steps", 20, "time steps to produce")
-		dt       = flag.Float64("dt", 0.01, "seconds per time step")
+		dt       = flag.Float64("dt", 0, "seconds per time step (0 = problem default)")
 		workers  = flag.Int("workers", 1, "solver domain partitions (heat only)")
 		addrFile = flag.String("addr-file", "melissa-addrs.txt", "file with server rank addresses")
 		seed     = flag.Uint64("seed", 2023, "experimental-design seed (must match the ensemble)")
@@ -43,6 +43,9 @@ func main() {
 	prob, err := melissa.ProblemByName(*problem)
 	if err != nil {
 		fatal(err)
+	}
+	if *dt <= 0 {
+		*dt = melissa.DefaultDtFor(prob)
 	}
 
 	data, err := os.ReadFile(*addrFile)

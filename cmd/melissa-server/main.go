@@ -9,6 +9,22 @@
 //	melissa-server -ranks 2 -clients 4 -grid 16 -steps 20 -out weights.bin &
 //	for i in 0 1 2 3; do melissa-client -id $i -grid 16 -steps 20 & done
 //	wait
+//
+// By default all -ranks training replicas run inside one process. With
+// -rank and -ranks-transport, each rank runs as its own OS process and the
+// gradient all-reduce travels over a TCP ring between them — one server
+// process per rank, all started with the same -ranks-transport list:
+//
+//	melissa-server -ranks 2 -rank 0 -ranks-transport 127.0.0.1:7700,127.0.0.1:7701 \
+//	    -clients 4 -addr-file addrs-rank0.txt -out weights.bin &
+//	melissa-server -ranks 2 -rank 1 -ranks-transport 127.0.0.1:7700,127.0.0.1:7701 \
+//	    -clients 4 -addr-file addrs-rank1.txt &
+//	cat addrs-rank0.txt addrs-rank1.txt > addrs.txt   # clients dial all ranks
+//	for i in 0 1 2 3; do melissa-client -id $i -addr-file addrs.txt & done
+//	wait
+//
+// Every process builds the same seeded model, so no startup weight
+// broadcast is needed; rank 0 owns metrics, checkpoints and -out.
 package main
 
 import (
@@ -22,18 +38,21 @@ import (
 	"melissa"
 	"melissa/internal/buffer"
 	"melissa/internal/core"
+	"melissa/internal/ddp"
 	"melissa/internal/opt"
 	"melissa/internal/server"
 )
 
 func main() {
 	var (
-		ranks     = flag.Int("ranks", 1, "training processes (data-parallel replicas)")
+		ranks     = flag.Int("ranks", 1, "training ranks (data-parallel replicas) across all server processes")
+		rank      = flag.Int("rank", -1, "global rank of this process (-1 runs all ranks in-process)")
+		transport = flag.String("ranks-transport", "", "comma-separated collective endpoints host:port, one per rank (multi-process mode, requires -rank)")
 		clients   = flag.Int("clients", 1, "expected ensemble size (Goodbyes to wait for)")
 		problem   = flag.String("problem", "heat", "registered problem ("+strings.Join(melissa.Problems(), "|")+"; must match clients)")
 		gridN     = flag.Int("grid", 16, "solver grid side (must match clients)")
 		steps     = flag.Int("steps", 20, "time steps per simulation (must match clients)")
-		dt        = flag.Float64("dt", 0.01, "seconds per time step")
+		dt        = flag.Float64("dt", 0, "seconds per time step (0 = problem default)")
 		hidden    = flag.String("hidden", "64,64", "comma-separated hidden layer widths")
 		batch     = flag.Int("batch", 10, "batch size per rank")
 		policy    = flag.String("buffer", "Reservoir", "FIFO|FIRO|Reservoir")
@@ -60,10 +79,49 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *dt <= 0 {
+		*dt = melissa.DefaultDtFor(prob)
+	}
+
+	// Multi-process mode: this process hosts one global rank and joins the
+	// others over the TCP collective ring before training starts. All flag
+	// validation happens before the ring handshake, so a misconfigured
+	// process fails fast instead of forming a ring its peers then watch
+	// collapse.
+	localRanks, rankOffset := *ranks, 0
+	var comm ddp.Communicator
+	if *rank >= 0 {
+		if *ckpt != "" {
+			// A checkpoint snapshots only this process's buffers and logs;
+			// restoring a partial view would desynchronize the rank group.
+			fatal(fmt.Errorf("-checkpoint is only supported in single-process mode (no -rank)"))
+		}
+		addrs := strings.Split(*transport, ",")
+		if *transport == "" || len(addrs) != *ranks {
+			fatal(fmt.Errorf("-rank %d requires -ranks-transport with exactly %d comma-separated endpoints", *rank, *ranks))
+		}
+		if *rank >= *ranks {
+			fatal(fmt.Errorf("-rank %d out of range for %d ranks", *rank, *ranks))
+		}
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		tcp, err := ddp.ConnectTCP(*rank, addrs, 30*time.Second)
+		if err != nil {
+			fatal(fmt.Errorf("connecting rank ring: %w", err))
+		}
+		defer tcp.Close()
+		comm, localRanks, rankOffset = tcp, 1, *rank
+	} else if *transport != "" {
+		fatal(fmt.Errorf("-ranks-transport requires -rank"))
+	}
+
 	mcfg := melissa.Config{GridN: *gridN, StepsPerSim: *steps, Dt: *dt}
 	norm := core.AdaptNormalizer(prob.Normalizer(mcfg))
 	cfg := server.Config{
-		Ranks:      *ranks,
+		Ranks:      localRanks,
+		Comm:       comm,
+		RankOffset: rankOffset,
 		ListenHost: "127.0.0.1:0",
 		Buffer: buffer.Config{
 			Kind:      buffer.Kind(*policy),
@@ -106,11 +164,18 @@ func main() {
 	if err := os.WriteFile(*addrFile, []byte(strings.Join(srv.Addrs(), "\n")+"\n"), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("melissa-server: problem %s, %d rank(s) listening (%s), waiting for %d client(s)\n",
-		prob.Name(), *ranks, strings.Join(srv.Addrs(), " "), *clients)
+	if rankOffset == 0 {
+		fmt.Printf("melissa-server: problem %s, %d rank(s) listening (%s), waiting for %d client(s)\n",
+			prob.Name(), *ranks, strings.Join(srv.Addrs(), " "), *clients)
+	}
 
 	if err := srv.Run(context.Background()); err != nil {
 		fatal(err)
+	}
+	if rankOffset != 0 {
+		// Metrics, the summary line and the weights belong to rank 0; the
+		// replicas are identical after the final synchronized step.
+		return
 	}
 	m := srv.Metrics()
 	fmt.Printf("melissa-server: trained %d batches on %d samples (%d unique), throughput %.1f samples/s\n",

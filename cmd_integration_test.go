@@ -6,6 +6,7 @@ package melissa
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -46,6 +47,138 @@ func TestMultiProcessServerAndClients(t *testing.T) {
 		// flag change; the streamed fields are two-channel (128 values).
 		runMultiProcessEnsemble(t, serverBin, clientBin, GrayScottName)
 	})
+}
+
+// TestMultiProcessRanksOverTCP drives the multi-process deployment: one
+// melissa-server OS process per training rank, joined over the TCP
+// collective ring (-rank / -ranks-transport), with the ensemble clients
+// streaming to both rank processes. Rank 0 must produce trained weights
+// that load and predict.
+func TestMultiProcessRanksOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs separate processes")
+	}
+	bdir := t.TempDir()
+	serverBin := filepath.Join(bdir, "melissa-server")
+	clientBin := filepath.Join(bdir, "melissa-client")
+	for bin, pkg := range map[string]string{serverBin: "./cmd/melissa-server", clientBin: "./cmd/melissa-client"} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	dir := t.TempDir()
+	const ranks = 2
+	const clients = 3
+	weights := filepath.Join(dir, "weights.bin")
+
+	// Reserve a loopback port per rank for the collective ring. The
+	// listen-close-reuse pattern has a tiny race window, acceptable for a
+	// test.
+	ringAddrs := make([]string, ranks)
+	for r := range ringAddrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ringAddrs[r] = ln.Addr().String()
+		ln.Close()
+	}
+	transportList := strings.Join(ringAddrs, ",")
+
+	// One server process per rank; each publishes its own client address.
+	srvs := make([]*exec.Cmd, ranks)
+	outs := make([]*strings.Builder, ranks)
+	rankAddrFiles := make([]string, ranks)
+	for r := 0; r < ranks; r++ {
+		rankAddrFiles[r] = filepath.Join(dir, fmt.Sprintf("addrs-rank%d.txt", r))
+		srv := exec.Command(serverBin,
+			"-ranks", fmt.Sprint(ranks), "-rank", fmt.Sprint(r), "-ranks-transport", transportList,
+			"-clients", fmt.Sprint(clients), "-problem", HeatName,
+			"-grid", "8", "-steps", "6", "-batch", "4",
+			"-buffer", "Reservoir", "-capacity", "60", "-threshold", "8",
+			"-addr-file", rankAddrFiles[r], "-out", weights)
+		outs[r] = &strings.Builder{}
+		srv.Stdout = outs[r]
+		srv.Stderr = outs[r]
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Process.Kill()
+		srvs[r] = srv
+	}
+
+	// Wait for every rank to publish, then assemble the client-facing
+	// address file in rank order — the documented multi-process workflow.
+	addrFile := filepath.Join(dir, "addrs.txt")
+	deadline := time.Now().Add(30 * time.Second)
+	var combined string
+	for {
+		combined = ""
+		complete := true
+		for r := 0; r < ranks; r++ {
+			data, err := os.ReadFile(rankAddrFiles[r])
+			if err != nil || strings.TrimSpace(string(data)) == "" {
+				complete = false
+				break
+			}
+			combined += strings.TrimSpace(string(data)) + "\n"
+		}
+		if complete {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rank servers never published addresses; rank0:\n%s\nrank1:\n%s", outs[0].String(), outs[1].String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := os.WriteFile(addrFile, []byte(combined), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, clients)
+	for id := 0; id < clients; id++ {
+		go func(id int) {
+			out, err := exec.Command(clientBin,
+				"-id", fmt.Sprint(id), "-problem", HeatName, "-grid", "8", "-steps", "6",
+				"-addr-file", addrFile).CombinedOutput()
+			if err != nil {
+				err = fmt.Errorf("client %d: %v\n%s", id, err, out)
+			}
+			errCh <- err
+		}(id)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for r, srv := range srvs {
+		done := make(chan error, 1)
+		go func() { done <- srv.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("rank %d server exited with %v; output:\n%s", r, err, outs[r].String())
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatalf("rank %d server did not terminate; output:\n%s", r, outs[r].String())
+		}
+	}
+	if !strings.Contains(outs[0].String(), "trained") {
+		t.Fatalf("rank 0 output missing summary:\n%s", outs[0].String())
+	}
+
+	s, err := LoadSurrogateLegacyFile(weights, 8, 6, 0.01, []int{64, 64}, 2023)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := s.PredictHeat(HeatParams{TIC: 300, TX1: 200, TY1: 400, TX2: 250, TY2: 350}, 0.03)
+	if len(field) != 64 {
+		t.Fatalf("field length %d", len(field))
+	}
 }
 
 // runMultiProcessEnsemble drives one server + 3 clients for a problem and

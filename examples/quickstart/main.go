@@ -7,6 +7,18 @@
 // reaction–diffusion scenario behind the exact same API).
 //
 //	go run ./examples/quickstart
+//
+// Everything here runs the training ranks inside one process. To spread
+// the ranks across OS processes (or machines), start one melissa-server
+// per rank with -rank and a shared -ranks-transport endpoint list; the
+// gradient all-reduce then travels over a TCP ring between the processes,
+// overlapped with backpropagation exactly like the in-process path:
+//
+//	melissa-server -ranks 2 -rank 0 -ranks-transport host0:7700,host1:7701 ...
+//	melissa-server -ranks 2 -rank 1 -ranks-transport host0:7700,host1:7701 ...
+//
+// (concatenate the per-rank -addr-file outputs in rank order for the
+// clients; see cmd/melissa-server for the full walkthrough).
 package main
 
 import (

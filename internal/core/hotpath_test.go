@@ -61,7 +61,9 @@ func newHotPathTrainer(tb testing.TB, fieldDim int, hidden []int, batch int) (*T
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return tr, tr.newRankState(0)
+	st := tr.newRankState(0)
+	tb.Cleanup(st.close)
+	return tr, st
 }
 
 // TestTrainStepZeroAlloc pins the headline property of the flat-slab

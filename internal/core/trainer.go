@@ -14,10 +14,45 @@ import (
 	"melissa/internal/tensor"
 )
 
+// GradSyncMode selects how per-batch gradients are synchronized across
+// ranks.
+type GradSyncMode int
+
+const (
+	// SyncOverlap (the default) buckets the gradient slab by layer
+	// boundaries and launches each bucket's all-reduce as soon as backward
+	// finalizes that layer's gradients, overlapping communication with the
+	// remaining backpropagation. Bit-identical to SyncSerial.
+	SyncOverlap GradSyncMode = iota
+	// SyncSerial runs the same per-bucket collectives, but only after the
+	// full backward pass — the paper's §3.1 ordering. It exists as the
+	// reference for the overlap equivalence tests and benchmarks.
+	SyncSerial
+	// SyncFlat is the legacy single full-slab all-reduce. Its float
+	// reduction order differs from the bucketed modes (ring chunk
+	// boundaries fall elsewhere), so trajectories match only within float
+	// tolerance.
+	SyncFlat
+)
+
 // TrainerConfig configures the data-parallel online training loop.
 type TrainerConfig struct {
-	Ranks     int // learner replicas ("GPUs"); one training buffer each
+	Ranks     int // learner replicas ("GPUs") in this process; one training buffer each
 	BatchSize int // samples per rank per synchronized step (paper: 10)
+
+	// Comm carries the gradient collectives. Nil builds an in-process
+	// channel ring over Ranks. Supplying a transport-backed communicator
+	// (ddp.TCPComm) lets several processes train as one data-parallel
+	// group: Ranks then counts only this process's local replicas and
+	// RankOffset places them in the global rank space [0, Comm.Size()).
+	Comm ddp.Communicator
+	// RankOffset is the global rank of this process's local rank 0.
+	// Metrics, validation and checkpoints belong to global rank 0.
+	RankOffset int
+
+	// GradSync selects overlapped-bucketed (default), serial-bucketed, or
+	// legacy full-slab gradient synchronization.
+	GradSync GradSyncMode
 
 	Model      ModelSpec
 	Normalizer Normalizer
@@ -38,9 +73,10 @@ type TrainerConfig struct {
 
 	TrackOccurrences bool
 
-	// OnBatchEnd, when set, runs on rank 0 after every synchronized step
-	// (other ranks stall at the next collective meanwhile). The server
-	// uses it to take periodic checkpoints at a consistent boundary.
+	// OnBatchEnd, when set, runs on global rank 0 after every synchronized
+	// step (other ranks stall at the next collective meanwhile). The
+	// server uses it to take periodic checkpoints at a consistent
+	// boundary.
 	OnBatchEnd func(batches int)
 }
 
@@ -54,22 +90,47 @@ func (c TrainerConfig) validate() error {
 	if c.Normalizer == nil {
 		return errors.New("core: normalizer required")
 	}
+	if c.Comm == nil && c.RankOffset != 0 {
+		return fmt.Errorf("core: rank offset %d without an external communicator", c.RankOffset)
+	}
+	if c.Comm != nil {
+		if c.RankOffset < 0 || c.RankOffset+c.Ranks > c.Comm.Size() {
+			return fmt.Errorf("core: local ranks [%d,%d) exceed communicator size %d",
+				c.RankOffset, c.RankOffset+c.Ranks, c.Comm.Size())
+		}
+		if sr, ok := c.Comm.(ddp.SingleRank); ok {
+			if c.Ranks != 1 {
+				return fmt.Errorf("core: communicator serves only rank %d; Ranks must be 1, got %d", sr.Rank(), c.Ranks)
+			}
+			if c.RankOffset != sr.Rank() {
+				return fmt.Errorf("core: rank offset %d does not match communicator rank %d", c.RankOffset, sr.Rank())
+			}
+		}
+	}
 	return nil
 }
 
 // Trainer runs the paper's training threads: each rank extracts batches
 // from its own buffer, computes gradients on its replica, all-reduces them
-// with the other ranks, and applies identical Adam updates (§3.1).
+// with the other ranks, and applies identical Adam updates (§3.1). With
+// the default overlapped mode, each layer's gradient bucket is all-reduced
+// concurrently with the backpropagation of earlier layers.
 type Trainer struct {
 	cfg     TrainerConfig
 	bufs    []*buffer.Blocking
 	nets    []*nn.Network
 	opts    []*opt.Adam
-	comm    *ddp.Communicator
+	comm    ddp.Communicator
 	metrics *Metrics
 
-	// localSamples[r] mirrors the global cumulative sample count on rank
-	// r; the value advances identically on every rank because it is
+	// buckets are the gradient-slab ranges in backward-completion order,
+	// identical across replicas; bucketOfLayer maps a layer index to its
+	// bucket (or -1).
+	buckets       []nn.GradBucket
+	bucketOfLayer []int
+
+	// localSamples[r] mirrors the global cumulative sample count on local
+	// rank r; the value advances identically on every rank because it is
 	// derived from the all-reduced per-step count.
 	localSamples []int
 
@@ -95,12 +156,16 @@ func NewTrainer(cfg TrainerConfig, bufs []*buffer.Blocking) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
+	comm := cfg.Comm
+	if comm == nil {
+		comm = ddp.NewCommunicator(cfg.Ranks)
+	}
 	t := &Trainer{
 		cfg:          cfg,
 		bufs:         bufs,
 		nets:         make([]*nn.Network, cfg.Ranks),
 		opts:         make([]*opt.Adam, cfg.Ranks),
-		comm:         ddp.NewCommunicator(cfg.Ranks),
+		comm:         comm,
 		metrics:      NewMetrics(cfg.TrackOccurrences),
 		localSamples: make([]int, cfg.Ranks),
 	}
@@ -117,22 +182,39 @@ func NewTrainer(cfg TrainerConfig, bufs []*buffer.Blocking) (*Trainer, error) {
 		}
 		t.opts[r] = opt.NewAdam(cfg.LearningRate)
 	}
+	// The bucket layout is a property of the architecture; all replicas
+	// share it. Networks without slab fusion cannot bucket and fall back
+	// to the full-slab collective.
+	t.buckets = base.GradBuckets()
+	if t.buckets == nil {
+		t.cfg.GradSync = SyncFlat
+	}
+	t.bucketOfLayer = make([]int, len(base.Layers))
+	for i := range t.bucketOfLayer {
+		t.bucketOfLayer[i] = -1
+	}
+	for b, bk := range t.buckets {
+		if bk.Layer >= 0 {
+			t.bucketOfLayer[bk.Layer] = b
+		}
+	}
 	return t, nil
 }
 
-// Network returns the rank-0 replica (identical to all others after every
-// synchronized step).
+// Network returns the local rank-0 replica (identical to all others after
+// every synchronized step).
 func (t *Trainer) Network() *nn.Network { return t.nets[0] }
 
 // Optimizer returns the rank-0 optimizer, used by server checkpoints.
 func (t *Trainer) Optimizer() *opt.Adam { return t.opts[0] }
 
-// Metrics returns the shared metrics collector.
+// Metrics returns the shared metrics collector. Counters advance only on
+// the trainer owning global rank 0.
 func (t *Trainer) Metrics() *Metrics { return t.metrics }
 
 // Run trains until every rank's buffer is drained (or MaxBatches is hit),
-// spawning one goroutine per rank. Cancelling ctx ends reception on every
-// buffer, so ranks finish the remaining data and stop.
+// spawning one goroutine per local rank. Cancelling ctx ends reception on
+// every buffer, so ranks finish the remaining data and stop.
 func (t *Trainer) Run(ctx context.Context) error {
 	t.metrics.Begin()
 	defer t.metrics.Finish()
@@ -165,10 +247,11 @@ func (t *Trainer) Run(ctx context.Context) error {
 // rankState is the per-rank training-thread state. Everything the hot loop
 // touches is preallocated here once, so a steady-state synchronized step
 // performs no heap allocations: the batch slice, the batch matrices (plus
-// reusable prefix-view headers for short tail batches) and the status
-// buffer are all reused across steps.
+// reusable prefix-view headers for short tail batches), the status buffer,
+// and the bucket-sync channels are all reused across steps.
 type rankState struct {
-	rank      int
+	rank      int // local rank (buffer/replica index)
+	grank     int // global rank in the communicator's rank space
 	net       *nn.Network
 	optimizer *opt.Adam
 	lossFn    *nn.MSELoss
@@ -178,13 +261,24 @@ type rankState struct {
 	batch           []buffer.Sample
 	status          [2]float32 // [active ranks, samples this step]
 	localBatches    int
+
+	// Overlap machinery: hook enqueues a finished layer's bucket on jobs;
+	// the persistent syncer goroutine runs the bucket collectives in
+	// order and acknowledges each on acks. launched counts this step's
+	// in-flight buckets.
+	jobs     chan int
+	acks     chan struct{}
+	hook     func(layer int)
+	launched int
 }
 
-// newRankState preallocates the per-rank training state.
+// newRankState preallocates the per-rank training state and starts the
+// rank's gradient-sync goroutine. close releases it.
 func (t *Trainer) newRankState(rank int) *rankState {
 	norm := t.cfg.Normalizer
 	st := &rankState{
 		rank:         rank,
+		grank:        t.cfg.RankOffset + rank,
 		net:          t.nets[rank],
 		optimizer:    t.opts[rank],
 		lossFn:       nn.NewMSELoss(),
@@ -192,16 +286,42 @@ func (t *Trainer) newRankState(rank int) *rankState {
 		out:          tensor.New(t.cfg.BatchSize, norm.OutputDim()),
 		batch:        make([]buffer.Sample, 0, t.cfg.BatchSize),
 		localBatches: t.startBatches,
+		jobs:         make(chan int, len(t.buckets)),
+		acks:         make(chan struct{}, len(t.buckets)),
 	}
+	st.hook = func(layer int) {
+		if b := t.bucketOfLayer[layer]; b >= 0 {
+			st.jobs <- b
+			st.launched++
+		}
+	}
+	go t.syncLoop(st)
 	t.localSamples[rank] = t.startSamples
 	return st
 }
 
+// close stops the rank's gradient-sync goroutine.
+func (st *rankState) close() { close(st.jobs) }
+
+// syncLoop is the per-rank communication thread: it executes bucket
+// all-reduces in launch order, so collectives stay matched across ranks
+// while the training thread continues backpropagating.
+func (t *Trainer) syncLoop(st *rankState) {
+	grads := st.net.FlatGrads()
+	for b := range st.jobs {
+		t.comm.AllReduceSumRange(st.grank, grads, t.buckets[b].Lo, t.buckets[b].Hi)
+		st.acks <- struct{}{}
+	}
+}
+
 // rankLoop is the per-rank training thread. Collective calls must stay in
 // lock-step across ranks: every iteration performs exactly one status
-// all-reduce and, while any rank is active, one gradient all-reduce.
+// all-reduce and, while any rank is active, one gradient sync (a fixed
+// sequence of bucket collectives, or one full-slab collective for
+// SyncFlat).
 func (t *Trainer) rankLoop(rank int) error {
 	st := t.newRankState(rank)
+	defer st.close()
 	for t.step(st) {
 	}
 	return nil
@@ -211,14 +331,13 @@ func (t *Trainer) rankLoop(rank int) error {
 // rank should continue. It is the measured unit of BenchmarkTrainStep and
 // is allocation-free in steady state.
 func (t *Trainer) step(st *rankState) bool {
-	rank := st.rank
 	if t.cfg.MaxBatches > 0 && st.localBatches >= t.cfg.MaxBatches {
 		// The batch counter advances identically on every rank, so all
 		// ranks exit here on the same iteration.
 		return false
 	}
 	norm := t.cfg.Normalizer
-	batch, ok := t.bufs[rank].GetBatchInto(st.batch, t.cfg.BatchSize)
+	batch, ok := t.bufs[st.rank].GetBatchInto(st.batch, t.cfg.BatchSize)
 	if ok {
 		st.batch = batch[:0] // keep (possibly grown) storage for reuse
 	}
@@ -228,7 +347,7 @@ func (t *Trainer) step(st *rankState) bool {
 		st.status[0] = 1
 		st.status[1] = float32(len(batch))
 	}
-	t.comm.AllReduceSum(rank, st.status[:])
+	t.comm.AllReduceSum(st.grank, st.status[:])
 	if st.status[0] == 0 {
 		return false // every buffer drained
 	}
@@ -236,6 +355,7 @@ func (t *Trainer) step(st *rankState) bool {
 
 	var trainLoss float64
 	st.net.ZeroGrad()
+	overlap := t.cfg.GradSync == SyncOverlap
 	if ok {
 		bi, bo := st.in, st.out
 		if len(batch) != t.cfg.BatchSize {
@@ -248,17 +368,29 @@ func (t *Trainer) step(st *rankState) bool {
 		BuildBatch(norm, batch, bi, bo)
 		pred := st.net.Forward(bi)
 		trainLoss = st.lossFn.Forward(pred, bo)
-		st.net.Backward(st.lossFn.Backward(pred, bo))
+		dy := st.lossFn.Backward(pred, bo)
+		if overlap {
+			// Each layer's bucket is handed to the syncer the moment its
+			// gradients are final, overlapping the all-reduce with the
+			// rest of the backward pass.
+			st.net.BackwardWithHook(dy, st.hook)
+		} else {
+			st.net.Backward(dy)
+		}
 		t.metrics.CountBatch(batch)
+	} else if overlap {
+		// Drained ranks contribute zero gradients but must join every
+		// collective, in the same bucket order the hook produces.
+		for b := range t.buckets {
+			st.jobs <- b
+			st.launched++
+		}
 	}
-	// Drained ranks contribute zero gradients but must join the
-	// collective so active ranks can proceed. The all-reduce runs in
-	// place on the network's gradient slab.
-	ddp.SyncGradients(t.comm, rank, st.net.FlatGrads())
+	t.syncGradients(st)
 
 	st.localBatches++
 	var globalBatch, globalSamples int
-	if rank == 0 {
+	if st.grank == 0 {
 		globalBatch, globalSamples = t.metrics.RecordStep(stepSamples)
 		if ok {
 			t.metrics.RecordTrainLoss(globalBatch, globalSamples, trainLoss)
@@ -266,14 +398,14 @@ func (t *Trainer) step(st *rankState) bool {
 	} else {
 		// Mirror the counters locally; the schedule needs the global
 		// sample count, which advances identically on every rank.
-		globalSamples = t.sampleCounterLocal(rank, stepSamples)
+		globalSamples = t.sampleCounterLocal(st.rank, stepSamples)
 	}
 	if t.cfg.Schedule != nil {
 		st.optimizer.SetLR(t.cfg.Schedule.LR(globalSamples))
 	}
 	st.optimizer.StepFlat(st.net.FlatParams(), st.net.FlatGrads())
 
-	if rank == 0 && t.cfg.Validation != nil && t.cfg.ValidateEvery > 0 && st.localBatches%t.cfg.ValidateEvery == 0 {
+	if st.grank == 0 && t.cfg.Validation != nil && t.cfg.ValidateEvery > 0 && st.localBatches%t.cfg.ValidateEvery == 0 {
 		// §4.4: validation runs on the training thread while holding
 		// the buffer mutex; incoming data queue up in the transport.
 		t.bufs[0].WithLock(func(buffer.Policy) {
@@ -281,10 +413,37 @@ func (t *Trainer) step(st *rankState) bool {
 			t.metrics.RecordValidation(st.localBatches, globalSamples, v)
 		})
 	}
-	if rank == 0 && t.cfg.OnBatchEnd != nil {
+	if st.grank == 0 && t.cfg.OnBatchEnd != nil {
 		t.cfg.OnBatchEnd(st.localBatches)
 	}
 	return true
+}
+
+// syncGradients completes the step's gradient synchronization: it drains
+// the in-flight bucket collectives (overlap), or runs them now (serial),
+// or all-reduces the whole slab (flat), then averages. On return every
+// replica holds identical averaged gradients, matching the all-reduce step
+// of §3.1. The collectives operate on the slab in place — no
+// gather/scatter staging.
+func (t *Trainer) syncGradients(st *rankState) {
+	grads := st.net.FlatGrads()
+	switch t.cfg.GradSync {
+	case SyncOverlap:
+		for st.launched > 0 {
+			<-st.acks
+			st.launched--
+		}
+	case SyncSerial:
+		for _, bk := range t.buckets {
+			t.comm.AllReduceSumRange(st.grank, grads, bk.Lo, bk.Hi)
+		}
+	case SyncFlat:
+		t.comm.AllReduceMean(st.grank, grads)
+		return
+	}
+	if n := t.comm.Size(); n > 1 {
+		tensor.Scal(1/float32(n), grads)
+	}
 }
 
 // RestoreState loads checkpointed weights and optimizer state into every
@@ -320,8 +479,8 @@ func (t *Trainer) CaptureState() (weights, optState []byte, err error) {
 }
 
 // sampleCounterLocal maintains per-rank mirrors of the global sample count
-// without touching the shared metrics (which rank 0 owns). Each rank only
-// accesses its own slot.
+// without touching the shared metrics (which global rank 0 owns). Each
+// rank only accesses its own slot.
 func (t *Trainer) sampleCounterLocal(rank, add int) int {
 	t.localSamples[rank] += add
 	return t.localSamples[rank]

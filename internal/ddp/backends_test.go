@@ -1,0 +1,267 @@
+package ddp
+
+// The backend-parametrized collective suite: every Communicator backend
+// must pass identical correctness checks, and the transport backend must
+// produce bit-identical results to the channel ring (same algorithm, same
+// chunking, same reduction order).
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"melissa/internal/transport"
+)
+
+// commGroup is n per-rank communicator handles: the channel backend shares
+// one object across ranks, the TCP backend builds one ring endpoint per
+// rank over loopback.
+type commGroup []Communicator
+
+// backendFactories builds each backend's n-rank group.
+var backendFactories = map[string]func(tb testing.TB, n int) commGroup{
+	"chan": func(tb testing.TB, n int) commGroup {
+		c := NewCommunicator(n)
+		g := make(commGroup, n)
+		for r := range g {
+			g[r] = c
+		}
+		return g
+	},
+	"tcp": newTCPGroup,
+}
+
+// newTCPGroup wires n TCPComm ranks over loopback: every rank binds an
+// ephemeral port first, then all connect concurrently.
+func newTCPGroup(tb testing.TB, n int) commGroup {
+	tb.Helper()
+	listeners := make([]*transport.RingListener, n)
+	addrs := make([]string, n)
+	for r := range listeners {
+		l, err := transport.ListenRing("127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		listeners[r] = l
+		addrs[r] = l.Addr()
+	}
+	g := make(commGroup, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := range g {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ring, err := listeners[rank].Connect(rank, addrs, 10*time.Second)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			g[rank] = NewTCPComm(ring)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	tb.Cleanup(func() {
+		for _, c := range g {
+			if tc, ok := c.(*TCPComm); ok {
+				tc.Close()
+			}
+		}
+	})
+	return g
+}
+
+// runGroup launches one goroutine per rank and waits for completion.
+func runGroup(g commGroup, fn func(rank int, c Communicator)) {
+	var wg sync.WaitGroup
+	for r := range g {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(rank, g[rank])
+		}(r)
+	}
+	wg.Wait()
+}
+
+// fillRankBufs builds deterministic per-rank buffers of the given length
+// and their element-wise float64 sum.
+func fillRankBufs(n, length int, seed uint64) (bufs [][]float32, sum []float64) {
+	rng := rand.New(rand.NewPCG(seed, 17))
+	bufs = make([][]float32, n)
+	sum = make([]float64, length)
+	for r := range bufs {
+		bufs[r] = make([]float32, length)
+		for i := range bufs[r] {
+			bufs[r][i] = float32(rng.NormFloat64())
+			sum[i] += float64(bufs[r][i])
+		}
+	}
+	return bufs, sum
+}
+
+// TestCollectiveSuite runs the same correctness checks against every
+// backend and rank count.
+func TestCollectiveSuite(t *testing.T) {
+	for name, factory := range backendFactories {
+		for _, n := range []int{1, 2, 3, 5} {
+			t.Run(fmt.Sprintf("%s/n=%d", name, n), func(t *testing.T) {
+				g := factory(t, n)
+
+				t.Run("AllReduceSum", func(t *testing.T) {
+					// Length 7 exercises uneven (and, for n=5, empty) chunks.
+					bufs, want := fillRankBufs(n, 7, 42)
+					runGroup(g, func(rank int, c Communicator) { c.AllReduceSum(rank, bufs[rank]) })
+					for r := 0; r < n; r++ {
+						for i := range want {
+							if bufs[r][i] != bufs[0][i] {
+								t.Fatalf("rank %d differs from rank 0 at %d", r, i)
+							}
+							if d := float64(bufs[0][i]) - want[i]; d > 1e-4 || d < -1e-4 {
+								t.Fatalf("elem %d: got %v, want %v", i, bufs[0][i], want[i])
+							}
+						}
+					}
+				})
+
+				t.Run("AllReduceMean", func(t *testing.T) {
+					bufs := make([][]float32, n)
+					for r := range bufs {
+						bufs[r] = []float32{float32(r), float32(2 * r)}
+					}
+					runGroup(g, func(rank int, c Communicator) { c.AllReduceMean(rank, bufs[rank]) })
+					wantMean := float32(n-1) / 2
+					for r := 0; r < n; r++ {
+						if bufs[r][0] != wantMean || bufs[r][1] != 2*wantMean {
+							t.Fatalf("rank %d: %v, want mean %v", r, bufs[r], wantMean)
+						}
+					}
+				})
+
+				t.Run("AllReduceSumRange", func(t *testing.T) {
+					// The range collective must reduce [lo,hi) and leave the
+					// rest of the buffer untouched.
+					const length, lo, hi = 13, 3, 11
+					bufs, want := fillRankBufs(n, length, 99)
+					orig := make([][]float32, n)
+					for r := range bufs {
+						orig[r] = append([]float32(nil), bufs[r]...)
+					}
+					runGroup(g, func(rank int, c Communicator) { c.AllReduceSumRange(rank, bufs[rank], lo, hi) })
+					for r := 0; r < n; r++ {
+						for i := 0; i < length; i++ {
+							switch {
+							case i < lo || i >= hi:
+								if bufs[r][i] != orig[r][i] {
+									t.Fatalf("rank %d: elem %d outside range was modified", r, i)
+								}
+							default:
+								if bufs[r][i] != bufs[0][i] {
+									t.Fatalf("rank %d differs from rank 0 at %d", r, i)
+								}
+								if d := float64(bufs[0][i]) - want[i]; d > 1e-4 || d < -1e-4 {
+									t.Fatalf("elem %d: got %v, want %v", i, bufs[0][i], want[i])
+								}
+							}
+						}
+					}
+				})
+
+				t.Run("Broadcast", func(t *testing.T) {
+					root := (n - 1) / 2
+					bufs := make([][]float32, n)
+					for r := range bufs {
+						bufs[r] = []float32{float32(r), float32(r)}
+					}
+					runGroup(g, func(rank int, c Communicator) { c.Broadcast(rank, root, bufs[rank]) })
+					for r := 0; r < n; r++ {
+						if bufs[r][0] != float32(root) || bufs[r][1] != float32(root) {
+							t.Fatalf("rank %d: %v, want root %d", r, bufs[r], root)
+						}
+					}
+				})
+
+				t.Run("Barrier", func(t *testing.T) {
+					var mu sync.Mutex
+					entered := 0
+					fail := false
+					runGroup(g, func(rank int, c Communicator) {
+						mu.Lock()
+						entered++
+						mu.Unlock()
+						c.Barrier(rank)
+						mu.Lock()
+						if entered != n {
+							fail = true
+						}
+						mu.Unlock()
+						c.Barrier(rank) // reusable
+					})
+					if fail {
+						t.Fatal("barrier released before all ranks arrived")
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestBackendsBitIdentical pins that the TCP backend computes exactly the
+// same floats as the channel backend: same ring algorithm, same chunking,
+// same reduction order — so switching transports cannot perturb a training
+// trajectory.
+func TestBackendsBitIdentical(t *testing.T) {
+	const n, length = 4, 1000
+	chanBufs, _ := fillRankBufs(n, length, 7)
+	tcpBufs, _ := fillRankBufs(n, length, 7)
+
+	chanGroup := backendFactories["chan"](t, n)
+	tcpGroup := newTCPGroup(t, n)
+	runGroup(chanGroup, func(rank int, c Communicator) { c.AllReduceMean(rank, chanBufs[rank]) })
+	runGroup(tcpGroup, func(rank int, c Communicator) { c.AllReduceMean(rank, tcpBufs[rank]) })
+	for r := 0; r < n; r++ {
+		for i := range chanBufs[r] {
+			if chanBufs[r][i] != tcpBufs[r][i] {
+				t.Fatalf("rank %d elem %d: chan %v vs tcp %v", r, i, chanBufs[r][i], tcpBufs[r][i])
+			}
+		}
+	}
+}
+
+// BenchmarkAllReduceTCP measures the TCP ring all-reduce across 4
+// loopback-connected ranks on the 64k-element buffer BenchmarkAllReduce
+// uses for the channel backend.
+func BenchmarkAllReduceTCP(b *testing.B) {
+	const n = 4
+	const elems = 1 << 16
+	g := newTCPGroup(b, n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, elems)
+	}
+	var wg sync.WaitGroup
+	for r := 1; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < b.N+1; i++ {
+				g[rank].AllReduceSum(rank, bufs[rank])
+			}
+		}(r)
+	}
+	g[0].AllReduceSum(0, bufs[0]) // warm the recycled buffers
+	b.SetBytes(4 * elems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g[0].AllReduceSum(0, bufs[0])
+	}
+	b.StopTimer()
+	wg.Wait()
+}

@@ -1,28 +1,75 @@
-// Package ddp implements distributed data-parallel primitives: a ring
-// all-reduce over per-rank gradient slabs, broadcast, and barriers.
+// Package ddp implements distributed data-parallel primitives: collective
+// operations (all-reduce, broadcast, barrier) over a fixed group of
+// training ranks, behind a pluggable Communicator interface with two
+// backends.
 //
 // The paper's server trains with "distributed data parallelism … After each
 // batch backpropagation, the locally computed vector of weight updates is
 // all-reduced between all processes and applied to each local NN copy to
-// keep them identical" (§3.1). Ranks here are goroutines (the stand-in for
-// GPU training processes) connected by channels; the ring algorithm is the
-// same bandwidth-optimal scatter-reduce/all-gather pattern NCCL uses, so
-// its cost model (2(n−1)/n · bytes) is also what the cluster simulator
-// charges for gradient synchronization.
+// keep them identical" (§3.1). Both backends run the same bandwidth-optimal
+// ring scatter-reduce/all-gather pattern NCCL uses, so their cost model
+// (2(n−1)/n · bytes) is also what the cluster simulator charges for
+// gradient synchronization:
+//
+//   - ChanComm connects ranks that are goroutines of one process (the
+//     stand-in for GPU training processes) through channels with recycled
+//     message buffers.
+//   - TCPComm connects ranks that are separate OS processes through a TCP
+//     ring (transport.Ring), reusing the transport package's length-framed
+//     wire format and the same recycled-buffer discipline.
 //
 // Collectives operate directly on the caller's flat buffer — for training,
-// nn.Network.FlatGrads — so there is no gather/scatter staging copy. Every
-// link recycles its message buffers through a free list, making
-// AllReduceSum, AllReduceMean and Broadcast allocation-free in steady
-// state: a buffer is only written by a rank that holds it, and ownership
-// passes data → receiver → free list → sender, so reuse is race-free by
-// construction.
+// nn.Network.FlatGrads — so there is no gather/scatter staging copy, and
+// both backends are allocation-free in steady state.
+//
+// # Bucketed overlap
+//
+// The range collectives (AllReduceSumRange) exist so the trainer can
+// overlap gradient synchronization with backpropagation: the flat gradient
+// slab is bucketed by layer boundaries (nn.Network.GradBuckets), and each
+// bucket's all-reduce is launched as soon as its layer's gradients are
+// final, while earlier layers are still back-propagating. Each range
+// collective is an independent ring reduction over buf[lo:hi]; all ranks
+// must issue the same sequence of ranges in the same order. Because every
+// bucket's reduction order is fixed by its own ring chunking, launching
+// buckets eagerly (overlapped) or after the full backward pass (serially)
+// produces bit-identical results.
 package ddp
 
 import (
 	"fmt"
 	"sync"
 )
+
+// Communicator connects a fixed group of ranks for collective operations.
+// Every collective must be entered by all ranks concurrently (one goroutine
+// or process per rank), like an MPI communicator, and with matching
+// arguments (equal buffer lengths, identical ranges, same root). Rank
+// identifies the caller in the global rank space [0, Size).
+//
+// Collectives do not return errors: the in-process backend cannot fail, and
+// the transport backend treats a broken rank link as fatal (it panics),
+// matching MPI's abort-on-communicator-failure semantics.
+type Communicator interface {
+	// Size returns the number of ranks in the group.
+	Size() int
+	// AllReduceSum replaces buf on every rank with the element-wise sum
+	// across ranks. Deterministic: results are identical on every rank and
+	// across repeated runs.
+	AllReduceSum(rank int, buf []float32)
+	// AllReduceSumRange all-reduces the subrange buf[lo:hi] as an
+	// independent collective, leaving the rest of buf untouched. This is
+	// the bucketed-overlap primitive: all ranks must issue the same
+	// sequence of ranges in the same order.
+	AllReduceSumRange(rank int, buf []float32, lo, hi int)
+	// AllReduceMean is AllReduceSum followed by division by the rank
+	// count — gradient averaging across data-parallel replicas.
+	AllReduceMean(rank int, buf []float32)
+	// Broadcast copies rank root's buffer into every other rank's buffer.
+	Broadcast(rank, root int, buf []float32)
+	// Barrier blocks until every rank has entered it.
+	Barrier(rank int)
+}
 
 // link is one directed channel of the ring (or one broadcast fan-out arm)
 // together with its recycled message buffers. Senders draw an owned buffer
@@ -59,22 +106,24 @@ func (l *link) send(msg []float32) {
 	l.data <- buf
 }
 
-// Communicator connects a fixed group of ranks for collective operations.
-// Every collective must be entered by all ranks concurrently (one goroutine
-// per rank), like an MPI communicator.
-type Communicator struct {
+// ChanComm is the in-process Communicator backend: ranks are goroutines
+// connected by channels. It is the backend the single-process server and
+// the tests use.
+type ChanComm struct {
 	n     int
 	links []link // links[r] carries messages rank r → rank (r+1)%n
 	bcast []link // one link per rank for broadcast fan-out
 	bar   *barrier
 }
 
-// NewCommunicator creates a communicator for n ranks.
-func NewCommunicator(n int) *Communicator {
+var _ Communicator = (*ChanComm)(nil)
+
+// NewCommunicator creates an in-process channel communicator for n ranks.
+func NewCommunicator(n int) *ChanComm {
 	if n <= 0 {
 		panic(fmt.Sprintf("ddp: invalid communicator size %d", n))
 	}
-	c := &Communicator{
+	c := &ChanComm{
 		n:     n,
 		links: make([]link, n),
 		bcast: make([]link, n),
@@ -87,8 +136,8 @@ func NewCommunicator(n int) *Communicator {
 	return c
 }
 
-// Size returns the number of ranks.
-func (c *Communicator) Size() int { return c.n }
+// Size implements Communicator.
+func (c *ChanComm) Size() int { return c.n }
 
 // chunkRange returns the bounds [lo, hi) of the i-th of n near-equal
 // contiguous chunks of a length-sized buffer. Pure arithmetic — no
@@ -103,12 +152,11 @@ func chunkRange(length, n, i int) (lo, hi int) {
 	return lo, hi
 }
 
-// AllReduceSum replaces buf on every rank with the element-wise sum across
-// ranks, using a ring scatter-reduce followed by a ring all-gather. All
-// ranks must call it concurrently with equal-length buffers. The reduction
-// order for each chunk is fixed by ring position, so results are
-// deterministic and identical on every rank.
-func (c *Communicator) AllReduceSum(rank int, buf []float32) {
+// AllReduceSum implements Communicator, using a ring scatter-reduce
+// followed by a ring all-gather. The reduction order for each chunk is
+// fixed by ring position, so results are deterministic and identical on
+// every rank.
+func (c *ChanComm) AllReduceSum(rank int, buf []float32) {
 	if c.n == 1 {
 		return
 	}
@@ -141,9 +189,15 @@ func (c *Communicator) AllReduceSum(rank int, buf []float32) {
 	}
 }
 
-// AllReduceMean is AllReduceSum followed by division by the rank count,
-// which is how gradients are averaged across data-parallel replicas.
-func (c *Communicator) AllReduceMean(rank int, buf []float32) {
+// AllReduceSumRange implements Communicator: an independent ring reduction
+// over buf[lo:hi]. The chunking is relative to the range, so the same
+// range must be issued by every rank.
+func (c *ChanComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) {
+	c.AllReduceSum(rank, buf[lo:hi])
+}
+
+// AllReduceMean implements Communicator.
+func (c *ChanComm) AllReduceMean(rank int, buf []float32) {
 	c.AllReduceSum(rank, buf)
 	if c.n > 1 {
 		inv := 1 / float32(c.n)
@@ -158,13 +212,13 @@ func (c *Communicator) AllReduceMean(rank int, buf []float32) {
 // local backward pass; on return each replica holds identical averaged
 // gradients, matching the all-reduce step of §3.1. The collective operates
 // on the slab in place — no gather/scatter staging.
-func SyncGradients(comm *Communicator, rank int, grads []float32) {
+func SyncGradients(comm Communicator, rank int, grads []float32) {
 	comm.AllReduceMean(rank, grads)
 }
 
-// Broadcast copies rank root's buffer into every other rank's buffer. All
-// ranks must call it concurrently; buffers must have equal length.
-func (c *Communicator) Broadcast(rank, root int, buf []float32) {
+// Broadcast implements Communicator. All ranks must call it concurrently;
+// buffers must have equal length.
+func (c *ChanComm) Broadcast(rank, root int, buf []float32) {
 	if c.n == 1 {
 		return
 	}
@@ -179,11 +233,11 @@ func (c *Communicator) Broadcast(rank, root int, buf []float32) {
 		copy(buf, in)
 		c.bcast[rank].free <- in
 	}
-	c.Barrier()
+	c.Barrier(rank)
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Communicator) Barrier() { c.bar.wait() }
+// Barrier implements Communicator.
+func (c *ChanComm) Barrier(int) { c.bar.wait() }
 
 // barrier is a reusable n-party barrier.
 type barrier struct {

@@ -192,13 +192,13 @@ func TestBarrier(t *testing.T) {
 		mu.Lock()
 		phase1++
 		mu.Unlock()
-		c.Barrier()
+		c.Barrier(rank)
 		mu.Lock()
 		if phase1 != n {
 			fail = true
 		}
 		mu.Unlock()
-		c.Barrier() // reusable
+		c.Barrier(rank) // reusable
 	})
 	if fail {
 		t.Fatal("barrier released before all ranks arrived")

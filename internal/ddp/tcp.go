@@ -1,0 +1,179 @@
+package ddp
+
+import (
+	"fmt"
+	"time"
+
+	"melissa/internal/transport"
+)
+
+// TCPComm is the transport-backed Communicator: ranks are separate OS
+// processes connected in a directed TCP ring (transport.Ring). It runs
+// exactly the same bandwidth-optimal ring scatter-reduce/all-gather as
+// ChanComm — same chunking, same reduction order — so a group of TCPComm
+// ranks computes bit-identical collective results to an in-process channel
+// group of the same size. Each process owns one TCPComm for its single
+// global rank; the rank argument of every collective must match.
+//
+// A broken rank link is fatal: collectives panic with the transport error,
+// matching MPI's abort-on-communicator-failure semantics. Steady-state
+// collectives are allocation-free — frames are staged into the ring's
+// recycled buffers, and the decode scratch below is reused across calls.
+type TCPComm struct {
+	ring    *transport.Ring
+	scratch []float32 // recycled decode buffer for the scatter-reduce phase
+}
+
+var _ Communicator = (*TCPComm)(nil)
+
+// NewTCPComm wraps a connected rank ring as a Communicator.
+func NewTCPComm(ring *transport.Ring) *TCPComm {
+	return &TCPComm{ring: ring}
+}
+
+// ConnectTCP is the one-call setup for a rank process: it binds
+// addrs[rank], dials the successor, accepts the predecessor (retrying
+// until timeout so processes may start in any order), and returns the
+// connected communicator.
+func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*TCPComm, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("ddp: rank %d out of range [0,%d)", rank, len(addrs))
+	}
+	l, err := transport.ListenRing(addrs[rank])
+	if err != nil {
+		return nil, err
+	}
+	ring, err := l.Connect(rank, addrs, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPComm(ring), nil
+}
+
+// Close tears the ring down. It must not race an in-flight collective.
+func (c *TCPComm) Close() error { return c.ring.Close() }
+
+// Size implements Communicator.
+func (c *TCPComm) Size() int { return c.ring.Size() }
+
+// Rank returns the single global rank this endpoint serves. Consumers use
+// it (via the SingleRank interface) to reject configurations that would
+// drive one TCPComm from several local ranks.
+func (c *TCPComm) Rank() int { return c.ring.Rank() }
+
+// SingleRank is implemented by communicator backends that serve exactly
+// one rank per endpoint (TCPComm). Backends without it (ChanComm) accept
+// collective calls from any rank of the group.
+type SingleRank interface {
+	Rank() int
+}
+
+// check validates that the caller is this process's rank.
+func (c *TCPComm) check(rank int) {
+	if rank != c.ring.Rank() {
+		panic(fmt.Sprintf("ddp: TCPComm for rank %d called as rank %d", c.ring.Rank(), rank))
+	}
+}
+
+// must turns a transport failure into the documented fatal panic.
+func (c *TCPComm) must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("ddp: rank %d collective failed: %v", c.ring.Rank(), err))
+	}
+}
+
+// grow returns the recycled decode scratch with at least n elements.
+func (c *TCPComm) grow(n int) []float32 {
+	if cap(c.scratch) < n {
+		c.scratch = make([]float32, n)
+	}
+	return c.scratch[:n]
+}
+
+// AllReduceSum implements Communicator: the ring scatter-reduce/all-gather
+// of ChanComm.AllReduceSum over TCP links.
+func (c *TCPComm) AllReduceSum(rank int, buf []float32) {
+	c.check(rank)
+	n := c.ring.Size()
+	if n == 1 {
+		return
+	}
+	chunk := func(i int) []float32 {
+		lo, hi := chunkRange(len(buf), n, ((i%n)+n)%n)
+		return buf[lo:hi]
+	}
+	// Scatter-reduce: incoming partial sums accumulate into the local
+	// chunk. Sends are staged copies, so mutating the next chunk while the
+	// previous frame is still being written is safe.
+	for s := 0; s < n-1; s++ {
+		c.must(c.ring.SendFloats(chunk(rank - s)))
+		dst := chunk(rank - s - 1)
+		in := c.grow(len(dst))
+		c.must(c.ring.RecvFloats(in))
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	}
+	// All-gather: circulate the completed chunks, decoding straight into
+	// the destination ranges.
+	for s := 0; s < n-1; s++ {
+		c.must(c.ring.SendFloats(chunk(rank + 1 - s)))
+		c.must(c.ring.RecvFloats(chunk(rank - s)))
+	}
+}
+
+// AllReduceSumRange implements Communicator.
+func (c *TCPComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) {
+	c.AllReduceSum(rank, buf[lo:hi])
+}
+
+// AllReduceMean implements Communicator.
+func (c *TCPComm) AllReduceMean(rank int, buf []float32) {
+	c.AllReduceSum(rank, buf)
+	if n := c.ring.Size(); n > 1 {
+		inv := 1 / float32(n)
+		for i := range buf {
+			buf[i] *= inv
+		}
+	}
+}
+
+// Broadcast implements Communicator: the root's buffer travels around the
+// ring, each rank copying and forwarding, followed by a barrier so the
+// call is collective like the channel backend's.
+func (c *TCPComm) Broadcast(rank, root int, buf []float32) {
+	c.check(rank)
+	n := c.ring.Size()
+	if n == 1 {
+		return
+	}
+	if rank == root {
+		c.must(c.ring.SendFloats(buf))
+	} else {
+		c.must(c.ring.RecvFloats(buf))
+		if (rank+1)%n != root {
+			c.must(c.ring.SendFloats(buf))
+		}
+	}
+	c.Barrier(rank)
+}
+
+// Barrier implements Communicator: a two-round ring token. The first round
+// proves every rank entered; the second releases them.
+func (c *TCPComm) Barrier(rank int) {
+	c.check(rank)
+	if c.ring.Size() == 1 {
+		return
+	}
+	if rank == 0 {
+		for round := 0; round < 2; round++ {
+			c.must(c.ring.SendToken())
+			c.must(c.ring.RecvToken())
+		}
+	} else {
+		for round := 0; round < 2; round++ {
+			c.must(c.ring.RecvToken())
+			c.must(c.ring.SendToken())
+		}
+	}
+}

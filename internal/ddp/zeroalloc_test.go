@@ -62,6 +62,62 @@ func TestBroadcastZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestAllReduceSumRangeZeroAlloc pins the steady-state allocation
+// behaviour of the bucketed range collectives: once the recycled link
+// buffers are sized, a fixed sequence of AllReduceSumRange calls (the
+// per-layer gradient buckets of the overlap path) must not allocate.
+func TestAllReduceSumRangeZeroAlloc(t *testing.T) {
+	const n = 4
+	const runs = 100
+	c := NewCommunicator(n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, 1<<12)
+	}
+	// Two buckets of different sizes, issued in the same order by every
+	// rank — the shape of a two-layer network's overlap sync.
+	buckets := [][2]int{{0, 3000}, {3000, 1 << 12}}
+	syncBuckets := func(rank int) {
+		for _, bk := range buckets {
+			c.AllReduceSumRange(rank, bufs[rank], bk[0], bk[1])
+		}
+	}
+	wg := spawnPeers(n, runs+1, syncBuckets)
+	avg := testing.AllocsPerRun(runs, func() { syncBuckets(0) })
+	wg.Wait()
+	if avg != 0 {
+		t.Fatalf("AllReduceSumRange: %v allocs per bucket sweep in steady state, want 0", avg)
+	}
+}
+
+// BenchmarkAllReduceRange measures the bucketed collective sweep the
+// overlap path issues per step (two layer buckets over a 64k slab),
+// against BenchmarkAllReduce's single full-slab collective.
+func BenchmarkAllReduceRange(b *testing.B) {
+	const n = 4
+	const elems = 1 << 16
+	c := NewCommunicator(n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, elems)
+	}
+	buckets := [][2]int{{0, elems / 3}, {elems / 3, elems}}
+	syncBuckets := func(rank int) {
+		for _, bk := range buckets {
+			c.AllReduceSumRange(rank, bufs[rank], bk[0], bk[1])
+		}
+	}
+	wg := spawnPeers(n, b.N+1, syncBuckets)
+	syncBuckets(0) // size the recycled link buffers
+	b.SetBytes(4 * elems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		syncBuckets(0)
+	}
+	b.StopTimer()
+	wg.Wait()
+}
+
 // BenchmarkAllReduce measures the steady-state ring all-reduce across 4
 // ranks on a 64k-element buffer (the scale of the paper's surrogate
 // gradient slab). Peer ranks run in persistent goroutines, so the timed

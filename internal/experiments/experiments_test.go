@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"melissa"
 	"melissa/internal/buffer"
 )
 
@@ -76,7 +77,13 @@ func TestGenerateEnsemble(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if e3.Params[0] == e.Params[0] {
+	same := true
+	for i := range e.Params[0] {
+		if e3.Params[0][i] != e.Params[0][i] {
+			same = false
+		}
+	}
+	if same {
 		t.Fatal("seed offset had no effect")
 	}
 }
@@ -614,5 +621,50 @@ func TestReservationOrder(t *testing.T) {
 	RenderReservation(&sb, rows)
 	if !strings.Contains(sb.String(), "GPU first") {
 		t.Fatal("render broken")
+	}
+}
+
+// TestGrayScottScale verifies the presets are really problem-agnostic
+// after the Problem-API staleness fix: with the Gray–Scott problem
+// selected, ensemble generation, normalization, the model spec and the
+// learner all follow the problem's two-channel geometry instead of
+// silently assuming the heat equation.
+func TestGrayScottScale(t *testing.T) {
+	scale := Tiny()
+	scale.Problem = melissa.GrayScott()
+	scale.Dt = 1 // Gray–Scott's stable step size at the tiny grid
+
+	wantDim := 2 * scale.GridN * scale.GridN
+	if scale.FieldDim() != wantDim {
+		t.Fatalf("field dim %d, want two channels %d", scale.FieldDim(), wantDim)
+	}
+	norm := scale.Normalizer()
+	if norm.InputDim() != 5 { // F, k, Du, Dv + time
+		t.Fatalf("input dim %d, want 5", norm.InputDim())
+	}
+	if norm.OutputDim() != wantDim {
+		t.Fatalf("output dim %d, want %d", norm.OutputDim(), wantDim)
+	}
+	if spec := scale.ModelSpec(); spec.OutputDim != wantDim {
+		t.Fatalf("model output %d, want %d", spec.OutputDim, wantDim)
+	}
+
+	data, err := GenerateEnsemble(scale, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := data.Sample(1, 3)
+	if len(s.Input) != 5 || len(s.Output) != wantDim {
+		t.Fatalf("sample dims %d/%d, want 5/%d", len(s.Input), len(s.Output), wantDim)
+	}
+
+	// The learner trains on the problem's geometry end to end.
+	l, err := newLearner(scale, nil, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.TrainBatch(data.AllSamples()[:scale.BatchSize])
+	if l.Batches() != 1 || l.Samples() != scale.BatchSize {
+		t.Fatalf("learner recorded %d batches / %d samples", l.Batches(), l.Samples())
 	}
 }

@@ -69,13 +69,13 @@ func (r *Figure4Result) Run(label string) *QualityRun {
 func (r *Figure4Result) Render(w io.Writer) {
 	norm := r.Scale.Normalizer()
 	tb := trace.NewTable("Figure 4 — training quality per buffer (1 GPU)",
-		"Setting", "Batches", "Samples", "FinalTrainMSE", "FinalValMSE", "MinValMSE", "ValMSE(K²)")
+		"Setting", "Batches", "Samples", "FinalTrainMSE", "FinalValMSE", "MinValMSE", "ValMSE(raw²)")
 	for _, run := range r.Runs {
 		finalTrain := 0.0
 		if len(run.Train) > 0 {
 			finalTrain = run.Train[len(run.Train)-1].Value
 		}
-		tb.AddRow(run.Label, run.Batches, run.Samples, finalTrain, run.FinalVal, run.MinVal, norm.KelvinMSE(run.FinalVal))
+		tb.AddRow(run.Label, run.Batches, run.Samples, finalTrain, run.FinalVal, run.MinVal, norm.RawMSE(run.FinalVal))
 	}
 	tb.Render(w)
 

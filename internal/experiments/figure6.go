@@ -117,11 +117,11 @@ func Figure6(scale Scale) (*Figure6Result, error) {
 func (r *Figure6Result) Render(w io.Writer) {
 	norm := r.Scale.Normalizer()
 	tb := trace.NewTable("Figure 6 — online (large ensemble) vs offline (multi-epoch)",
-		"Setting", "UniqueSamples", "SamplesTrained", "Batches", "FinalValMSE", "ValMSE(K²)")
+		"Setting", "UniqueSamples", "SamplesTrained", "Batches", "FinalValMSE", "ValMSE(raw²)")
 	off := r.Offline
-	tb.AddRow(off.Label, r.Scale.OfflineSims()*r.Scale.StepsPerSim, off.Samples, off.Batches, off.FinalVal, norm.KelvinMSE(off.FinalVal))
+	tb.AddRow(off.Label, r.Scale.OfflineSims()*r.Scale.StepsPerSim, off.Samples, off.Batches, off.FinalVal, norm.RawMSE(off.FinalVal))
 	on := r.Online
-	tb.AddRow(on.Label, on.Unique, on.Samples, on.Batches, on.FinalVal, norm.KelvinMSE(on.FinalVal))
+	tb.AddRow(on.Label, on.Unique, on.Samples, on.Batches, on.FinalVal, norm.RawMSE(on.FinalVal))
 	tb.Render(w)
 	fmt.Fprintf(w, "online validation improvement over offline: %.1f%% (paper: 47%%)\n", 100*r.Improvement)
 }

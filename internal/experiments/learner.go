@@ -17,7 +17,7 @@ import (
 // gradient of the concatenated batch.
 type learner struct {
 	scale Scale
-	norm  core.HeatNormalizer
+	norm  core.Normalizer
 	net   *nn.Network
 	adam  *opt.Adam
 	loss  *nn.MSELoss
@@ -59,7 +59,7 @@ func newLearner(scale Scale, valSet *core.ValidationSet, sched opt.Schedule, tra
 	}
 	l := &learner{
 		scale:         scale,
-		norm:          scale.Normalizer(),
+		norm:          scale.CoreNormalizer(),
 		net:           net,
 		adam:          opt.NewAdam(1e-3),
 		loss:          nn.NewMSELoss(),

@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 
+	"melissa"
 	"melissa/internal/buffer"
 	"melissa/internal/core"
 	"melissa/internal/sampling"
@@ -21,6 +22,12 @@ import (
 // Scale selects the size of the quality experiments.
 type Scale struct {
 	Name string
+
+	// Problem selects the simulation scenario the quality experiments
+	// train on; nil means the paper's heat equation. All presets are
+	// problem-agnostic: the ensemble generator, the learner and the
+	// normalization all route through the Problem API.
+	Problem melissa.Problem
 
 	GridN       int // solver grid side (paper: 1000)
 	StepsPerSim int // time steps per simulation (paper: 100)
@@ -109,8 +116,34 @@ func ScaleByName(name string) (Scale, error) {
 	}
 }
 
-// FieldDim returns the flattened field length.
-func (s Scale) FieldDim() int { return s.GridN * s.GridN }
+// problem resolves the scenario, defaulting to the paper's heat equation.
+func (s Scale) problem() melissa.Problem {
+	if s.Problem != nil {
+		return s.Problem
+	}
+	return melissa.Heat()
+}
+
+// Config returns the melissa configuration the scale's problem geometry is
+// evaluated against.
+func (s Scale) Config() melissa.Config {
+	return melissa.Config{
+		Problem:     s.problem(),
+		GridN:       s.GridN,
+		StepsPerSim: s.StepsPerSim,
+		Dt:          s.Dt,
+		Hidden:      s.Hidden,
+	}
+}
+
+// FieldDim returns the flattened field length (channels × grid points).
+func (s Scale) FieldDim() int {
+	dim := 1
+	for _, d := range s.problem().FieldShape(s.Config()) {
+		dim *= d
+	}
+	return dim
+}
 
 // OfflineSims returns the Figure 6 offline dataset size.
 func (s Scale) OfflineSims() int {
@@ -120,14 +153,15 @@ func (s Scale) OfflineSims() int {
 	return s.SimsSmall
 }
 
-// Normalizer returns the heat-problem normalizer for this scale.
-func (s Scale) Normalizer() core.HeatNormalizer {
-	return core.NewHeatNormalizer(s.FieldDim(), float64(s.StepsPerSim)*s.Dt)
+// Normalizer returns the problem's normalizer for this scale.
+func (s Scale) Normalizer() melissa.Normalizer {
+	return s.problem().Normalizer(s.Config())
 }
 
-// SolverConfig returns the per-client solver configuration.
-func (s Scale) SolverConfig() solver.Config {
-	return solver.Config{N: s.GridN, Steps: s.StepsPerSim, Dt: s.Dt}
+// CoreNormalizer adapts the problem normalizer to the trainer-side sample
+// interface.
+func (s Scale) CoreNormalizer() core.Normalizer {
+	return core.AdaptNormalizer(s.Normalizer())
 }
 
 // ModelSpec returns the surrogate architecture for this scale.
@@ -148,36 +182,40 @@ func (s Scale) BufferConfig(kind buffer.Kind) buffer.Config {
 
 // EnsembleData holds solver-generated trajectories for quality experiments.
 type EnsembleData struct {
-	Scale  Scale
-	Params []solver.Params
+	Scale Scale
+	// Params[sim] is the physical parameter vector, in the problem's
+	// canonical ParamNames order.
+	Params [][]float64
 	// fields[sim][step-1] is the float32 field of (sim, step).
 	fields [][][]float32
 }
 
-// GenerateEnsemble runs the real solver for sims parameter draws from the
-// seeded Monte Carlo design (seedOffset decorrelates training vs validation
-// ensembles).
+// GenerateEnsemble runs the scale's problem solver for sims parameter
+// draws from the seeded Monte Carlo design over the problem's parameter
+// box (seedOffset decorrelates training vs validation ensembles).
 func GenerateEnsemble(scale Scale, sims int, seedOffset uint64) (*EnsembleData, error) {
-	design := sampling.NewMonteCarlo(5, scale.Seed+seedOffset)
-	space := sampling.HeatSpace()
+	prob := scale.problem()
+	min, max := prob.ParamBounds()
+	space, err := sampling.NewSpace(min, max)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: problem %q bounds: %w", prob.Name(), err)
+	}
+	design := sampling.NewMonteCarlo(space.Dim(), scale.Seed+seedOffset)
 	e := &EnsembleData{
 		Scale:  scale,
-		Params: make([]solver.Params, sims),
+		Params: make([][]float64, sims),
 		fields: make([][][]float32, sims),
 	}
-	cfg := scale.SolverConfig()
+	cfg := scale.Config()
 	for i := 0; i < sims; i++ {
-		p, err := solver.ParamsFromVector(space.Scale(design.Next()))
-		if err != nil {
-			return nil, err
-		}
-		e.Params[i] = p
-		sim, err := solver.New(cfg, p)
+		params := space.Scale(design.Next())
+		e.Params[i] = params
+		sim, err := prob.NewSimulator(cfg, params)
 		if err != nil {
 			return nil, err
 		}
 		e.fields[i] = make([][]float32, scale.StepsPerSim)
-		err = sim.Run(func(step int, field []float64) {
+		err = solver.Run(sim, scale.StepsPerSim, func(step int, field []float64) {
 			f := make([]float32, len(field))
 			for j, v := range field {
 				f[j] = float32(v)
@@ -185,7 +223,7 @@ func GenerateEnsemble(scale Scale, sims int, seedOffset uint64) (*EnsembleData, 
 			e.fields[i][step-1] = f
 		})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("experiments: %s sim %d: %w", prob.Name(), i, err)
 		}
 	}
 	return e, nil
@@ -194,13 +232,16 @@ func GenerateEnsemble(scale Scale, sims int, seedOffset uint64) (*EnsembleData, 
 // Sims returns the ensemble size.
 func (e *EnsembleData) Sims() int { return len(e.fields) }
 
-// Sample assembles the raw training sample for (simID, 1-based step).
+// Sample assembles the raw training sample for (simID, 1-based step): the
+// parameter vector plus the physical time, then the flattened field — the
+// same wire layout the streaming clients produce.
 func (e *EnsembleData) Sample(simID, step int) buffer.Sample {
 	p := e.Params[simID]
-	input := []float32{
-		float32(p.TIC), float32(p.Tx1), float32(p.Ty1), float32(p.Tx2), float32(p.Ty2),
-		float32(float64(step) * e.Scale.Dt),
+	input := make([]float32, len(p)+1)
+	for i, v := range p {
+		input[i] = float32(v)
 	}
+	input[len(p)] = float32(float64(step) * e.Scale.Dt)
 	return buffer.Sample{SimID: simID, Step: step, Input: input, Output: e.fields[simID][step-1]}
 }
 
@@ -222,5 +263,5 @@ func ValidationSet(scale Scale) (*core.ValidationSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.NewValidationSet(scale.Normalizer(), val.AllSamples()), nil
+	return core.NewValidationSet(scale.CoreNormalizer(), val.AllSamples()), nil
 }

@@ -59,9 +59,10 @@ type Layer interface {
 type Network struct {
 	Layers []Layer
 
-	params     []*Param  // cached stable order, set by fuse
-	flatValues []float32 // contiguous backing of every Param.Value
-	flatGrads  []float32 // contiguous backing of every Param.Grad
+	params      []*Param  // cached stable order, set by fuse
+	flatValues  []float32 // contiguous backing of every Param.Value
+	flatGrads   []float32 // contiguous backing of every Param.Grad
+	layerRanges [][2]int  // per-layer [lo,hi) slab ranges, set by fuse
 }
 
 // NewNetwork assembles a sequential network from layers and fuses the
@@ -78,12 +79,15 @@ func NewNetwork(layers ...Layer) *Network {
 // invisible to forward/backward code.
 func (n *Network) fuse() {
 	n.params = n.params[:0]
-	for _, l := range n.Layers {
-		n.params = append(n.params, l.Params()...)
-	}
+	n.layerRanges = make([][2]int, len(n.Layers))
 	total := 0
-	for _, p := range n.params {
-		total += p.Size()
+	for i, l := range n.Layers {
+		lo := total
+		for _, p := range l.Params() {
+			n.params = append(n.params, p)
+			total += p.Size()
+		}
+		n.layerRanges[i] = [2]int{lo, total}
 	}
 	n.flatValues = make([]float32, total)
 	n.flatGrads = make([]float32, total)
@@ -117,10 +121,55 @@ func (n *Network) Forward(x *tensor.Matrix) *tensor.Matrix {
 // Backward propagates dy through the network in reverse, accumulating
 // parameter gradients, and returns the gradient w.r.t. the network input.
 func (n *Network) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	return n.BackwardWithHook(dy, nil)
+}
+
+// BackwardWithHook is Backward with a per-layer completion hook: hook(i)
+// runs immediately after layer i's Backward, at which point that layer's
+// parameter gradients (slab range LayerParamRange(i)) are final for this
+// batch — no later Backward call touches them. The trainer uses it to
+// launch each gradient bucket's all-reduce while earlier layers are still
+// back-propagating. A nil hook makes it plain Backward.
+func (n *Network) BackwardWithHook(dy *tensor.Matrix, hook func(layer int)) *tensor.Matrix {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		dy = n.Layers[i].Backward(dy)
+		if hook != nil {
+			hook(i)
+		}
 	}
 	return dy
+}
+
+// LayerParamRange returns the slab range [lo, hi) backing layer i's
+// parameters in FlatParams/FlatGrads order; lo == hi for parameterless
+// layers. Only valid on slab-fused networks (built with NewNetwork).
+func (n *Network) LayerParamRange(i int) (lo, hi int) {
+	r := n.layerRanges[i]
+	return r[0], r[1]
+}
+
+// GradBucket is one contiguous gradient-slab range owned by a single
+// layer, in the order backward finalizes them.
+type GradBucket struct {
+	Layer  int // index into Layers
+	Lo, Hi int // slab range [Lo, Hi)
+}
+
+// GradBuckets returns the non-empty per-layer slab ranges in reverse layer
+// order — the order Backward finalizes their gradients, and therefore the
+// order bucketed-overlap synchronization must launch their collectives.
+// Returns nil for networks built without NewNetwork.
+func (n *Network) GradBuckets() []GradBucket {
+	if n.layerRanges == nil {
+		return nil
+	}
+	buckets := make([]GradBucket, 0, len(n.layerRanges))
+	for i := len(n.layerRanges) - 1; i >= 0; i-- {
+		if r := n.layerRanges[i]; r[1] > r[0] {
+			buckets = append(buckets, GradBucket{Layer: i, Lo: r[0], Hi: r[1]})
+		}
+	}
+	return buckets
 }
 
 // Params returns all learnable parameters in a stable order.

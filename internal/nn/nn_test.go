@@ -408,3 +408,89 @@ func TestTrainingReducesLoss(t *testing.T) {
 		t.Fatalf("loss did not drop: %v -> %v", initial, final)
 	}
 }
+
+// TestLayerParamRangesTileSlab verifies the bucket layout the overlapped
+// gradient sync relies on: per-layer slab ranges tile [0, NumParams)
+// exactly in layer order, and GradBuckets returns the non-empty ranges in
+// reverse layer order — the order Backward finalizes their gradients.
+func TestLayerParamRangesTileSlab(t *testing.T) {
+	net := ArchitectureMLP(3, []int{4, 5}, 2, 1)
+	off := 0
+	for i, l := range net.Layers {
+		lo, hi := net.LayerParamRange(i)
+		if lo != off {
+			t.Fatalf("layer %d starts at %d, want %d", i, lo, off)
+		}
+		size := 0
+		for _, p := range l.Params() {
+			size += p.Size()
+		}
+		if hi-lo != size {
+			t.Fatalf("layer %d range %d elems, params hold %d", i, hi-lo, size)
+		}
+		off = hi
+	}
+	if off != net.NumParams() {
+		t.Fatalf("ranges cover %d of %d slab elements", off, net.NumParams())
+	}
+
+	buckets := net.GradBuckets()
+	if len(buckets) != 3 { // three Dense layers; ReLUs are empty
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	prevLayer := len(net.Layers)
+	for _, bk := range buckets {
+		if bk.Layer >= prevLayer {
+			t.Fatalf("buckets not in reverse layer order: %v", buckets)
+		}
+		prevLayer = bk.Layer
+		if lo, hi := net.LayerParamRange(bk.Layer); lo != bk.Lo || hi != bk.Hi {
+			t.Fatalf("bucket %+v mismatches layer range [%d,%d)", bk, lo, hi)
+		}
+		if bk.Lo >= bk.Hi {
+			t.Fatalf("empty bucket %+v", bk)
+		}
+	}
+}
+
+// TestBackwardWithHookOrder verifies the hook contract: hook(i) fires once
+// per layer, in reverse layer order, and by the time it fires the layer's
+// gradient range is populated.
+func TestBackwardWithHookOrder(t *testing.T) {
+	net := ArchitectureMLP(3, []int{4}, 2, 2)
+	x := tensor.New(2, 3)
+	for i := range x.Data {
+		x.Data[i] = float32(i) * 0.1
+	}
+	target := tensor.New(2, 2)
+	loss := NewMSELoss()
+	pred := net.Forward(x)
+	loss.Forward(pred, target)
+
+	var order []int
+	net.BackwardWithHook(loss.Backward(pred, target), func(layer int) {
+		order = append(order, layer)
+		if lo, hi := net.LayerParamRange(layer); hi > lo {
+			grads := net.FlatGrads()[lo:hi]
+			nonzero := false
+			for _, g := range grads {
+				if g != 0 {
+					nonzero = true
+					break
+				}
+			}
+			if !nonzero {
+				t.Fatalf("layer %d hook fired with all-zero gradients", layer)
+			}
+		}
+	})
+	want := []int{2, 1, 0}
+	if len(order) != len(want) {
+		t.Fatalf("hook fired %d times, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook order %v, want %v", order, want)
+		}
+	}
+}

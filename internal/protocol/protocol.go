@@ -28,6 +28,16 @@ const (
 	TypeTimeStep
 	TypeGoodbye
 	TypeHeartbeat
+
+	// Rank-to-rank collective frames (transport.Ring). They share the
+	// client framing [length u32 | type u8 | payload] but travel on the
+	// dedicated inter-rank ring connections, never through the client
+	// message decoder: RingHello carries the sender's rank during ring
+	// setup, RingFloats a raw little-endian float32 chunk of a collective,
+	// and RingToken a zero-payload barrier token.
+	TypeRingHello
+	TypeRingFloats
+	TypeRingToken
 )
 
 // MaxFrameSize bounds a frame payload; larger frames indicate corruption.

@@ -18,15 +18,28 @@ import (
 
 	"melissa/internal/buffer"
 	"melissa/internal/core"
+	"melissa/internal/ddp"
 	"melissa/internal/protocol"
 	"melissa/internal/transport"
 )
 
 // Config assembles a server.
 type Config struct {
-	// Ranks is the number of training processes ("GPUs"); each gets its
-	// own listener, aggregator, and training buffer.
+	// Ranks is the number of training ranks ("GPUs") hosted by this
+	// process; each gets its own listener, aggregator, and training
+	// buffer.
 	Ranks int
+
+	// Comm, when set, carries the gradient collectives for a multi-process
+	// training group (e.g. a ddp.TCPComm connecting several server
+	// processes over a rank ring). Nil trains with the in-process channel
+	// ring over Ranks. With a communicator, Ranks counts only this
+	// process's local ranks and RankOffset places them in the global rank
+	// space [0, Comm.Size()); the round-robin data distribution and the
+	// reception accounting then run on global ranks.
+	Comm ddp.Communicator
+	// RankOffset is the global rank of this process's local rank 0.
+	RankOffset int
 	// ListenHost is the host for rank listeners; tests use "127.0.0.1:0"
 	// semantics: each rank listens on ListenHost with an ephemeral port.
 	ListenHost string
@@ -73,12 +86,13 @@ func (c Config) withDefaults() Config {
 
 // Server is a live training server.
 type Server struct {
-	cfg       Config
-	listeners []*transport.RankListener
-	bufs      []*buffer.Blocking
-	policies  []buffer.Policy
-	trainer   *core.Trainer
-	watchdog  *transport.Watchdog
+	cfg        Config
+	worldRanks int // total training ranks across all server processes
+	listeners  []*transport.RankListener
+	bufs       []*buffer.Blocking
+	policies   []buffer.Policy
+	trainer    *core.Trainer
+	watchdog   *transport.Watchdog
 
 	mu    sync.Mutex
 	seen  []map[buffer.Key]bool // per-rank message log for dedup
@@ -112,11 +126,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ExpectedClients < 1 {
 		return nil, errors.New("server: ExpectedClients must be ≥ 1")
 	}
+	world := cfg.Ranks
+	if cfg.Comm != nil {
+		world = cfg.Comm.Size()
+		if cfg.RankOffset < 0 || cfg.RankOffset+cfg.Ranks > world {
+			return nil, fmt.Errorf("server: local ranks [%d,%d) exceed communicator size %d",
+				cfg.RankOffset, cfg.RankOffset+cfg.Ranks, world)
+		}
+		if sr, ok := cfg.Comm.(ddp.SingleRank); ok && cfg.Ranks != 1 {
+			return nil, fmt.Errorf("server: communicator serves only rank %d; Ranks must be 1, got %d", sr.Rank(), cfg.Ranks)
+		}
+	}
 	s := &Server{
-		cfg:   cfg,
-		seen:  make([]map[buffer.Key]bool, cfg.Ranks),
-		sims:  make([]map[int32]*SimState, cfg.Ranks),
-		ended: make([]bool, cfg.Ranks),
+		cfg:        cfg,
+		worldRanks: world,
+		seen:       make([]map[buffer.Key]bool, cfg.Ranks),
+		sims:       make([]map[int32]*SimState, cfg.Ranks),
+		ended:      make([]bool, cfg.Ranks),
 	}
 	if cfg.WatchdogTimeout > 0 {
 		s.watchdog = transport.NewWatchdog(cfg.WatchdogTimeout)
@@ -126,7 +152,7 @@ func New(cfg Config) (*Server, error) {
 		s.sims[r] = make(map[int32]*SimState)
 
 		bcfg := cfg.Buffer
-		bcfg.Seed += uint64(r) * 1000003 // distinct stream per rank
+		bcfg.Seed += uint64(cfg.RankOffset+r) * 1000003 // distinct stream per global rank
 		p, err := buffer.New(bcfg)
 		if err != nil {
 			s.closeListeners()
@@ -145,7 +171,9 @@ func New(cfg Config) (*Server, error) {
 
 	tcfg := cfg.Trainer
 	tcfg.Ranks = cfg.Ranks
-	if cfg.CheckpointPath != "" {
+	tcfg.Comm = cfg.Comm
+	tcfg.RankOffset = cfg.RankOffset
+	if cfg.CheckpointPath != "" && cfg.RankOffset == 0 {
 		every := cfg.CheckpointEveryBatches
 		userHook := tcfg.OnBatchEnd
 		tcfg.OnBatchEnd = func(batches int) {
@@ -328,7 +356,7 @@ func (s *Server) receptionComplete(rank int) bool {
 		// Goodbye was abandoned (its restarted replacement will Goodbye
 		// under the same sim id). Steps unknown (no Hello processed)
 		// cannot be verified; fall back to the goodbye-only rule for it.
-		if st.Goodbye && st.Steps > 0 && st.Received < expectedOnRank(st.ClientID, st.Steps, rank, s.cfg.Ranks) {
+		if st.Goodbye && st.Steps > 0 && st.Received < expectedOnRank(st.ClientID, st.Steps, s.cfg.RankOffset+rank, s.worldRanks) {
 			return false
 		}
 	}

@@ -1,0 +1,336 @@
+package transport
+
+// The rank ring: dedicated TCP connections between training ranks running
+// as separate processes, carrying gradient collectives (ddp.TCPComm). Every
+// rank listens on a pre-agreed address, dials its successor and accepts its
+// predecessor, forming the same directed ring the in-process channel
+// communicator uses. Frames reuse the protocol package's length framing
+// ([length u32 | type u8 | payload], little-endian).
+//
+// Sends are asynchronous: the caller's goroutine stages the frame into a
+// recycled buffer (so the caller's slab is never aliased after Send*
+// returns) and a persistent writer goroutine performs the socket write.
+// This is what keeps the ring deadlock-free — during a collective every
+// rank sends before it receives, so a blocking send of a chunk larger than
+// the socket buffers would wedge the whole ring. Two staging buffers
+// rotate through a free list, making steady-state collectives
+// allocation-free, exactly like the channel backend's recycled links.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"melissa/internal/protocol"
+)
+
+// ringHeaderLen is the frame header size: payload length u32 + type u8.
+const ringHeaderLen = 5
+
+// ringSendDepth is the number of in-flight staged frames per ring link.
+const ringSendDepth = 2
+
+// RingListener is the bound-but-unconnected half of a rank's ring
+// endpoint. Binding first and connecting second lets tests use ephemeral
+// ports: every rank learns all addresses before any rank dials.
+type RingListener struct {
+	ln net.Listener
+}
+
+// ListenRing binds a rank's collective endpoint on addr
+// (use "127.0.0.1:0" for an ephemeral port).
+func ListenRing(addr string) (*RingListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: ring listen %s: %w", addr, err)
+	}
+	return &RingListener{ln: ln}, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *RingListener) Addr() string { return l.ln.Addr().String() }
+
+// Close releases the endpoint without forming a ring.
+func (l *RingListener) Close() error { return l.ln.Close() }
+
+// Ring is one rank's pair of directed ring connections: next carries this
+// rank's sends to rank+1, prev carries rank−1's sends to this rank. A ring
+// of size 1 has no connections and all operations are no-ops. A Ring is
+// owned by one goroutine at a time; Close must not race in-flight
+// collectives.
+type Ring struct {
+	rank, size int
+	next       net.Conn // to successor (nil when size == 1)
+	prev       net.Conn // from predecessor (nil when size == 1)
+
+	sendData   chan []byte // framed messages awaiting the writer
+	sendFree   chan []byte // recycled staging buffers
+	writerDone chan struct{}
+	sendErr    atomic.Pointer[error] // first write failure, surfaced on later sends
+
+	recvBuf []byte // recycled payload staging for RecvFloats
+	hdr     [ringHeaderLen]byte
+}
+
+// Connect forms the ring: the listener's rank dials addrs[(rank+1)%size]
+// (retrying until timeout, so processes may start in any order) and accepts
+// one connection from its predecessor, verified by a RingHello handshake.
+// The listener is consumed: it is closed once the ring is established.
+func (l *RingListener) Connect(rank int, addrs []string, timeout time.Duration) (*Ring, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		l.ln.Close()
+		return nil, fmt.Errorf("transport: ring rank %d out of range [0,%d)", rank, size)
+	}
+	r := &Ring{rank: rank, size: size}
+	if size == 1 {
+		l.ln.Close()
+		return r, nil
+	}
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+
+	// Dial the successor in the background while accepting the
+	// predecessor: with two ranks each side must do both at once.
+	type dialResult struct {
+		conn net.Conn
+		err  error
+	}
+	dialed := make(chan dialResult, 1)
+	go func() {
+		succ := addrs[(rank+1)%size]
+		var lastErr error
+		for time.Now().Before(deadline) {
+			conn, err := net.DialTimeout("tcp", succ, time.Second)
+			if err == nil {
+				// Identify ourselves so the acceptor can verify ring order.
+				if err := writeRingHello(conn, rank); err != nil {
+					conn.Close()
+					dialed <- dialResult{err: err}
+					return
+				}
+				dialed <- dialResult{conn: conn}
+				return
+			}
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+		}
+		dialed <- dialResult{err: fmt.Errorf("transport: dialing ring successor %s: %w", succ, lastErr)}
+	}()
+
+	fail := func(err error) (*Ring, error) {
+		l.ln.Close()
+		if d := <-dialed; d.conn != nil {
+			d.conn.Close()
+		}
+		return nil, err
+	}
+
+	if tl, ok := l.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	conn, err := l.ln.Accept()
+	if err != nil {
+		return fail(fmt.Errorf("transport: accepting ring predecessor: %w", err))
+	}
+	from, err := readRingHello(conn)
+	if err != nil {
+		conn.Close()
+		return fail(err)
+	}
+	want := (rank - 1 + size) % size
+	if from != want {
+		conn.Close()
+		return fail(fmt.Errorf("transport: ring rank %d accepted rank %d, want predecessor %d", rank, from, want))
+	}
+	r.prev = conn
+	l.ln.Close()
+
+	d := <-dialed
+	if d.err != nil {
+		r.prev.Close()
+		return nil, d.err
+	}
+	r.next = d.conn
+
+	r.sendData = make(chan []byte, ringSendDepth)
+	r.sendFree = make(chan []byte, ringSendDepth)
+	for i := 0; i < ringSendDepth; i++ {
+		r.sendFree <- nil // sized lazily on first send
+	}
+	r.writerDone = make(chan struct{})
+	go r.writeLoop()
+	return r, nil
+}
+
+// writeLoop is the persistent writer: it drains staged frames in order and
+// recycles their buffers. On a write failure it records the error and keeps
+// draining so stagers never block.
+func (r *Ring) writeLoop() {
+	defer close(r.writerDone)
+	for buf := range r.sendData {
+		if r.sendErr.Load() == nil {
+			if _, err := r.next.Write(buf); err != nil {
+				werr := fmt.Errorf("transport: ring send to rank %d: %w", (r.rank+1)%r.size, err)
+				r.sendErr.Store(&werr)
+			}
+		}
+		r.sendFree <- buf
+	}
+}
+
+// stage frames typ+payload into a recycled buffer and hands it to the
+// writer. fill writes the payload into the staging buffer.
+func (r *Ring) stage(typ protocol.MsgType, payloadLen int, fill func(dst []byte)) error {
+	if payloadLen+1 > protocol.MaxFrameSize {
+		// Caught on the sender so the receiver never misreads an
+		// oversized frame as stream corruption (or a >4 GiB length as a
+		// wrapped u32).
+		return fmt.Errorf("transport: ring payload %d bytes exceeds frame limit %d", payloadLen, protocol.MaxFrameSize-1)
+	}
+	if err := r.sendErr.Load(); err != nil {
+		return *err
+	}
+	buf := <-r.sendFree
+	need := ringHeaderLen + payloadLen
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	binary.LittleEndian.PutUint32(buf, uint32(1+payloadLen))
+	buf[4] = byte(typ)
+	if fill != nil {
+		fill(buf[ringHeaderLen:])
+	}
+	r.sendData <- buf
+	return nil
+}
+
+// Rank returns this endpoint's ring position.
+func (r *Ring) Rank() int { return r.rank }
+
+// Size returns the number of ranks in the ring.
+func (r *Ring) Size() int { return r.size }
+
+// Close stops the writer and tears both ring connections down. It must not
+// race an in-flight collective.
+func (r *Ring) Close() error {
+	if r.sendData != nil {
+		close(r.sendData)
+		<-r.writerDone
+		r.sendData = nil
+	}
+	var first error
+	for _, c := range []net.Conn{r.next, r.prev} {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	r.next, r.prev = nil, nil
+	return first
+}
+
+// SendFloats stages vals as a RingFloats frame for the successor. vals is
+// fully copied before SendFloats returns, so the caller may overwrite it
+// immediately.
+func (r *Ring) SendFloats(vals []float32) error {
+	return r.stage(protocol.TypeRingFloats, 4*len(vals), func(dst []byte) {
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+		}
+	})
+}
+
+// RecvFloats reads one RingFloats frame from the predecessor into dst,
+// which must have exactly the sent length (collectives are lockstep, so
+// lengths always agree). The payload staging buffer is recycled.
+func (r *Ring) RecvFloats(dst []float32) error {
+	typ, payload, err := r.readFrame()
+	if err != nil {
+		return err
+	}
+	if typ != protocol.TypeRingFloats {
+		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want floats", r.rank, typ)
+	}
+	if len(payload) != 4*len(dst) {
+		return fmt.Errorf("transport: ring rank %d: float frame %d bytes, want %d", r.rank, len(payload), 4*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
+	}
+	return nil
+}
+
+// SendToken stages a zero-payload barrier token for the successor.
+func (r *Ring) SendToken() error {
+	return r.stage(protocol.TypeRingToken, 0, nil)
+}
+
+// RecvToken reads one barrier token from the predecessor.
+func (r *Ring) RecvToken() error {
+	typ, payload, err := r.readFrame()
+	if err != nil {
+		return err
+	}
+	if typ != protocol.TypeRingToken || len(payload) != 0 {
+		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want token", r.rank, typ)
+	}
+	return nil
+}
+
+// readFrame reads one [length | type | payload] frame from the predecessor
+// into the recycled receive buffer.
+func (r *Ring) readFrame() (protocol.MsgType, []byte, error) {
+	if _, err := io.ReadFull(r.prev, r.hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("transport: ring recv header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(r.hdr[:4])
+	if size == 0 || size > protocol.MaxFrameSize {
+		return 0, nil, fmt.Errorf("transport: ring frame size %d", size)
+	}
+	typ := protocol.MsgType(r.hdr[4])
+	n := int(size) - 1
+	if cap(r.recvBuf) < n {
+		r.recvBuf = make([]byte, n)
+	}
+	payload := r.recvBuf[:n]
+	if _, err := io.ReadFull(r.prev, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: ring recv payload: %w", err)
+	}
+	return typ, payload, nil
+}
+
+// writeRingHello sends the one-shot rank handshake on a dialed connection.
+func writeRingHello(conn net.Conn, rank int) error {
+	var buf [ringHeaderLen + 4]byte
+	binary.LittleEndian.PutUint32(buf[:], 5)
+	buf[4] = byte(protocol.TypeRingHello)
+	binary.LittleEndian.PutUint32(buf[ringHeaderLen:], uint32(rank))
+	if _, err := conn.Write(buf[:]); err != nil {
+		return fmt.Errorf("transport: ring hello: %w", err)
+	}
+	return nil
+}
+
+// readRingHello reads the rank handshake from an accepted connection.
+func readRingHello(conn net.Conn) (int, error) {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	var buf [ringHeaderLen + 4]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		return 0, fmt.Errorf("transport: reading ring hello: %w", err)
+	}
+	if binary.LittleEndian.Uint32(buf[:4]) != 5 || protocol.MsgType(buf[4]) != protocol.TypeRingHello {
+		return 0, fmt.Errorf("transport: malformed ring hello")
+	}
+	return int(binary.LittleEndian.Uint32(buf[ringHeaderLen:])), nil
+}

@@ -199,6 +199,31 @@ func (p grayScottProblem) Normalizer(cfg Config) Normalizer {
 	return core.NewFieldNormalizer(sampling.GrayScottSpace(), float64(cfg.StepsPerSim)*cfg.Dt, 0, 1, fieldDim(p, cfg))
 }
 
+// DefaultDt implements DtProvider: the Gray–Scott explicit scheme
+// integrates in lattice time units with a stable step of 1 (the solver's
+// own default), three orders of magnitude coarser than the heat
+// equation's 0.01 s.
+func (grayScottProblem) DefaultDt() float64 { return 1 }
+
+// DtProvider is optionally implemented by problems whose natural solver
+// time step differs from the framework-wide 0.01 default. CLI entry
+// points resolve their -dt default through DefaultDtFor so that selecting
+// a problem never silently runs it at another problem's step size.
+type DtProvider interface {
+	// DefaultDt returns the problem's preferred solver time step.
+	DefaultDt() float64
+}
+
+// DefaultDtFor returns prob's preferred solver time step: its DefaultDt
+// when it provides one, else 0.01 (the heat equation's step, the
+// framework default).
+func DefaultDtFor(prob Problem) float64 {
+	if dp, ok := prob.(DtProvider); ok {
+		return dp.DefaultDt()
+	}
+	return 0.01
+}
+
 // fieldDim returns the flattened output length of a problem configuration.
 func fieldDim(prob Problem, cfg Config) int {
 	dim := 1

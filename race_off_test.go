@@ -1,0 +1,5 @@
+//go:build !race
+
+package melissa
+
+const raceEnabled = false

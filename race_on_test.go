@@ -1,0 +1,8 @@
+//go:build race
+
+package melissa
+
+// raceEnabled reports that this test binary runs under the race detector,
+// where sync.Pool intentionally drops entries at random and allocation
+// gates become meaningless.
+const raceEnabled = true

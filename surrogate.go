@@ -17,15 +17,28 @@ import (
 // given the design parameters and a physical time, it predicts the full
 // flattened field in one forward pass (§2.1 "direct models":
 // f_θ(X, t) ≈ u_t^X).
+//
+// All prediction methods are safe for concurrent use and scale across
+// cores: each goroutine draws a private forward workspace (network replica
+// plus staging buffers) from an internal pool, so parallel queries never
+// serialize on a lock. Workspaces are recycled, keeping the steady-state
+// single-query path allocation-free.
 type Surrogate struct {
 	net  *nn.Network
 	norm Normalizer
 	meta Meta
 
-	// Prediction scratch: the input row, the raw input staging buffer and
-	// the denormalization buffer are reused across Predict calls so the
-	// steady-state single-query path performs no heap allocations.
-	mu     sync.Mutex
+	// workspaces pools *predictScratch. The surrogate's weights are
+	// immutable after construction, so pooled replicas never go stale.
+	workspaces sync.Pool
+}
+
+// predictScratch is one goroutine's private forward workspace: a network
+// replica (the nn layers cache activations per batch shape and record
+// forward state, so a shared network would race) and the reusable input
+// row, raw staging and denormalization buffers.
+type predictScratch struct {
+	net    *nn.Network
 	rawIn  []float32
 	in     *tensor.Matrix
 	outBuf []float32
@@ -55,13 +68,25 @@ func surrogateMeta(cfg Config, prob Problem) Meta {
 }
 
 func newSurrogate(net *nn.Network, norm Normalizer, meta Meta) *Surrogate {
-	return &Surrogate{
+	s := &Surrogate{net: net, norm: norm, meta: meta}
+	s.workspaces.New = func() any {
+		// Clone shares nothing with the original, so concurrent forward
+		// passes are independent; weights are copied once at clone time
+		// and the surrogate never mutates them afterwards.
+		return s.newScratch(s.net.Clone())
+	}
+	// Seed the pool with a workspace wrapping the original network, so the
+	// common single-goroutine caller never pays for a clone.
+	s.workspaces.Put(s.newScratch(net))
+	return s
+}
+
+func (s *Surrogate) newScratch(net *nn.Network) *predictScratch {
+	return &predictScratch{
 		net:    net,
-		norm:   norm,
-		meta:   meta,
-		rawIn:  make([]float32, norm.InputDim()),
-		in:     tensor.New(1, norm.InputDim()),
-		outBuf: make([]float32, norm.OutputDim()),
+		rawIn:  make([]float32, s.norm.InputDim()),
+		in:     tensor.New(1, s.norm.InputDim()),
+		outBuf: make([]float32, s.norm.OutputDim()),
 	}
 }
 
@@ -95,28 +120,28 @@ func (s *Surrogate) PredictHeat(p HeatParams, t float64) []float64 {
 // PredictInto is Predict with a caller-supplied destination: dst is grown
 // as needed and returned. With a destination of sufficient capacity the
 // steady-state call performs no heap allocations — the hot path for dense
-// parameter sweeps. Safe for concurrent use (calls serialize on an
-// internal scratch lock).
+// parameter sweeps. Safe for concurrent use: each call runs on a private
+// pooled workspace, so parallel callers proceed without serializing.
 func (s *Surrogate) PredictInto(dst []float64, params []float64, t float64) []float64 {
 	if len(params) != s.ParamDim() {
 		panic(fmt.Sprintf("melissa: Predict got %d parameters, problem %q wants %d", len(params), s.meta.Problem, s.ParamDim()))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ws := s.workspaces.Get().(*predictScratch)
+	defer s.workspaces.Put(ws)
 	for i, v := range params {
-		s.rawIn[i] = float32(v)
+		ws.rawIn[i] = float32(v)
 	}
-	s.rawIn[len(params)] = float32(t)
-	s.norm.NormalizeInput(s.rawIn, s.in.Data)
-	pred := s.net.Forward(s.in)
-	copy(s.outBuf, pred.Data)
-	s.norm.DenormalizeField(s.outBuf)
+	ws.rawIn[len(params)] = float32(t)
+	s.norm.NormalizeInput(ws.rawIn, ws.in.Data)
+	pred := ws.net.Forward(ws.in)
+	copy(ws.outBuf, pred.Data)
+	s.norm.DenormalizeField(ws.outBuf)
 	width := s.norm.OutputDim()
 	if cap(dst) < width {
 		dst = make([]float64, width)
 	}
 	dst = dst[:width]
-	for i, v := range s.outBuf {
+	for i, v := range ws.outBuf {
 		dst[i] = float64(v)
 	}
 	return dst
@@ -124,7 +149,8 @@ func (s *Surrogate) PredictInto(dst []float64, params []float64, t float64) []fl
 
 // PredictBatch evaluates many (params, time) queries in one forward pass,
 // amortizing the matrix multiplies — this is where the surrogate's
-// orders-of-magnitude speedup over the solver comes from.
+// orders-of-magnitude speedup over the solver comes from. Safe for
+// concurrent use: the forward pass runs on a private pooled workspace.
 func (s *Surrogate) PredictBatch(params [][]float64, ts []float64) ([][]float64, error) {
 	if len(params) != len(ts) {
 		return nil, fmt.Errorf("melissa: %d params for %d times", len(params), len(ts))
@@ -142,9 +168,9 @@ func (s *Surrogate) PredictBatch(params [][]float64, ts []float64) ([][]float64,
 		raw[dim] = float32(ts[r])
 		s.norm.NormalizeInput(raw, in.Row(r))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	pred := s.net.Forward(in)
+	ws := s.workspaces.Get().(*predictScratch)
+	defer s.workspaces.Put(ws)
+	pred := ws.net.Forward(in)
 	out := make([][]float64, len(params))
 	width := s.norm.OutputDim()
 	row := make([]float32, width)

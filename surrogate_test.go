@@ -3,6 +3,7 @@ package melissa
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 
 	"melissa/internal/nn"
@@ -130,6 +131,9 @@ func TestTrainedCheckpointRoundTrip(t *testing.T) {
 // path: steady-state PredictInto with a reused destination must not touch
 // the heap.
 func TestPredictZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries at random under the race detector")
+	}
 	s := freshSurrogate(Heat())
 	params := midPoint(Heat())
 	dst := make([]float64, 0, s.OutputDim())
@@ -160,6 +164,60 @@ func TestPredictIntoMatchesPredict(t *testing.T) {
 	}
 }
 
+// TestPredictParallel drives Predict and PredictBatch from many goroutines
+// at once (under -race in CI) and checks every concurrent result against
+// the serial answer — the regression gate for the lock-free pooled
+// forward workspaces.
+func TestPredictParallel(t *testing.T) {
+	s := freshSurrogate(Heat())
+	params := midPoint(Heat())
+	want := s.Predict(params, 0.03)
+	wantBatch, err := s.PredictBatch([][]float64{params, params}, []float64{0.01, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 25
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			dst := make([]float64, 0, s.OutputDim())
+			for i := 0; i < iters; i++ {
+				if w%2 == 0 {
+					dst = s.PredictInto(dst, params, 0.03)
+					for j := range want {
+						if dst[j] != want[j] {
+							errCh <- fmt.Errorf("worker %d iter %d: Predict[%d] = %v, want %v", w, i, j, dst[j], want[j])
+							return
+						}
+					}
+				} else {
+					got, err := s.PredictBatch([][]float64{params, params}, []float64{0.01, 0.05})
+					if err != nil {
+						errCh <- err
+						return
+					}
+					for r := range wantBatch {
+						for j := range wantBatch[r] {
+							if got[r][j] != wantBatch[r][j] {
+								errCh <- fmt.Errorf("worker %d iter %d: PredictBatch[%d][%d] diverged", w, i, r, j)
+								return
+							}
+						}
+					}
+				}
+			}
+			errCh <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestPredictWrongDimPanics(t *testing.T) {
 	s := freshSurrogate(Heat())
 	defer func() {
@@ -185,4 +243,25 @@ func BenchmarkPredict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dst = s.PredictInto(dst, params, 0.05)
 	}
+}
+
+// BenchmarkPredictParallel measures concurrent serving throughput: with
+// the pooled forward workspaces, parallel callers scale across cores
+// instead of serializing on the old scratch mutex.
+func BenchmarkPredictParallel(b *testing.B) {
+	cfg := DefaultConfig()
+	norm := Heat().Normalizer(cfg)
+	net := nn.ArchitectureMLP(norm.InputDim(), cfg.Hidden, norm.OutputDim(), cfg.Seed)
+	s := newSurrogate(net, norm, surrogateMeta(cfg, Heat()))
+	params := midPoint(Heat())
+	var warm [1][]float64
+	warm[0] = s.Predict(params, 0.05)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		dst := make([]float64, 0, s.OutputDim())
+		for pb.Next() {
+			dst = s.PredictInto(dst, params, 0.05)
+		}
+	})
 }
