@@ -22,7 +22,9 @@ const (
 	// SyncOverlap (the default) buckets the gradient slab by layer
 	// boundaries and launches each bucket's all-reduce as soon as backward
 	// finalizes that layer's gradients, overlapping communication with the
-	// remaining backpropagation. Bit-identical to SyncSerial.
+	// remaining backpropagation. Bit-identical to SyncSerial. With fused
+	// Dense+activation layers every bucket is one weight+bias pair, so the
+	// overlap granularity is unchanged from the unfused structure.
 	SyncOverlap GradSyncMode = iota
 	// SyncSerial runs the same per-bucket collectives, but only after the
 	// full backward pass — the paper's §3.1 ordering. It exists as the

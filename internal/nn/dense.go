@@ -6,21 +6,32 @@ import (
 	"melissa/internal/tensor"
 )
 
-// Dense is a fully connected layer computing y = x·W + b for a batch x of
-// shape [batch, in]. W has shape [in, out] and b broadcasts across the
-// batch.
+// Dense is a fully connected layer computing y = act(x·W + b) for a batch x
+// of shape [batch, in]. W has shape [in, out], b broadcasts across the
+// batch, and act is an optional fused activation: forward runs as a single
+// blocked GEMM whose epilogue applies bias and activation per cache-hot
+// output tile, and backward folds dZ = dY ⊙ act′ and the bias gradient into
+// one elementwise sweep before the two gradient GEMMs.
 type Dense struct {
 	name string
 	w, b *Param
+	act  Activation
 
 	lastX *tensor.Matrix // input recorded by Forward for the weight gradient
+	lastY *tensor.Matrix // output recorded by Forward for the fused act′
 	out   scratch        // output activations, cached per batch shape
 	dx    scratch        // input gradients, cached per batch shape
+	dz    scratch        // pre-activation gradients (fused act only)
 }
 
-// NewDense creates a Dense layer with Xavier-uniform weights drawn from
-// init and zero biases.
+// NewDense creates a linear Dense layer (no activation) with Xavier-uniform
+// weights drawn from init and zero biases.
 func NewDense(name string, in, out int, init *Initializer) *Dense {
+	return NewDenseAct(name, in, out, ActNone, init)
+}
+
+// NewDenseAct creates a Dense layer with a fused activation epilogue.
+func NewDenseAct(name string, in, out int, act Activation, init *Initializer) *Dense {
 	if in <= 0 || out <= 0 {
 		panic(fmt.Sprintf("nn: invalid Dense dims %dx%d", in, out))
 	}
@@ -30,6 +41,7 @@ func NewDense(name string, in, out int, init *Initializer) *Dense {
 		name: name,
 		w:    &Param{Name: name + ".weight", Value: w, Grad: tensor.New(in, out)},
 		b:    &Param{Name: name + ".bias", Value: tensor.New(1, out), Grad: tensor.New(1, out)},
+		act:  act,
 	}
 }
 
@@ -39,27 +51,45 @@ func (d *Dense) In() int { return d.w.Value.Rows }
 // Out returns the output width of the layer.
 func (d *Dense) Out() int { return d.w.Value.Cols }
 
-// Forward implements Layer.
+// Activation returns the fused activation applied by Forward.
+func (d *Dense) Activation() Activation { return d.act }
+
+// Forward implements Layer: one GEMM with the bias (and activation, if any)
+// fused into the epilogue.
 func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != d.In() {
 		panic(fmt.Sprintf("nn: %s forward got %d features, want %d", d.name, x.Cols, d.In()))
 	}
 	d.lastX = x
 	out := d.out.get(x.Rows, d.Out())
-	tensor.MatMul(out, x, d.w.Value)
-	out.AddRowVector(d.b.Value.Data)
+	switch d.act {
+	case ActReLU:
+		tensor.MatMulBiasReLU(out, x, d.w.Value, d.b.Value.Data)
+	case ActTanh:
+		tensor.MatMulBiasTanh(out, x, d.w.Value, d.b.Value.Data)
+	default:
+		tensor.MatMulBias(out, x, d.w.Value, d.b.Value.Data)
+	}
+	d.lastY = out
 	return out
 }
 
-// Backward implements Layer: dW += xᵀ·dy, db += Σ_batch dy, dx = dy·Wᵀ.
+// Backward implements Layer: dZ = dY ⊙ act′ fused with db += Σ_batch dZ,
+// then dW += xᵀ·dZ and dx = dZ·Wᵀ.
 func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if d.lastX == nil {
 		panic("nn: Dense.Backward called before Forward")
 	}
-	tensor.MatMulATBAdd(d.w.Grad, d.lastX, dy)
-	dy.SumRowsInto(d.b.Grad.Data)
+	dz := dy
+	if d.act != ActNone {
+		dz = d.dz.get(dy.Rows, dy.Cols)
+		actGradBiasSum(d.act, dz, dy, d.lastY, d.b.Grad.Data)
+	} else {
+		dy.SumRowsInto(d.b.Grad.Data)
+	}
+	tensor.MatMulATBAdd(d.w.Grad, d.lastX, dz)
 	dx := d.dx.get(dy.Rows, d.In())
-	tensor.MatMulABT(dx, dy, d.w.Value)
+	tensor.MatMulABT(dx, dz, d.w.Value)
 	return dx
 }
 
@@ -72,5 +102,6 @@ func (d *Dense) Clone() Layer {
 		name: d.name,
 		w:    &Param{Name: d.w.Name, Value: d.w.Value.Clone(), Grad: tensor.New(d.In(), d.Out())},
 		b:    &Param{Name: d.b.Name, Value: d.b.Value.Clone(), Grad: tensor.New(1, d.Out())},
+		act:  d.act,
 	}
 }

@@ -247,16 +247,19 @@ func (n *Network) CopyWeightsFrom(src *Network) error {
 // ArchitectureMLP builds the paper's direct surrogate architecture: an
 // input layer of inputDim neurons (the 5 temperature parameters plus the
 // time step), hidden ReLU layers, and a linear output producing the
-// flattened temperature field. Weights are Xavier-initialized from the
-// seeded rng stream so runs are reproducible (§3.1: "all the stochastic
-// components … are seeded").
+// flattened temperature field. Each hidden layer is a single fused
+// Dense+ReLU (activation applied in the GEMM epilogue), so the network has
+// one layer per weight matrix; parameter names, shapes and order are
+// unchanged from the unfused structure, and existing weight checkpoints
+// load as before. Weights are Xavier-initialized from the seeded rng stream
+// so runs are reproducible (§3.1: "all the stochastic components … are
+// seeded").
 func ArchitectureMLP(inputDim int, hidden []int, outputDim int, seed uint64) *Network {
 	init := NewInitializer(seed)
 	var layers []Layer
 	prev := inputDim
 	for i, h := range hidden {
-		layers = append(layers, NewDense(fmt.Sprintf("hidden%d", i), prev, h, init))
-		layers = append(layers, NewReLU())
+		layers = append(layers, NewDenseAct(fmt.Sprintf("hidden%d", i), prev, h, ActReLU, init))
 		prev = h
 	}
 	layers = append(layers, NewDense("output", prev, outputDim, init))

@@ -126,8 +126,8 @@ func numericalGrad(theta []float32, loss func() float64) []float64 {
 }
 
 // TestGradCheckDense verifies backprop gradients against central
-// differences for a Dense→ReLU→Dense→MSE chain, the exact structure of the
-// paper's surrogate.
+// differences for the paper's surrogate structure — a fused
+// Dense(ReLU)→Dense→MSE chain, activation epilogue included.
 func TestGradCheckDense(t *testing.T) {
 	rng := rand.New(rand.NewPCG(11, 13))
 	net := ArchitectureMLP(3, []int{5}, 4, 7)
@@ -229,8 +229,13 @@ func TestArchitectureMLPShape(t *testing.T) {
 	if got := net.NumParams(); got != want {
 		t.Fatalf("NumParams = %d, want %d", got, want)
 	}
-	if len(net.Layers) != 5 { // dense, relu, dense, relu, dense
+	if len(net.Layers) != 3 { // two fused dense+relu, one linear dense
 		t.Fatalf("layer count %d", len(net.Layers))
+	}
+	for i, wantAct := range []Activation{ActReLU, ActReLU, ActNone} {
+		if act := net.Layers[i].(*Dense).Activation(); act != wantAct {
+			t.Fatalf("layer %d activation %d, want %d", i, act, wantAct)
+		}
 	}
 }
 
@@ -381,6 +386,59 @@ func TestSaveLoadProperty(t *testing.T) {
 	}
 }
 
+// TestFusedDenseMatchesUnfusedLayers pins the fused-epilogue contract:
+// a fused Dense(act) layer must be bit-identical — forward output, every
+// parameter gradient, and the input gradient — to the unfused
+// Dense→activation layer pair it replaced, because bias and activation are
+// applied after the identical GEMM accumulation in both paths.
+func TestFusedDenseMatchesUnfusedLayers(t *testing.T) {
+	for _, act := range []Activation{ActReLU, ActTanh} {
+		name := map[Activation]string{ActReLU: "relu", ActTanh: "tanh"}[act]
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(31, uint64(act)))
+			build := func(fused bool) *Network {
+				init := NewInitializer(123)
+				if fused {
+					return NewNetwork(NewDenseAct("h", 7, 33, act, init), NewDense("o", 33, 5, init))
+				}
+				var mid Layer = NewReLU()
+				if act == ActTanh {
+					mid = NewTanh()
+				}
+				return NewNetwork(NewDense("h", 7, 33, init), mid, NewDense("o", 33, 5, init))
+			}
+			fusedNet, plainNet := build(true), build(false)
+			x := randBatch(rng, 9, 7)
+			target := randBatch(rng, 9, 5)
+			loss := NewMSELoss()
+
+			fusedNet.ZeroGrad()
+			fp := fusedNet.Forward(x)
+			fdx := fusedNet.Backward(loss.Backward(fp, target))
+
+			plainNet.ZeroGrad()
+			pp := plainNet.Forward(x)
+			pdx := plainNet.Backward(loss.Backward(pp, target))
+
+			if d := fp.MaxAbsDiff(pp); d != 0 {
+				t.Fatalf("forward differs by %v", d)
+			}
+			if d := fdx.MaxAbsDiff(pdx); d != 0 {
+				t.Fatalf("input gradient differs by %v", d)
+			}
+			fparams, pparams := fusedNet.Params(), plainNet.Params()
+			if len(fparams) != len(pparams) {
+				t.Fatalf("param count %d vs %d", len(fparams), len(pparams))
+			}
+			for i := range fparams {
+				if d := fparams[i].Grad.MaxAbsDiff(pparams[i].Grad); d != 0 {
+					t.Fatalf("param %s gradient differs by %v", fparams[i].Name, d)
+				}
+			}
+		})
+	}
+}
+
 // TestTrainingReducesLoss is a smoke test that a few manual SGD steps on a
 // tiny regression problem reduce the loss; full optimizer tests live in the
 // opt package.
@@ -435,7 +493,7 @@ func TestLayerParamRangesTileSlab(t *testing.T) {
 	}
 
 	buckets := net.GradBuckets()
-	if len(buckets) != 3 { // three Dense layers; ReLUs are empty
+	if len(buckets) != 3 { // three Dense layers (activations are fused)
 		t.Fatalf("got %d buckets, want 3", len(buckets))
 	}
 	prevLayer := len(net.Layers)
@@ -484,7 +542,7 @@ func TestBackwardWithHookOrder(t *testing.T) {
 			}
 		}
 	})
-	want := []int{2, 1, 0}
+	want := []int{1, 0} // fused hidden layer + output layer
 	if len(order) != len(want) {
 		t.Fatalf("hook fired %d times, want %d", len(order), len(want))
 	}

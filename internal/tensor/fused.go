@@ -6,10 +6,6 @@ import "math"
 // matching the rounding of the historical per-parameter Adam loop.
 func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }
 
-// adamWorkFactor estimates the per-element cost of the Adam update relative
-// to a GEMM multiply-add, so the shared parallel threshold applies.
-const adamWorkFactor = 8
-
 // AdamStep applies one fused Adam update over flat parameter slabs:
 //
 //	m = β1·m + (1−β1)·g
@@ -18,13 +14,15 @@ const adamWorkFactor = 8
 //
 // with α the bias-corrected step size. All four slices must have equal
 // length. The pass is a single sweep over the slabs, parallelized over
-// contiguous chunks through the worker pool; every element is independent,
-// so the result is bit-identical to the serial per-parameter loop.
+// contiguous chunks through the worker pool when the slab exceeds the
+// elementwise work threshold (work is counted in elements); every element
+// is independent, so the result is bit-identical to the serial
+// per-parameter loop.
 func AdamStep(values, grads, m, v []float32, alpha, beta1, beta2, eps float32) {
 	if len(grads) != len(values) || len(m) != len(values) || len(v) != len(values) {
 		panic("tensor: AdamStep slab length mismatch")
 	}
-	parallel(len(values), len(values)*adamWorkFactor, task{
+	parallel(len(values), len(values), task{
 		op: opAdam, vals: values, grads: grads, m: m, v: v,
 		alpha: alpha, beta1: beta1, beta2: beta2, eps: eps,
 	})

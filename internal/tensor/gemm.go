@@ -2,28 +2,316 @@ package tensor
 
 import (
 	"fmt"
+	"math"
+	"os"
 )
 
-// gemmParallelThreshold is the minimum number of multiply-adds before a
-// kernel fans work out to the worker pool; below it the dispatch cost
-// dominates.
-const gemmParallelThreshold = 1 << 16
+// GEMM comes in two implementations selected once at startup (see
+// gemmModeFromEnv) and then by problem size:
+//
+//   - The blocked kernel tiles the output into blockM×blockN macro-tiles,
+//     walks the shared dimension in blockK slabs, packs each operand slab
+//     into micro-kernel order (pack.go) and drives the register-tiled 4×16
+//     micro-kernel (microkernel.go) over the packed panels, applying any
+//     fused epilogue while the tile is still cache-hot. Pool parallelism is
+//     over macro-tiles, so the tile decomposition — and therefore every
+//     float's accumulation order — depends only on the matrix shapes, never
+//     on worker count or scheduling: fixed-shape results are bit-identical
+//     across runs and ranks.
+//   - The naive kernels are the original i,k,j / dot / axpy loops, kept as
+//     the reference implementation for the equivalence suite and as the
+//     small-problem fast path (packing and tile setup dominate below
+//     naiveMaxWork multiply-adds).
+//
+// Blocked and naive results differ only in floating-point rounding (the
+// blocked micro-kernel may use fused multiply-add); see the package comment
+// for the tolerance contract.
+
+// Blocking parameters: macro-tiles are blockM×blockN, the shared dimension
+// is walked in blockK slabs. Sized so one packed A block (blockM·blockK
+// floats = 64 KiB), one packed B panel (blockK·blockN floats = 256 KiB) and
+// the output tile stay L2-resident while each 16-column B micro-panel
+// (blockK·16 floats = 16 KiB) stays L1-resident across the row sweep.
+// blockM must be a multiple of microM and blockN of microN.
+const (
+	blockM = 64
+	blockK = 256
+	blockN = 256
+)
+
+// naiveMaxWork is the multiply-add count below which the naive kernels beat
+// the blocked path (packing + tile setup amortize poorly). Measured on the
+// CI-class Xeon the crossover sits near 8×8×8 = 512 madds: 4×4×4 runs 105 ns
+// naive vs 171 ns blocked while 8×8×8 runs 520 ns vs 345 ns.
+const naiveMaxWork = 1 << 9
+
+// Epilogue selects the fused transformation applied to each output tile
+// after accumulation, while it is still cache-hot: nothing, a bias-row add,
+// or bias plus the layer activation.
+type Epilogue uint8
+
+const (
+	EpNone Epilogue = iota
+	EpBias
+	EpBiasReLU
+	EpBiasTanh
+)
+
+// gemmKind selects the operand form shared by the blocked driver.
+type gemmKind uint8
+
+const (
+	gemmNN    gemmKind = iota // dst = a·b
+	gemmNT                    // dst = a·bᵀ
+	gemmTNAdd                 // dst += aᵀ·b
+)
+
+type gemmModeT uint8
+
+const (
+	gemmAuto gemmModeT = iota
+	gemmNaive
+	gemmBlocked
+)
+
+// gemmMode is read once at startup from MELISSA_GEMM so a perf regression
+// can be bisected to the kernel without rebuilding: "naive" forces the
+// reference kernels, "blocked" forces the blocked path even for tiny
+// shapes, anything else (or unset) picks by problem size.
+var gemmMode = gemmModeFromEnv(os.Getenv("MELISSA_GEMM"))
+
+func gemmModeFromEnv(v string) gemmModeT {
+	switch v {
+	case "naive":
+		return gemmNaive
+	case "blocked":
+		return gemmBlocked
+	}
+	return gemmAuto
+}
+
+func useBlocked(m, n, k int) bool {
+	switch gemmMode {
+	case gemmNaive:
+		return false
+	case gemmBlocked:
+		return true
+	}
+	return m*n*k >= naiveMaxWork
+}
 
 // MatMul computes dst = a·b. dst must be preallocated with shape
-// a.Rows×b.Cols and must not alias a or b. The kernel iterates i,k,j so the
-// inner loop walks rows of b sequentially, which keeps accesses
-// cache-friendly for row-major storage. Work is split across row blocks of
-// dst via the allocation-free worker pool when the problem is large enough
-// and GOMAXPROCS > 1.
+// a.Rows×b.Cols and must not alias a or b.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
 	}
-	if dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMul dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
-	}
-	parallel(a.Rows, a.Rows*a.Cols*b.Cols, task{op: opMatMul, dst: dst, a: a, b: b})
+	checkDst(dst, a.Rows, b.Cols, "MatMul")
+	gemm(gemmNN, dst, a, b, nil, EpNone)
 }
+
+// MatMulBias computes dst = a·b + bias with the bias row (length b.Cols)
+// broadcast over the batch, fused into the GEMM epilogue — the dense-layer
+// forward without the extra full pass of AddRowVector.
+func MatMulBias(dst, a, b *Matrix, bias []float32) {
+	matMulEpilogue(dst, a, b, bias, EpBias)
+}
+
+// MatMulBiasReLU computes dst = relu(a·b + bias) in one fused pass.
+func MatMulBiasReLU(dst, a, b *Matrix, bias []float32) {
+	matMulEpilogue(dst, a, b, bias, EpBiasReLU)
+}
+
+// MatMulBiasTanh computes dst = tanh(a·b + bias) in one fused pass.
+func MatMulBiasTanh(dst, a, b *Matrix, bias []float32) {
+	matMulEpilogue(dst, a, b, bias, EpBiasTanh)
+}
+
+func matMulEpilogue(dst, a, b *Matrix, bias []float32, ep Epilogue) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	checkDst(dst, a.Rows, b.Cols, "MatMul")
+	if len(bias) != b.Cols {
+		panic(fmt.Sprintf("tensor: bias length %d != cols %d", len(bias), b.Cols))
+	}
+	gemm(gemmNN, dst, a, b, bias, ep)
+}
+
+// MatMulABT computes dst = a·bᵀ. dst must have shape a.Rows×b.Rows. Used in
+// backprop for dX = dY·Wᵀ without materializing the transpose.
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABT inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	checkDst(dst, a.Rows, b.Rows, "MatMulABT")
+	gemm(gemmNT, dst, a, b, nil, EpNone)
+}
+
+// MatMulATBAdd computes dst += aᵀ·b. dst must have shape a.Cols×b.Cols. The
+// accumulate form matches gradient accumulation for dW += Xᵀ·dY.
+func MatMulATBAdd(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATBAdd inner dims %d vs %d", a.Rows, b.Rows))
+	}
+	checkDst(dst, a.Cols, b.Cols, "MatMulATBAdd")
+	gemm(gemmTNAdd, dst, a, b, nil, EpNone)
+}
+
+func checkDst(dst *Matrix, rows, cols int, op string) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s dst %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
+}
+
+// gemmDims returns the op-space dimensions (m×k)·(k×n) for a kind.
+func gemmDims(kind gemmKind, a, b *Matrix) (m, n, k int) {
+	switch kind {
+	case gemmNT:
+		return a.Rows, b.Rows, a.Cols
+	case gemmTNAdd:
+		return a.Cols, b.Cols, a.Rows
+	}
+	return a.Rows, b.Cols, a.Cols
+}
+
+// gemm routes one validated GEMM to the blocked or naive implementation.
+func gemm(kind gemmKind, dst, a, b *Matrix, bias []float32, ep Epilogue) {
+	m, n, k := gemmDims(kind, a, b)
+	if m == 0 || n == 0 {
+		return
+	}
+	if useBlocked(m, n, k) {
+		tiles := ((m + blockM - 1) / blockM) * ((n + blockN - 1) / blockN)
+		parallel(tiles, m*n*k, task{op: opGemmTile, dst: dst, a: a, b: b, bias: bias, gk: kind, ep: ep})
+		return
+	}
+	switch kind {
+	case gemmNN:
+		parallel(m, m*n*k, task{op: opMatMul, dst: dst, a: a, b: b})
+	case gemmNT:
+		parallel(m, m*n*k, task{op: opMatMulABT, dst: dst, a: a, b: b})
+	case gemmTNAdd:
+		// Parallelize over rows of dst (columns of a) so writers never
+		// overlap.
+		parallel(m, m*n*k, task{op: opMatMulATBAdd, dst: dst, a: a, b: b})
+	}
+	if ep != EpNone {
+		applyEpilogue(dst, 0, m, 0, n, bias, ep)
+	}
+}
+
+// gemmTileRange executes macro-tiles [t0, t1) of the blocked decomposition;
+// it is the opGemmTile kernel the worker pool dispatches. Tiles are
+// enumerated row-major over the ⌈m/blockM⌉×⌈n/blockN⌉ grid, each tile owns
+// a disjoint output region, and the per-tile loop nest is fully
+// deterministic — results do not depend on which worker runs which tile.
+func gemmTileRange(t *task, t0, t1 int) {
+	m, n, k := gemmDims(t.gk, t.a, t.b)
+	tilesPerRow := (n + blockN - 1) / blockN
+	s := getGemmScratch()
+	for ti := t0; ti < t1; ti++ {
+		i0 := (ti / tilesPerRow) * blockM
+		j0 := (ti % tilesPerRow) * blockN
+		runMacroTile(t, s, i0, j0, min(blockM, m-i0), min(blockN, n-j0), k)
+	}
+	putGemmScratch(s)
+}
+
+// runMacroTile computes one blockM×blockN output tile: zero it (overwrite
+// forms only), accumulate packed panel products over every blockK slab of
+// the shared dimension, then apply the fused epilogue while the tile is
+// still cache-hot.
+func runMacroTile(t *task, s *gemmScratch, i0, j0, mblk, nblk, k int) {
+	dst := t.dst
+	ld := dst.Cols
+	if t.gk != gemmTNAdd {
+		for i := i0; i < i0+mblk; i++ {
+			Zero(dst.Data[i*ld+j0 : i*ld+j0+nblk])
+		}
+	}
+	for k0 := 0; k0 < k; k0 += blockK {
+		kc := min(blockK, k-k0)
+		switch t.gk {
+		case gemmNN:
+			packANN(s.pa, t.a, i0, k0, mblk, kc)
+			packBNN(s.pb, t.b, k0, j0, kc, nblk)
+		case gemmNT:
+			packANN(s.pa, t.a, i0, k0, mblk, kc)
+			packBT(s.pb, t.b, k0, j0, kc, nblk)
+		case gemmTNAdd:
+			packAT(s.pa, t.a, i0, k0, mblk, kc)
+			packBNN(s.pb, t.b, k0, j0, kc, nblk)
+		}
+		// B micro-panel outer, A micro-panel inner: the 16-column panel
+		// stays L1-resident across the row sweep.
+		for jr := 0; jr < nblk; jr += microN {
+			nv := min(microN, nblk-jr)
+			pb := s.pb[jr*kc:]
+			for ir := 0; ir < mblk; ir += microM {
+				mv := min(microM, mblk-ir)
+				pa := s.pa[ir*kc:]
+				cbase := (i0+ir)*ld + j0 + jr
+				if mv == microM && nv == microN {
+					kern4x16(kc, pa, pb, dst.Data[cbase:], ld)
+				} else {
+					edgeTile(s, kc, pa, pb, dst.Data, cbase, ld, mv, nv)
+				}
+			}
+		}
+	}
+	if t.ep != EpNone {
+		applyEpilogue(dst, i0, i0+mblk, j0, j0+nblk, t.bias, t.ep)
+	}
+}
+
+// edgeTile runs the full 4×16 micro-kernel into the scratch edge buffer
+// (operand panels are zero-padded, so the extra lanes compute zeros) and
+// adds only the valid mv×nv region into dst.
+func edgeTile(s *gemmScratch, kc int, pa, pb, dstData []float32, cbase, ld, mv, nv int) {
+	Zero(s.edge[:])
+	kern4x16(kc, pa, pb, s.edge[:], microN)
+	for r := 0; r < mv; r++ {
+		cr := dstData[cbase+r*ld : cbase+r*ld+nv]
+		er := s.edge[r*microN : r*microN+nv]
+		for j := range cr {
+			cr[j] += er[j]
+		}
+	}
+}
+
+// applyEpilogue applies the fused bias/activation to the dst region
+// [i0,i1)×[j0,j1). Bias is indexed by absolute column, matching a
+// length-n bias row.
+func applyEpilogue(dst *Matrix, i0, i1, j0, j1 int, bias []float32, ep Epilogue) {
+	bv := bias[j0:j1]
+	for i := i0; i < i1; i++ {
+		row := dst.Data[i*dst.Cols+j0 : i*dst.Cols+j1]
+		switch ep {
+		case EpBias:
+			for j, v := range bv {
+				row[j] += v
+			}
+		case EpBiasReLU:
+			for j, v := range bv {
+				if x := row[j] + v; x > 0 {
+					row[j] = x
+				} else {
+					row[j] = 0
+				}
+			}
+		case EpBiasTanh:
+			for j, v := range bv {
+				row[j] = float32(math.Tanh(float64(row[j] + v)))
+			}
+		}
+	}
+}
+
+// The naive kernels below are the reference implementation: plain loop
+// nests whose accumulation order (ascending k per output element) the
+// equivalence suite checks the blocked path against, and the fast path for
+// problems too small to amortize packing.
 
 func matMulRange(dst, a, b *Matrix, r0, r1 int) {
 	n := b.Cols
@@ -43,18 +331,6 @@ func matMulRange(dst, a, b *Matrix, r0, r1 int) {
 	}
 }
 
-// MatMulABT computes dst = a·bᵀ. dst must have shape a.Rows×b.Rows. Used in
-// backprop for dX = dY·Wᵀ without materializing the transpose.
-func MatMulABT(dst, a, b *Matrix) {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulABT inner dims %d vs %d", a.Cols, b.Cols))
-	}
-	if dst.Rows != a.Rows || dst.Cols != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulABT dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
-	}
-	parallel(a.Rows, a.Rows*a.Cols*b.Rows, task{op: opMatMulABT, dst: dst, a: a, b: b})
-}
-
 func matMulABTRange(dst, a, b *Matrix, r0, r1 int) {
 	for i := r0; i < r1; i++ {
 		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
@@ -64,19 +340,6 @@ func matMulABTRange(dst, a, b *Matrix, r0, r1 int) {
 			di[j] = Dot(ai, bj)
 		}
 	}
-}
-
-// MatMulATBAdd computes dst += aᵀ·b. dst must have shape a.Cols×b.Cols. The
-// accumulate form matches gradient accumulation for dW += Xᵀ·dY.
-func MatMulATBAdd(dst, a, b *Matrix) {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulATBAdd inner dims %d vs %d", a.Rows, b.Rows))
-	}
-	if dst.Rows != a.Cols || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMulATBAdd dst %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
-	}
-	// Parallelize over rows of dst (columns of a) so writers never overlap.
-	parallel(a.Cols, a.Rows*a.Cols*b.Cols, task{op: opMatMulATBAdd, dst: dst, a: a, b: b})
 }
 
 func matMulATBAddRange(dst, a, b *Matrix, c0, c1 int) {

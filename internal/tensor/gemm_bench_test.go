@@ -1,0 +1,131 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// The GEMM benchmark grid covers the training-shaped sizes of the paper's
+// surrogate (batch×hidden×field): the forward input layer, the wide output
+// layer at several batch sizes, and the backward operand forms. Every entry
+// reports GFLOP/s via b.ReportMetric so CI bench smoke runs leave a
+// throughput trajectory (see BENCH_PR4.json for the PR 4 snapshot), and
+// -benchmem pins the 0 allocs/op steady state.
+
+// gemmGrid is the training-shaped size grid: m = batch (paper: 10, plus
+// larger offline/validation batches), k/n = hidden widths and the flattened
+// field.
+var gemmGrid = [][3]int{
+	{10, 256, 256},
+	{10, 256, 1024},
+	{64, 256, 1024},
+	{256, 256, 1024},
+}
+
+func benchGemmShape(b *testing.B, m, k, n int, mode gemmModeT, run func(dst, a, bb *Matrix, bias []float32)) {
+	old := gemmMode
+	gemmMode = mode
+	defer func() { gemmMode = old }()
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := randMatrix(rng, m, k)
+	bb := randMatrix(rng, k, n)
+	bias := make([]float32, n)
+	dst := New(m, n)
+	run(dst, a, bb, bias) // warm the scratch freelist outside the timer
+	flops := 2 * float64(m) * float64(k) * float64(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(dst, a, bb, bias)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkMatMul is the headline grid on the blocked kernel.
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range gemmGrid {
+		b.Run(fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2]), func(b *testing.B) {
+			benchGemmShape(b, s[0], s[1], s[2], gemmAuto, func(dst, a, bb *Matrix, _ []float32) {
+				MatMul(dst, a, bb)
+			})
+		})
+	}
+}
+
+// BenchmarkMatMulNaive is the same grid on the reference kernels — the
+// PR 3 baseline the ≥1.5× acceptance gate compares against.
+func BenchmarkMatMulNaive(b *testing.B) {
+	for _, s := range gemmGrid {
+		b.Run(fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2]), func(b *testing.B) {
+			benchGemmShape(b, s[0], s[1], s[2], gemmNaive, func(dst, a, bb *Matrix, _ []float32) {
+				MatMul(dst, a, bb)
+			})
+		})
+	}
+}
+
+// BenchmarkMatMulBiasReLU measures the fused forward epilogue at the
+// paper's hidden-layer shape.
+func BenchmarkMatMulBiasReLU(b *testing.B) {
+	for _, s := range [][3]int{{10, 256, 256}, {64, 256, 1024}} {
+		b.Run(fmt.Sprintf("%dx%dx%d", s[0], s[1], s[2]), func(b *testing.B) {
+			benchGemmShape(b, s[0], s[1], s[2], gemmAuto, func(dst, a, bb *Matrix, bias []float32) {
+				MatMulBiasReLU(dst, a, bb, bias)
+			})
+		})
+	}
+}
+
+// BenchmarkMatMulABT measures the dX = dY·Wᵀ backward form at the output
+// layer (batch 10, field 1024, hidden 256).
+func BenchmarkMatMulABT(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	dy := randMatrix(rng, 10, 1024)
+	w := randMatrix(rng, 256, 1024)
+	dst := New(10, 256)
+	MatMulABT(dst, dy, w)
+	flops := 2.0 * 10 * 1024 * 256
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulABT(dst, dy, w)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkMatMulATBAdd measures the dW += Xᵀ·dY backward form at the
+// output layer (k = batch = 10, the short-reduction case).
+func BenchmarkMatMulATBAdd(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	x := randMatrix(rng, 10, 256)
+	dy := randMatrix(rng, 10, 1024)
+	dst := New(256, 1024)
+	MatMulATBAdd(dst, x, dy)
+	flops := 2.0 * 10 * 256 * 1024
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulATBAdd(dst, x, dy)
+	}
+	b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+// BenchmarkAdamStepSizes measures the fused elementwise Adam kernel per
+// element across slab sizes — the measurement behind
+// elemwiseParallelThreshold (≈3 ns/elem on the CI-class Xeon).
+func BenchmarkAdamStepSizes(b *testing.B) {
+	for _, n := range []int{4096, 16384, 262144} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			vals := make([]float32, n)
+			grads := make([]float32, n)
+			m := make([]float32, n)
+			v := make([]float32, n)
+			for i := range grads {
+				grads[i] = 0.01
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				AdamStep(vals, grads, m, v, 1e-3, 0.9, 0.999, 1e-8)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/elem")
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package tensor
+
+// The register-tiled micro-kernel at the heart of the blocked GEMM (see the
+// package comment for the full blocking scheme). It computes a single
+// mr×nr = 4×16 output tile
+//
+//	c[0:4, 0:16] += pa · pb
+//
+// over packed operand panels: pa holds kc steps of 4 A-values (column of the
+// A micro-panel per step), pb holds kc steps of 16 B-values (row of the
+// B micro-panel per step). Both panels are contiguous and zero-padded to the
+// full tile size by the packing routines (pack.go), so the kernel always
+// runs the full 4×16 tile and edge clipping happens at store time.
+//
+// Per k-step the kernel performs 4 broadcasts, 2 vector loads and 8
+// fused multiply-adds with the 64 accumulators held in registers (8 YMM on
+// amd64) — no loads or stores of c inside the k-loop, which is what lifts
+// throughput past the scalar axpy kernel's 2-flops-per-cycle memory-op
+// ceiling.
+
+const (
+	microM = 4  // micro-tile rows (mr)
+	microN = 16 // micro-tile cols (nr)
+)
+
+// kern4x16 is the active micro-kernel: c[r*ldc : r*ldc+16] += row r of
+// pa·pb for r in [0,4). On amd64 with AVX2+FMA it is the assembly kernel in
+// microkernel_amd64.s; everywhere else (or with the feature bits absent) it
+// is the portable Go kernel below. The two differ in rounding — the FMA
+// kernel rounds once per multiply-add, the portable one twice — which is
+// one reason blocked-vs-reference equivalence is tolerance-based. On any
+// single machine the choice is fixed at process start, so fixed-shape
+// results stay bit-reproducible across runs and ranks.
+var kern4x16 = kern4x16Go
+
+// kern4x16Go is the portable micro-kernel. The accumulator tile lives in a
+// fixed-size stack array; the compiler keeps the hot row in registers and
+// the array in L1, preserving the no-c-traffic property of the design even
+// without SIMD.
+func kern4x16Go(kc int, pa, pb, c []float32, ldc int) {
+	var acc [microM][microN]float32
+	for p := 0; p < kc; p++ {
+		bp := pb[microN*p : microN*p+microN : microN*p+microN]
+		ap := pa[microM*p : microM*p+microM : microM*p+microM]
+		for r := 0; r < microM; r++ {
+			a := ap[r]
+			cr := &acc[r]
+			for j := 0; j < microN; j++ {
+				cr[j] += a * bp[j]
+			}
+		}
+	}
+	for r := 0; r < microM; r++ {
+		cr := c[r*ldc : r*ldc+microN : r*ldc+microN]
+		ar := &acc[r]
+		for j := 0; j < microN; j++ {
+			cr[j] += ar[j]
+		}
+	}
+}

@@ -1,0 +1,45 @@
+//go:build amd64
+
+package tensor
+
+// Runtime selection of the AVX2+FMA micro-kernel. The Go toolchain does not
+// auto-vectorize, so the 16-wide tile columns only pay off through the
+// hand-written kernel in microkernel_amd64.s; it is enabled once at process
+// start when CPUID reports FMA+AVX2 and the OS has enabled YMM state
+// (OSXSAVE with XCR0 SSE+AVX bits). Everything is stdlib-free so the tensor
+// package stays dependency-less.
+
+//go:noescape
+func kern4x16FMA(kc int, pa, pb, c []float32, ldc int)
+
+//go:noescape
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv() (eax, edx uint32)
+
+const (
+	cpuidOSXSAVE = 1 << 27 // leaf 1 ECX
+	cpuidFMA     = 1 << 12 // leaf 1 ECX
+	cpuidAVX2    = 1 << 5  // leaf 7 EBX
+	xcr0AVXState = 0x6     // XMM + YMM state enabled by the OS
+)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	if ecx1&cpuidOSXSAVE == 0 || ecx1&cpuidFMA == 0 {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	if ebx7&cpuidAVX2 == 0 {
+		return
+	}
+	if eax, _ := xgetbv(); eax&xcr0AVXState != xcr0AVXState {
+		return
+	}
+	kern4x16 = kern4x16FMA
+}

@@ -1,0 +1,108 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func kern4x16FMA(kc int, pa, pb, c []float32, ldc int)
+//
+// 4×16 register-tiled GEMM micro-kernel over packed panels:
+//
+//	c[r*ldc : r*ldc+16] += Σ_p pa[4p+r] * pb[16p : 16p+16]   r = 0..3
+//
+// The eight YMM accumulators (Y0–Y7, two per row) stay resident for the
+// whole k-loop; each step issues 2 panel loads, 4 broadcasts and 8
+// vfmadd231ps. Panels are packed contiguously (pack.go) so both streams are
+// sequential. Summation order per element is identical to the portable
+// kernel (ascending p); only the fused rounding differs.
+TEXT ·kern4x16FMA(SB), NOSPLIT, $0-88
+	MOVQ kc+0(FP), CX
+	MOVQ pa_base+8(FP), SI
+	MOVQ pb_base+32(FP), DI
+	MOVQ c_base+56(FP), DX
+	MOVQ ldc+80(FP), BX
+	SHLQ $2, BX             // row stride in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    store
+
+loop:
+	VMOVUPS      (DI), Y12      // pb[16p : 16p+8]
+	VMOVUPS      32(DI), Y13    // pb[16p+8 : 16p+16]
+	VBROADCASTSS (SI), Y14      // pa[4p+0]
+	VBROADCASTSS 4(SI), Y15     // pa[4p+1]
+	VFMADD231PS  Y12, Y14, Y0
+	VFMADD231PS  Y13, Y14, Y1
+	VFMADD231PS  Y12, Y15, Y2
+	VFMADD231PS  Y13, Y15, Y3
+	VBROADCASTSS 8(SI), Y14     // pa[4p+2]
+	VBROADCASTSS 12(SI), Y15    // pa[4p+3]
+	VFMADD231PS  Y12, Y14, Y4
+	VFMADD231PS  Y13, Y14, Y5
+	VFMADD231PS  Y12, Y15, Y6
+	VFMADD231PS  Y13, Y15, Y7
+	ADDQ         $16, SI
+	ADDQ         $64, DI
+	DECQ         CX
+	JNZ          loop
+
+store:
+	VMOVUPS (DX), Y14
+	VADDPS  Y0, Y14, Y14
+	VMOVUPS Y14, (DX)
+	VMOVUPS 32(DX), Y15
+	VADDPS  Y1, Y15, Y15
+	VMOVUPS Y15, 32(DX)
+	ADDQ    BX, DX
+
+	VMOVUPS (DX), Y14
+	VADDPS  Y2, Y14, Y14
+	VMOVUPS Y14, (DX)
+	VMOVUPS 32(DX), Y15
+	VADDPS  Y3, Y15, Y15
+	VMOVUPS Y15, 32(DX)
+	ADDQ    BX, DX
+
+	VMOVUPS (DX), Y14
+	VADDPS  Y4, Y14, Y14
+	VMOVUPS Y14, (DX)
+	VMOVUPS 32(DX), Y15
+	VADDPS  Y5, Y15, Y15
+	VMOVUPS Y15, 32(DX)
+	ADDQ    BX, DX
+
+	VMOVUPS (DX), Y14
+	VADDPS  Y6, Y14, Y14
+	VMOVUPS Y14, (DX)
+	VMOVUPS 32(DX), Y15
+	VADDPS  Y7, Y15, Y15
+	VMOVUPS Y15, 32(DX)
+
+	VZEROUPPER
+	RET
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -5,12 +5,14 @@ import (
 	"sync"
 )
 
-// The kernels in this package parallelize across row (or chunk) ranges. A
-// naive `go func` per range allocates a closure and a goroutine per call,
-// which puts garbage on the training hot path. Instead a fixed pool of
-// worker goroutines consumes op-coded task descriptors from a channel:
-// descriptors are plain structs sent by value, so steady-state dispatch
-// performs zero allocations.
+// The kernels in this package parallelize across independent work ranges: a
+// blocked GEMM fans out macro-tiles, the naive kernels fan out row (or
+// column) ranges, and the fused optimizer fans out slab chunks. A naive
+// `go func` per range allocates a closure and a goroutine per call, which
+// puts garbage on the training hot path. Instead a fixed pool of worker
+// goroutines consumes op-coded task descriptors from a channel: descriptors
+// are plain structs sent by value, so steady-state dispatch performs zero
+// allocations.
 
 // op selects the kernel a worker runs for a task.
 type op uint8
@@ -19,15 +21,41 @@ const (
 	opMatMul op = iota
 	opMatMulABT
 	opMatMulATBAdd
+	opGemmTile
 	opAdam
 )
 
-// task is one contiguous index range [i0, i1) of a parallel kernel, plus the
-// operands the kernel needs. It is sent by value; the struct must stay free
-// of per-call heap references beyond the operands themselves.
+// Per-op minimum work before a kernel fans out to the pool; below it the
+// dispatch cost dominates. GEMM work is counted in multiply-adds (each ~1
+// load + 1 FMA through the micro-kernel). Elementwise work is counted in
+// elements: one Adam element costs ~3 ns on the CI-class Xeon (see
+// BenchmarkAdamStepSizes), so 1<<14 elements ≈ 50 µs of work per split —
+// comfortably above the ~2 µs dispatch+join overhead, while still
+// parallelizing every real layer of the paper's surrogate (the smallest,
+// 6×256, sits just below and correctly stays inline).
+const (
+	gemmParallelThreshold     = 1 << 16
+	elemwiseParallelThreshold = 1 << 14
+)
+
+// threshold returns the op's minimum fan-out work in the op's own units.
+func (t *task) threshold() int {
+	if t.op == opAdam {
+		return elemwiseParallelThreshold
+	}
+	return gemmParallelThreshold
+}
+
+// task is one contiguous index range [i0, i1) of a parallel kernel — rows,
+// columns, macro-tiles or slab elements depending on op — plus the operands
+// the kernel needs. It is sent by value; the struct must stay free of
+// per-call heap references beyond the operands themselves.
 type task struct {
 	op        op
 	dst, a, b *Matrix
+	bias      []float32
+	gk        gemmKind
+	ep        Epilogue
 	vals      []float32
 	grads     []float32
 	m, v      []float32
@@ -48,6 +76,8 @@ func (t *task) run() {
 		matMulABTRange(t.dst, t.a, t.b, t.i0, t.i1)
 	case opMatMulATBAdd:
 		matMulATBAddRange(t.dst, t.a, t.b, t.i0, t.i1)
+	case opGemmTile:
+		gemmTileRange(t, t.i0, t.i1)
 	case opAdam:
 		adamRange(t.vals, t.grads, t.m, t.v, t.alpha, t.beta1, t.beta2, t.eps, t.i0, t.i1)
 	}
@@ -80,13 +110,14 @@ func startPool() {
 }
 
 // parallel splits [0, n) into contiguous chunks and runs t's kernel on each.
-// Below the work threshold (or single-proc) it runs inline. The caller's
-// goroutine executes the final chunk itself, and any chunk that cannot be
-// enqueued without blocking (pool saturated by other ranks) also runs
-// inline, so the scheme cannot deadlock and never waits on a full queue.
-// Chunk boundaries depend only on n and the pool size, and every kernel is
-// element-independent across chunks, so results are bit-identical to a
-// serial run.
+// Below the op's work threshold (or single-proc) it runs inline. The
+// caller's goroutine executes the final chunk itself, and any chunk that
+// cannot be enqueued without blocking (pool saturated by other ranks) also
+// runs inline, so the scheme cannot deadlock and never waits on a full
+// queue. Every kernel is element-independent across chunks — GEMM
+// macro-tiles own disjoint output regions whose per-tile math is fixed by
+// shape alone — so results are bit-identical to a serial run regardless of
+// chunk boundaries or which worker runs which chunk.
 func parallel(n, work int, t task) {
 	poolOnce.Do(startPool)
 	if n < 1 {
@@ -96,7 +127,7 @@ func parallel(n, work int, t task) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || work < gemmParallelThreshold {
+	if workers <= 1 || work < t.threshold() {
 		t.i0, t.i1 = 0, n
 		t.run()
 		return

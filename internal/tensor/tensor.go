@@ -1,11 +1,47 @@
 // Package tensor provides dense float32 matrices and the linear-algebra
 // kernels used by the neural-network training stack. It is deliberately
-// small: row-major matrices, a blocked GEMM, a fused Adam update over flat
-// parameter slabs, and the vector primitives needed by optimizers and
-// all-reduce. Everything is allocation-explicit so training loops can reuse
-// buffers across batches, and parallel kernels dispatch op-coded tasks to a
-// persistent worker pool (see pool.go) rather than spawning goroutines, so
-// the training hot path stays allocation-free.
+// small: row-major matrices, a cache-blocked register-tiled GEMM with fused
+// epilogues, a fused Adam update over flat parameter slabs, and the vector
+// primitives needed by optimizers and all-reduce. Everything is
+// allocation-explicit so training loops can reuse buffers across batches,
+// and parallel kernels dispatch op-coded tasks to a persistent worker pool
+// (see pool.go) rather than spawning goroutines, so the training hot path
+// stays allocation-free.
+//
+// # GEMM blocking scheme
+//
+// The three GEMM forms (A·B, A·Bᵀ, and the accumulating Aᵀ·B) share one
+// blocked driver (gemm.go). The output is tiled into blockM×blockN
+// macro-tiles and the shared dimension is walked in blockK slabs; for each
+// slab the operands are copied into packed panels (pack.go) — contiguous,
+// zero-padded, micro-kernel-ordered scratch recycled through a freelist —
+// and a register-tiled 4×16 micro-kernel (microkernel.go, AVX2+FMA assembly
+// on capable amd64, portable Go elsewhere) accumulates each output tile
+// without touching memory for C inside the k-loop. Fused epilogues apply
+// bias-add and the layer activation to each tile right after accumulation,
+// while it is still cache-hot (MatMulBias, MatMulBiasReLU, MatMulBiasTanh),
+// replacing what used to be separate full passes over the activations.
+// The worker pool parallelizes over macro-tiles; tiles own disjoint output
+// regions and their decomposition depends only on the matrix shapes.
+//
+// The original naive kernels remain as the reference implementation and as
+// the fast path for problems too small to amortize packing, selectable at
+// startup via MELISSA_GEMM=naive|blocked (anything else: size-based auto).
+//
+// # Tolerance contract
+//
+// For a fixed shape, kernel choice and machine, every GEMM is bit-exactly
+// reproducible across calls, runs and ranks: the blocked decomposition and
+// per-element accumulation order are functions of the shapes alone, never
+// of worker count or scheduling. Across kernels (blocked vs naive, FMA vs
+// portable) results differ only in floating-point rounding: both accumulate
+// each output element over k in ascending order, but the blocked
+// micro-kernel may fuse the multiply-add rounding. Each kernel stays within
+//
+//	|err| ≤ (k+4)·ε₃₂·max|A|·max|B|
+//
+// of the float64-accumulated reference, the bound the property suite in
+// gemm_test.go enforces; any cross-kernel comparison must budget twice it.
 package tensor
 
 import (

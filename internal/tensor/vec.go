@@ -19,25 +19,28 @@ func Axpy(a float32, x, y []float32) {
 	}
 }
 
-// Dot returns the inner product of x and y accumulated in float32 pairs and
-// summed in float64 for stability on long vectors.
+// Dot returns the inner product of x and y, accumulated in float64 for
+// stability on long vectors: each float32 product is exact in float64, so
+// the only rounding is the final sum and the closing float32 conversion.
+// Four independent accumulator chains keep the conversion off the loop's
+// critical path.
 func Dot(x, y []float32) float32 {
 	if len(x) != len(y) {
 		panic("tensor: Dot length mismatch")
 	}
-	var s0, s1, s2, s3 float32
+	var s0, s1, s2, s3 float64
 	i := 0
 	for ; i+4 <= len(x); i += 4 {
-		s0 += x[i] * y[i]
-		s1 += x[i+1] * y[i+1]
-		s2 += x[i+2] * y[i+2]
-		s3 += x[i+3] * y[i+3]
+		s0 += float64(x[i]) * float64(y[i])
+		s1 += float64(x[i+1]) * float64(y[i+1])
+		s2 += float64(x[i+2]) * float64(y[i+2])
+		s3 += float64(x[i+3]) * float64(y[i+3])
 	}
-	s := s0 + s1 + s2 + s3
+	s := (s0 + s1) + (s2 + s3)
 	for ; i < len(x); i++ {
-		s += x[i] * y[i]
+		s += float64(x[i]) * float64(y[i])
 	}
-	return s
+	return float32(s)
 }
 
 // Scal multiplies every element of x by a in place.
