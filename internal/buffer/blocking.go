@@ -12,6 +12,14 @@ type Blocking struct {
 	notFull  *sync.Cond
 	notEmpty *sync.Cond
 	p        Policy
+	arena    *Arena
+}
+
+// evictNotifier is implemented by policies that discard samples internally
+// on Put (Reservoir, UniformEvict); the arena-backed wrapper registers a
+// hook to recycle the discarded rows.
+type evictNotifier interface {
+	setOnEvict(fn func(Sample))
 }
 
 // NewBlocking wraps p. The wrapper owns p; callers must not touch it
@@ -21,6 +29,108 @@ func NewBlocking(p Policy) *Blocking {
 	b.notFull = sync.NewCond(&b.mu)
 	b.notEmpty = sync.NewCond(&b.mu)
 	return b
+}
+
+// NewBlockingArena wraps p with a sample arena for rows of the given
+// widths: PutCopy copies payloads into recycled rows and extraction must
+// go through GetBatchEach (see the package comment's ownership contract).
+// The arena is sized to the policy capacity plus slack, growing in chunks
+// if a policy (e.g. unbounded FIFO) outgrows it.
+func NewBlockingArena(p Policy, inDim, outDim int) *Blocking {
+	b := NewBlocking(p)
+	rows := p.Capacity()
+	if rows <= 0 {
+		rows = arenaChunkRows
+	}
+	// One extra chunk of slack: rows stay leased briefly between a
+	// policy eviction and the recycle hook, and heap-backed restores may
+	// mix in.
+	b.arena = NewArena(rows+arenaChunkRows, inDim, outDim)
+	if ev, ok := p.(evictNotifier); ok {
+		ev.setOnEvict(b.recycleSample)
+	}
+	return b
+}
+
+// Arena exposes the backing arena (nil for plain buffers); the server's
+// ingestion gates use it to assert row recycling.
+func (b *Blocking) Arena() *Arena { return b.arena }
+
+// recycleSample returns an arena-backed sample's row to the free list. It
+// must run under b.mu (policy hooks fire inside Put/TryGet, which the
+// wrapper always calls locked).
+func (b *Blocking) recycleSample(s Sample) {
+	if b.arena != nil && s.slot > 0 {
+		b.arena.freeSlot(s.slot - 1)
+	}
+}
+
+// PutCopy inserts one sample by bulk-copying its payload into arena rows
+// under the lock, blocking while the policy refuses (buffer full). The
+// caller keeps ownership of input/output and may recycle them immediately
+// after return. Payloads whose widths differ from the arena's fall back to
+// a heap copy so nothing is silently truncated. It reports false when the
+// sample was dropped because reception ended while waiting.
+func (b *Blocking) PutCopy(simID, step int, input, output []float32) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := Sample{SimID: simID, Step: step}
+	if b.arena != nil && len(input) == b.arena.inDim && len(output) == b.arena.outDim {
+		slot := b.arena.alloc()
+		s.Input = b.arena.inRow(slot)
+		s.Output = b.arena.outRow(slot)
+		s.slot = slot + 1
+		copy(s.Input, input)
+		copy(s.Output, output)
+	} else {
+		s.Input = append([]float32(nil), input...)
+		s.Output = append([]float32(nil), output...)
+	}
+	for !b.p.Put(s) {
+		if b.p.ReceptionOver() {
+			b.recycleSample(s)
+			return false
+		}
+		b.notFull.Wait()
+	}
+	b.notEmpty.Signal()
+	return true
+}
+
+// GetBatchEach extracts up to n samples, invoking fn(i, s) for the i-th
+// one while the buffer lock is held. fn must copy what it needs out of s
+// and must not call back into the buffer: as soon as fn returns, a sample
+// that permanently left the policy has its arena row recycled and a later
+// PutCopy may overwrite the payload. Like GetBatch it blocks until n
+// samples were delivered or the buffer drained, returning the count and
+// ok=false only when the buffer drained before yielding any sample.
+func (b *Blocking) GetBatchEach(n int, fn func(i int, s Sample)) (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	count := 0
+	for count < n {
+		before := b.p.Len()
+		s, ok := b.p.TryGet()
+		if !ok {
+			if b.p.Drained() {
+				break
+			}
+			b.notEmpty.Wait()
+			continue
+		}
+		fn(count, s)
+		if b.p.Len() < before {
+			// The sample will never be returned again (FIFO/FIRO pop,
+			// Reservoir drain-mode removal): its row is free now.
+			b.recycleSample(s)
+		}
+		b.notFull.Signal()
+		count++
+	}
+	if count == 0 {
+		return 0, false
+	}
+	return count, true
 }
 
 // Put inserts s, blocking while the policy refuses it (buffer full). If
@@ -53,7 +163,9 @@ func (b *Blocking) TryPut(s Sample) bool {
 // Get extracts one sample, blocking until the policy can yield one. It
 // returns ok=false only when the buffer is drained (reception over and
 // empty), which terminates training (§3.2.3: "When the reception is over
-// and the buffer is empty, the training terminates").
+// and the buffer is empty, the training terminates"). Do not use on
+// arena-backed buffers: the returned payload may alias a recycled row.
+// Use GetBatchEach, whose callback runs under the lock.
 func (b *Blocking) Get() (Sample, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -9,6 +9,26 @@
 // Policies are pure, single-threaded data structures with non-blocking
 // Put/TryGet so that both the live server (through the Blocking wrapper)
 // and the discrete-event cluster simulator can drive the exact same code.
+//
+// # Arena-backed buffers and payload ownership
+//
+// A plain Blocking buffer stores heap-owned samples: whoever built the
+// Sample owns its payload slices, they are immutable once inserted, and
+// extracted samples stay valid forever. That is the contract every
+// offline/simulator path uses.
+//
+// NewBlockingArena instead backs the wrapper with an Arena: PutCopy bulk-
+// copies an incoming payload into recycled arena rows under the buffer
+// lock, policies shuffle Sample values whose slices alias those rows, and
+// a row returns to the free list the moment its sample permanently leaves
+// the policy — evicted on Put (the policy's onEvict hook) or consumed for
+// the last time on TryGet. Because rows are reused in place, an extracted
+// sample's payload is only stable while the buffer lock is held: consumers
+// must use GetBatchEach, whose callback runs under the lock and must copy
+// out (the trainer copies straight into its batch matrices), never the
+// lock-free Get/GetBatch accessors. Snapshot deep-copies payloads for the
+// same reason, so checkpoints taken from arena-backed buffers stay valid
+// after the lock is released.
 package buffer
 
 import (
@@ -28,6 +48,12 @@ type Sample struct {
 	Input []float32
 	// Output is the flattened discretized field u_t^X.
 	Output []float32
+
+	// slot is the arena row backing Input/Output plus one; zero marks a
+	// heap-owned payload. Unexported on purpose: only the arena-backed
+	// Blocking wrapper leases and recycles rows, and gob (checkpoints)
+	// deliberately drops it so restored samples read as heap-owned.
+	slot int32
 }
 
 // Key identifies a unique sample within an ensemble run. The server's
@@ -44,6 +70,16 @@ func (s Sample) Key() Key { return Key{SimID: s.SimID, Step: s.Step} }
 // Policy is a training-buffer algorithm. Implementations are not safe for
 // concurrent use; wrap them in Blocking for the live server, or drive them
 // from the single-threaded event loop of the cluster simulator.
+//
+// Arena contract for implementers: the arena-backed Blocking wrapper
+// recycles a sample's storage when it permanently leaves the policy, and
+// it detects that from the policy's observable behavior. TryGet must
+// either remove the returned sample (Len decreases by exactly one) or
+// leave the population unchanged (a with-replacement selection, like the
+// Reservoir's); it must never remove a different sample than the one it
+// returns. Any sample discarded internally by Put must be reported
+// through the setOnEvict hook before its storage is forgotten. Policies
+// that cannot honor this must not be wrapped with NewBlockingArena.
 type Policy interface {
 	// Name returns the policy name as used in the paper's tables
 	// ("FIFO", "FIRO", "Reservoir").

@@ -27,7 +27,12 @@ type Reservoir struct {
 	notSeen   []Sample
 	rng       *rand.Rand
 	over      bool
+	onEvict   func(Sample)
 }
+
+// setOnEvict implements evictNotifier: fn observes every sample Put
+// discards internally, before its storage may be reused.
+func (r *Reservoir) setOnEvict(fn func(Sample)) { r.onEvict = fn }
 
 // NewReservoir builds a Reservoir with the given capacity and extraction
 // threshold, using the seeded RNG stream for uniform selection.
@@ -49,6 +54,9 @@ func (r *Reservoir) Put(s Sample) bool {
 	if r.capacity > 0 && len(r.notSeen)+len(r.seen) >= r.capacity {
 		// Evict one seen element at random to make room.
 		i := r.rng.IntN(len(r.seen))
+		if r.onEvict != nil {
+			r.onEvict(r.seen[i])
+		}
 		last := len(r.seen) - 1
 		r.seen[i] = r.seen[last]
 		r.seen[last] = Sample{}

@@ -5,19 +5,36 @@ package buffer
 // capture buffered-but-untrained samples so a restarted server resumes
 // without losing them).
 type Snapshotter interface {
-	// Snapshot returns copies of the stored samples. For policies without
-	// a seen/unseen distinction everything is reported as unseen.
+	// Snapshot returns deep copies of the stored samples: payload slices
+	// are cloned, so the snapshot stays valid after the buffer lock is
+	// released even for arena-backed buffers whose rows are recycled in
+	// place. For policies without a seen/unseen distinction everything is
+	// reported as unseen.
 	Snapshot() (seen, unseen []Sample)
-	// RestoreSnapshot replaces the policy contents. The reception flag is
-	// not part of the snapshot; callers re-derive it from their own state.
+	// RestoreSnapshot replaces the policy contents. The restored samples
+	// are heap-owned (no arena rows). The reception flag is not part of
+	// the snapshot; callers re-derive it from their own state.
 	RestoreSnapshot(seen, unseen []Sample)
+}
+
+// cloneSamples deep-copies samples, detaching payloads from any arena rows
+// backing them.
+func cloneSamples(src []Sample) []Sample {
+	out := make([]Sample, len(src))
+	for i, s := range src {
+		out[i] = Sample{
+			SimID:  s.SimID,
+			Step:   s.Step,
+			Input:  append([]float32(nil), s.Input...),
+			Output: append([]float32(nil), s.Output...),
+		}
+	}
+	return out
 }
 
 // Snapshot implements Snapshotter.
 func (f *FIFO) Snapshot() (seen, unseen []Sample) {
-	out := make([]Sample, f.Len())
-	copy(out, f.queue[f.head:])
-	return nil, out
+	return nil, cloneSamples(f.queue[f.head:])
 }
 
 // RestoreSnapshot implements Snapshotter. Seen samples are prepended: FIFO
@@ -29,9 +46,7 @@ func (f *FIFO) RestoreSnapshot(seen, unseen []Sample) {
 
 // Snapshot implements Snapshotter.
 func (f *FIRO) Snapshot() (seen, unseen []Sample) {
-	out := make([]Sample, len(f.items))
-	copy(out, f.items)
-	return nil, out
+	return nil, cloneSamples(f.items)
 }
 
 // RestoreSnapshot implements Snapshotter.
@@ -41,11 +56,7 @@ func (f *FIRO) RestoreSnapshot(seen, unseen []Sample) {
 
 // Snapshot implements Snapshotter.
 func (r *Reservoir) Snapshot() (seen, unseen []Sample) {
-	seen = make([]Sample, len(r.seen))
-	copy(seen, r.seen)
-	unseen = make([]Sample, len(r.notSeen))
-	copy(unseen, r.notSeen)
-	return seen, unseen
+	return cloneSamples(r.seen), cloneSamples(r.notSeen)
 }
 
 // RestoreSnapshot implements Snapshotter, preserving the seen/unseen split

@@ -17,7 +17,12 @@ type UniformEvict struct {
 	rng       *rand.Rand
 	over      bool
 	dropped   int
+	onEvict   func(Sample)
 }
+
+// setOnEvict implements evictNotifier: fn observes every sample Put
+// discards internally, before its storage may be reused.
+func (u *UniformEvict) setOnEvict(fn func(Sample)) { u.onEvict = fn }
 
 // UniformEvictKind selects the ablation policy in a Config.
 const UniformEvictKind Kind = "UniformEvict"
@@ -38,6 +43,9 @@ func (u *UniformEvict) Put(s Sample) bool {
 		total := u.Len()
 		i := u.rng.IntN(total)
 		if i < len(u.notSeen) {
+			if u.onEvict != nil {
+				u.onEvict(u.notSeen[i])
+			}
 			last := len(u.notSeen) - 1
 			u.notSeen[i] = u.notSeen[last]
 			u.notSeen[last] = Sample{}
@@ -45,6 +53,9 @@ func (u *UniformEvict) Put(s Sample) bool {
 			u.dropped++ // an unseen sample was discarded
 		} else {
 			i -= len(u.notSeen)
+			if u.onEvict != nil {
+				u.onEvict(u.seen[i])
+			}
 			last := len(u.seen) - 1
 			u.seen[i] = u.seen[last]
 			u.seen[last] = Sample{}

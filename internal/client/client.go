@@ -45,6 +45,14 @@ type API struct {
 	conn  *transport.ClientConn
 	steps int
 
+	// sendMu guards the reusable send state: the float32 conversion
+	// scratch and the boxed TimeStep message. Reusing them makes the
+	// per-step send path allocation-free (the in-situ float64→float32
+	// reduction of §3.2.2 lands in recycled buffers, and passing a
+	// *TimeStep avoids re-boxing the message per step).
+	sendMu sync.Mutex
+	msg    protocol.TimeStep
+
 	hbStop chan struct{}
 	hbDone sync.WaitGroup
 }
@@ -101,15 +109,18 @@ func (a *API) Rank(step int) int {
 
 // Send streams one solver time step. input carries the raw simulation
 // parameters and time value; field is the solver's float64 field, reduced
-// to float32 here, in situ, before it crosses the wire.
+// to float32 here, in situ, before it crosses the wire. The frame is
+// written through the rank's buffered writer and flushed — one explicit
+// flush point per solver step, so any frames already buffered on the same
+// rank (heartbeats, a preceding step) coalesce into the same syscall.
 func (a *API) Send(step int, input []float64, field []float64) error {
-	msg := protocol.TimeStep{
-		SimID: int32(a.cfg.SimID),
-		Step:  int32(step),
-		Input: toF32(input),
-		Field: toF32(field),
-	}
-	return a.conn.Send(a.Rank(step), msg)
+	a.sendMu.Lock()
+	defer a.sendMu.Unlock()
+	a.msg.SimID = int32(a.cfg.SimID)
+	a.msg.Step = int32(step)
+	a.msg.Input = appendF32(a.msg.Input[:0], input)
+	a.msg.Field = appendF32(a.msg.Field[:0], field)
+	return a.conn.Send(a.Rank(step), &a.msg)
 }
 
 // FinalizeCommunication signals every rank that no more data will be sent,
@@ -140,12 +151,11 @@ func (a *API) stopHeartbeats() {
 	a.hbDone.Wait()
 }
 
-func toF32(in []float64) []float32 {
-	out := make([]float32, len(in))
-	for i, v := range in {
-		out[i] = float32(v)
+func appendF32(dst []float32, in []float64) []float32 {
+	for _, v := range in {
+		dst = append(dst, float32(v))
 	}
-	return out
+	return dst
 }
 
 // Job fully describes one ensemble member of any problem: a simulator
@@ -206,8 +216,11 @@ func Run(ctx context.Context, job Job) error {
 	}
 
 	// Raw surrogate inputs: the physical parameters and the physical time,
-	// normalized downstream by the trainer.
+	// normalized downstream by the trainer. One reusable vector serves
+	// every step.
 	base := job.Params
+	input := make([]float64, len(base)+1)
+	copy(input, base)
 
 	for sim.StepIndex() < job.Steps {
 		select {
@@ -232,7 +245,7 @@ func Run(ctx context.Context, job Job) error {
 			case <-time.After(job.StepDelay):
 			}
 		}
-		input := append(append(make([]float64, 0, len(base)+1), base...), float64(step)*job.Dt)
+		input[len(base)] = float64(step) * job.Dt
 		if err := api.Send(step, input, sim.Field()); err != nil {
 			api.Abort()
 			return fmt.Errorf("client %d: send step %d: %w", job.Client.ClientID, step, err)

@@ -80,7 +80,7 @@ func TestSendConvertsToFloat32(t *testing.T) {
 	}
 	select {
 	case env := <-listeners[0].Incoming():
-		ts := env.Msg.(protocol.TimeStep)
+		ts := env.Msg.(*protocol.TimeStep)
 		if ts.Input[0] != 1.5 || ts.Input[1] != 2.5 || ts.Field[0] != 3.25 {
 			t.Fatalf("payload %+v", ts)
 		}
@@ -169,7 +169,7 @@ func TestRunHeatStreamsTrajectory(t *testing.T) {
 		select {
 		case msg := <-received:
 			switch m := msg.(type) {
-			case protocol.TimeStep:
+			case *protocol.TimeStep:
 				steps++
 				if len(m.Field) != 16 || len(m.Input) != 6 {
 					t.Fatalf("dims %d/%d", len(m.Input), len(m.Field))

@@ -98,6 +98,20 @@ func (m *Metrics) CountBatch(batch []buffer.Sample) {
 	}
 }
 
+// CountKeys is CountBatch over bare sample identities — the trainer
+// records keys during batch assembly (payloads may alias recycled arena
+// rows, so the Sample values themselves are not retained).
+func (m *Metrics) CountKeys(keys []buffer.Key) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.occurrences == nil {
+		return
+	}
+	for _, k := range keys {
+		m.occurrences[k]++
+	}
+}
+
 // Batches returns the global number of synchronized steps.
 func (m *Metrics) Batches() int {
 	m.mu.Lock()

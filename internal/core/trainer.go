@@ -260,9 +260,15 @@ type rankState struct {
 
 	in, out         *tensor.Matrix // full-batch input/target storage
 	viewIn, viewOut tensor.Matrix  // reusable prefix views for tail batches
-	batch           []buffer.Sample
-	status          [2]float32 // [active ranks, samples this step]
-	localBatches    int
+	// keys records the identities of this step's samples for the
+	// occurrence metrics; fill normalizes sample i straight into row i of
+	// the batch matrices while the buffer lock is held (the payload may
+	// alias an arena row that is recycled as soon as the callback
+	// returns). Both are allocated once so the step stays allocation-free.
+	keys         []buffer.Key
+	fill         func(i int, s buffer.Sample)
+	status       [2]float32 // [active ranks, samples this step]
+	localBatches int
 
 	// Overlap machinery: hook enqueues a finished layer's bucket on jobs;
 	// the persistent syncer goroutine runs the bucket collectives in
@@ -286,10 +292,14 @@ func (t *Trainer) newRankState(rank int) *rankState {
 		lossFn:       nn.NewMSELoss(),
 		in:           tensor.New(t.cfg.BatchSize, norm.InputDim()),
 		out:          tensor.New(t.cfg.BatchSize, norm.OutputDim()),
-		batch:        make([]buffer.Sample, 0, t.cfg.BatchSize),
+		keys:         make([]buffer.Key, t.cfg.BatchSize),
 		localBatches: t.startBatches,
 		jobs:         make(chan int, len(t.buckets)),
 		acks:         make(chan struct{}, len(t.buckets)),
+	}
+	st.fill = func(i int, s buffer.Sample) {
+		norm.Apply(s, st.in.Row(i), st.out.Row(i))
+		st.keys[i] = s.Key()
 	}
 	st.hook = func(layer int) {
 		if b := t.bucketOfLayer[layer]; b >= 0 {
@@ -338,16 +348,16 @@ func (t *Trainer) step(st *rankState) bool {
 		// ranks exit here on the same iteration.
 		return false
 	}
-	norm := t.cfg.Normalizer
-	batch, ok := t.bufs[st.rank].GetBatchInto(st.batch, t.cfg.BatchSize)
-	if ok {
-		st.batch = batch[:0] // keep (possibly grown) storage for reuse
-	}
+	// Batch assembly copies straight from the buffer (arena rows for the
+	// live server) into the preallocated batch matrices, normalizing in
+	// the same pass; the callback runs under the buffer lock, which is
+	// what makes reading recycled-in-place payloads safe.
+	n, ok := t.bufs[st.rank].GetBatchEach(t.cfg.BatchSize, st.fill)
 
 	st.status[0], st.status[1] = 0, 0
 	if ok {
 		st.status[0] = 1
-		st.status[1] = float32(len(batch))
+		st.status[1] = float32(n)
 	}
 	t.comm.AllReduceSum(st.grank, st.status[:])
 	if st.status[0] == 0 {
@@ -360,14 +370,13 @@ func (t *Trainer) step(st *rankState) bool {
 	overlap := t.cfg.GradSync == SyncOverlap
 	if ok {
 		bi, bo := st.in, st.out
-		if len(batch) != t.cfg.BatchSize {
+		if n != t.cfg.BatchSize {
 			// Tail batch: view the leading rows of the preallocated
 			// matrices instead of allocating shorter ones.
-			st.in.ViewRows(&st.viewIn, 0, len(batch))
-			st.out.ViewRows(&st.viewOut, 0, len(batch))
+			st.in.ViewRows(&st.viewIn, 0, n)
+			st.out.ViewRows(&st.viewOut, 0, n)
 			bi, bo = &st.viewIn, &st.viewOut
 		}
-		BuildBatch(norm, batch, bi, bo)
 		pred := st.net.Forward(bi)
 		trainLoss = st.lossFn.Forward(pred, bo)
 		dy := st.lossFn.Backward(pred, bo)
@@ -379,7 +388,7 @@ func (t *Trainer) step(st *rankState) bool {
 		} else {
 			st.net.Backward(dy)
 		}
-		t.metrics.CountBatch(batch)
+		t.metrics.CountKeys(st.keys[:n])
 	} else if overlap {
 		// Drained ranks contribute zero gradients but must join every
 		// collective, in the same bucket order the hook produces.

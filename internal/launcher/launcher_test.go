@@ -192,6 +192,13 @@ func TestLauncherServerRecovery(t *testing.T) {
 	cfg.Server.CheckpointPath = filepath.Join(t.TempDir(), "srv.ckpt")
 	cfg.Server.CheckpointEveryBatches = 1
 	cfg.InjectServerFailureAfterBatches = 2
+	// Pace the clients so trajectories are still in flight when the
+	// injected crash fires: on a fast ingestion path an unpaced ensemble
+	// can complete entirely before batch 2, leaving the recovered server
+	// legitimately nothing to train and the test nothing to observe.
+	cfg.JobHook = func(simID, attempt int, job *client.Job) {
+		job.StepDelay = 5 * time.Millisecond
+	}
 	l, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

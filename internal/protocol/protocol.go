@@ -9,7 +9,39 @@
 // Framing: every message is [payload length u32 | type u8 | payload],
 // little-endian throughout. Fields are float32 — the client casts from the
 // solver's float64 before sending, performing the precision reduction in
-// situ (§3.2.2).
+// situ (§3.2.2). Float vectors are encoded and decoded with bulk 8-wide
+// little-endian loops, not per-element calls, so the codec keeps up with
+// the link.
+//
+// # Allocation discipline
+//
+// The decode path exists in two forms:
+//
+//   - Read is the legacy convenience: it allocates a frame body and fresh
+//     payload slices per message. It remains the reference implementation
+//     (the pooled path is property-tested bit-identical against it) and the
+//     right choice for low-rate callers.
+//   - Reader is the ingestion path: it owns one recycled frame-body buffer
+//     and decodes TimeStep messages into leased payloads, so a server rank
+//     receiving thousands of messages per second performs zero steady-state
+//     allocations.
+//
+// # Lease–recycle contract
+//
+// Reader.Next returns TimeStep messages as *TimeStep values leased from a
+// package-global freelist; every other message type is returned by value.
+// Ownership of a leased *TimeStep — the struct and its Input/Field backing
+// arrays — transfers to the caller. The caller must hand it back with
+// RecycleTimeStep exactly once, after the payload has been copied out of
+// (e.g. into a training-buffer arena row) and never touched again; the
+// freelist immediately reissues recycled payloads to subsequent Next calls,
+// which overwrite them. Dropping a leased TimeStep without recycling is
+// safe (the pool just re-allocates) but forfeits the zero-allocation
+// property.
+//
+// Encoding follows the same discipline: AppendEncode frames a message into
+// a caller-supplied buffer in one pass (no intermediate payload slice), and
+// Write reuses a pooled scratch buffer per call.
 package protocol
 
 import (
@@ -54,7 +86,8 @@ type Hello struct {
 	ClientID int32
 	SimID    int32
 	// Steps is the number of time steps the client intends to produce, so
-	// the server can account for expected data.
+	// the server can account for expected data (and size its per-sim
+	// dedup bitsets up front).
 	Steps int32
 	// Restart counts how many times this client was restarted by the
 	// launcher; greater than zero warns the server that duplicate time
@@ -66,7 +99,9 @@ type Hello struct {
 func (Hello) Type() MsgType { return TypeHello }
 
 // TimeStep carries one solver time step: the simulation inputs and the
-// flattened field, already reduced to float32 client-side.
+// flattened field, already reduced to float32 client-side. Instances
+// produced by Reader.Next are leased (see the package comment); their
+// payload slices are only valid until RecycleTimeStep.
 type TimeStep struct {
 	SimID int32
 	Step  int32
@@ -121,41 +156,184 @@ func (m Heartbeat) encodeTo(buf []byte) []byte {
 	return appendU32(buf, uint32(m.ClientID))
 }
 
-// Encode serializes msg into a self-contained frame.
-func Encode(msg Message) []byte {
-	payload := msg.encodeTo(make([]byte, 0, 64))
-	frame := make([]byte, 0, len(payload)+5)
-	frame = appendU32(frame, uint32(len(payload)+1))
-	frame = append(frame, byte(msg.Type()))
-	frame = append(frame, payload...)
-	return frame
+// AppendEncode frames msg onto dst in a single pass — the frame header is
+// reserved up front and patched once the payload length is known, so no
+// intermediate payload buffer exists. It returns the extended slice.
+// Appending to a recycled buffer makes steady-state encoding
+// allocation-free.
+func AppendEncode(dst []byte, msg Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(msg.Type()))
+	dst = msg.encodeTo(dst)
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(dst)-start-4))
+	return dst
 }
 
-// Write frames and writes msg to w.
+// Encode serializes msg into a self-contained fresh frame. Hot paths should
+// prefer AppendEncode into a reused buffer.
+func Encode(msg Message) []byte {
+	return AppendEncode(nil, msg)
+}
+
+// encScratch recycles Write's framing buffers. A buffered channel (not a
+// sync.Pool) guarantees steady-state reuse even across GC cycles.
+var encScratch = make(chan []byte, 64)
+
+// Write frames and writes msg to w in one w.Write call, reusing a pooled
+// scratch buffer for the frame.
 func Write(w io.Writer, msg Message) error {
-	_, err := w.Write(Encode(msg))
+	var buf []byte
+	select {
+	case buf = <-encScratch:
+	default:
+	}
+	buf = AppendEncode(buf[:0], msg)
+	_, err := w.Write(buf)
+	select {
+	case encScratch <- buf:
+	default:
+	}
 	return err
 }
 
-// Read reads one framed message from r. It returns io.EOF cleanly when the
-// stream ends between frames.
-func Read(r io.Reader) (Message, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		if err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("protocol: truncated frame header: %w", err)
-		}
+// timeStepFree recycles leased TimeStep payloads between Reader.Next and
+// RecycleTimeStep. The capacity bounds retained memory; a recycle into a
+// full freelist simply drops the payload.
+var timeStepFree = make(chan *TimeStep, 1024)
+
+// LeaseTimeStep returns a TimeStep from the freelist (or a fresh one). Its
+// payload slices retain the capacity of their previous use.
+func LeaseTimeStep() *TimeStep {
+	select {
+	case ts := <-timeStepFree:
+		return ts
+	default:
+		return &TimeStep{}
+	}
+}
+
+// RecycleTimeStep returns a leased TimeStep to the freelist. The caller
+// must not touch ts or its payload slices afterwards; the next Next call
+// may overwrite them. nil is ignored.
+func RecycleTimeStep(ts *TimeStep) {
+	if ts == nil {
+		return
+	}
+	ts.SimID, ts.Step = 0, 0
+	select {
+	case timeStepFree <- ts:
+	default:
+	}
+}
+
+// Reader decodes a framed message stream with a recycled frame-body buffer
+// and leased TimeStep payloads — the zero-allocation ingestion path. It is
+// not safe for concurrent use; give each connection its own Reader.
+type Reader struct {
+	r    io.Reader
+	hdr  [4]byte
+	body []byte
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Next reads one framed message. TimeStep messages are returned as leased
+// *TimeStep values the caller must RecycleTimeStep (see the package
+// comment); all other types are returned by value. It returns io.EOF
+// cleanly when the stream ends between frames.
+func (rd *Reader) Next() (Message, error) {
+	size, err := readHeader(rd.r, &rd.hdr)
+	if err != nil {
 		return nil, err
 	}
-	size := binary.LittleEndian.Uint32(lenBuf[:])
-	if size == 0 || size > MaxFrameSize {
-		return nil, fmt.Errorf("protocol: invalid frame size %d", size)
+	body, err := readBody(rd.r, rd.body, int(size))
+	if body != nil {
+		rd.body = body[:0]
 	}
-	body := make([]byte, size)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("protocol: truncated frame body: %w", err)
+	if err != nil {
+		return nil, err
+	}
+	if MsgType(body[0]) == TypeTimeStep {
+		ts := LeaseTimeStep()
+		if err := decodeTimeStepInto(ts, body[1:]); err != nil {
+			RecycleTimeStep(ts)
+			return nil, err
+		}
+		return ts, nil
 	}
 	return decodeBody(body)
+}
+
+// Read reads one framed message from r, allocating the frame body and all
+// payload slices — the legacy path, kept as the reference implementation
+// and for low-rate callers. It returns io.EOF cleanly when the stream ends
+// between frames.
+func Read(r io.Reader) (Message, error) {
+	var lenBuf [4]byte
+	size, err := readHeader(r, &lenBuf)
+	if err != nil {
+		return nil, err
+	}
+	body, err := readBody(r, nil, int(size))
+	if err != nil {
+		return nil, err
+	}
+	return decodeBody(body)
+}
+
+// readBody reads a size-byte frame body into buf's storage (grown as
+// needed) and returns it at full length. When the buffer must grow, it is
+// extended in capped chunks interleaved with the reads, so a corrupt
+// length prefix claiming a huge frame costs at most one chunk beyond the
+// bytes actually on the wire — never a gigabyte allocation up front.
+func readBody(r io.Reader, buf []byte, size int) ([]byte, error) {
+	const maxStep = 1 << 20
+	if cap(buf) >= size {
+		buf = buf[:size]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return buf, fmt.Errorf("protocol: truncated frame body: %w", err)
+		}
+		return buf, nil
+	}
+	buf = buf[:0]
+	for len(buf) < size {
+		n := min(size-len(buf), maxStep)
+		off := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			return buf, fmt.Errorf("protocol: truncated frame body: %w", err)
+		}
+	}
+	return buf, nil
+}
+
+// readHeader reads and validates the 4-byte length prefix.
+func readHeader(r io.Reader, hdr *[4]byte) (uint32, error) {
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("protocol: truncated frame header: %w", err)
+		}
+		return 0, err
+	}
+	size := binary.LittleEndian.Uint32(hdr[:])
+	if size == 0 || size > MaxFrameSize {
+		return 0, fmt.Errorf("protocol: invalid frame size %d", size)
+	}
+	return size, nil
+}
+
+// decodeTimeStepInto decodes a TimeStep payload into ts, reusing the
+// capacity of its Input/Field slices.
+func decodeTimeStepInto(ts *TimeStep, payload []byte) error {
+	d := decoder{buf: payload}
+	ts.SimID = int32(d.u32())
+	ts.Step = int32(d.u32())
+	ts.Input = d.f32sInto(ts.Input[:0])
+	ts.Field = d.f32sInto(ts.Field[:0])
+	return d.err
 }
 
 func decodeBody(body []byte) (Message, error) {
@@ -204,21 +382,88 @@ func (d *decoder) u32() uint32 {
 	return v
 }
 
+// f32s decodes a length-prefixed float vector into a fresh slice.
 func (d *decoder) f32s() []float32 {
-	n := d.u32()
-	if d.err != nil {
-		return nil
-	}
-	if uint64(len(d.buf)) < uint64(n)*4 {
-		d.err = fmt.Errorf("protocol: short float payload (%d floats, %d bytes left)", n, len(d.buf))
+	n, ok := d.f32sHeader()
+	if !ok {
 		return nil
 	}
 	out := make([]float32, n)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(d.buf[4*i:]))
-	}
+	decodeF32Bulk(out, d.buf[:4*n])
 	d.buf = d.buf[4*n:]
 	return out
+}
+
+// f32sInto decodes a length-prefixed float vector into dst's storage,
+// growing it only when capacity is insufficient.
+func (d *decoder) f32sInto(dst []float32) []float32 {
+	n, ok := d.f32sHeader()
+	if !ok {
+		return dst
+	}
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	} else {
+		dst = dst[:n]
+	}
+	decodeF32Bulk(dst, d.buf[:4*n])
+	d.buf = d.buf[4*n:]
+	return dst
+}
+
+// f32sHeader reads and bounds-checks the float-count prefix.
+func (d *decoder) f32sHeader() (int, bool) {
+	n := d.u32()
+	if d.err != nil {
+		return 0, false
+	}
+	if uint64(len(d.buf)) < uint64(n)*4 {
+		d.err = fmt.Errorf("protocol: short float payload (%d floats, %d bytes left)", n, len(d.buf))
+		return 0, false
+	}
+	return int(n), true
+}
+
+// decodeF32Bulk byte-swaps 4·len(dst) bytes of src into dst with an 8-wide
+// unrolled little-endian loop. binary.LittleEndian.Uint32 compiles to a
+// single load on little-endian targets, so the unroll amortizes the slice
+// bookkeeping, not the swap.
+func decodeF32Bulk(dst []float32, src []byte) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		b := src[i*4 : i*4+32 : i*4+32]
+		dst[i+0] = math.Float32frombits(binary.LittleEndian.Uint32(b[0:4]))
+		dst[i+1] = math.Float32frombits(binary.LittleEndian.Uint32(b[4:8]))
+		dst[i+2] = math.Float32frombits(binary.LittleEndian.Uint32(b[8:12]))
+		dst[i+3] = math.Float32frombits(binary.LittleEndian.Uint32(b[12:16]))
+		dst[i+4] = math.Float32frombits(binary.LittleEndian.Uint32(b[16:20]))
+		dst[i+5] = math.Float32frombits(binary.LittleEndian.Uint32(b[20:24]))
+		dst[i+6] = math.Float32frombits(binary.LittleEndian.Uint32(b[24:28]))
+		dst[i+7] = math.Float32frombits(binary.LittleEndian.Uint32(b[28:32]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[i*4 : i*4+4]))
+	}
+}
+
+// encodeF32Bulk is the encode mirror of decodeF32Bulk: dst must hold
+// 4·len(vals) bytes.
+func encodeF32Bulk(dst []byte, vals []float32) {
+	i := 0
+	for ; i+8 <= len(vals); i += 8 {
+		b := dst[i*4 : i*4+32 : i*4+32]
+		binary.LittleEndian.PutUint32(b[0:4], math.Float32bits(vals[i+0]))
+		binary.LittleEndian.PutUint32(b[4:8], math.Float32bits(vals[i+1]))
+		binary.LittleEndian.PutUint32(b[8:12], math.Float32bits(vals[i+2]))
+		binary.LittleEndian.PutUint32(b[12:16], math.Float32bits(vals[i+3]))
+		binary.LittleEndian.PutUint32(b[16:20], math.Float32bits(vals[i+4]))
+		binary.LittleEndian.PutUint32(b[20:24], math.Float32bits(vals[i+5]))
+		binary.LittleEndian.PutUint32(b[24:28], math.Float32bits(vals[i+6]))
+		binary.LittleEndian.PutUint32(b[28:32], math.Float32bits(vals[i+7]))
+	}
+	for ; i < len(vals); i++ {
+		binary.LittleEndian.PutUint32(dst[i*4:i*4+4], math.Float32bits(vals[i]))
+	}
 }
 
 func appendU32(buf []byte, v uint32) []byte {
@@ -227,8 +472,24 @@ func appendU32(buf []byte, v uint32) []byte {
 
 func appendF32s(buf []byte, vals []float32) []byte {
 	buf = appendU32(buf, uint32(len(vals)))
-	for _, v := range vals {
-		buf = appendU32(buf, math.Float32bits(v))
+	off := len(buf)
+	need := 4 * len(vals)
+	if cap(buf)-off < need {
+		grown := make([]byte, off, roundupCap(off+need))
+		copy(grown, buf)
+		buf = grown
 	}
+	buf = buf[:off+need]
+	encodeF32Bulk(buf[off:], vals)
 	return buf
+}
+
+// roundupCap picks the next power-of-two capacity so repeated appends into
+// a growing buffer settle quickly.
+func roundupCap(n int) int {
+	c := 64
+	for c < n {
+		c <<= 1
+	}
+	return c
 }

@@ -10,7 +10,9 @@ import (
 
 // checkpointFile is the on-disk server checkpoint (§3.1): everything a
 // replacement server instance needs to resume training without retraining
-// on already-seen data or losing buffered samples.
+// on already-seen data or losing buffered samples. The per-rank message
+// log travels inside SimState.Seen (the per-sim step bitsets), replacing
+// the separate map[Key]bool log of earlier revisions.
 type checkpointFile struct {
 	Ranks   int
 	Batches int
@@ -19,8 +21,13 @@ type checkpointFile struct {
 	Weights  []byte
 	OptState []byte
 
-	Seen []map[buffer.Key]bool
 	Sims []map[int32]SimState
+
+	// Seen is the legacy (pre-bitset) per-rank dedup log. New checkpoints
+	// leave it nil (the log lives in SimState.Seen); RestoreCheckpoint
+	// migrates a non-nil legacy log into the bitsets so old checkpoints
+	// keep their dedup guarantee.
+	Seen []map[buffer.Key]bool
 
 	BufSeen   [][]buffer.Sample
 	BufUnseen [][]buffer.Sample
@@ -28,7 +35,9 @@ type checkpointFile struct {
 
 // WriteCheckpoint atomically persists the full server state. It is called
 // from the trainer's rank-0 batch boundary, so the weights are consistent;
-// buffer contents and message logs are captured under their locks.
+// rank shards and buffer contents are captured under their own locks (the
+// buffer snapshot deep-copies payloads, so arena rows recycled afterwards
+// cannot corrupt the checkpoint).
 func (s *Server) WriteCheckpoint(path string) error {
 	weights, optState, err := s.trainer.CaptureState()
 	if err != nil {
@@ -42,24 +51,18 @@ func (s *Server) WriteCheckpoint(path string) error {
 		OptState: optState,
 	}
 
-	s.mu.Lock()
-	ck.Seen = make([]map[buffer.Key]bool, len(s.seen))
-	for r, m := range s.seen {
-		cp := make(map[buffer.Key]bool, len(m))
-		for k, v := range m {
-			cp[k] = v
+	ck.Sims = make([]map[int32]SimState, len(s.aggs))
+	for r, a := range s.aggs {
+		a.mu.Lock()
+		cp := make(map[int32]SimState, len(a.sims))
+		for id, st := range a.sims {
+			c := *st
+			c.Seen = append([]uint64(nil), st.Seen...)
+			cp[id] = c
 		}
-		ck.Seen[r] = cp
-	}
-	ck.Sims = make([]map[int32]SimState, len(s.sims))
-	for r, m := range s.sims {
-		cp := make(map[int32]SimState, len(m))
-		for id, st := range m {
-			cp[id] = *st
-		}
+		a.mu.Unlock()
 		ck.Sims[r] = cp
 	}
-	s.mu.Unlock()
 
 	ck.BufSeen = make([][]buffer.Sample, s.cfg.Ranks)
 	ck.BufUnseen = make([][]buffer.Sample, s.cfg.Ranks)
@@ -106,17 +109,38 @@ func (s *Server) RestoreCheckpoint(path string) error {
 	if err := s.trainer.RestoreState(ck.Weights, ck.OptState, ck.Batches, ck.Samples); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.seen = ck.Seen
-	s.sims = make([]map[int32]*SimState, len(ck.Sims))
 	for r, m := range ck.Sims {
-		s.sims[r] = make(map[int32]*SimState, len(m))
+		a := s.aggs[r]
+		a.mu.Lock()
+		a.sims = make(map[int32]*SimState, len(m))
+		a.goodbyes = 0
 		for id, st := range m {
 			cp := st
-			s.sims[r][id] = &cp
+			// Clamp like the live Hello path: an unclamped (legacy or
+			// crafted) Steps past the tracking cap would make
+			// receptionComplete demand steps markSeen can never record.
+			cp.Steps = clampSteps(cp.Steps)
+			a.sims[id] = &cp
+			if cp.Goodbye {
+				a.goodbyes++
+			}
 		}
+		a.mu.Unlock()
 	}
-	s.mu.Unlock()
+	// Legacy checkpoints (pre-bitset) carry the dedup log as per-rank key
+	// maps; fold them into the per-sim bitsets so replayed steps are
+	// still discarded after the restore.
+	for r, m := range ck.Seen {
+		if r >= len(s.aggs) {
+			break
+		}
+		a := s.aggs[r]
+		a.mu.Lock()
+		for k := range m {
+			a.sim(int32(k.SimID)).markSeen(int32(k.Step))
+		}
+		a.mu.Unlock()
+	}
 	for r, b := range s.bufs {
 		r := r
 		b.WithLock(func(p buffer.Policy) {
@@ -126,9 +150,10 @@ func (s *Server) RestoreCheckpoint(path string) error {
 		})
 		// If the ensemble had already completed for this rank, reception
 		// is over and the buffer only needs draining.
-		s.mu.Lock()
-		done := s.receptionComplete(r)
-		s.mu.Unlock()
+		a := s.aggs[r]
+		a.mu.Lock()
+		done := s.receptionComplete(a)
+		a.mu.Unlock()
 		if done {
 			b.EndReception()
 		}

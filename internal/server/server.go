@@ -7,6 +7,13 @@
 // replayed time steps after client restarts, a liveness watchdog that
 // reports unresponsive clients to the launcher, and periodic checkpoints
 // from which a replacement server instance resumes training.
+//
+// The TimeStep receive path is sharded and zero-copy: each rank's
+// aggregator owns its dedup/accounting state (per-sim step bitsets instead
+// of a shared map under a global mutex), payloads are leased from the
+// protocol pool and bulk-copied into the rank buffer's sample arena, and
+// the lease is recycled immediately — steady-state ingestion performs no
+// heap allocations and ranks never contend with each other.
 package server
 
 import (
@@ -94,26 +101,126 @@ type Server struct {
 	trainer    *core.Trainer
 	watchdog   *transport.Watchdog
 
-	mu    sync.Mutex
-	seen  []map[buffer.Key]bool // per-rank message log for dedup
-	sims  []map[int32]*SimState // per-rank ensemble-member accounting
-	ended []bool                // per-rank EndReception issued
+	// aggs holds each rank's aggregator-owned dedup/accounting state.
+	// There is no cross-rank mutex on the TimeStep hot path: each rank
+	// touches only its own shard, whose (uncontended) mutex exists for
+	// the rare cross-goroutine readers — checkpoints and CompletedSims.
+	aggs []*rankAgg
 
 	aggWG sync.WaitGroup
 }
 
+// rankAgg is one rank's aggregator state shard.
+type rankAgg struct {
+	mu       sync.Mutex
+	rank     int // local rank index
+	sims     map[int32]*SimState
+	goodbyes int  // count of sims with Goodbye, so the hot path is O(1)
+	ended    bool // EndReception issued for this rank
+}
+
+func newRankAgg(rank int) *rankAgg {
+	return &rankAgg{rank: rank, sims: make(map[int32]*SimState)}
+}
+
+// sim returns (creating if needed) the shard's record for a simulation.
+// The caller must hold a.mu.
+func (a *rankAgg) sim(simID int32) *SimState {
+	st, ok := a.sims[simID]
+	if !ok {
+		st = &SimState{ClientID: -1}
+		a.sims[simID] = st
+	}
+	return st
+}
+
 // SimState tracks one ensemble member on one rank: its owner client, the
 // declared trajectory length (from Hello), how many distinct steps this
-// rank has received, and whether a Goodbye arrived. Reception ends on a
-// rank only when every completed simulation has delivered this rank's full
-// round-robin share — which makes termination robust to a restarted
-// client's Goodbye racing ahead of the failed client's in-flight data on
-// another connection.
+// rank has received, whether a Goodbye arrived, and the per-step dedup
+// bitset. Reception ends on a rank only when every completed simulation
+// has delivered this rank's full round-robin share — which makes
+// termination robust to a restarted client's Goodbye racing ahead of the
+// failed client's in-flight data on another connection.
 type SimState struct {
 	ClientID int32
 	Steps    int32
 	Received int32
 	Goodbye  bool
+	// Seen is the message log for this sim on this rank: bit s records
+	// that time step s was received. It replaces the unbounded
+	// map[Key]bool of earlier revisions — Steps/8 bytes per sim,
+	// preallocated at Hello, O(1) duplicate checks without allocation.
+	Seen []uint64
+}
+
+// maxTrackedStep caps the per-sim dedup bitset at 4M steps (512 KiB of
+// log) — a protocol sanity bound far above any real trajectory (the paper
+// uses 100 steps). Hello declarations are clamped to it and steps beyond
+// it are treated like corrupt frames, because both fields arrive off the
+// wire attacker-controlled and must never size an allocation.
+const maxTrackedStep = 1 << 22
+
+// maxUntrackedStep is the much tighter bound for sims that never announced
+// a trajectory: clients Hello on every connection before streaming, so an
+// un-announced TimeStep is already anomalous, and granting it the full
+// tracked cap would let one tiny frame per fresh SimID pin a 512 KiB
+// bitset. 128K steps (16 KiB of log) is still generous for data racing
+// ahead of a restart's re-Hello.
+const maxUntrackedStep = 1 << 17
+
+// clampSteps bounds a wire-declared trajectory length to the tracking cap.
+func clampSteps(steps int32) int32 {
+	if steps > maxTrackedStep {
+		return maxTrackedStep
+	}
+	return steps
+}
+
+// markSeen records step and reports whether it is new. Steps beyond the
+// preallocated bitset grow it (amortized; Hello normally presizes), but a
+// step outside the sim's (clamped) declared trajectory — or past the
+// provisional maxUntrackedStep window when no Hello arrived — is rejected
+// outright: the wire Step is attacker-controlled, and growing the bitset
+// to a lying value would be the same giant-allocation DoS the framed
+// reader guards against. Declared trajectories are clamped to
+// maxTrackedStep at Hello (and checkpoint restore), so the bounds stay
+// consistent and reception accounting can always complete.
+func (st *SimState) markSeen(step int32) bool {
+	if step < 0 {
+		return false
+	}
+	if st.Steps > 0 {
+		if step > clampSteps(st.Steps) {
+			return false // outside the declared trajectory: corrupt
+		}
+	} else if step > maxUntrackedStep {
+		return false // no Hello: only a tight provisional window is tracked
+	}
+	w := int(step >> 6)
+	if w >= len(st.Seen) {
+		st.Seen = append(st.Seen, make([]uint64, w+1-len(st.Seen))...)
+	}
+	bit := uint64(1) << (uint(step) & 63)
+	if st.Seen[w]&bit != 0 {
+		return false
+	}
+	st.Seen[w] |= bit
+	return true
+}
+
+// presizeSeen ensures the bitset covers steps [0, steps] without further
+// growth. Like markSeen it is bounded by maxTrackedStep: steps comes off
+// the wire (Hello), and presizing must not be the allocation DoS the
+// per-step path rejects.
+func (st *SimState) presizeSeen(steps int32) {
+	if steps <= 0 {
+		return
+	}
+	steps = clampSteps(steps)
+	w := int(steps>>6) + 1
+	if w > len(st.Seen) {
+		st.Seen = append(st.Seen, make([]uint64, w-len(st.Seen))...)
+	}
 }
 
 // New builds the server and starts its listeners. Training does not start
@@ -125,6 +232,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ExpectedClients < 1 {
 		return nil, errors.New("server: ExpectedClients must be ≥ 1")
+	}
+	if cfg.Trainer.Normalizer == nil {
+		return nil, errors.New("server: trainer normalizer required")
 	}
 	world := cfg.Ranks
 	if cfg.Comm != nil {
@@ -140,16 +250,15 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		worldRanks: world,
-		seen:       make([]map[buffer.Key]bool, cfg.Ranks),
-		sims:       make([]map[int32]*SimState, cfg.Ranks),
-		ended:      make([]bool, cfg.Ranks),
+		aggs:       make([]*rankAgg, cfg.Ranks),
 	}
 	if cfg.WatchdogTimeout > 0 {
 		s.watchdog = transport.NewWatchdog(cfg.WatchdogTimeout)
 	}
+	inDim := cfg.Trainer.Normalizer.InputDim()
+	outDim := cfg.Trainer.Normalizer.OutputDim()
 	for r := 0; r < cfg.Ranks; r++ {
-		s.seen[r] = make(map[buffer.Key]bool)
-		s.sims[r] = make(map[int32]*SimState)
+		s.aggs[r] = newRankAgg(r)
 
 		bcfg := cfg.Buffer
 		bcfg.Seed += uint64(cfg.RankOffset+r) * 1000003 // distinct stream per global rank
@@ -159,7 +268,9 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.policies = append(s.policies, p)
-		s.bufs = append(s.bufs, buffer.NewBlocking(p))
+		// Arena-backed: raw payload rows are exactly the normalizer's raw
+		// input/output widths, so PutCopy bulk-copies into recycled rows.
+		s.bufs = append(s.bufs, buffer.NewBlockingArena(p, inDim, outDim))
 
 		l, err := transport.Listen(cfg.ListenHost, cfg.QueueLen)
 		if err != nil {
@@ -259,17 +370,19 @@ func (s *Server) watchdogLoop(stop chan struct{}) {
 
 // aggregate is the per-rank data-aggregator thread (§3.1): it polls the
 // transport for new data and stores it into the rank's training buffer,
-// deduplicating against the message log.
+// deduplicating against the rank-local message log.
 func (s *Server) aggregate(rank int) {
 	defer s.aggWG.Done()
+	a := s.aggs[rank]
 	for env := range s.listeners[rank].Incoming() {
 		switch m := env.Msg.(type) {
 		case protocol.Hello:
-			s.mu.Lock()
-			st := s.simState(rank, m.SimID)
+			a.mu.Lock()
+			st := a.sim(m.SimID)
 			st.ClientID = m.ClientID
-			st.Steps = m.Steps
-			s.mu.Unlock()
+			st.Steps = clampSteps(m.Steps)
+			st.presizeSeen(st.Steps)
+			a.mu.Unlock()
 			if s.watchdog != nil {
 				s.watchdog.Beat(m.ClientID)
 			}
@@ -277,42 +390,17 @@ func (s *Server) aggregate(rank int) {
 			if s.watchdog != nil {
 				s.watchdog.Beat(m.ClientID)
 			}
-		case protocol.TimeStep:
-			key := buffer.Key{SimID: int(m.SimID), Step: int(m.Step)}
-			s.mu.Lock()
-			dup := s.seen[rank][key]
-			var owner int32 = -1
-			var done bool
-			if !dup {
-				s.seen[rank][key] = true
-				st := s.simState(rank, m.SimID)
-				st.Received++
-				owner = st.ClientID
-				done = s.receptionComplete(rank)
-			}
-			s.mu.Unlock()
-			if s.watchdog != nil && owner >= 0 {
-				s.watchdog.Beat(owner)
-			}
-			if dup {
-				continue // replay after client restart: discard (§3.1)
-			}
-			// Blocking put: a full buffer suspends ingestion, and TCP
-			// backpressure propagates the stall to the clients.
-			s.bufs[rank].Put(buffer.Sample{
-				SimID:  int(m.SimID),
-				Step:   int(m.Step),
-				Input:  m.Input,
-				Output: m.Field,
-			})
-			if done {
-				s.bufs[rank].EndReception()
-			}
+		case *protocol.TimeStep:
+			s.ingestTimeStep(rank, m)
 		case protocol.Goodbye:
-			s.mu.Lock()
-			s.simState(rank, m.SimID).Goodbye = true
-			done := s.receptionComplete(rank)
-			s.mu.Unlock()
+			a.mu.Lock()
+			st := a.sim(m.SimID)
+			if !st.Goodbye {
+				st.Goodbye = true
+				a.goodbyes++
+			}
+			done := s.receptionComplete(a)
+			a.mu.Unlock()
 			if s.watchdog != nil {
 				s.watchdog.Remove(m.ClientID)
 			}
@@ -323,44 +411,60 @@ func (s *Server) aggregate(rank int) {
 	}
 }
 
-// simState returns (creating if needed) the rank's record for a sim. The
-// caller must hold s.mu.
-func (s *Server) simState(rank int, simID int32) *SimState {
-	st, ok := s.sims[rank][simID]
-	if !ok {
-		st = &SimState{ClientID: -1}
-		s.sims[rank][simID] = st
+// ingestTimeStep is the hot path: rank-sharded bitset dedup, bulk copy
+// into the rank buffer's arena, lease recycle. Zero steady-state
+// allocations (gated by TestIngestZeroAllocSteadyState).
+func (s *Server) ingestTimeStep(rank int, m *protocol.TimeStep) {
+	a := s.aggs[rank]
+	a.mu.Lock()
+	st := a.sim(m.SimID)
+	fresh := st.markSeen(m.Step)
+	var owner int32 = -1
+	var done bool
+	if fresh {
+		st.Received++
+		owner = st.ClientID
+		done = s.receptionComplete(a)
 	}
-	return st
+	a.mu.Unlock()
+	if s.watchdog != nil && owner >= 0 {
+		s.watchdog.Beat(owner)
+	}
+	if fresh {
+		// Blocking put: a full buffer suspends ingestion, and TCP
+		// backpressure propagates the stall to the clients. The payload
+		// is copied into arena rows under the buffer lock, so the lease
+		// can be recycled immediately after.
+		s.bufs[rank].PutCopy(int(m.SimID), int(m.Step), m.Input, m.Field)
+	}
+	// Duplicate (replay after client restart, §3.1) or stored: either way
+	// the leased payload is done.
+	protocol.RecycleTimeStep(m)
+	if done {
+		s.bufs[rank].EndReception()
+	}
 }
 
-// receptionComplete decides whether rank has everything it will ever get:
-// Goodbyes from the whole ensemble and, for every announced simulation,
-// this rank's full round-robin share of time steps. The caller must hold
-// s.mu; the method marks the rank ended at most once.
-func (s *Server) receptionComplete(rank int) bool {
-	if s.ended[rank] {
+// receptionComplete decides whether the rank has everything it will ever
+// get: Goodbyes from the whole ensemble and, for every announced
+// simulation, this rank's full round-robin share of time steps. The caller
+// must hold a.mu; the method marks the rank ended at most once. The
+// goodbye counter keeps the per-message cost O(1): the per-sim scan runs
+// only once the whole ensemble has said Goodbye.
+func (s *Server) receptionComplete(a *rankAgg) bool {
+	if a.ended || a.goodbyes < s.cfg.ExpectedClients {
 		return false
 	}
-	goodbyes := 0
-	for _, st := range s.sims[rank] {
-		if st.Goodbye {
-			goodbyes++
-		}
-	}
-	if goodbyes < s.cfg.ExpectedClients {
-		return false
-	}
-	for _, st := range s.sims[rank] {
+	for _, st := range a.sims {
 		// Only completed members gate termination: a sim that never said
 		// Goodbye was abandoned (its restarted replacement will Goodbye
 		// under the same sim id). Steps unknown (no Hello processed)
 		// cannot be verified; fall back to the goodbye-only rule for it.
-		if st.Goodbye && st.Steps > 0 && st.Received < expectedOnRank(st.ClientID, st.Steps, s.cfg.RankOffset+rank, s.worldRanks) {
+		if st.Goodbye && st.Steps > 0 && st.Received < expectedOnRank(st.ClientID, st.Steps, s.cfg.RankOffset+a.rank, s.worldRanks) {
 			return false
 		}
 	}
-	s.ended[rank] = true
+	a.ended = true
 	return true
 }
 
@@ -388,14 +492,28 @@ func (s *Server) closeListeners() {
 	}
 }
 
+// receivedOnRank sums the rank's distinct received time steps (test and
+// diagnostics helper).
+func (s *Server) receivedOnRank(rank int) int {
+	a := s.aggs[rank]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	total := 0
+	for _, st := range a.sims {
+		total += int(st.Received)
+	}
+	return total
+}
+
 // CompletedSims returns the set of simulations for which rank 0 received a
 // Goodbye; the launcher uses it after a server restart to decide which
 // clients must be re-run.
 func (s *Server) CompletedSims() map[int32]bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	a := s.aggs[0]
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make(map[int32]bool)
-	for id, st := range s.sims[0] {
+	for id, st := range a.sims {
 		if st.Goodbye {
 			out[id] = true
 		}

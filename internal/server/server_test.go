@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"encoding/gob"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -12,6 +14,7 @@ import (
 	"melissa/internal/client"
 	"melissa/internal/core"
 	"melissa/internal/opt"
+	"melissa/internal/protocol"
 	"melissa/internal/solver"
 )
 
@@ -173,11 +176,9 @@ func TestRoundRobinReachesAllRanks(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Each rank's message log must hold its round-robin share.
-	srv.mu.Lock()
-	defer srv.mu.Unlock()
 	total := 0
 	for r := 0; r < ranks; r++ {
-		n := len(srv.seen[r])
+		n := srv.receivedOnRank(r)
 		if n == 0 {
 			t.Fatalf("rank %d received nothing", r)
 		}
@@ -365,6 +366,92 @@ func TestServerCheckpointRestart(t *testing.T) {
 	}
 	if len(union) != 2*testSteps {
 		t.Fatalf("union covers %d samples, want %d", len(union), 2*testSteps)
+	}
+}
+
+// TestRestoreLegacyCheckpointMigratesSeen writes a checkpoint in the
+// pre-bitset on-disk shape (dedup log as per-rank map[Key]bool, SimState
+// without the Seen bitset) and restores it: the legacy log must fold into
+// the per-sim bitsets so replayed steps are still discarded.
+func TestRestoreLegacyCheckpointMigratesSeen(t *testing.T) {
+	cfg := testConfig(1, 1, buffer.FIFOKind)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights, optState, err := srv.Trainer().CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type legacySimState struct {
+		ClientID int32
+		Steps    int32
+		Received int32
+		Goodbye  bool
+	}
+	type legacyCheckpoint struct {
+		Ranks   int
+		Batches int
+		Samples int
+
+		Weights  []byte
+		OptState []byte
+
+		Seen []map[buffer.Key]bool
+		Sims []map[int32]legacySimState
+
+		BufSeen   [][]buffer.Sample
+		BufUnseen [][]buffer.Sample
+	}
+	legacy := legacyCheckpoint{
+		Ranks:    1,
+		Batches:  3,
+		Samples:  12,
+		Weights:  weights,
+		OptState: optState,
+		Seen: []map[buffer.Key]bool{{
+			{SimID: 0, Step: 1}: true,
+			{SimID: 0, Step: 2}: true,
+			{SimID: 0, Step: 3}: true,
+		}},
+		Sims: []map[int32]legacySimState{{
+			0: {ClientID: 0, Steps: testSteps, Received: 3},
+		}},
+		BufSeen:   make([][]buffer.Sample, 1),
+		BufUnseen: make([][]buffer.Sample, 1),
+	}
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.RestoreCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Metrics().Batches(); got != 3 {
+		t.Fatalf("restored batches %d, want 3", got)
+	}
+	// Replays of the logged steps must be dropped; a fresh step stored.
+	send := func(step int32) {
+		ts := protocol.LeaseTimeStep()
+		ts.SimID, ts.Step = 0, step
+		ts.Input = append(ts.Input[:0], make([]float32, cfg.Trainer.Normalizer.InputDim())...)
+		ts.Field = append(ts.Field[:0], make([]float32, cfg.Trainer.Normalizer.OutputDim())...)
+		srv.ingestTimeStep(0, ts)
+	}
+	for _, step := range []int32{1, 2, 3, 4} {
+		send(step)
+	}
+	if got := srv.bufs[0].Len(); got != 1 {
+		t.Fatalf("buffer holds %d samples, want 1 (steps 1-3 are replays)", got)
 	}
 }
 

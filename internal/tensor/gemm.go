@@ -182,8 +182,17 @@ func gemm(kind gemmKind, dst, a, b *Matrix, bias []float32, ep Epilogue) {
 		return
 	}
 	if useBlocked(m, n, k) {
-		tiles := ((m + blockM - 1) / blockM) * ((n + blockN - 1) / blockN)
-		parallel(tiles, m*n*k, task{op: opGemmTile, dst: dst, a: a, b: b, bias: bias, gk: kind, ep: ep})
+		rowTiles := (m + blockM - 1) / blockM
+		colTiles := (n + blockN - 1) / blockN
+		if rowTiles > 1 {
+			// Several macro-tiles stack on each B panel: pack the whole
+			// panel row once per k-slab (cooperatively, across the pool)
+			// and let every row tile consume the shared packing, instead
+			// of re-packing the panel per tile.
+			gemmSharedB(kind, dst, a, b, bias, ep, k, rowTiles, colTiles)
+			return
+		}
+		parallel(rowTiles*colTiles, m*n*k, task{op: opGemmTile, dst: dst, a: a, b: b, bias: bias, gk: kind, ep: ep})
 		return
 	}
 	switch kind {
@@ -199,6 +208,79 @@ func gemm(kind gemmKind, dst, a, b *Matrix, bias []float32, ep Epilogue) {
 	if ep != EpNone {
 		applyEpilogue(dst, 0, m, 0, n, bias, ep)
 	}
+}
+
+// gemmSharedB is the blocked driver for outputs taller than one macro-tile
+// (backward's dW = Xᵀ·dY is the training-shaped case: 256×1024 over a
+// batch-sized k). Per blockK slab it runs two pool phases: packBRange
+// packs every column panel of the slab into one shared buffer (parallel
+// over panels — the satellite ROADMAP item for many-core hosts), then
+// gemmTileSharedRange sweeps all macro-tiles against the shared packing.
+// Each output element still accumulates its k-slabs in ascending order and
+// each tile's math is fixed by shape alone, so results stay bit-identical
+// to the per-tile-packing driver regardless of worker count.
+func gemmSharedB(kind gemmKind, dst, a, b *Matrix, bias []float32, ep Epilogue, k, rowTiles, colTiles int) {
+	m, n, _ := gemmDims(kind, a, b)
+	for k0 := 0; k0 < k; k0 += blockK {
+		kc := min(blockK, k-k0)
+		pb := getSharedB(colTiles * blockN * kc)
+		t := task{dst: dst, a: a, b: b, bias: bias, gk: kind, ep: ep, shared: pb, k0: k0, kc: kc}
+		t.op = opPackB
+		parallel(colTiles, kc*n, t)
+		t.op = opGemmTileShared
+		parallel(rowTiles*colTiles, m*n*kc, t)
+		putSharedB(pb)
+	}
+}
+
+// packBRange packs column panels [p0, p1) of the current k-slab into the
+// shared buffer at stride blockN·kc. Panels are disjoint regions and their
+// packed bytes depend only on the operands, so any split across workers
+// produces identical contents.
+func packBRange(t *task, p0, p1 int) {
+	_, n, _ := gemmDims(t.gk, t.a, t.b)
+	for p := p0; p < p1; p++ {
+		j0 := p * blockN
+		nblk := min(blockN, n-j0)
+		panel := t.shared[p*blockN*t.kc : (p+1)*blockN*t.kc]
+		if t.gk == gemmNT {
+			packBT(panel, t.b, t.k0, j0, t.kc, nblk)
+		} else {
+			packBNN(panel, t.b, t.k0, j0, t.kc, nblk)
+		}
+	}
+}
+
+// gemmTileSharedRange executes macro-tiles [t0, t1) against the shared
+// packed B slab: pack the tile's A block privately, zero the output on the
+// first slab, accumulate, and apply the epilogue after the last slab.
+func gemmTileSharedRange(t *task, t0, t1 int) {
+	m, n, k := gemmDims(t.gk, t.a, t.b)
+	tilesPerRow := (n + blockN - 1) / blockN
+	s := getGemmScratch()
+	for ti := t0; ti < t1; ti++ {
+		i0 := (ti / tilesPerRow) * blockM
+		pcol := ti % tilesPerRow
+		j0 := pcol * blockN
+		mblk, nblk := min(blockM, m-i0), min(blockN, n-j0)
+		dst, ld := t.dst, t.dst.Cols
+		if t.k0 == 0 && t.gk != gemmTNAdd {
+			for i := i0; i < i0+mblk; i++ {
+				Zero(dst.Data[i*ld+j0 : i*ld+j0+nblk])
+			}
+		}
+		switch t.gk {
+		case gemmTNAdd:
+			packAT(s.pa, t.a, i0, t.k0, mblk, t.kc)
+		default:
+			packANN(s.pa, t.a, i0, t.k0, mblk, t.kc)
+		}
+		sweepTile(t, s, s.pa, t.shared[pcol*blockN*t.kc:], i0, j0, mblk, nblk, t.kc)
+		if t.k0+t.kc >= k && t.ep != EpNone {
+			applyEpilogue(dst, i0, i0+mblk, j0, j0+nblk, t.bias, t.ep)
+		}
+	}
+	putGemmScratch(s)
 }
 
 // gemmTileRange executes macro-tiles [t0, t1) of the blocked decomposition;
@@ -243,25 +325,33 @@ func runMacroTile(t *task, s *gemmScratch, i0, j0, mblk, nblk, k int) {
 			packAT(s.pa, t.a, i0, k0, mblk, kc)
 			packBNN(s.pb, t.b, k0, j0, kc, nblk)
 		}
-		// B micro-panel outer, A micro-panel inner: the 16-column panel
-		// stays L1-resident across the row sweep.
-		for jr := 0; jr < nblk; jr += microN {
-			nv := min(microN, nblk-jr)
-			pb := s.pb[jr*kc:]
-			for ir := 0; ir < mblk; ir += microM {
-				mv := min(microM, mblk-ir)
-				pa := s.pa[ir*kc:]
-				cbase := (i0+ir)*ld + j0 + jr
-				if mv == microM && nv == microN {
-					kern4x16(kc, pa, pb, dst.Data[cbase:], ld)
-				} else {
-					edgeTile(s, kc, pa, pb, dst.Data, cbase, ld, mv, nv)
-				}
-			}
-		}
+		sweepTile(t, s, s.pa, s.pb, i0, j0, mblk, nblk, kc)
 	}
 	if t.ep != EpNone {
 		applyEpilogue(dst, i0, i0+mblk, j0, j0+nblk, t.bias, t.ep)
+	}
+}
+
+// sweepTile drives the micro-kernel over one macro-tile's packed panels:
+// B micro-panel outer, A micro-panel inner, so the 16-column panel stays
+// L1-resident across the row sweep. Shared by the per-tile-packing and
+// shared-B drivers.
+func sweepTile(t *task, s *gemmScratch, packedA, packedB []float32, i0, j0, mblk, nblk, kc int) {
+	dst := t.dst
+	ld := dst.Cols
+	for jr := 0; jr < nblk; jr += microN {
+		nv := min(microN, nblk-jr)
+		pb := packedB[jr*kc:]
+		for ir := 0; ir < mblk; ir += microM {
+			mv := min(microM, mblk-ir)
+			pa := packedA[ir*kc:]
+			cbase := (i0+ir)*ld + j0 + jr
+			if mv == microM && nv == microN {
+				kern4x16(kc, pa, pb, dst.Data[cbase:], ld)
+			} else {
+				edgeTile(s, kc, pa, pb, dst.Data, cbase, ld, mv, nv)
+			}
+		}
 	}
 }
 

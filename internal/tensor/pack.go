@@ -125,3 +125,32 @@ func putGemmScratch(s *gemmScratch) {
 	default:
 	}
 }
+
+// sharedBFree recycles the slab-wide packed B buffers of the shared-B
+// driver. Retained buffers only ever grow (an undersized pop is dropped
+// and replaced by a power-of-two-rounded allocation), so after warmup a
+// training loop's mixed layer shapes all hit the freelist and steady state
+// stays allocation-free.
+var sharedBFree = make(chan []float32, 8)
+
+func getSharedB(n int) []float32 {
+	select {
+	case s := <-sharedBFree:
+		if cap(s) >= n {
+			return s[:n]
+		}
+	default:
+	}
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return make([]float32, n, c)
+}
+
+func putSharedB(s []float32) {
+	select {
+	case sharedBFree <- s:
+	default:
+	}
+}

@@ -22,6 +22,8 @@ const (
 	opMatMulABT
 	opMatMulATBAdd
 	opGemmTile
+	opPackB
+	opGemmTileShared
 	opAdam
 )
 
@@ -56,7 +58,11 @@ type task struct {
 	bias      []float32
 	gk        gemmKind
 	ep        Epilogue
-	vals      []float32
+	// shared is the slab-wide packed B buffer of the shared-B driver;
+	// k0/kc locate the current blockK slab of the shared dimension.
+	shared []float32
+	k0, kc int
+	vals   []float32
 	grads     []float32
 	m, v      []float32
 	alpha     float32
@@ -78,6 +84,10 @@ func (t *task) run() {
 		matMulATBAddRange(t.dst, t.a, t.b, t.i0, t.i1)
 	case opGemmTile:
 		gemmTileRange(t, t.i0, t.i1)
+	case opPackB:
+		packBRange(t, t.i0, t.i1)
+	case opGemmTileShared:
+		gemmTileSharedRange(t, t.i0, t.i1)
 	case opAdam:
 		adamRange(t.vals, t.grads, t.m, t.v, t.alpha, t.beta1, t.beta2, t.eps, t.i0, t.i1)
 	}

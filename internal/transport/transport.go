@@ -5,9 +5,18 @@
 // properties: dynamic N×M client/server connections, non-blocking ingest
 // into per-rank queues, and client failure detection via liveness
 // timeouts.
+//
+// The receive path is zero-copy: each connection reader decodes frames
+// through a protocol.Reader, so TimeStep envelopes carry leased
+// *protocol.TimeStep payloads that the consumer must hand back with
+// protocol.RecycleTimeStep once copied out. The send path buffers frames
+// in per-rank bufio writers with explicit flush points, so a burst of
+// messages (hello + first steps, heartbeat + time step) coalesces into few
+// write syscalls and the frame encoding reuses a per-rank scratch buffer.
 package transport
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -18,6 +27,8 @@ import (
 )
 
 // Envelope is a decoded message tagged with its connection origin.
+// TimeStep messages arrive as leased *protocol.TimeStep values (see the
+// package comment); everything else arrives by value.
 type Envelope struct {
 	Msg  protocol.Message
 	Addr string
@@ -115,8 +126,9 @@ func (l *RankListener) readLoop(conn net.Conn) {
 		conn.Close()
 	}()
 	addr := conn.RemoteAddr().String()
+	rd := protocol.NewReader(conn)
 	for {
-		msg, err := protocol.Read(conn)
+		msg, err := rd.Next()
 		if err != nil {
 			// EOF on client disconnect, decode errors on corruption:
 			// either way this connection is done; the launcher's
@@ -133,12 +145,26 @@ func (l *RankListener) readLoop(conn net.Conn) {
 	}
 }
 
+// clientWriterSize is the per-rank send buffer. One heat-equation TimeStep
+// frame is a few KiB, so a handful of frames coalesce per flush; frames
+// larger than the buffer are written through by bufio without copying.
+const clientWriterSize = 1 << 15
+
+// rankConn is one buffered connection to a server rank: the socket, its
+// bufio writer, and a recycled frame-encoding scratch buffer, all guarded
+// by one mutex so concurrent senders never interleave frames.
+type rankConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  []byte
+}
+
 // ClientConn is a client's fan-out to all server ranks. The paper's clients
 // connect "to all the ranks of the server" and spread time steps across
 // them round-robin (§3.2.2).
 type ClientConn struct {
-	conns []net.Conn
-	locks []sync.Mutex
+	ranks []rankConn
 }
 
 // Dial connects to every rank address. On failure it closes any partial
@@ -147,38 +173,93 @@ func Dial(addrs []string, timeout time.Duration) (*ClientConn, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("transport: no rank addresses")
 	}
-	c := &ClientConn{conns: make([]net.Conn, len(addrs)), locks: make([]sync.Mutex, len(addrs))}
+	c := &ClientConn{ranks: make([]rankConn, len(addrs))}
 	for i, addr := range addrs {
 		conn, err := net.DialTimeout("tcp", addr, timeout)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", i, addr, err)
 		}
-		c.conns[i] = conn
+		c.ranks[i].conn = conn
+		c.ranks[i].bw = bufio.NewWriterSize(conn, clientWriterSize)
 	}
 	return c, nil
 }
 
 // Ranks returns the number of connected server ranks.
-func (c *ClientConn) Ranks() int { return len(c.conns) }
+func (c *ClientConn) Ranks() int { return len(c.ranks) }
 
-// Send writes msg to the given rank. Safe for concurrent use; writes to the
-// same rank are serialized to keep frames intact.
-func (c *ClientConn) Send(rank int, msg protocol.Message) error {
-	if rank < 0 || rank >= len(c.conns) {
-		return fmt.Errorf("transport: rank %d out of range [0,%d)", rank, len(c.conns))
+// rank validates and returns the rank's connection record.
+func (c *ClientConn) rank(rank int) (*rankConn, error) {
+	if rank < 0 || rank >= len(c.ranks) {
+		return nil, fmt.Errorf("transport: rank %d out of range [0,%d)", rank, len(c.ranks))
 	}
-	if c.conns[rank] == nil {
-		return fmt.Errorf("transport: rank %d connection closed", rank)
-	}
-	c.locks[rank].Lock()
-	defer c.locks[rank].Unlock()
-	return protocol.Write(c.conns[rank], msg)
+	return &c.ranks[rank], nil
 }
 
-// SendAll writes msg to every rank (Hello and Goodbye go to all ranks).
+// Send frames msg into the rank's write buffer and flushes it to the
+// socket. Safe for concurrent use; writes to the same rank are serialized
+// to keep frames intact.
+func (c *ClientConn) Send(rank int, msg protocol.Message) error {
+	return c.send(rank, msg, true)
+}
+
+// SendBuffered frames msg into the rank's write buffer without flushing,
+// so a burst of messages coalesces into few syscalls. The caller must
+// eventually Flush (or Send) on the same rank for the data to reach the
+// server.
+func (c *ClientConn) SendBuffered(rank int, msg protocol.Message) error {
+	return c.send(rank, msg, false)
+}
+
+func (c *ClientConn) send(rank int, msg protocol.Message, flush bool) error {
+	rc, err := c.rank(rank)
+	if err != nil {
+		return err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.conn == nil {
+		return fmt.Errorf("transport: rank %d connection closed", rank)
+	}
+	rc.enc = protocol.AppendEncode(rc.enc[:0], msg)
+	if _, err := rc.bw.Write(rc.enc); err != nil {
+		return err
+	}
+	if flush {
+		return rc.bw.Flush()
+	}
+	return nil
+}
+
+// Flush pushes the rank's buffered frames to the socket.
+func (c *ClientConn) Flush(rank int) error {
+	rc, err := c.rank(rank)
+	if err != nil {
+		return err
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.conn == nil {
+		return fmt.Errorf("transport: rank %d connection closed", rank)
+	}
+	return rc.bw.Flush()
+}
+
+// FlushAll flushes every rank's buffered frames.
+func (c *ClientConn) FlushAll() error {
+	for rank := range c.ranks {
+		if err := c.Flush(rank); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendAll writes msg to every rank (Hello and Goodbye go to all ranks) and
+// flushes each connection.
 func (c *ClientConn) SendAll(msg protocol.Message) error {
-	for rank := range c.conns {
+	for rank := range c.ranks {
 		if err := c.Send(rank, msg); err != nil {
 			return err
 		}
@@ -186,17 +267,24 @@ func (c *ClientConn) SendAll(msg protocol.Message) error {
 	return nil
 }
 
-// Close closes every rank connection.
+// Close flushes and closes every rank connection.
 func (c *ClientConn) Close() error {
 	var first error
-	for i, conn := range c.conns {
-		if conn == nil {
-			continue
+	for i := range c.ranks {
+		rc := &c.ranks[i]
+		rc.mu.Lock()
+		if rc.conn != nil {
+			if rc.bw != nil {
+				if err := rc.bw.Flush(); err != nil && first == nil {
+					first = err
+				}
+			}
+			if err := rc.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+			rc.conn = nil
 		}
-		if err := conn.Close(); err != nil && first == nil {
-			first = err
-		}
-		c.conns[i] = nil
+		rc.mu.Unlock()
 	}
 	return first
 }

@@ -31,7 +31,7 @@ func TestSingleClientSingleRank(t *testing.T) {
 	}
 	select {
 	case env := <-l.Incoming():
-		got, ok := env.Msg.(protocol.TimeStep)
+		got, ok := env.Msg.(*protocol.TimeStep)
 		if !ok || got.SimID != 1 || got.Step != 2 || got.Field[1] != 5 {
 			t.Fatalf("got %+v", env.Msg)
 		}
@@ -73,7 +73,7 @@ func TestMultipleRanksRoundRobin(t *testing.T) {
 		for i := 0; i < 2; i++ {
 			select {
 			case env := <-listeners[r].Incoming():
-				got = append(got, env.Msg.(protocol.TimeStep).Step)
+				got = append(got, env.Msg.(*protocol.TimeStep).Step)
 			case <-time.After(2 * time.Second):
 				t.Fatalf("rank %d: timed out", r)
 			}
@@ -151,7 +151,7 @@ func TestManyConcurrentClients(t *testing.T) {
 	for i := 0; i < clients*perClient; i++ {
 		select {
 		case env := <-l.Incoming():
-			received[env.Msg.(protocol.TimeStep).SimID]++
+			received[env.Msg.(*protocol.TimeStep).SimID]++
 		case <-time.After(5 * time.Second):
 			t.Fatalf("timed out after %d messages", i)
 		}
@@ -265,6 +265,47 @@ func TestListenerCloseClosesIncoming(t *testing.T) {
 	}
 	if err := l.Close(); err != nil {
 		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestSendBufferedRequiresFlush pins the coalescing contract: buffered
+// frames stay in the client writer until an explicit flush point.
+func TestSendBufferedRequiresFlush(t *testing.T) {
+	l, err := Listen("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	c, err := Dial([]string{l.Addr()}, dialTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for s := 0; s < 3; s++ {
+		if err := c.SendBuffered(0, protocol.TimeStep{SimID: 1, Step: int32(s), Input: []float32{1}, Field: []float32{2}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case env := <-l.Incoming():
+		t.Fatalf("frame arrived before flush: %+v", env.Msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		select {
+		case env := <-l.Incoming():
+			ts := env.Msg.(*protocol.TimeStep)
+			if ts.Step != int32(s) {
+				t.Fatalf("step %d out of order: %+v", s, ts)
+			}
+			protocol.RecycleTimeStep(ts)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("buffered frame %d never arrived after flush", s)
+		}
 	}
 }
 

@@ -22,7 +22,11 @@ func tinyGrayScottConfig() Config {
 	cfg.Capacity = 100
 	cfg.Threshold = 8
 	cfg.ValidationSims = 1
-	cfg.ValidateEvery = 10
+	// Validate every few batches: the tiny ensemble drains in ~8 batches
+	// once reception ends, and on a fast ingestion path the Reservoir's
+	// keep-busy repetition window can be short enough that a sparser
+	// cadence records no validation point at all.
+	cfg.ValidateEvery = 3
 	return cfg
 }
 
