@@ -1,0 +1,313 @@
+// Command melissa-elastic runs one process of an elastic fault-tolerant
+// training group: a coordinator that owns group membership, and N member
+// processes that train a shared surrogate over a TCP ring, checkpoint as a
+// group, and survive each other dying.
+//
+// Each member deterministically generates its own slice of the heat-
+// equation ensemble (keyed by -seed and -id), so every process can be
+// restarted at any time and re-derive identical data. Kill a member
+// mid-run (Ctrl-C, kill -9) and the survivors detect the death, re-form
+// the ring at a new epoch, roll back to the last committed group
+// checkpoint, and keep training; start the member again and it is folded
+// back into the group at the next epoch, restoring a peer's replica
+// weights and its own buffer snapshot. Example 3-member session:
+//
+//	melissa-elastic -role coordinator -coord 127.0.0.1:7850 -world 3 -dir /tmp/eg &
+//	for i in 0 1 2; do melissa-elastic -id $i -coord 127.0.0.1:7850 -dir /tmp/eg & done
+//	kill %2        # kill member 1 mid-run: the group re-forms without it
+//	melissa-elastic -id 1 -coord 127.0.0.1:7850 -dir /tmp/eg &   # rejoins
+//	wait
+//
+// The -chaos-drop flag injects deterministic ring-write faults through the
+// transport chaos layer (seeded via -seed or the MELISSA_CHAOS_SEED
+// environment variable), exercising the same detection/re-formation path
+// as a real network fault.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strings"
+	"time"
+
+	"melissa"
+	"melissa/internal/buffer"
+	"melissa/internal/core"
+	"melissa/internal/elastic"
+	"melissa/internal/transport"
+)
+
+func main() {
+	var (
+		role       = flag.String("role", "member", "coordinator|member")
+		coordAddr  = flag.String("coord", "127.0.0.1:7850", "coordinator control-plane address (listen for -role coordinator, dial for members)")
+		dir        = flag.String("dir", "elastic-group", "shared group checkpoint directory (shards + manifest)")
+		world      = flag.Int("world", 3, "initial group size (coordinator: members to wait for before epoch 1)")
+		id         = flag.Int("id", 0, "member ID (stable across restarts)")
+		gridN      = flag.Int("grid", 8, "heat solver grid side")
+		steps      = flag.Int("steps", 20, "time steps per simulation")
+		dt         = flag.Float64("dt", 0.01, "seconds per time step")
+		sims       = flag.Int("sims", 4, "simulations generated per member")
+		batch      = flag.Int("batch", 8, "batch size per member rank")
+		maxBatches = flag.Int("max-batches", 0, "training schedule length (0 = consume the full local dataset)")
+		ckptEvery  = flag.Int("ckpt-every", 5, "group checkpoint cadence in batches")
+		hidden     = flag.String("hidden", "32", "comma-separated hidden layer widths")
+		seed       = flag.Uint64("seed", 2023, "seed for data generation, model init, and chaos")
+		out        = flag.String("out", "", "write final weights to this file on a clean finish")
+		ioTimeout  = flag.Duration("io-timeout", 5*time.Second, "ring silence tolerated before a peer is declared dead")
+		chaosDrop  = flag.Float64("chaos-drop", 0, "probability a ring write is dropped (deterministic chaos injection)")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	if *maxBatches <= 0 {
+		*maxBatches = *sims * *steps / *batch
+	}
+	if *maxBatches**batch > *sims**steps {
+		fatal(fmt.Errorf("schedule needs %d samples but each member only generates %d; raise -sims or -steps", *maxBatches**batch, *sims**steps))
+	}
+
+	switch *role {
+	case "coordinator":
+		runCoordinator(*coordAddr, *world, *dir)
+	case "member":
+		runMember(memberConfig{
+			id: *id, coord: *coordAddr, dir: *dir,
+			gridN: *gridN, steps: *steps, dt: *dt, sims: *sims,
+			batch: *batch, maxBatches: *maxBatches, ckptEvery: *ckptEvery,
+			hidden: *hidden, seed: *seed, out: *out,
+			ioTimeout: *ioTimeout, chaosDrop: *chaosDrop,
+		})
+	default:
+		fatal(fmt.Errorf("unknown -role %q (want coordinator or member)", *role))
+	}
+}
+
+func runCoordinator(addr string, world int, dir string) {
+	coord, err := elastic.NewCoordinator(elastic.CoordinatorConfig{
+		Addr:  addr,
+		World: world,
+		Dir:   dir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if coord.ManifestBatch() >= 0 {
+		fmt.Printf("melissa-elastic: coordinator on %s, resuming group from checkpoint batch %d\n",
+			coord.Addr(), coord.ManifestBatch())
+	} else {
+		fmt.Printf("melissa-elastic: coordinator on %s, waiting for %d member(s)\n", coord.Addr(), world)
+	}
+	if err := coord.Wait(context.Background()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("melissa-elastic: group complete at epoch %d (last checkpoint batch %d)\n",
+		coord.Epoch(), coord.ManifestBatch())
+}
+
+type memberConfig struct {
+	id                      int
+	coord, dir              string
+	gridN, steps            int
+	dt                      float64
+	sims, batch, maxBatches int
+	ckptEvery               int
+	hidden                  string
+	seed                    uint64
+	out                     string
+	ioTimeout               time.Duration
+	chaosDrop               float64
+}
+
+func runMember(mc memberConfig) {
+	var hiddenDims []int
+	for _, part := range strings.Split(mc.hidden, ",") {
+		var h int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &h); err != nil || h < 1 {
+			fatal(fmt.Errorf("invalid -hidden %q", mc.hidden))
+		}
+		hiddenDims = append(hiddenDims, h)
+	}
+	norm := core.NewHeatNormalizer(mc.gridN*mc.gridN, float64(mc.steps)*mc.dt)
+	spec := core.ModelSpec{InputDim: norm.InputDim(), Hidden: hiddenDims, OutputDim: norm.OutputDim(), Seed: mc.seed}
+
+	samples, err := memberSamples(mc, norm)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("melissa-elastic: member %d generated %d samples (%d sims × %d steps), schedule %d batches\n",
+		mc.id, len(samples), mc.sims, mc.steps, mc.maxBatches)
+
+	var chaos *transport.Chaos
+	if mc.chaosDrop > 0 {
+		chaos = transport.NewChaos(transport.ChaosConfig{
+			Seed:     transport.ChaosSeed(mc.seed),
+			DropRate: mc.chaosDrop,
+		})
+	}
+
+	var finalNet *core.Trainer
+	member, err := elastic.NewMember(elastic.MemberConfig{
+		ID:          mc.id,
+		Coordinator: mc.coord,
+		Dir:         mc.dir,
+		RingOptions: func(epoch int) transport.RingOptions {
+			o := transport.RingOptions{IOTimeout: mc.ioTimeout}
+			if chaos != nil {
+				o.Wrap = chaos.Wrap
+			}
+			return o
+		},
+		Run: func(ctx context.Context, sess *elastic.Session) error {
+			fmt.Printf("melissa-elastic: member %d joined epoch %d as rank %d/%d (restore batch %d)\n",
+				mc.id, sess.Epoch(), sess.Rank(), sess.World(), sess.RestoreBatch())
+			tr, err := trainEpoch(mc, norm, spec, samples, sess)
+			if err != nil {
+				fmt.Printf("melissa-elastic: member %d epoch %d interrupted: %v\n", mc.id, sess.Epoch(), err)
+				return err
+			}
+			finalNet = tr
+			return nil
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := member.Run(context.Background()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("melissa-elastic: member %d finished the schedule\n", mc.id)
+	if mc.out != "" && finalNet != nil {
+		f, err := os.Create(mc.out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := finalNet.Network().SaveWeights(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("melissa-elastic: weights written to", mc.out)
+	}
+}
+
+// trainEpoch is one elastic session: restore from the group checkpoint if
+// the epoch has one, rebuild the member's buffer, and train to the end of
+// the schedule, writing a shard at every checkpoint boundary.
+func trainEpoch(mc memberConfig, norm core.FieldNormalizer, spec core.ModelSpec, samples []buffer.Sample, sess *elastic.Session) (*core.Trainer, error) {
+	var restored *elastic.State
+	var seen, unseen []buffer.Sample
+	if sess.RestoreBatch() >= 0 {
+		st, err := sess.LoadState()
+		if err != nil {
+			return nil, err
+		}
+		restored, seen, unseen = st, st.BufSeen, st.BufUnseen
+	}
+	bb := buffer.NewBlocking(buffer.NewFIFO(0))
+	for _, s := range samples {
+		if !bb.TryPut(s) {
+			return nil, fmt.Errorf("buffer rejected prefill sample")
+		}
+	}
+	bb.EndReception()
+	if seen != nil || unseen != nil {
+		bb.WithLock(func(p buffer.Policy) {
+			p.(buffer.Snapshotter).RestoreSnapshot(seen, unseen)
+		})
+	}
+
+	var tr *core.Trainer
+	cfg := core.TrainerConfig{
+		Ranks:      1,
+		RankOffset: sess.Rank(),
+		Comm:       sess.Comm(),
+		BatchSize:  mc.batch,
+		Model:      spec,
+		Normalizer: norm,
+		MaxBatches: mc.maxBatches,
+	}
+	cfg.OnLocalBatchEnd = func(_, batches int) {
+		if batches%mc.ckptEvery != 0 {
+			return
+		}
+		w, o, err := tr.CaptureState()
+		if err != nil {
+			return
+		}
+		var bs, bu []buffer.Sample
+		bb.WithLock(func(p buffer.Policy) {
+			bs, bu = p.(buffer.Snapshotter).Snapshot()
+		})
+		// A failed save means the control plane is tearing down; the
+		// group checkpoint protocol tolerates the missing shard.
+		sess.SaveShard(&elastic.State{
+			Batch:     batches,
+			Samples:   tr.LocalSamples(0),
+			Weights:   w,
+			OptState:  o,
+			BufSeen:   bs,
+			BufUnseen: bu,
+		})
+	}
+	tr, err := core.NewTrainer(cfg, []*buffer.Blocking{bb})
+	if err != nil {
+		return nil, err
+	}
+	if restored != nil {
+		if err := tr.RestoreState(restored.Weights, restored.OptState, restored.Batch, restored.Samples); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.Run(context.Background()); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// memberSamples generates the member's local slice of the ensemble: -sims
+// heat simulations whose boundary parameters derive from (-seed, -id), so
+// a restarted member reproduces its data bit-exactly.
+func memberSamples(mc memberConfig, norm core.FieldNormalizer) ([]buffer.Sample, error) {
+	rng := rand.New(rand.NewPCG(mc.seed, uint64(mc.id)+1))
+	dim := norm.Space.Dim()
+	var samples []buffer.Sample
+	for s := 0; s < mc.sims; s++ {
+		params := make([]float64, dim)
+		for j := range params {
+			lo, hi := norm.Space.Min[j], norm.Space.Max[j]
+			params[j] = lo + rng.Float64()*(hi-lo)
+		}
+		traj, err := melissa.Solve(melissa.HeatParams{
+			TIC: params[0], TX1: params[1], TY1: params[2], TX2: params[3], TY2: params[4],
+		}, mc.gridN, mc.steps, mc.dt)
+		if err != nil {
+			return nil, err
+		}
+		simID := mc.id*mc.sims + s
+		for step, field := range traj {
+			in := make([]float32, dim+1)
+			for j, p := range params {
+				in[j] = float32(p)
+			}
+			in[dim] = float32(float64(step) * mc.dt)
+			out := make([]float32, len(field))
+			for j, v := range field {
+				out[j] = float32(v)
+			}
+			samples = append(samples, buffer.Sample{SimID: simID, Step: step, Input: in, Output: out})
+		}
+	}
+	return samples, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "melissa-elastic:", err)
+	os.Exit(1)
+}

@@ -14,6 +14,17 @@ import (
 	"melissa/internal/tensor"
 )
 
+// step1 runs one synchronized step and reports continuation, panicking on
+// a collective error (impossible for the in-process backend and the
+// healthy TCP rings these tests use).
+func step1(tr *Trainer, st *rankState) bool {
+	cont, err := tr.step(st)
+	if err != nil {
+		panic(err)
+	}
+	return cont
+}
+
 // hotPathSamples generates deterministic in-range heat samples.
 func hotPathSamples(norm HeatNormalizer, count int) []buffer.Sample {
 	samples := make([]buffer.Sample, count)
@@ -74,12 +85,12 @@ func newHotPathTrainer(tb testing.TB, fieldDim int, hidden []int, batch int) (*T
 func TestTrainStepZeroAlloc(t *testing.T) {
 	tr, st := newHotPathTrainer(t, 64, []int{32, 32}, 8)
 	for i := 0; i < 5; i++ { // warm scratch, slabs and moment state
-		if !tr.step(st) {
+		if !step1(tr, st) {
 			t.Fatal("trainer stopped during warm-up")
 		}
 	}
 	avg := testing.AllocsPerRun(100, func() {
-		if !tr.step(st) {
+		if !step1(tr, st) {
 			t.Fatal("trainer stopped during measurement")
 		}
 	})
@@ -266,11 +277,11 @@ func TestTrainerRunDeterministic(t *testing.T) {
 func BenchmarkTrainStep(b *testing.B) {
 	tr, st := newHotPathTrainer(b, 1024, []int{256, 256}, 10)
 	for i := 0; i < 3; i++ {
-		tr.step(st)
+		step1(tr, st)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !tr.step(st) {
+		if !step1(tr, st) {
 			b.Fatal("trainer stopped")
 		}
 	}

@@ -287,7 +287,7 @@ func TestTrainStepZeroAllocOverlap4Ranks(t *testing.T) {
 		go func(rank int) {
 			defer wg.Done()
 			for i := 0; i < runs+1+5; i++ {
-				if !tr.step(sts[rank]) {
+				if !step1(tr, sts[rank]) {
 					t.Error("peer rank stopped")
 					return
 				}
@@ -295,12 +295,12 @@ func TestTrainStepZeroAllocOverlap4Ranks(t *testing.T) {
 		}(r)
 	}
 	for i := 0; i < 5; i++ { // warm scratch, slabs, link buffers
-		if !tr.step(sts[0]) {
+		if !step1(tr, sts[0]) {
 			t.Fatal("trainer stopped during warm-up")
 		}
 	}
 	avg := testing.AllocsPerRun(runs, func() {
-		if !tr.step(sts[0]) {
+		if !step1(tr, sts[0]) {
 			t.Fatal("trainer stopped during measurement")
 		}
 	})
@@ -322,16 +322,16 @@ func benchMultiRankTrainStep(b *testing.B, mode GradSyncMode) {
 		go func(rank int) {
 			defer wg.Done()
 			for i := 0; i < b.N+3; i++ {
-				tr.step(sts[rank])
+				step1(tr, sts[rank])
 			}
 		}(r)
 	}
 	for i := 0; i < 3; i++ {
-		tr.step(sts[0])
+		step1(tr, sts[0])
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !tr.step(sts[0]) {
+		if !step1(tr, sts[0]) {
 			b.Fatal("trainer stopped")
 		}
 	}

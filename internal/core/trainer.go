@@ -80,6 +80,13 @@ type TrainerConfig struct {
 	// server uses it to take periodic checkpoints at a consistent
 	// boundary.
 	OnBatchEnd func(batches int)
+
+	// OnLocalBatchEnd, when set, runs on every local rank after each
+	// synchronized step, once the optimizer update has been applied, with
+	// the rank's local index and batch count. Unlike OnBatchEnd it fires
+	// on every rank: the elastic group checkpoints use it to write
+	// per-rank shards at a consistent step boundary.
+	OnLocalBatchEnd func(rank, batches int)
 }
 
 func (c TrainerConfig) validate() error {
@@ -272,10 +279,10 @@ type rankState struct {
 
 	// Overlap machinery: hook enqueues a finished layer's bucket on jobs;
 	// the persistent syncer goroutine runs the bucket collectives in
-	// order and acknowledges each on acks. launched counts this step's
-	// in-flight buckets.
+	// order and acknowledges each on acks (nil on success, the collective
+	// error otherwise). launched counts this step's in-flight buckets.
 	jobs     chan int
-	acks     chan struct{}
+	acks     chan error
 	hook     func(layer int)
 	launched int
 }
@@ -295,7 +302,7 @@ func (t *Trainer) newRankState(rank int) *rankState {
 		keys:         make([]buffer.Key, t.cfg.BatchSize),
 		localBatches: t.startBatches,
 		jobs:         make(chan int, len(t.buckets)),
-		acks:         make(chan struct{}, len(t.buckets)),
+		acks:         make(chan error, len(t.buckets)),
 	}
 	st.fill = func(i int, s buffer.Sample) {
 		norm.Apply(s, st.in.Row(i), st.out.Row(i))
@@ -317,12 +324,17 @@ func (st *rankState) close() { close(st.jobs) }
 
 // syncLoop is the per-rank communication thread: it executes bucket
 // all-reduces in launch order, so collectives stay matched across ranks
-// while the training thread continues backpropagating.
+// while the training thread continues backpropagating. Once a collective
+// fails the communicator is poisoned, so later buckets are acknowledged
+// with the same error without touching the ring again.
 func (t *Trainer) syncLoop(st *rankState) {
 	grads := st.net.FlatGrads()
+	var failed error
 	for b := range st.jobs {
-		t.comm.AllReduceSumRange(st.grank, grads, t.buckets[b].Lo, t.buckets[b].Hi)
-		st.acks <- struct{}{}
+		if failed == nil {
+			failed = t.comm.AllReduceSumRange(st.grank, grads, t.buckets[b].Lo, t.buckets[b].Hi)
+		}
+		st.acks <- failed
 	}
 }
 
@@ -330,23 +342,32 @@ func (t *Trainer) syncLoop(st *rankState) {
 // lock-step across ranks: every iteration performs exactly one status
 // all-reduce and, while any rank is active, one gradient sync (a fixed
 // sequence of bucket collectives, or one full-slab collective for
-// SyncFlat).
+// SyncFlat). A collective failure (dead peer, aborted ring) ends the loop
+// with that error; the weights hold the state of the last completed step.
 func (t *Trainer) rankLoop(rank int) error {
 	st := t.newRankState(rank)
 	defer st.close()
-	for t.step(st) {
+	for {
+		cont, err := t.step(st)
+		if err != nil {
+			return fmt.Errorf("core: rank %d stopped at batch %d: %w", st.grank, st.localBatches, err)
+		}
+		if !cont {
+			return nil
+		}
 	}
-	return nil
 }
 
 // step performs one synchronized training step and reports whether the
 // rank should continue. It is the measured unit of BenchmarkTrainStep and
-// is allocation-free in steady state.
-func (t *Trainer) step(st *rankState) bool {
+// is allocation-free in steady state. On a communicator error the step is
+// abandoned before the optimizer update, so replica state stays at the
+// last completed step.
+func (t *Trainer) step(st *rankState) (bool, error) {
 	if t.cfg.MaxBatches > 0 && st.localBatches >= t.cfg.MaxBatches {
 		// The batch counter advances identically on every rank, so all
 		// ranks exit here on the same iteration.
-		return false
+		return false, nil
 	}
 	// Batch assembly copies straight from the buffer (arena rows for the
 	// live server) into the preallocated batch matrices, normalizing in
@@ -359,9 +380,11 @@ func (t *Trainer) step(st *rankState) bool {
 		st.status[0] = 1
 		st.status[1] = float32(n)
 	}
-	t.comm.AllReduceSum(st.grank, st.status[:])
+	if err := t.comm.AllReduceSum(st.grank, st.status[:]); err != nil {
+		return false, err
+	}
 	if st.status[0] == 0 {
-		return false // every buffer drained
+		return false, nil // every buffer drained
 	}
 	stepSamples := int(st.status[1] + 0.5)
 
@@ -397,7 +420,9 @@ func (t *Trainer) step(st *rankState) bool {
 			st.launched++
 		}
 	}
-	t.syncGradients(st)
+	if err := t.syncGradients(st); err != nil {
+		return false, err
+	}
 
 	st.localBatches++
 	var globalBatch, globalSamples int
@@ -406,6 +431,7 @@ func (t *Trainer) step(st *rankState) bool {
 		if ok {
 			t.metrics.RecordTrainLoss(globalBatch, globalSamples, trainLoss)
 		}
+		t.sampleCounterLocal(st.rank, stepSamples) // keep the mirror in step
 	} else {
 		// Mirror the counters locally; the schedule needs the global
 		// sample count, which advances identically on every rank.
@@ -424,10 +450,13 @@ func (t *Trainer) step(st *rankState) bool {
 			t.metrics.RecordValidation(st.localBatches, globalSamples, v)
 		})
 	}
+	if t.cfg.OnLocalBatchEnd != nil {
+		t.cfg.OnLocalBatchEnd(st.rank, st.localBatches)
+	}
 	if st.grank == 0 && t.cfg.OnBatchEnd != nil {
 		t.cfg.OnBatchEnd(st.localBatches)
 	}
-	return true
+	return true, nil
 }
 
 // syncGradients completes the step's gradient synchronization: it drains
@@ -435,26 +464,36 @@ func (t *Trainer) step(st *rankState) bool {
 // or all-reduces the whole slab (flat), then averages. On return every
 // replica holds identical averaged gradients, matching the all-reduce step
 // of §3.1. The collectives operate on the slab in place — no
-// gather/scatter staging.
-func (t *Trainer) syncGradients(st *rankState) {
+// gather/scatter staging. On a collective failure the first error is
+// returned — after draining every in-flight bucket, so the syncer
+// goroutine is never left blocked — and the gradients are unusable.
+func (t *Trainer) syncGradients(st *rankState) error {
 	grads := st.net.FlatGrads()
+	var failed error
 	switch t.cfg.GradSync {
 	case SyncOverlap:
 		for st.launched > 0 {
-			<-st.acks
+			if err := <-st.acks; err != nil && failed == nil {
+				failed = err
+			}
 			st.launched--
 		}
 	case SyncSerial:
 		for _, bk := range t.buckets {
-			t.comm.AllReduceSumRange(st.grank, grads, bk.Lo, bk.Hi)
+			if err := t.comm.AllReduceSumRange(st.grank, grads, bk.Lo, bk.Hi); err != nil {
+				return err
+			}
 		}
 	case SyncFlat:
-		t.comm.AllReduceMean(st.grank, grads)
-		return
+		return t.comm.AllReduceMean(st.grank, grads)
+	}
+	if failed != nil {
+		return failed
 	}
 	if n := t.comm.Size(); n > 1 {
 		tensor.Scal(1/float32(n), grads)
 	}
+	return nil
 }
 
 // RestoreState loads checkpointed weights and optimizer state into every
@@ -496,3 +535,10 @@ func (t *Trainer) sampleCounterLocal(rank, add int) int {
 	t.localSamples[rank] += add
 	return t.localSamples[rank]
 }
+
+// LocalSamples returns local rank r's mirror of the global cumulative
+// sample count. It advances identically on every rank (it derives from the
+// all-reduced per-step count), so any rank can checkpoint it. Call it only
+// from OnLocalBatchEnd or after Run returns — it reads the rank's counter
+// without synchronization.
+func (t *Trainer) LocalSamples(rank int) int { return t.localSamples[rank] }

@@ -34,6 +34,22 @@
 // bucket's reduction order is fixed by its own ring chunking, launching
 // buckets eagerly (overlapped) or after the full backward pass (serially)
 // produces bit-identical results.
+//
+// # Failure model
+//
+// Collectives return errors instead of panicking. ChanComm cannot fail.
+// TCPComm fails when a ring link does: the transport layer's heartbeats
+// and IO deadlines (transport.RingOptions) detect a dead or partitioned
+// peer within one IO timeout, and the error propagates out of whichever
+// collective is in flight. Classify sorts errors into transient
+// (connection establishment — retry with backoff, e.g. via Retry, as
+// ConnectTCP's dial loop already does), aborted (deliberate local
+// teardown via TCPComm.Abort during group reconfiguration), and fatal
+// (established-link death — the ring epoch is unusable; the group must
+// re-form over the survivors and roll back to the last group checkpoint,
+// the protocol the internal/elastic membership controller implements). A
+// communicator that returned a non-nil error is poisoned and must be
+// closed, never reused.
 package ddp
 
 import (
@@ -47,28 +63,33 @@ import (
 // arguments (equal buffer lengths, identical ranges, same root). Rank
 // identifies the caller in the global rank space [0, Size).
 //
-// Collectives do not return errors: the in-process backend cannot fail, and
-// the transport backend treats a broken rank link as fatal (it panics),
-// matching MPI's abort-on-communicator-failure semantics.
+// Collectives return an error when the communicator's links fail: the
+// in-process backend cannot fail (it always returns nil, and the nil
+// result costs nothing on the hot path), while the transport backend
+// surfaces broken ring links as errors instead of the pre-elastic panic.
+// Callers classify the error (Classify): transient faults may be retried,
+// fatal ones mean this ring epoch is dead and the group must re-form over
+// the survivors (internal/elastic). After any non-nil error the
+// communicator is poisoned — no further collective on it may be issued.
 type Communicator interface {
 	// Size returns the number of ranks in the group.
 	Size() int
 	// AllReduceSum replaces buf on every rank with the element-wise sum
 	// across ranks. Deterministic: results are identical on every rank and
 	// across repeated runs.
-	AllReduceSum(rank int, buf []float32)
+	AllReduceSum(rank int, buf []float32) error
 	// AllReduceSumRange all-reduces the subrange buf[lo:hi] as an
 	// independent collective, leaving the rest of buf untouched. This is
 	// the bucketed-overlap primitive: all ranks must issue the same
 	// sequence of ranges in the same order.
-	AllReduceSumRange(rank int, buf []float32, lo, hi int)
+	AllReduceSumRange(rank int, buf []float32, lo, hi int) error
 	// AllReduceMean is AllReduceSum followed by division by the rank
 	// count — gradient averaging across data-parallel replicas.
-	AllReduceMean(rank int, buf []float32)
+	AllReduceMean(rank int, buf []float32) error
 	// Broadcast copies rank root's buffer into every other rank's buffer.
-	Broadcast(rank, root int, buf []float32)
+	Broadcast(rank, root int, buf []float32) error
 	// Barrier blocks until every rank has entered it.
-	Barrier(rank int)
+	Barrier(rank int) error
 }
 
 // link is one directed channel of the ring (or one broadcast fan-out arm)
@@ -156,9 +177,9 @@ func chunkRange(length, n, i int) (lo, hi int) {
 // followed by a ring all-gather. The reduction order for each chunk is
 // fixed by ring position, so results are deterministic and identical on
 // every rank.
-func (c *ChanComm) AllReduceSum(rank int, buf []float32) {
+func (c *ChanComm) AllReduceSum(rank int, buf []float32) error {
 	if c.n == 1 {
-		return
+		return nil
 	}
 	n := c.n
 	chunk := func(i int) []float32 {
@@ -187,24 +208,28 @@ func (c *ChanComm) AllReduceSum(rank int, buf []float32) {
 		copy(chunk(rank-s), in)
 		recv.free <- in
 	}
+	return nil
 }
 
 // AllReduceSumRange implements Communicator: an independent ring reduction
 // over buf[lo:hi]. The chunking is relative to the range, so the same
 // range must be issued by every rank.
-func (c *ChanComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) {
-	c.AllReduceSum(rank, buf[lo:hi])
+func (c *ChanComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) error {
+	return c.AllReduceSum(rank, buf[lo:hi])
 }
 
 // AllReduceMean implements Communicator.
-func (c *ChanComm) AllReduceMean(rank int, buf []float32) {
-	c.AllReduceSum(rank, buf)
+func (c *ChanComm) AllReduceMean(rank int, buf []float32) error {
+	if err := c.AllReduceSum(rank, buf); err != nil {
+		return err
+	}
 	if c.n > 1 {
 		inv := 1 / float32(c.n)
 		for i := range buf {
 			buf[i] *= inv
 		}
 	}
+	return nil
 }
 
 // SyncGradients averages a network's gradient slab (nn.Network.FlatGrads)
@@ -212,15 +237,15 @@ func (c *ChanComm) AllReduceMean(rank int, buf []float32) {
 // local backward pass; on return each replica holds identical averaged
 // gradients, matching the all-reduce step of §3.1. The collective operates
 // on the slab in place — no gather/scatter staging.
-func SyncGradients(comm Communicator, rank int, grads []float32) {
-	comm.AllReduceMean(rank, grads)
+func SyncGradients(comm Communicator, rank int, grads []float32) error {
+	return comm.AllReduceMean(rank, grads)
 }
 
 // Broadcast implements Communicator. All ranks must call it concurrently;
 // buffers must have equal length.
-func (c *ChanComm) Broadcast(rank, root int, buf []float32) {
+func (c *ChanComm) Broadcast(rank, root int, buf []float32) error {
 	if c.n == 1 {
-		return
+		return nil
 	}
 	if rank == root {
 		for r := 0; r < c.n; r++ {
@@ -233,11 +258,14 @@ func (c *ChanComm) Broadcast(rank, root int, buf []float32) {
 		copy(buf, in)
 		c.bcast[rank].free <- in
 	}
-	c.Barrier(rank)
+	return c.Barrier(rank)
 }
 
 // Barrier implements Communicator.
-func (c *ChanComm) Barrier(int) { c.bar.wait() }
+func (c *ChanComm) Barrier(int) error {
+	c.bar.wait()
+	return nil
+}
 
 // barrier is a reusable n-party barrier.
 type barrier struct {

@@ -1,0 +1,116 @@
+package ddp
+
+// Error classification and retry policy for the failure model introduced
+// with the elastic training group: collectives and connection setup return
+// errors instead of panicking, callers classify them, and only transient
+// faults are retried in place — fatal faults require tearing the ring down
+// and re-forming the group over the surviving ranks (internal/elastic).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"syscall"
+	"time"
+
+	"melissa/internal/transport"
+)
+
+// FaultClass partitions communicator errors by the recovery they admit.
+type FaultClass int
+
+const (
+	// FaultNone: no error.
+	FaultNone FaultClass = iota
+	// FaultTransient: a connection-establishment failure (refused,
+	// unreachable, dial timeout). The peer may simply not be up yet —
+	// retry with backoff.
+	FaultTransient
+	// FaultAborted: the local ring was deliberately torn down
+	// (transport.Ring.Abort) — expected during group reconfiguration, not
+	// a peer failure. Do not retry; rejoin at the next epoch.
+	FaultAborted
+	// FaultFatal: an established link failed (peer silent past the IO
+	// timeout, reset, EOF, corrupt frame). The ring epoch is dead; the
+	// group must re-form over survivors and roll back to the last group
+	// checkpoint.
+	FaultFatal
+)
+
+// String implements fmt.Stringer.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultTransient:
+		return "transient"
+	case FaultAborted:
+		return "aborted"
+	case FaultFatal:
+		return "fatal"
+	default:
+		return fmt.Sprintf("FaultClass(%d)", int(c))
+	}
+}
+
+// Classify maps an error from a collective or from communicator setup to
+// its fault class. Established-link faults are checked first: a ring read
+// deadline expiry is a dead peer (heartbeats make silence equivalent to
+// death), not a retryable timeout.
+func Classify(err error) FaultClass {
+	if err == nil {
+		return FaultNone
+	}
+	if errors.Is(err, transport.ErrRingAborted) {
+		return FaultAborted
+	}
+	if errors.Is(err, transport.ErrLinkDead) {
+		return FaultFatal
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.EHOSTUNREACH) || errors.Is(err, syscall.ENETUNREACH) {
+		return FaultTransient
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return FaultTransient
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return FaultTransient
+	}
+	return FaultFatal
+}
+
+// Retry runs fn up to attempts times, sleeping between attempts with
+// exponential backoff and full jitter (base, 2·base, … capped at 32·base)
+// as long as the error classifies as transient. The first nil, non-retryable,
+// or final error is returned; ctx cancellation stops the loop early.
+func Retry(ctx context.Context, attempts int, base time.Duration, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	backoff := base
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil || Classify(err) != FaultTransient {
+			return err
+		}
+		if i == attempts-1 {
+			break
+		}
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff)))
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("ddp: retry canceled: %w (last error: %v)", context.Cause(ctx), err)
+		case <-time.After(sleep):
+		}
+		if backoff < 32*base {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("ddp: %d attempts exhausted: %w", attempts, err)
+}

@@ -1,6 +1,7 @@
 package ddp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -15,10 +16,12 @@ import (
 // group of the same size. Each process owns one TCPComm for its single
 // global rank; the rank argument of every collective must match.
 //
-// A broken rank link is fatal: collectives panic with the transport error,
-// matching MPI's abort-on-communicator-failure semantics. Steady-state
-// collectives are allocation-free — frames are staged into the ring's
-// recycled buffers, and the decode scratch below is reused across calls.
+// A broken rank link surfaces as an error from the in-flight collective
+// (see the package's failure model): heartbeat/deadline expiry, resets and
+// EOF all wrap transport.ErrLinkDead, a deliberate Abort wraps
+// transport.ErrRingAborted. Steady-state collectives are allocation-free —
+// frames are staged into the ring's recycled buffers, the decode scratch
+// below is reused across calls, and the success path returns a nil error.
 type TCPComm struct {
 	ring    *transport.Ring
 	scratch []float32 // recycled decode buffer for the scatter-reduce phase
@@ -32,10 +35,18 @@ func NewTCPComm(ring *transport.Ring) *TCPComm {
 }
 
 // ConnectTCP is the one-call setup for a rank process: it binds
-// addrs[rank], dials the successor, accepts the predecessor (retrying
-// until timeout so processes may start in any order), and returns the
-// connected communicator.
+// addrs[rank], dials the successor with exponential backoff and jitter,
+// and accepts the predecessor (so processes may start in any order),
+// returning the connected communicator. See ConnectTCPContext for
+// cancellation and ring tuning.
 func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*TCPComm, error) {
+	return ConnectTCPContext(context.Background(), rank, addrs, timeout, transport.RingOptions{})
+}
+
+// ConnectTCPContext is ConnectTCP with a cancellation context and explicit
+// ring options (IO timeout, heartbeat interval, fault-injection wrapper).
+// The underlying listener is closed on every path, success or failure.
+func ConnectTCPContext(ctx context.Context, rank int, addrs []string, timeout time.Duration, opts transport.RingOptions) (*TCPComm, error) {
 	if rank < 0 || rank >= len(addrs) {
 		return nil, fmt.Errorf("ddp: rank %d out of range [0,%d)", rank, len(addrs))
 	}
@@ -43,15 +54,22 @@ func ConnectTCP(rank int, addrs []string, timeout time.Duration) (*TCPComm, erro
 	if err != nil {
 		return nil, err
 	}
-	ring, err := l.Connect(rank, addrs, timeout)
+	ring, err := l.ConnectContext(ctx, rank, addrs, timeout, opts)
 	if err != nil {
 		return nil, err
 	}
 	return NewTCPComm(ring), nil
 }
 
-// Close tears the ring down. It must not race an in-flight collective.
+// Close tears the ring down. It must not race an in-flight collective;
+// call Abort first to interrupt one.
 func (c *TCPComm) Close() error { return c.ring.Close() }
+
+// Abort force-closes the ring's connections, failing any in-flight
+// collective with an error wrapping transport.ErrRingAborted. Safe to call
+// from any goroutine — it is the reconfiguration path's way of unwedging a
+// rank blocked mid-collective on a dead group.
+func (c *TCPComm) Abort() { c.ring.Abort() }
 
 // Size implements Communicator.
 func (c *TCPComm) Size() int { return c.ring.Size() }
@@ -68,17 +86,11 @@ type SingleRank interface {
 	Rank() int
 }
 
-// check validates that the caller is this process's rank.
+// check validates that the caller is this process's rank. A mismatch is a
+// programming error, not a link fault, so it still panics.
 func (c *TCPComm) check(rank int) {
 	if rank != c.ring.Rank() {
 		panic(fmt.Sprintf("ddp: TCPComm for rank %d called as rank %d", c.ring.Rank(), rank))
-	}
-}
-
-// must turns a transport failure into the documented fatal panic.
-func (c *TCPComm) must(err error) {
-	if err != nil {
-		panic(fmt.Sprintf("ddp: rank %d collective failed: %v", c.ring.Rank(), err))
 	}
 }
 
@@ -92,11 +104,11 @@ func (c *TCPComm) grow(n int) []float32 {
 
 // AllReduceSum implements Communicator: the ring scatter-reduce/all-gather
 // of ChanComm.AllReduceSum over TCP links.
-func (c *TCPComm) AllReduceSum(rank int, buf []float32) {
+func (c *TCPComm) AllReduceSum(rank int, buf []float32) error {
 	c.check(rank)
 	n := c.ring.Size()
 	if n == 1 {
-		return
+		return nil
 	}
 	chunk := func(i int) []float32 {
 		lo, hi := chunkRange(len(buf), n, ((i%n)+n)%n)
@@ -106,10 +118,14 @@ func (c *TCPComm) AllReduceSum(rank int, buf []float32) {
 	// chunk. Sends are staged copies, so mutating the next chunk while the
 	// previous frame is still being written is safe.
 	for s := 0; s < n-1; s++ {
-		c.must(c.ring.SendFloats(chunk(rank - s)))
+		if err := c.ring.SendFloats(chunk(rank - s)); err != nil {
+			return err
+		}
 		dst := chunk(rank - s - 1)
 		in := c.grow(len(dst))
-		c.must(c.ring.RecvFloats(in))
+		if err := c.ring.RecvFloats(in); err != nil {
+			return err
+		}
 		for i := range dst {
 			dst[i] += in[i]
 		}
@@ -117,63 +133,86 @@ func (c *TCPComm) AllReduceSum(rank int, buf []float32) {
 	// All-gather: circulate the completed chunks, decoding straight into
 	// the destination ranges.
 	for s := 0; s < n-1; s++ {
-		c.must(c.ring.SendFloats(chunk(rank + 1 - s)))
-		c.must(c.ring.RecvFloats(chunk(rank - s)))
+		if err := c.ring.SendFloats(chunk(rank + 1 - s)); err != nil {
+			return err
+		}
+		if err := c.ring.RecvFloats(chunk(rank - s)); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // AllReduceSumRange implements Communicator.
-func (c *TCPComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) {
-	c.AllReduceSum(rank, buf[lo:hi])
+func (c *TCPComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) error {
+	return c.AllReduceSum(rank, buf[lo:hi])
 }
 
 // AllReduceMean implements Communicator.
-func (c *TCPComm) AllReduceMean(rank int, buf []float32) {
-	c.AllReduceSum(rank, buf)
+func (c *TCPComm) AllReduceMean(rank int, buf []float32) error {
+	if err := c.AllReduceSum(rank, buf); err != nil {
+		return err
+	}
 	if n := c.ring.Size(); n > 1 {
 		inv := 1 / float32(n)
 		for i := range buf {
 			buf[i] *= inv
 		}
 	}
+	return nil
 }
 
 // Broadcast implements Communicator: the root's buffer travels around the
 // ring, each rank copying and forwarding, followed by a barrier so the
 // call is collective like the channel backend's.
-func (c *TCPComm) Broadcast(rank, root int, buf []float32) {
+func (c *TCPComm) Broadcast(rank, root int, buf []float32) error {
 	c.check(rank)
 	n := c.ring.Size()
 	if n == 1 {
-		return
+		return nil
 	}
 	if rank == root {
-		c.must(c.ring.SendFloats(buf))
+		if err := c.ring.SendFloats(buf); err != nil {
+			return err
+		}
 	} else {
-		c.must(c.ring.RecvFloats(buf))
+		if err := c.ring.RecvFloats(buf); err != nil {
+			return err
+		}
 		if (rank+1)%n != root {
-			c.must(c.ring.SendFloats(buf))
+			if err := c.ring.SendFloats(buf); err != nil {
+				return err
+			}
 		}
 	}
-	c.Barrier(rank)
+	return c.Barrier(rank)
 }
 
 // Barrier implements Communicator: a two-round ring token. The first round
 // proves every rank entered; the second releases them.
-func (c *TCPComm) Barrier(rank int) {
+func (c *TCPComm) Barrier(rank int) error {
 	c.check(rank)
 	if c.ring.Size() == 1 {
-		return
+		return nil
 	}
 	if rank == 0 {
 		for round := 0; round < 2; round++ {
-			c.must(c.ring.SendToken())
-			c.must(c.ring.RecvToken())
+			if err := c.ring.SendToken(); err != nil {
+				return err
+			}
+			if err := c.ring.RecvToken(); err != nil {
+				return err
+			}
 		}
 	} else {
 		for round := 0; round < 2; round++ {
-			c.must(c.ring.RecvToken())
-			c.must(c.ring.SendToken())
+			if err := c.ring.RecvToken(); err != nil {
+				return err
+			}
+			if err := c.ring.SendToken(); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }

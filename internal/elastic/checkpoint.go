@@ -1,0 +1,178 @@
+package elastic
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"melissa/internal/buffer"
+)
+
+// State is one member's shard of a group checkpoint: everything the rank
+// needs to re-enter the trajectory at a batch boundary. Weights and
+// OptState use the nn/opt binary formats (core.Trainer.CaptureState);
+// BufSeen/BufUnseen are the member's buffer snapshot (buffer.Snapshotter),
+// nil when the member keeps its initial fill.
+type State struct {
+	Epoch   int // group epoch the shard was written under
+	Batch   int // synchronized steps completed
+	Samples int // cumulative sample count at Batch
+
+	Weights  []byte
+	OptState []byte
+
+	BufSeen   []buffer.Sample
+	BufUnseen []buffer.Sample
+}
+
+// shardPath names member m's shard at a batch boundary. The batch is part
+// of the name so shards from different boundaries coexist and a rollback
+// can purge only the stale future ones.
+func shardPath(dir string, member, batch int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-m%d-b%d.ckpt", member, batch))
+}
+
+// writeShard persists one member's shard atomically (temp file + rename),
+// so a crash mid-write never leaves a half shard where a restore could
+// find it.
+func writeShard(dir string, member int, st *State) error {
+	path := shardPath(dir, member, st.Batch)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(st); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadShard reads member m's shard at exactly batch, or os.ErrNotExist.
+func loadShard(dir string, member, batch int) (*State, error) {
+	f, err := os.Open(shardPath(dir, member, batch))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var st State
+	if err := gob.NewDecoder(f).Decode(&st); err != nil {
+		return nil, fmt.Errorf("elastic: decode shard m%d b%d: %w", member, batch, err)
+	}
+	return &st, nil
+}
+
+// shardBatches lists the batch boundaries for which member m has a shard
+// on disk, in no particular order.
+func shardBatches(dir string, member int) ([]int, error) {
+	glob := filepath.Join(dir, fmt.Sprintf("shard-m%d-b*.ckpt", member))
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		return nil, err
+	}
+	var batches []int
+	for _, p := range paths {
+		var m, b int
+		if _, err := fmt.Sscanf(filepath.Base(p), "shard-m%d-b%d.ckpt", &m, &b); err == nil && m == member {
+			batches = append(batches, b)
+		}
+	}
+	return batches, nil
+}
+
+// latestShardAtOrBefore returns the newest batch ≤ maxBatch for which
+// member m has a shard, or ok=false.
+func latestShardAtOrBefore(dir string, member, maxBatch int) (int, bool) {
+	batches, err := shardBatches(dir, member)
+	if err != nil {
+		return 0, false
+	}
+	best, ok := 0, false
+	for _, b := range batches {
+		if b <= maxBatch && (!ok || b > best) {
+			best, ok = b, true
+		}
+	}
+	return best, ok
+}
+
+// purgeShardsAbove deletes every shard past the rollback point. Run during
+// reconfiguration, before any member restores, so a shard written beyond
+// the committed manifest (by a rank that advanced further than the group
+// checkpoint before the fault) can never be mistaken for current state.
+func purgeShardsAbove(dir string, batch int) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "shard-m*-b*.ckpt"))
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, p := range paths {
+		var m, b int
+		if _, err := fmt.Sscanf(filepath.Base(p), "shard-m%d-b%d.ckpt", &m, &b); err != nil {
+			continue
+		}
+		if b > batch {
+			if err := os.Remove(p); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Manifest is the committed group checkpoint: the coordinator writes it
+// once every current member has reported a shard at Batch, making Batch
+// the group-wide rollback point.
+type Manifest struct {
+	Epoch   int
+	Batch   int
+	Members []int // membership whose shards at Batch form the checkpoint
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
+
+// writeManifest commits a manifest atomically.
+func writeManifest(dir string, m Manifest) error {
+	tmp := manifestPath(dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(&m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, manifestPath(dir))
+}
+
+// loadManifest reads the committed manifest; ok=false means no group
+// checkpoint has ever been committed (a fresh run).
+func loadManifest(dir string) (Manifest, bool, error) {
+	f, err := os.Open(manifestPath(dir))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	defer f.Close()
+	var m Manifest
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return Manifest{}, false, fmt.Errorf("elastic: decode manifest: %w", err)
+	}
+	return m, true, nil
+}

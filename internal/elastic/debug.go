@@ -1,0 +1,5 @@
+package elastic
+
+import "os"
+
+var debugElastic = os.Getenv("ELASTIC_DEBUG") != ""

@@ -1,0 +1,533 @@
+package elastic_test
+
+// Chaos tests for the elastic training group. Each test drives a
+// ≥3-member loopback TCP group through a deterministic fault — a rank
+// killed mid-run, a restarted rank rejoining, a partitioned ring — and
+// asserts the recovery contract: the group re-forms over the survivors at
+// a new epoch, rolls back to the last committed group checkpoint, and
+// finishes with final weights bit-identical to an unfaulted reference run
+// of the same effective schedule (built piecewise from in-process ChanComm
+// trainers, which are pinned bit-identical to the TCP backend).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"melissa/internal/buffer"
+	"melissa/internal/core"
+	"melissa/internal/elastic"
+	"melissa/internal/transport"
+)
+
+const (
+	egWorld      = 3
+	egBatch      = 4
+	egMaxBatches = 12
+	egCkptEvery  = 4
+	egFieldDim   = 16
+)
+
+func egNormalizer() core.FieldNormalizer { return core.NewHeatNormalizer(egFieldDim, 1) }
+
+func egSpec(norm core.FieldNormalizer) core.ModelSpec {
+	return core.ModelSpec{InputDim: norm.InputDim(), Hidden: []int{12}, OutputDim: norm.OutputDim(), Seed: 7}
+}
+
+// memberSamples generates member m's deterministic training stream: the
+// same values every run and in every process, keyed only by the member ID,
+// so an elastic member and its reference-trainer counterpart consume
+// identical data.
+func memberSamples(norm core.FieldNormalizer, member, count int) []buffer.Sample {
+	d := norm.Space.Dim()
+	samples := make([]buffer.Sample, count)
+	for i := range samples {
+		in := make([]float32, d+1)
+		for j := 0; j < d; j++ {
+			in[j] = float32(100 + (7*i+13*j+31*member)%400)
+		}
+		in[d] = float32(i%10) * 0.1
+		out := make([]float32, norm.OutputDim())
+		for j := range out {
+			out[j] = float32(150 + (11*i+5*j+17*member)%300)
+		}
+		samples[i] = buffer.Sample{SimID: member, Step: i, Input: in, Output: out}
+	}
+	return samples
+}
+
+// memberBuf builds member m's FIFO training buffer with its full stream
+// preloaded and reception closed, optionally rewound to a checkpoint
+// snapshot. Prefill before restore mirrors the elastic app exactly.
+func memberBuf(t testing.TB, norm core.FieldNormalizer, member int, snap *bufSnap) *buffer.Blocking {
+	t.Helper()
+	bb := buffer.NewBlocking(buffer.NewFIFO(0))
+	for _, s := range memberSamples(norm, member, egMaxBatches*egBatch) {
+		if !bb.TryPut(s) {
+			t.Fatal("prefill rejected")
+		}
+	}
+	bb.EndReception()
+	if snap != nil {
+		bb.WithLock(func(p buffer.Policy) {
+			p.(buffer.Snapshotter).RestoreSnapshot(snap.seen, snap.unseen)
+		})
+	}
+	return bb
+}
+
+type bufSnap struct{ seen, unseen []buffer.Sample }
+
+// refPoint is a boundary of the reference trajectory: full trainer state
+// plus every participating member's buffer snapshot.
+type refPoint struct {
+	flat     []float32 // final weights, for comparison
+	weights  []byte
+	optState []byte
+	batches  int
+	samples  int
+	bufs     map[int]*bufSnap
+}
+
+// runPhase runs the in-process reference trainer for one membership
+// stretch — members' ranks in ascending-ID order over the channel backend,
+// exactly the collective group an elastic epoch forms over TCP — from an
+// optional start point to maxBatches, and captures the end point.
+func runPhase(t *testing.T, members []int, start *refPoint, bufSrc map[int]*bufSnap, maxBatches int) *refPoint {
+	t.Helper()
+	norm := egNormalizer()
+	bufs := make([]*buffer.Blocking, len(members))
+	for i, m := range members {
+		var snap *bufSnap
+		if bufSrc != nil {
+			snap = bufSrc[m]
+		}
+		bufs[i] = memberBuf(t, norm, m, snap)
+	}
+	tr, err := core.NewTrainer(core.TrainerConfig{
+		Ranks:      len(members),
+		BatchSize:  egBatch,
+		Model:      egSpec(norm),
+		Normalizer: norm,
+		MaxBatches: maxBatches,
+	}, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != nil {
+		if err := tr.RestoreState(start.weights, start.optState, start.batches, start.samples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	w, o, err := tr.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := &refPoint{
+		flat:     append([]float32(nil), tr.Network().FlatParams()...),
+		weights:  w,
+		optState: o,
+		batches:  tr.Metrics().Batches(),
+		samples:  tr.Metrics().Samples(),
+		bufs:     make(map[int]*bufSnap, len(members)),
+	}
+	for i, m := range members {
+		s := &bufSnap{}
+		bufs[i].WithLock(func(p buffer.Policy) {
+			s.seen, s.unseen = p.(buffer.Snapshotter).Snapshot()
+		})
+		pt.bufs[m] = s
+	}
+	return pt
+}
+
+// groupHarness runs a coordinator plus elastic members whose app callback
+// is the checkpointing trainer loop, and records what each member observed.
+type groupHarness struct {
+	t     *testing.T
+	dir   string
+	coord *elastic.Coordinator
+
+	mu       sync.Mutex
+	finalW   map[int][]float32       // member → weights of its last clean finish
+	sessions map[int][]sessionRecord // member → sessions it participated in
+	hook     func(memberID int, sess *elastic.Session, batches int)
+	ringOpts func(memberID int) func(epoch int) transport.RingOptions
+}
+
+type sessionRecord struct {
+	epoch, world, restore int
+}
+
+func newGroupHarness(t *testing.T, world int) *groupHarness {
+	t.Helper()
+	dir := t.TempDir()
+	coord, err := elastic.NewCoordinator(elastic.CoordinatorConfig{
+		Addr:        "127.0.0.1:0",
+		World:       world,
+		Dir:         dir,
+		FormTimeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return &groupHarness{
+		t:        t,
+		dir:      dir,
+		coord:    coord,
+		finalW:   make(map[int][]float32),
+		sessions: make(map[int][]sessionRecord),
+	}
+}
+
+// app is one member's per-epoch callback: build the member's buffer,
+// restore from the group checkpoint when the epoch has one, train with
+// per-boundary shard writes, and record a clean finish.
+func (h *groupHarness) app(memberID int) func(ctx context.Context, sess *elastic.Session) error {
+	norm := egNormalizer()
+	return func(ctx context.Context, sess *elastic.Session) error {
+		h.mu.Lock()
+		h.sessions[memberID] = append(h.sessions[memberID], sessionRecord{
+			epoch: sess.Epoch(), world: sess.World(), restore: sess.RestoreBatch(),
+		})
+		h.mu.Unlock()
+
+		var restored *elastic.State
+		var snap *bufSnap
+		if sess.RestoreBatch() >= 0 {
+			st, err := sess.LoadState()
+			if err != nil {
+				return err
+			}
+			restored = st
+			if st.BufSeen != nil || st.BufUnseen != nil {
+				snap = &bufSnap{seen: st.BufSeen, unseen: st.BufUnseen}
+			}
+		}
+		bb := memberBuf(h.t, norm, memberID, snap)
+
+		var tr *core.Trainer
+		cfg := core.TrainerConfig{
+			Ranks:      1,
+			RankOffset: sess.Rank(),
+			Comm:       sess.Comm(),
+			BatchSize:  egBatch,
+			Model:      egSpec(norm),
+			Normalizer: norm,
+			MaxBatches: egMaxBatches,
+		}
+		cfg.OnLocalBatchEnd = func(_, batches int) {
+			if batches%egCkptEvery == 0 {
+				w, o, err := tr.CaptureState()
+				if err != nil {
+					panic(err)
+				}
+				var seen, unseen []buffer.Sample
+				bb.WithLock(func(p buffer.Policy) {
+					seen, unseen = p.(buffer.Snapshotter).Snapshot()
+				})
+				// A save can fail only during teardown (control conn gone);
+				// the group checkpoint protocol tolerates the missing shard.
+				sess.SaveShard(&elastic.State{
+					Batch:     batches,
+					Samples:   tr.LocalSamples(0),
+					Weights:   w,
+					OptState:  o,
+					BufSeen:   seen,
+					BufUnseen: unseen,
+				})
+			}
+			if h.hook != nil {
+				h.hook(memberID, sess, batches)
+			}
+		}
+		var err error
+		tr, err = core.NewTrainer(cfg, []*buffer.Blocking{bb})
+		if err != nil {
+			return err
+		}
+		if restored != nil {
+			if err := tr.RestoreState(restored.Weights, restored.OptState, restored.Batch, restored.Samples); err != nil {
+				return err
+			}
+		}
+		if err := tr.Run(ctx); err != nil {
+			return err
+		}
+		// A clean finish means the schedule completed (the buffers hold
+		// exactly MaxBatches of data), so these are final weights. Only
+		// global rank 0 advances Metrics, hence no counter check here.
+		h.mu.Lock()
+		h.finalW[memberID] = append([]float32(nil), tr.Network().FlatParams()...)
+		h.mu.Unlock()
+		return nil
+	}
+}
+
+func (h *groupHarness) newMember(memberID int) *elastic.Member {
+	h.t.Helper()
+	cfg := elastic.MemberConfig{
+		ID:          memberID,
+		Coordinator: h.coord.Addr(),
+		Dir:         h.dir,
+		Run:         h.app(memberID),
+	}
+	if h.ringOpts != nil {
+		cfg.RingOptions = h.ringOpts(memberID)
+	} else {
+		cfg.RingOptions = func(int) transport.RingOptions {
+			return transport.RingOptions{IOTimeout: 5 * time.Second, HeartbeatInterval: 100 * time.Millisecond}
+		}
+	}
+	m, err := elastic.NewMember(cfg)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return m
+}
+
+func (h *groupHarness) records(memberID int) []sessionRecord {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]sessionRecord(nil), h.sessions[memberID]...)
+}
+
+func (h *groupHarness) final(memberID int) []float32 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.finalW[memberID]
+}
+
+func assertWeights(t *testing.T, label string, got, want []float32) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: no final weights recorded", label)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: weight count %d, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: weight %d diverged: %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestElasticKillRollbackFinish is the headline robustness test: one rank
+// of a 3-member TCP group is killed mid-run (after batch 6, past the
+// batch-4 group checkpoint). The survivors must detect the death, re-form
+// as a 2-member group at epoch 2, roll back to batch 4, finish the
+// schedule, and end with weights bit-identical to an unfaulted reference
+// run of the same effective schedule.
+func TestElasticKillRollbackFinish(t *testing.T) {
+	h := newGroupHarness(t, egWorld)
+	members := make([]*elastic.Member, egWorld)
+	var killOnce sync.Once
+	h.hook = func(memberID int, sess *elastic.Session, batches int) {
+		if memberID == 1 && sess.Epoch() == 1 && batches == 6 {
+			killOnce.Do(members[1].Kill)
+		}
+	}
+	for i := range members {
+		members[i] = h.newMember(i)
+	}
+	runErrs := make([]error, egWorld)
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *elastic.Member) {
+			defer wg.Done()
+			runErrs[i] = m.Run(context.Background())
+		}(i, m)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := h.coord.Wait(ctx); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+
+	if !errors.Is(runErrs[1], elastic.ErrKilled) {
+		t.Fatalf("killed member returned %v, want ErrKilled", runErrs[1])
+	}
+	for _, i := range []int{0, 2} {
+		if runErrs[i] != nil {
+			t.Fatalf("survivor %d: %v", i, runErrs[i])
+		}
+		recs := h.records(i)
+		last := recs[len(recs)-1]
+		if last.epoch < 2 || last.world != 2 || last.restore != egCkptEvery {
+			t.Fatalf("survivor %d final session %+v, want epoch ≥ 2, world 2, restore %d", i, last, egCkptEvery)
+		}
+	}
+
+	// Reference: 3 ranks to the batch-4 checkpoint, then the two survivors
+	// from that state to the end of the schedule.
+	ph1 := runPhase(t, []int{0, 1, 2}, nil, nil, egCkptEvery)
+	ph2 := runPhase(t, []int{0, 2}, ph1, ph1.bufs, egMaxBatches)
+	assertWeights(t, "survivor 0", h.final(0), ph2.flat)
+	assertWeights(t, "survivor 2", h.final(2), ph2.flat)
+}
+
+// TestElasticRejoinAfterRestart extends the kill scenario with recovery:
+// after the survivors re-form and checkpoint at batch 8, the killed rank
+// restarts, reconnects, and must be folded into a 3-member epoch that
+// rolls back to batch 8 — the rejoiner adopting a peer's replica state and
+// its own last buffer snapshot — and the group finishes bit-identical to
+// the piecewise reference.
+func TestElasticRejoinAfterRestart(t *testing.T) {
+	h := newGroupHarness(t, egWorld)
+	members := make([]*elastic.Member, egWorld)
+	var killOnce sync.Once
+	gateReached := make(chan int, 2*egWorld)
+	h.hook = func(memberID int, sess *elastic.Session, batches int) {
+		if memberID == 1 && sess.Epoch() == 1 && batches == 6 {
+			killOnce.Do(members[1].Kill)
+		}
+		// Park the 2-member recovery epoch at batch 10 (with the batch-8
+		// checkpoint committed) until the restarted member's arrival tears
+		// the epoch down for the 3-member rejoin epoch.
+		if sess.World() == 2 && batches == 10 {
+			gateReached <- memberID
+			<-sess.Aborted()
+		}
+	}
+	for i := range members {
+		members[i] = h.newMember(i)
+	}
+	runErrs := make([]error, egWorld+1)
+	var wg sync.WaitGroup
+	run := func(slot int, m *elastic.Member) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runErrs[slot] = m.Run(context.Background())
+		}()
+	}
+	for i, m := range members {
+		run(i, m)
+	}
+
+	// Wait for both survivors to park past the batch-8 checkpoint.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-gateReached:
+		case <-time.After(30 * time.Second):
+			t.Fatal("survivors never reached the rejoin gate")
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for h.coord.ManifestBatch() < 2*egCkptEvery {
+		if time.Now().After(deadline) {
+			t.Fatalf("manifest stuck at %d, want %d", h.coord.ManifestBatch(), 2*egCkptEvery)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	restarted := h.newMember(1)
+	run(egWorld, restarted)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := h.coord.Wait(ctx); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+
+	if !errors.Is(runErrs[1], elastic.ErrKilled) {
+		t.Fatalf("killed member returned %v, want ErrKilled", runErrs[1])
+	}
+	for _, slot := range []int{0, 2, egWorld} {
+		if runErrs[slot] != nil {
+			t.Fatalf("member slot %d: %v", slot, runErrs[slot])
+		}
+	}
+	// The restarted member must have been admitted at a later epoch with
+	// the rolled-back restore point.
+	recs := h.records(1)
+	last := recs[len(recs)-1]
+	if last.epoch < 3 || last.world != egWorld || last.restore != 2*egCkptEvery {
+		t.Fatalf("rejoiner final session %+v, want epoch ≥ 3, world %d, restore %d", last, egWorld, 2*egCkptEvery)
+	}
+
+	// Reference: 3 ranks to batch 4, survivors to batch 8, then all three
+	// from batch 8 — the rejoiner's buffer resuming from its own batch-4
+	// snapshot, exactly what LoadState reconstructs.
+	ph1 := runPhase(t, []int{0, 1, 2}, nil, nil, egCkptEvery)
+	ph2 := runPhase(t, []int{0, 2}, ph1, ph1.bufs, 2*egCkptEvery)
+	ph3Bufs := map[int]*bufSnap{0: ph2.bufs[0], 1: ph1.bufs[1], 2: ph2.bufs[2]}
+	ph3 := runPhase(t, []int{0, 1, 2}, ph2, ph3Bufs, egMaxBatches)
+	for _, id := range []int{0, 1, 2} {
+		assertWeights(t, fmt.Sprintf("member %d", id), h.final(id), ph3.flat)
+	}
+}
+
+// TestElasticPartitionReform cuts one member's ring links with the
+// deterministic chaos wrapper mid-epoch: every member's collectives must
+// time out (no panics), the group re-forms — same membership, new epoch,
+// clean links — rolls back to the checkpoint, and finishes bit-identical
+// to an unfaulted run.
+func TestElasticPartitionReform(t *testing.T) {
+	h := newGroupHarness(t, egWorld)
+	chaos := transport.NewChaos(transport.ChaosConfig{Seed: transport.ChaosSeed(42)})
+	h.ringOpts = func(memberID int) func(epoch int) transport.RingOptions {
+		return func(epoch int) transport.RingOptions {
+			o := transport.RingOptions{IOTimeout: 500 * time.Millisecond, HeartbeatInterval: 50 * time.Millisecond}
+			if memberID == 1 && epoch == 1 {
+				o.Wrap = chaos.Wrap // only the first epoch's links are faulty
+			}
+			return o
+		}
+	}
+	h.hook = func(memberID int, sess *elastic.Session, batches int) {
+		if memberID == 1 && sess.Epoch() == 1 && batches == 6 {
+			chaos.Partition(true)
+		}
+	}
+	members := make([]*elastic.Member, egWorld)
+	for i := range members {
+		members[i] = h.newMember(i)
+	}
+	runErrs := make([]error, egWorld)
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *elastic.Member) {
+			defer wg.Done()
+			runErrs[i] = m.Run(context.Background())
+		}(i, m)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := h.coord.Wait(ctx); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	wg.Wait()
+
+	for i, err := range runErrs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		recs := h.records(i)
+		last := recs[len(recs)-1]
+		if last.epoch < 2 || last.world != egWorld || last.restore != egCkptEvery {
+			t.Fatalf("member %d final session %+v, want epoch ≥ 2, world %d, restore %d", i, last, egWorld, egCkptEvery)
+		}
+	}
+
+	// Unfaulted reference of the same effective schedule: to the batch-4
+	// checkpoint, then restored to the end — the same two-leg trajectory
+	// the re-formed group trains.
+	ph1 := runPhase(t, []int{0, 1, 2}, nil, nil, egCkptEvery)
+	ph2 := runPhase(t, []int{0, 1, 2}, ph1, ph1.bufs, egMaxBatches)
+	for _, id := range []int{0, 1, 2} {
+		assertWeights(t, fmt.Sprintf("member %d", id), h.final(id), ph2.flat)
+	}
+}

@@ -58,6 +58,12 @@ type Config struct {
 
 	// MaxClientRetries bounds restarts per client.
 	MaxClientRetries int
+	// ClientRestartBackoff is the base delay before a failed client's
+	// first restart; it doubles on every further attempt (capped at
+	// maxClientBackoff) so a persistently crashing client cannot hot-loop
+	// through its retry budget and hammer the server. 0 selects the
+	// 100ms default; negative disables backoff entirely.
+	ClientRestartBackoff time.Duration
 	// MaxServerRestarts bounds server recoveries from checkpoint.
 	MaxServerRestarts int
 
@@ -85,6 +91,11 @@ type Result struct {
 	ServerRestarts int
 }
 
+const (
+	defaultClientBackoff = 100 * time.Millisecond
+	maxClientBackoff     = 5 * time.Second
+)
+
 // Launcher runs one configured ensemble.
 type Launcher struct {
 	cfg    Config
@@ -92,6 +103,28 @@ type Launcher struct {
 	slots  *semaphore
 
 	clientRestarts atomic.Int64
+
+	// sleep waits for the backoff delay (or the context); tests inject a
+	// recorder here so backoff behavior is asserted without wall-clock
+	// waits. Reports false when the context ended the wait.
+	sleep func(ctx context.Context, d time.Duration) bool
+}
+
+// restartBackoff returns the delay before retrying a client that has
+// already run attempt times (attempt ≥ 1), or 0 when backoff is disabled.
+func (l *Launcher) restartBackoff(attempt int) time.Duration {
+	base := l.cfg.ClientRestartBackoff
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = defaultClientBackoff
+	}
+	d := base
+	for i := 1; i < attempt && d < maxClientBackoff; i++ {
+		d *= 2
+	}
+	return min(d, maxClientBackoff)
 }
 
 // Resize changes the number of concurrent client slots while the ensemble
@@ -136,6 +169,16 @@ func New(cfg Config) (*Launcher, error) {
 		cfg:    cfg,
 		params: make([][]float64, cfg.Simulations),
 		slots:  newSemaphore(cfg.MaxConcurrentClients),
+		sleep: func(ctx context.Context, d time.Duration) bool {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return false
+			case <-t.C:
+				return true
+			}
+		},
 	}
 	for i := range l.params {
 		pt := cfg.Design.Next()
@@ -334,5 +377,11 @@ func (l *Launcher) runClientWithRetries(ctx context.Context, srv *server.Server,
 			return // launcher shutdown, not a client fault
 		}
 		l.clientRestarts.Add(1)
+		srv.Metrics().RecordClientRestart(int32(simID))
+		if attempt < l.cfg.MaxClientRetries {
+			if d := l.restartBackoff(attempt + 1); d > 0 && !l.sleep(ctx, d) {
+				return
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package launcher
 import (
 	"context"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -156,6 +157,75 @@ func TestLauncherRestartsFailedClients(t *testing.T) {
 		if c != 1 {
 			t.Fatalf("sample %v trained %d times", k, c)
 		}
+	}
+}
+
+// TestLauncherRestartBackoff asserts the delay schedule between client
+// restart attempts — exponential from the configured base, recorded per
+// client in the metrics — using an injected sleep hook instead of
+// wall-clock waits.
+func TestLauncherRestartBackoff(t *testing.T) {
+	cfg := testConfig(3, buffer.FIFOKind)
+	cfg.MaxClientRetries = 3
+	cfg.ClientRestartBackoff = 40 * time.Millisecond
+	// Sim 1 fails on its first three attempts, succeeds on the fourth.
+	cfg.JobHook = func(simID, attempt int, job *client.Job) {
+		if simID == 1 && attempt < 3 {
+			job.FailAtStep = 2
+		}
+	}
+	l, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var slept []time.Duration
+	l.sleep = func(ctx context.Context, d time.Duration) bool {
+		mu.Lock()
+		slept = append(slept, d)
+		mu.Unlock()
+		return true
+	}
+	res, err := l.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClientRestarts != 3 {
+		t.Fatalf("client restarts %d, want 3", res.ClientRestarts)
+	}
+	want := []time.Duration{40 * time.Millisecond, 80 * time.Millisecond, 160 * time.Millisecond}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != len(want) {
+		t.Fatalf("backoff sleeps %v, want %v", slept, want)
+	}
+	for i, d := range want {
+		if slept[i] != d {
+			t.Fatalf("backoff sleeps %v, want %v", slept, want)
+		}
+	}
+	if got := res.Metrics.ClientRestarts(); len(got) != 1 || got[1] != 3 {
+		t.Fatalf("per-client restart counts %v, want map[1:3]", got)
+	}
+}
+
+// TestLauncherBackoffCapAndDisable pins the backoff schedule's edges: the
+// doubling caps at maxClientBackoff, and a negative base disables delays.
+func TestLauncherBackoffCapAndDisable(t *testing.T) {
+	l := &Launcher{cfg: Config{ClientRestartBackoff: time.Second}}
+	if got := l.restartBackoff(1); got != time.Second {
+		t.Fatalf("attempt 1 backoff %v, want 1s", got)
+	}
+	if got := l.restartBackoff(10); got != maxClientBackoff {
+		t.Fatalf("attempt 10 backoff %v, want cap %v", got, maxClientBackoff)
+	}
+	l = &Launcher{cfg: Config{}}
+	if got := l.restartBackoff(1); got != defaultClientBackoff {
+		t.Fatalf("default backoff %v, want %v", got, defaultClientBackoff)
+	}
+	l = &Launcher{cfg: Config{ClientRestartBackoff: -1}}
+	if got := l.restartBackoff(3); got != 0 {
+		t.Fatalf("disabled backoff %v, want 0", got)
 	}
 }
 

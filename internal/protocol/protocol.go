@@ -66,10 +66,13 @@ const (
 	// dedicated inter-rank ring connections, never through the client
 	// message decoder: RingHello carries the sender's rank during ring
 	// setup, RingFloats a raw little-endian float32 chunk of a collective,
-	// and RingToken a zero-payload barrier token.
+	// RingToken a zero-payload barrier token, and RingPing a zero-payload
+	// link heartbeat that receivers silently discard (it exists so a rank
+	// can tell a dead predecessor from a merely idle one).
 	TypeRingHello
 	TypeRingFloats
 	TypeRingToken
+	TypeRingPing
 )
 
 // MaxFrameSize bounds a frame payload; larger frames indicate corruption.

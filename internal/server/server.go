@@ -66,7 +66,10 @@ type Config struct {
 	ExpectedClients int
 
 	// WatchdogTimeout bounds client silence before the launcher is told to
-	// restart it; 0 disables the watchdog.
+	// restart it; 0 disables the watchdog. Positive values below
+	// MinWatchdogTimeout are clamped up to it: a timeout shorter than the
+	// sweep granularity would expire every client between two of its own
+	// heartbeats and put the launcher in a kill/restart loop.
 	WatchdogTimeout time.Duration
 	// OnUnresponsive is invoked (from a server goroutine) with the IDs of
 	// clients the watchdog expired.
@@ -78,9 +81,17 @@ type Config struct {
 	CheckpointEveryBatches int
 }
 
+// MinWatchdogTimeout is the smallest effective client-liveness timeout.
+// Pathologically small positive timeouts (microseconds from a unit mixup)
+// are clamped up to it rather than honored.
+const MinWatchdogTimeout = 20 * time.Millisecond
+
 func (c Config) withDefaults() Config {
 	if c.ListenHost == "" {
 		c.ListenHost = "127.0.0.1:0"
+	}
+	if c.WatchdogTimeout > 0 && c.WatchdogTimeout < MinWatchdogTimeout {
+		c.WatchdogTimeout = MinWatchdogTimeout
 	}
 	if c.QueueLen <= 0 {
 		c.QueueLen = 4096
@@ -100,6 +111,15 @@ type Server struct {
 	policies   []buffer.Policy
 	trainer    *core.Trainer
 	watchdog   *transport.Watchdog
+
+	// unresponsiveFired holds the clients already reported to
+	// OnUnresponsive whose replacement has not yet said Hello. A
+	// half-dead client's late message can Beat the watchdog after its
+	// expiry was reported, re-registering it and expiring it again on a
+	// later sweep; without this gate the launcher would be told to
+	// restart the same client twice for one failure.
+	unresponsiveMu    sync.Mutex
+	unresponsiveFired map[int32]bool
 
 	// aggs holds each rank's aggregator-owned dedup/accounting state.
 	// There is no cross-rank mutex on the TimeStep hot path: each rank
@@ -254,6 +274,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.WatchdogTimeout > 0 {
 		s.watchdog = transport.NewWatchdog(cfg.WatchdogTimeout)
+		s.unresponsiveFired = make(map[int32]bool)
 	}
 	inDim := cfg.Trainer.Normalizer.InputDim()
 	outDim := cfg.Trainer.Normalizer.OutputDim()
@@ -351,8 +372,8 @@ func (s *Server) Run(ctx context.Context) error {
 
 func (s *Server) watchdogLoop(stop chan struct{}) {
 	interval := s.cfg.WatchdogTimeout / 2
-	if interval <= 0 {
-		interval = time.Second
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -361,11 +382,40 @@ func (s *Server) watchdogLoop(stop chan struct{}) {
 		case <-stop:
 			return
 		case <-ticker.C:
-			for _, id := range s.watchdog.Expired() {
-				s.cfg.OnUnresponsive(id)
-			}
+			s.sweepUnresponsive()
 		}
 	}
+}
+
+// sweepUnresponsive reports newly expired clients to OnUnresponsive, at
+// most once per expiry episode: a client reported here is muted until its
+// replacement reconnects (Hello clears the gate). Factored out of the
+// ticker loop so tests can drive it against a fake watchdog clock.
+func (s *Server) sweepUnresponsive() {
+	expired := s.watchdog.Expired()
+	if len(expired) == 0 {
+		return
+	}
+	for _, id := range expired {
+		s.unresponsiveMu.Lock()
+		fired := s.unresponsiveFired[id]
+		if !fired {
+			s.unresponsiveFired[id] = true
+		}
+		s.unresponsiveMu.Unlock()
+		if !fired && s.cfg.OnUnresponsive != nil {
+			s.cfg.OnUnresponsive(id)
+		}
+	}
+}
+
+// clientReconnected resets the unresponsive gate for a client: a Hello is
+// a (re)connect, so its restarted replacement has arrived and a future
+// expiry is a fresh episode worth reporting again.
+func (s *Server) clientReconnected(id int32) {
+	s.unresponsiveMu.Lock()
+	delete(s.unresponsiveFired, id)
+	s.unresponsiveMu.Unlock()
 }
 
 // aggregate is the per-rank data-aggregator thread (§3.1): it polls the
@@ -384,6 +434,7 @@ func (s *Server) aggregate(rank int) {
 			st.presizeSeen(st.Steps)
 			a.mu.Unlock()
 			if s.watchdog != nil {
+				s.clientReconnected(m.ClientID)
 				s.watchdog.Beat(m.ClientID)
 			}
 		case protocol.Heartbeat:

@@ -297,6 +297,56 @@ func TestWatchdogReportsSilentClient(t *testing.T) {
 	}
 }
 
+// TestWatchdogClampAndIdempotentFire drives the unresponsive-client sweep
+// against a fake clock: a pathologically small timeout is clamped to the
+// floor, a client whose stale heartbeat re-registers it after its expiry
+// was reported does not fire OnUnresponsive a second time, and a Hello
+// (the restarted replacement connecting) re-arms the report.
+func TestWatchdogClampAndIdempotentFire(t *testing.T) {
+	cfg := testConfig(1, 1, buffer.FIFOKind)
+	cfg.WatchdogTimeout = time.Microsecond // unit mixup: must clamp, not honor
+	var fired []int32
+	cfg.OnUnresponsive = func(id int32) { fired = append(fired, id) }
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.cfg.WatchdogTimeout; got != MinWatchdogTimeout {
+		t.Fatalf("watchdog timeout %v, want clamped to %v", got, MinWatchdogTimeout)
+	}
+
+	now := time.Unix(0, 0)
+	srv.watchdog.SetClock(func() time.Time { return now })
+	expire := func() {
+		now = now.Add(srv.cfg.WatchdogTimeout + time.Millisecond)
+		srv.sweepUnresponsive()
+	}
+
+	const id = int32(7)
+	srv.watchdog.Beat(id)
+	expire()
+	if len(fired) != 1 || fired[0] != id {
+		t.Fatalf("after first expiry fired=%v, want [%d]", fired, id)
+	}
+
+	// A late packet from the half-dead client re-registers it; the next
+	// expiry is the same episode and must not be reported again.
+	srv.watchdog.Beat(id)
+	expire()
+	if len(fired) != 1 {
+		t.Fatalf("same-episode expiry re-fired: %v", fired)
+	}
+
+	// The restarted replacement says Hello: the gate re-arms, and a fresh
+	// silence is a new episode.
+	srv.clientReconnected(id)
+	srv.watchdog.Beat(id)
+	expire()
+	if len(fired) != 2 {
+		t.Fatalf("post-reconnect expiry not reported: %v", fired)
+	}
+}
+
 // TestServerCheckpointRestart kills a server mid-run and restores a fresh
 // instance from its checkpoint: training counters resume, already-received
 // steps are deduplicated, and the union of trained samples covers the whole

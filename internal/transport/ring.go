@@ -15,13 +15,33 @@ package transport
 // the socket buffers would wedge the whole ring. Two staging buffers
 // rotate through a free list, making steady-state collectives
 // allocation-free, exactly like the channel backend's recycled links.
+//
+// # Failure model
+//
+// A ring link is declared dead when it makes no progress for IOTimeout:
+// every socket read and write carries a deadline, and a background
+// heartbeat goroutine stages a zero-payload RingPing frame every
+// HeartbeatInterval (with HeartbeatInterval well below IOTimeout), so on a
+// healthy link the predecessor is never silent long enough to trip the
+// read deadline — even between collectives. Receivers discard ping frames
+// at frame boundaries. Any link failure (deadline expiry, reset, EOF,
+// malformed frame) surfaces as an error wrapping ErrLinkDead instead of a
+// panic; once a link has failed, every subsequent operation on the Ring
+// fails too. Abort force-closes both connections and is safe to call
+// concurrently with in-flight collectives — it is how a membership
+// controller unwedges a rank that is blocked mid-collective on a dead
+// group.
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -33,6 +53,55 @@ const ringHeaderLen = 5
 
 // ringSendDepth is the number of in-flight staged frames per ring link.
 const ringSendDepth = 2
+
+// ringReadChunk bounds how much payload is read (and how much the receive
+// buffer grows) per read deadline. Chunked reads make the payload timeout
+// progress-based — a large frame over a slow link is fine as long as bytes
+// keep arriving — and cap what a lying length prefix can make the receiver
+// allocate ahead of bytes actually received.
+const ringReadChunk = 1 << 20
+
+// Dial backoff bounds for ring formation (see RingListener.Connect).
+const (
+	ringDialBackoffBase = 20 * time.Millisecond
+	ringDialBackoffMax  = 500 * time.Millisecond
+)
+
+// ErrLinkDead marks a failure of an established ring link: the peer went
+// silent past the IO timeout, reset the connection, or sent a malformed
+// frame. It is fatal for the current ring — the group must re-form
+// (ddp.Classify reports it as FaultFatal).
+var ErrLinkDead = errors.New("transport: ring link dead")
+
+// ErrRingAborted marks an operation interrupted by Ring.Abort. It is the
+// expected error inside ranks being torn down deliberately during group
+// reconfiguration.
+var ErrRingAborted = errors.New("transport: ring aborted")
+
+// RingOptions tunes a ring's failure detection and lets tests inject
+// faults. The zero value gives production defaults.
+type RingOptions struct {
+	// IOTimeout bounds the silence tolerated on a link before it is
+	// declared dead, and bounds each socket write. 0 means 30s.
+	IOTimeout time.Duration
+	// HeartbeatInterval is the period of background RingPing frames.
+	// 0 means IOTimeout/4; negative disables heartbeats (then the read
+	// deadline only makes sense while a collective is in flight).
+	HeartbeatInterval time.Duration
+	// Wrap, when set, wraps each established ring connection after the
+	// handshake — the chaos layer's hook (see Chaos.Wrap).
+	Wrap func(net.Conn) net.Conn
+}
+
+func (o RingOptions) withDefaults() RingOptions {
+	if o.IOTimeout <= 0 {
+		o.IOTimeout = 30 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = o.IOTimeout / 4
+	}
+	return o
+}
 
 // RingListener is the bound-but-unconnected half of a rank's ring
 // endpoint. Binding first and connecting second lets tests use ephemeral
@@ -59,34 +128,51 @@ func (l *RingListener) Close() error { return l.ln.Close() }
 
 // Ring is one rank's pair of directed ring connections: next carries this
 // rank's sends to rank+1, prev carries rank−1's sends to this rank. A ring
-// of size 1 has no connections and all operations are no-ops. A Ring is
-// owned by one goroutine at a time; Close must not race in-flight
-// collectives.
+// of size 1 has no connections and all operations are no-ops. Collectives
+// on a Ring are owned by one goroutine at a time; Close must not race
+// in-flight collectives, but Abort may.
 type Ring struct {
 	rank, size int
 	next       net.Conn // to successor (nil when size == 1)
 	prev       net.Conn // from predecessor (nil when size == 1)
+	ioTimeout  time.Duration
 
 	sendData   chan []byte // framed messages awaiting the writer
 	sendFree   chan []byte // recycled staging buffers
 	writerDone chan struct{}
 	sendErr    atomic.Pointer[error] // first write failure, surfaced on later sends
 
+	pingStop chan struct{}
+	pingDone chan struct{}
+
+	closeMu sync.Mutex // guards conn closing (Close vs Abort)
+	aborted atomic.Bool
+
 	recvBuf []byte // recycled payload staging for RecvFloats
 	hdr     [ringHeaderLen]byte
 }
 
-// Connect forms the ring: the listener's rank dials addrs[(rank+1)%size]
-// (retrying until timeout, so processes may start in any order) and accepts
-// one connection from its predecessor, verified by a RingHello handshake.
-// The listener is consumed: it is closed once the ring is established.
+// Connect forms the ring with default options and no cancellation; see
+// ConnectContext. The listener is consumed: it is closed on every path,
+// success or failure.
 func (l *RingListener) Connect(rank int, addrs []string, timeout time.Duration) (*Ring, error) {
+	return l.ConnectContext(context.Background(), rank, addrs, timeout, RingOptions{})
+}
+
+// ConnectContext forms the ring: the listener's rank dials
+// addrs[(rank+1)%size] — retrying with exponential backoff and jitter
+// until timeout or ctx cancellation, so processes may start in any order —
+// and accepts one connection from its predecessor, verified by a RingHello
+// handshake. The listener is consumed: it is closed once the ring is
+// established, and on every error path.
+func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []string, timeout time.Duration, opts RingOptions) (*Ring, error) {
 	size := len(addrs)
 	if rank < 0 || rank >= size {
 		l.ln.Close()
 		return nil, fmt.Errorf("transport: ring rank %d out of range [0,%d)", rank, size)
 	}
-	r := &Ring{rank: rank, size: size}
+	opts = opts.withDefaults()
+	r := &Ring{rank: rank, size: size, ioTimeout: opts.IOTimeout}
 	if size == 1 {
 		l.ln.Close()
 		return r, nil
@@ -95,6 +181,8 @@ func (l *RingListener) Connect(rank int, addrs []string, timeout time.Duration) 
 		timeout = 10 * time.Second
 	}
 	deadline := time.Now().Add(timeout)
+	dctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
 
 	// Dial the successor in the background while accepting the
 	// predecessor: with two ranks each side must do both at once.
@@ -105,23 +193,8 @@ func (l *RingListener) Connect(rank int, addrs []string, timeout time.Duration) 
 	dialed := make(chan dialResult, 1)
 	go func() {
 		succ := addrs[(rank+1)%size]
-		var lastErr error
-		for time.Now().Before(deadline) {
-			conn, err := net.DialTimeout("tcp", succ, time.Second)
-			if err == nil {
-				// Identify ourselves so the acceptor can verify ring order.
-				if err := writeRingHello(conn, rank); err != nil {
-					conn.Close()
-					dialed <- dialResult{err: err}
-					return
-				}
-				dialed <- dialResult{conn: conn}
-				return
-			}
-			lastErr = err
-			time.Sleep(50 * time.Millisecond)
-		}
-		dialed <- dialResult{err: fmt.Errorf("transport: dialing ring successor %s: %w", succ, lastErr)}
+		conn, err := dialRing(dctx, succ, rank)
+		dialed <- dialResult{conn: conn, err: err}
 	}()
 
 	fail := func(err error) (*Ring, error) {
@@ -132,11 +205,17 @@ func (l *RingListener) Connect(rank int, addrs []string, timeout time.Duration) 
 		return nil, err
 	}
 
+	// Unblock Accept on ctx cancellation as well as on the deadline.
 	if tl, ok := l.ln.(*net.TCPListener); ok {
 		tl.SetDeadline(deadline)
 	}
+	stopWatch := context.AfterFunc(dctx, func() { l.ln.Close() })
 	conn, err := l.ln.Accept()
+	stopWatch()
 	if err != nil {
+		if cerr := context.Cause(ctx); cerr != nil {
+			err = cerr
+		}
 		return fail(fmt.Errorf("transport: accepting ring predecessor: %w", err))
 	}
 	from, err := readRingHello(conn)
@@ -159,6 +238,11 @@ func (l *RingListener) Connect(rank int, addrs []string, timeout time.Duration) 
 	}
 	r.next = d.conn
 
+	if opts.Wrap != nil {
+		r.prev = opts.Wrap(r.prev)
+		r.next = opts.Wrap(r.next)
+	}
+
 	r.sendData = make(chan []byte, ringSendDepth)
 	r.sendFree = make(chan []byte, ringSendDepth)
 	for i := 0; i < ringSendDepth; i++ {
@@ -166,18 +250,62 @@ func (l *RingListener) Connect(rank int, addrs []string, timeout time.Duration) 
 	}
 	r.writerDone = make(chan struct{})
 	go r.writeLoop()
+	if opts.HeartbeatInterval > 0 {
+		r.pingStop = make(chan struct{})
+		r.pingDone = make(chan struct{})
+		go r.pingLoop(opts.HeartbeatInterval)
+	}
 	return r, nil
 }
 
+// dialRing dials the successor with exponential backoff and jitter until
+// ctx expires, then sends the identifying RingHello.
+func dialRing(ctx context.Context, succ string, rank int) (net.Conn, error) {
+	var dialer net.Dialer
+	backoff := ringDialBackoffBase
+	var lastErr error
+	for {
+		conn, err := dialer.DialContext(ctx, "tcp", succ)
+		if err == nil {
+			// Identify ourselves so the acceptor can verify ring order.
+			if err := writeRingHello(conn, rank); err != nil {
+				conn.Close()
+				return nil, err
+			}
+			return conn, nil
+		}
+		if ctx.Err() != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			return nil, fmt.Errorf("transport: dialing ring successor %s: %w (last error: %v)", succ, context.Cause(ctx), lastErr)
+		}
+		lastErr = err
+		// Full jitter in [backoff/2, 3*backoff/2): desynchronizes ranks
+		// that all started (or all restarted) at the same instant.
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff)))
+		select {
+		case <-ctx.Done():
+		case <-time.After(sleep):
+		}
+		if backoff *= 2; backoff > ringDialBackoffMax {
+			backoff = ringDialBackoffMax
+		}
+	}
+}
+
 // writeLoop is the persistent writer: it drains staged frames in order and
-// recycles their buffers. On a write failure it records the error and keeps
+// recycles their buffers. Every write carries a deadline, so a wedged or
+// partitioned successor turns into a recorded error (surfaced on later
+// sends) rather than a permanently blocked ring. On failure it keeps
 // draining so stagers never block.
 func (r *Ring) writeLoop() {
 	defer close(r.writerDone)
 	for buf := range r.sendData {
 		if r.sendErr.Load() == nil {
+			r.next.SetWriteDeadline(time.Now().Add(r.ioTimeout))
 			if _, err := r.next.Write(buf); err != nil {
-				werr := fmt.Errorf("transport: ring send to rank %d: %w", (r.rank+1)%r.size, err)
+				werr := r.linkErr(fmt.Sprintf("send to rank %d", (r.rank+1)%r.size), err)
 				r.sendErr.Store(&werr)
 			}
 		}
@@ -185,14 +313,38 @@ func (r *Ring) writeLoop() {
 	}
 }
 
+// pingLoop stages a heartbeat frame every interval so the successor's read
+// deadline only expires when this rank is actually gone. It stops on Close,
+// Abort, or the first send failure.
+func (r *Ring) pingLoop(interval time.Duration) {
+	defer close(r.pingDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.pingStop:
+			return
+		case <-tick.C:
+			if r.stage(protocol.TypeRingPing, 0, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
 // stage frames typ+payload into a recycled buffer and hands it to the
-// writer. fill writes the payload into the staging buffer.
+// writer. fill writes the payload into the staging buffer. Safe for
+// concurrent use (collective sends interleave with heartbeats at frame
+// granularity).
 func (r *Ring) stage(typ protocol.MsgType, payloadLen int, fill func(dst []byte)) error {
 	if payloadLen+1 > protocol.MaxFrameSize {
 		// Caught on the sender so the receiver never misreads an
 		// oversized frame as stream corruption (or a >4 GiB length as a
 		// wrapped u32).
 		return fmt.Errorf("transport: ring payload %d bytes exceeds frame limit %d", payloadLen, protocol.MaxFrameSize-1)
+	}
+	if r.aborted.Load() {
+		return fmt.Errorf("transport: ring rank %d send: %w", r.rank, ErrRingAborted)
 	}
 	if err := r.sendErr.Load(); err != nil {
 		return *err
@@ -218,25 +370,66 @@ func (r *Ring) Rank() int { return r.rank }
 // Size returns the number of ranks in the ring.
 func (r *Ring) Size() int { return r.size }
 
-// Close stops the writer and tears both ring connections down. It must not
-// race an in-flight collective.
+// Abort force-closes both ring connections. Unlike Close it is safe to
+// call concurrently with in-flight collectives: blocked reads and writes
+// fail immediately with errors wrapping ErrRingAborted. The membership
+// controller uses it to unwedge ranks blocked mid-collective on a dead
+// group. Close must still be called afterwards to stop the writer.
+func (r *Ring) Abort() {
+	if r.aborted.Swap(true) {
+		return
+	}
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
+	for _, c := range []net.Conn{r.next, r.prev} {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// Close stops the heartbeat and writer goroutines and tears both ring
+// connections down. It must not race an in-flight collective (use Abort to
+// interrupt one first).
 func (r *Ring) Close() error {
+	if r.pingStop != nil {
+		close(r.pingStop)
+		<-r.pingDone
+		r.pingStop = nil
+	}
 	if r.sendData != nil {
 		close(r.sendData)
 		<-r.writerDone
 		r.sendData = nil
 	}
+	aborted := r.aborted.Load()
+	r.closeMu.Lock()
 	var first error
 	for _, c := range []net.Conn{r.next, r.prev} {
 		if c == nil {
 			continue
 		}
-		if err := c.Close(); err != nil && first == nil {
+		if err := c.Close(); err != nil && first == nil && !aborted {
 			first = err
 		}
 	}
 	r.next, r.prev = nil, nil
+	r.closeMu.Unlock()
 	return first
+}
+
+// linkErr classifies a socket failure on an established link: every
+// failure is fatal for this ring, wrapping ErrRingAborted when Abort
+// caused it and ErrLinkDead otherwise (with deadline expiry spelled out as
+// peer silence, since heartbeats make the two equivalent).
+func (r *Ring) linkErr(op string, err error) error {
+	if r.aborted.Load() {
+		return fmt.Errorf("transport: ring rank %d %s: %w", r.rank, op, ErrRingAborted)
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return fmt.Errorf("transport: ring rank %d %s: no traffic for %v (peer dead or partitioned): %w", r.rank, op, r.ioTimeout, ErrLinkDead)
+	}
+	return fmt.Errorf("transport: ring rank %d %s: %v: %w", r.rank, op, err, ErrLinkDead)
 }
 
 // SendFloats stages vals as a RingFloats frame for the successor. vals is
@@ -259,10 +452,10 @@ func (r *Ring) RecvFloats(dst []float32) error {
 		return err
 	}
 	if typ != protocol.TypeRingFloats {
-		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want floats", r.rank, typ)
+		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want floats: %w", r.rank, typ, ErrLinkDead)
 	}
 	if len(payload) != 4*len(dst) {
-		return fmt.Errorf("transport: ring rank %d: float frame %d bytes, want %d", r.rank, len(payload), 4*len(dst))
+		return fmt.Errorf("transport: ring rank %d: float frame %d bytes, want %d: %w", r.rank, len(payload), 4*len(dst), ErrLinkDead)
 	}
 	for i := range dst {
 		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
@@ -282,31 +475,78 @@ func (r *Ring) RecvToken() error {
 		return err
 	}
 	if typ != protocol.TypeRingToken || len(payload) != 0 {
-		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want token", r.rank, typ)
+		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want token: %w", r.rank, typ, ErrLinkDead)
 	}
 	return nil
 }
 
 // readFrame reads one [length | type | payload] frame from the predecessor
-// into the recycled receive buffer.
+// into the recycled receive buffer, discarding heartbeat frames. Each read
+// carries a deadline: a predecessor silent for IOTimeout (no data, no
+// pings) is declared dead.
 func (r *Ring) readFrame() (protocol.MsgType, []byte, error) {
-	if _, err := io.ReadFull(r.prev, r.hdr[:]); err != nil {
-		return 0, nil, fmt.Errorf("transport: ring recv header: %w", err)
+	for {
+		r.prev.SetReadDeadline(time.Now().Add(r.ioTimeout))
+		if _, err := io.ReadFull(r.prev, r.hdr[:]); err != nil {
+			return 0, nil, r.linkErr("recv header", err)
+		}
+		size := binary.LittleEndian.Uint32(r.hdr[:4])
+		if size == 0 || size > protocol.MaxFrameSize {
+			return 0, nil, fmt.Errorf("transport: ring rank %d: frame size %d: %w", r.rank, size, ErrLinkDead)
+		}
+		typ := protocol.MsgType(r.hdr[4])
+		n := int(size) - 1
+		if typ == protocol.TypeRingPing {
+			if n != 0 {
+				return 0, nil, fmt.Errorf("transport: ring rank %d: ping frame with %d-byte payload: %w", r.rank, n, ErrLinkDead)
+			}
+			continue
+		}
+		payload, err := r.readPayload(n)
+		if err != nil {
+			return 0, nil, err
+		}
+		return typ, payload, nil
 	}
-	size := binary.LittleEndian.Uint32(r.hdr[:4])
-	if size == 0 || size > protocol.MaxFrameSize {
-		return 0, nil, fmt.Errorf("transport: ring frame size %d", size)
+}
+
+// readPayload reads n payload bytes into the recycled receive buffer in
+// ringReadChunk pieces, refreshing the read deadline per piece (the
+// timeout is progress-based) and growing the buffer only as bytes actually
+// arrive — a lying length prefix cannot force a large up-front allocation.
+func (r *Ring) readPayload(n int) ([]byte, error) {
+	buf := r.recvBuf
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		buf = buf[:cap(buf)]
 	}
-	typ := protocol.MsgType(r.hdr[4])
-	n := int(size) - 1
-	if cap(r.recvBuf) < n {
-		r.recvBuf = make([]byte, n)
+	for have := 0; have < n; {
+		want := have + ringReadChunk
+		if want > n {
+			want = n
+		}
+		if want > cap(buf) {
+			newCap := 2 * cap(buf)
+			if newCap < want {
+				newCap = want
+			}
+			if newCap > n {
+				newCap = n
+			}
+			nb := make([]byte, newCap)
+			copy(nb, buf[:have])
+			buf = nb
+		}
+		buf = buf[:want]
+		r.prev.SetReadDeadline(time.Now().Add(r.ioTimeout))
+		if _, err := io.ReadFull(r.prev, buf[have:want]); err != nil {
+			return nil, r.linkErr("recv payload", err)
+		}
+		have = want
 	}
-	payload := r.recvBuf[:n]
-	if _, err := io.ReadFull(r.prev, payload); err != nil {
-		return 0, nil, fmt.Errorf("transport: ring recv payload: %w", err)
-	}
-	return typ, payload, nil
+	r.recvBuf = buf
+	return buf[:n], nil
 }
 
 // writeRingHello sends the one-shot rank handshake on a dialed connection.
@@ -315,6 +555,8 @@ func writeRingHello(conn net.Conn, rank int) error {
 	binary.LittleEndian.PutUint32(buf[:], 5)
 	buf[4] = byte(protocol.TypeRingHello)
 	binary.LittleEndian.PutUint32(buf[ringHeaderLen:], uint32(rank))
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	defer conn.SetWriteDeadline(time.Time{})
 	if _, err := conn.Write(buf[:]); err != nil {
 		return fmt.Errorf("transport: ring hello: %w", err)
 	}

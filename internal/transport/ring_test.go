@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"net"
+	"time"
+
+	"testing"
+
+	"melissa/internal/protocol"
+)
+
+// byteConn is a net.Conn whose read side replays a fixed byte stream —
+// the harness for feeding readFrame arbitrary wire bytes without sockets.
+// Reads return io.EOF once the stream is exhausted; writes are discarded.
+type byteConn struct {
+	r *bytes.Reader
+}
+
+func newByteConn(data []byte) *byteConn { return &byteConn{r: bytes.NewReader(data)} }
+
+func (c *byteConn) Read(b []byte) (int, error)         { return c.r.Read(b) }
+func (c *byteConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (c *byteConn) Close() error                       { return nil }
+func (c *byteConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *byteConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *byteConn) SetDeadline(t time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// frameReaderOver builds a receive-only Ring over a canned byte stream.
+func frameReaderOver(data []byte) *Ring {
+	return &Ring{
+		rank:      0,
+		size:      2,
+		prev:      newByteConn(data),
+		ioTimeout: time.Second,
+	}
+}
+
+// ringFrame encodes one [length | type | payload] wire frame.
+func ringFrame(typ protocol.MsgType, payload []byte) []byte {
+	buf := make([]byte, ringHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(1+len(payload)))
+	buf[4] = byte(typ)
+	copy(buf[ringHeaderLen:], payload)
+	return buf
+}
+
+func TestRingFrameRoundTrip(t *testing.T) {
+	vals := []float32{1.5, -2.25, 3.75}
+	payload := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(payload[4*i:], math.Float32bits(v))
+	}
+	stream := append(ringFrame(protocol.TypeRingPing, nil), ringFrame(protocol.TypeRingFloats, payload)...)
+	stream = append(stream, ringFrame(protocol.TypeRingToken, nil)...)
+
+	r := frameReaderOver(stream)
+	dst := make([]float32, len(vals))
+	if err := r.RecvFloats(dst); err != nil { // the leading ping is skipped
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if dst[i] != v {
+			t.Fatalf("float %d: got %v want %v", i, dst[i], v)
+		}
+	}
+	if err := r.RecvToken(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RecvToken(); !errors.Is(err, ErrLinkDead) {
+		t.Fatalf("EOF after stream end: got %v, want ErrLinkDead", err)
+	}
+}
+
+func TestRingFrameMalformed(t *testing.T) {
+	oversized := make([]byte, ringHeaderLen)
+	binary.LittleEndian.PutUint32(oversized, uint32(protocol.MaxFrameSize+1))
+	oversized[4] = byte(protocol.TypeRingFloats)
+
+	zeroSize := make([]byte, ringHeaderLen)
+	zeroSize[4] = byte(protocol.TypeRingFloats)
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated header", []byte{5, 0}},
+		{"zero size", zeroSize},
+		{"oversized", oversized},
+		{"truncated payload", ringFrame(protocol.TypeRingFloats, make([]byte, 64))[:ringHeaderLen+10]},
+		{"ping with payload", ringFrame(protocol.TypeRingPing, []byte{1, 2, 3})},
+		{"garbage", []byte("this is not a ring frame at all, not even close......")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := frameReaderOver(tc.data)
+			if _, _, err := r.readFrame(); !errors.Is(err, ErrLinkDead) {
+				t.Fatalf("readFrame(%q) err = %v, want ErrLinkDead", tc.data, err)
+			}
+		})
+	}
+}
+
+// TestRingFrameLyingLengthBounded pins the anti-DoS property: a header
+// claiming a huge payload with few bytes behind it must error without the
+// receiver allocating anywhere near the claimed size up front.
+func TestRingFrameLyingLengthBounded(t *testing.T) {
+	lying := make([]byte, ringHeaderLen, ringHeaderLen+16)
+	binary.LittleEndian.PutUint32(lying, uint32(512<<20)) // claims 512 MiB
+	lying[4] = byte(protocol.TypeRingFloats)
+	lying = append(lying, make([]byte, 16)...) // only 16 bytes follow
+
+	r := frameReaderOver(lying)
+	if _, _, err := r.readFrame(); !errors.Is(err, ErrLinkDead) {
+		t.Fatalf("lying length: err = %v, want ErrLinkDead", err)
+	}
+	if cap(r.recvBuf) > 2*ringReadChunk {
+		t.Fatalf("receive buffer grew to %d for a lying prefix; chunked reads should bound it near %d", cap(r.recvBuf), ringReadChunk)
+	}
+}
+
+// FuzzRingFrame throws arbitrary bytes at the ring frame reader: it must
+// return frames or ErrLinkDead-wrapped errors, never panic, never yield a
+// payload beyond the protocol bound, and never allocate far beyond the
+// bytes actually present (a lying length prefix is chunk-bounded).
+func FuzzRingFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(ringFrame(protocol.TypeRingToken, nil))
+	f.Add(ringFrame(protocol.TypeRingFloats, []byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	f.Add(append(ringFrame(protocol.TypeRingPing, nil), ringFrame(protocol.TypeRingToken, nil)...))
+	f.Add(ringFrame(protocol.TypeRingFloats, make([]byte, 64))[:ringHeaderLen+10])
+	lying := make([]byte, ringHeaderLen)
+	binary.LittleEndian.PutUint32(lying, uint32(protocol.MaxFrameSize))
+	lying[4] = byte(protocol.TypeRingFloats)
+	f.Add(lying)
+	f.Add([]byte("garbage garbage garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := frameReaderOver(data)
+		for {
+			typ, payload, err := r.readFrame()
+			if err != nil {
+				if !errors.Is(err, ErrLinkDead) {
+					t.Fatalf("non-link error from readFrame: %v", err)
+				}
+				break
+			}
+			if typ == protocol.TypeRingPing {
+				t.Fatal("readFrame surfaced a ping frame")
+			}
+			if len(payload) > len(data) {
+				t.Fatalf("payload %d bytes from a %d-byte stream", len(payload), len(data))
+			}
+		}
+		if cap(r.recvBuf) > len(data)+2*ringReadChunk {
+			t.Fatalf("receive buffer %d for %d input bytes", cap(r.recvBuf), len(data))
+		}
+	})
+}
+
+// TestChaosDeterministicStreams pins replayability: two Chaos values with
+// the same seed and connection label make identical drop decisions, and a
+// different label yields an independent stream.
+func TestChaosDeterministicStreams(t *testing.T) {
+	pattern := func(seed uint64, label string) []bool {
+		var sink countConn
+		conn := NewChaos(ChaosConfig{Seed: seed, DropRate: 0.5}).WrapLabeled(label, &sink)
+		out := make([]bool, 200)
+		for i := range out {
+			before := sink.writes
+			if _, err := conn.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = sink.writes > before // true when the write got through
+		}
+		return out
+	}
+	a := pattern(7, "link")
+	b := pattern(7, "link")
+	c := pattern(7, "other")
+	if !equalBools(a, b) {
+		t.Fatal("same seed+label produced different drop patterns")
+	}
+	if equalBools(a, c) {
+		t.Fatal("different labels produced identical drop patterns")
+	}
+}
+
+// countConn counts writes that reach the underlying connection.
+type countConn struct {
+	byteConn
+	writes int
+}
+
+func (c *countConn) Write(b []byte) (int, error) {
+	c.writes++
+	return len(b), nil
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -13,6 +13,22 @@
 // in per-rank bufio writers with explicit flush points, so a burst of
 // messages (hello + first steps, heartbeat + time step) coalesces into few
 // write syscalls and the frame encoding reuses a per-rank scratch buffer.
+//
+// # Failure model
+//
+// Client links are supervised by the server's Watchdog: any received
+// message beats it, and the launcher kills and restarts clients that go
+// silent. Inter-rank ring links (Ring) are supervised by link-level
+// heartbeats and IO deadlines: a link silent for RingOptions.IOTimeout is
+// declared dead and every ring operation fails with an error wrapping
+// ErrLinkDead (never a panic); deliberate teardown during group
+// reconfiguration uses Ring.Abort and surfaces as ErrRingAborted. The ddp
+// package classifies these errors (transient connection-establishment
+// faults retry with backoff; established-link faults are fatal for the
+// ring epoch), and the elastic package re-forms the group over survivors.
+// The Chaos wrapper injects deterministic, seeded faults (drop / delay /
+// duplicate / partition / kill-after-N-writes) into both link kinds for
+// the chaos test suite; set MELISSA_CHAOS_SEED to replay a CI failure.
 package transport
 
 import (
