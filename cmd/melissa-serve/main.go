@@ -1,0 +1,97 @@
+// Command melissa-serve answers surrogate predictions over the wire
+// protocol: it loads a self-describing checkpoint (written by
+// Surrogate.SaveFile, melissa.PublishSurrogate, or melissa-server's
+// -surrogate-out) and serves PredictRequest frames with adaptive
+// micro-batching, a replica pool sharing one weight slab, an LRU prediction
+// cache, and hot checkpoint reload.
+//
+// Typical deployment next to a training run:
+//
+//	melissa-server ... -surrogate-out model.mlsg -publish-every 500 &
+//	melissa-serve -checkpoint model.mlsg -addr :9200 -watch 2s
+//
+// The server hot-reloads every checkpoint the trainer publishes — queries
+// keep flowing across the swap, each answered entirely by one checkpoint
+// generation. Reloads can also be requested over the wire (an admin Reload
+// frame, e.g. client.PredictConn.Reload).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"melissa/internal/serve"
+)
+
+func main() {
+	var (
+		checkpoint = flag.String("checkpoint", "", "surrogate checkpoint to serve (required, self-describing .mlsg)")
+		addr       = flag.String("addr", "127.0.0.1:9200", "listen address")
+		replicas   = flag.Int("replicas", 2, "batch workers, each with an inference replica sharing the weight slab")
+		maxBatch   = flag.Int("max-batch", 32, "requests coalesced into one fused forward pass")
+		batchWait  = flag.Duration("batch-wait", 500*time.Microsecond, "micro-batch latency budget (SLO knob; batches close at -max-batch or this deadline)")
+		cache      = flag.Int("cache", 4096, "prediction cache entries (0 disables)")
+		watch      = flag.Duration("watch", 0, "poll the checkpoint file and hot-reload new publishes (0 disables)")
+		statsEvery = flag.Duration("stats-every", 0, "print serving stats at this interval (0 disables)")
+	)
+	flag.Parse()
+	if *checkpoint == "" {
+		fatal(fmt.Errorf("-checkpoint is required"))
+	}
+
+	s, err := serve.LoadServer(serve.Config{
+		CheckpointPath: *checkpoint,
+		Replicas:       *replicas,
+		MaxBatch:       *maxBatch,
+		BatchWait:      *batchWait,
+		CacheEntries:   *cache,
+		WatchInterval:  *watch,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "melissa-serve: shutting down")
+		s.Close()
+	}()
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := s.Stats()
+				fmt.Printf("melissa-serve: epoch %d, %d req, %d resp, %d batches (%.1f rows/batch), cache %d/%d/%d hit/miss/evict, %d reloads, %d errors\n",
+					st.Epoch, st.Requests, st.Responses, st.Batches, avg(st.BatchRows, st.Batches),
+					st.Hits, st.Misses, st.Evictions, st.Reloads, st.Errors)
+			}
+		}()
+	}
+
+	fmt.Printf("melissa-serve: serving %s on %s (%d replicas, batch<=%d within %v, cache %d)\n",
+		*checkpoint, *addr, *replicas, *maxBatch, *batchWait, *cache)
+	if err := s.ListenAndServe(*addr); err != nil {
+		fatal(err)
+	}
+	st := s.Stats()
+	fmt.Printf("melissa-serve: served %d responses in %d batches, %d cache hits, %d reloads\n",
+		st.Responses, st.Batches, st.Hits, st.Reloads)
+}
+
+func avg(sum, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "melissa-serve:", err)
+	os.Exit(1)
+}

@@ -61,6 +61,8 @@ func main() {
 		seed      = flag.Uint64("seed", 2023, "seed for all stochastic components")
 		addrFile  = flag.String("addr-file", "melissa-addrs.txt", "file to publish rank addresses to")
 		out       = flag.String("out", "", "write trained weights to this file")
+		surOut    = flag.String("surrogate-out", "", "publish a self-describing surrogate checkpoint (.mlsg) to this path, atomically — melissa-serve hot-reloads it")
+		pubEvery  = flag.Int("publish-every", 0, "also publish -surrogate-out every N batches during training (0 = only at the end)")
 		ckpt      = flag.String("checkpoint", "", "server checkpoint path (enables fault tolerance)")
 		watchdog  = flag.Duration("watchdog", 30*time.Second, "client liveness timeout (0 disables)")
 	)
@@ -148,7 +150,34 @@ func main() {
 		},
 		CheckpointPath: *ckpt,
 	}
-	srv, err := server.New(cfg)
+	// Periodic surrogate publishing: at a synchronized step boundary on
+	// global rank 0, snapshot the weights into a servable checkpoint and
+	// atomically replace -surrogate-out, so a watching melissa-serve
+	// hot-reloads each publish. Failures are reported, never fatal — the
+	// previous publish stays valid.
+	var srv *server.Server
+	scfg := melissa.Config{Problem: prob, GridN: *gridN, StepsPerSim: *steps, Dt: *dt, Hidden: hiddenDims, Seed: *seed}
+	publish := func() error {
+		sur, err := melissa.SurrogateFromNetwork(srv.Trainer().Network(), scfg)
+		if err != nil {
+			return err
+		}
+		return melissa.PublishSurrogate(sur, *surOut)
+	}
+	if *surOut != "" && *pubEvery > 0 {
+		prev := cfg.Trainer.OnBatchEnd
+		cfg.Trainer.OnBatchEnd = func(batches int) {
+			if batches%*pubEvery == 0 {
+				if err := publish(); err != nil {
+					fmt.Fprintf(os.Stderr, "melissa-server: surrogate publish failed: %v\n", err)
+				}
+			}
+			if prev != nil {
+				prev(batches)
+			}
+		}
+	}
+	srv, err = server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -192,6 +221,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("melissa-server: weights written to", *out)
+	}
+	if *surOut != "" {
+		if err := publish(); err != nil {
+			fatal(fmt.Errorf("publishing surrogate: %w", err))
+		}
+		fmt.Println("melissa-server: surrogate checkpoint published to", *surOut)
 	}
 }
 

@@ -19,6 +19,14 @@
 //
 // (concatenate the per-rank -addr-file outputs in rank order for the
 // clients; see cmd/melissa-server for the full walkthrough).
+//
+// To serve the trained surrogate to remote clients, publish a checkpoint
+// and point melissa-serve at it — it hot-reloads every publish while
+// answering predict requests with micro-batching and a prediction cache
+// (see docs/serving.md):
+//
+//	melissa-server ... -surrogate-out model.mlsg -publish-every 500 &
+//	melissa-serve -checkpoint model.mlsg -addr :9200 -watch 2s
 package main
 
 import (

@@ -1,0 +1,143 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"melissa/internal/protocol"
+)
+
+// PredictConn is a live connection to a melissa-serve instance: the query
+// side of the serving tier, mirroring how API is the ingestion side. It is
+// a synchronous request/response client — one outstanding request at a
+// time, not safe for concurrent use; open one PredictConn per querying
+// goroutine (the server micro-batches across connections, so concurrency
+// comes from many connections, not pipelining on one).
+type PredictConn struct {
+	nc  net.Conn
+	rd  *protocol.Reader
+	buf []byte                  // reusable encode scratch
+	req protocol.PredictRequest // persistent request header: encoding
+	// through a pointer keeps the per-request interface boxing off the heap
+	id uint64
+}
+
+// DialPredict connects to a melissa-serve address. A zero timeout dials
+// without a deadline.
+func DialPredict(addr string, timeout time.Duration) (*PredictConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial predict %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // single-frame requests must not wait for Nagle
+	}
+	return &PredictConn{nc: nc, rd: protocol.NewReader(bufio.NewReaderSize(nc, 1<<15))}, nil
+}
+
+// Close says Goodbye and tears the connection down.
+func (c *PredictConn) Close() error {
+	c.send(protocol.Goodbye{})
+	return c.nc.Close()
+}
+
+func (c *PredictConn) send(msg protocol.Message) error {
+	c.buf = protocol.AppendEncode(c.buf[:0], msg)
+	_, err := c.nc.Write(c.buf)
+	return err
+}
+
+// Predict asks the server for the field at (params, t). The returned slice
+// is freshly allocated; use PredictInto on hot paths.
+func (c *PredictConn) Predict(params []float32, t float32) ([]float32, uint32, error) {
+	return c.PredictInto(nil, params, t)
+}
+
+// PredictInto is Predict with a caller-supplied destination, grown as
+// needed and returned along with the checkpoint epoch that computed the
+// answer. With sufficient capacity the steady-state round trip performs no
+// heap allocations on either end of the wire.
+func (c *PredictConn) PredictInto(dst []float32, params []float32, t float32) ([]float32, uint32, error) {
+	c.id++
+	c.req.ID, c.req.T, c.req.Params = c.id, t, params
+	err := c.send(&c.req)
+	c.req.Params = nil // don't pin the caller's slice past the call
+	if err != nil {
+		return dst, 0, err
+	}
+	for {
+		msg, err := c.rd.Next()
+		if err != nil {
+			return dst, 0, fmt.Errorf("client: predict response: %w", err)
+		}
+		switch m := msg.(type) {
+		case *protocol.PredictResponse:
+			if m.ID != c.id {
+				protocol.RecyclePredictResponse(m) // stale (shouldn't happen on a sync conn)
+				continue
+			}
+			if cap(dst) < len(m.Field) {
+				dst = make([]float32, len(m.Field))
+			}
+			dst = dst[:len(m.Field)]
+			copy(dst, m.Field)
+			epoch := m.Epoch
+			protocol.RecyclePredictResponse(m)
+			return dst, epoch, nil
+		case protocol.PredictError:
+			return dst, 0, fmt.Errorf("client: predict rejected: %s", m.Msg)
+		default:
+			return dst, 0, fmt.Errorf("client: unexpected %T while awaiting prediction", msg)
+		}
+	}
+}
+
+// Info asks the server to describe its loaded model.
+func (c *PredictConn) Info() (protocol.ServeInfo, error) {
+	if err := c.send(protocol.ServeInfoRequest{}); err != nil {
+		return protocol.ServeInfo{}, err
+	}
+	msg, err := c.rd.Next()
+	if err != nil {
+		return protocol.ServeInfo{}, err
+	}
+	info, ok := msg.(protocol.ServeInfo)
+	if !ok {
+		return protocol.ServeInfo{}, fmt.Errorf("client: unexpected %T while awaiting server info", msg)
+	}
+	return info, nil
+}
+
+// Reload asks the server to hot-reload its checkpoint (empty path = the
+// server's configured path) and returns the epoch now serving.
+func (c *PredictConn) Reload(path string) (uint32, error) {
+	if err := c.send(protocol.Reload{Path: path}); err != nil {
+		return 0, err
+	}
+	msg, err := c.rd.Next()
+	if err != nil {
+		return 0, err
+	}
+	res, ok := msg.(protocol.ReloadResult)
+	if !ok {
+		return 0, fmt.Errorf("client: unexpected %T while awaiting reload result", msg)
+	}
+	if res.Msg != "" {
+		return res.Epoch, fmt.Errorf("client: reload failed: %s", res.Msg)
+	}
+	return res.Epoch, nil
+}
+
+// PredictRemote is the one-shot convenience: dial, query, close. For more
+// than one query, hold a PredictConn.
+func PredictRemote(addr string, params []float32, t float32) ([]float32, error) {
+	c, err := DialPredict(addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	field, _, err := c.Predict(params, t)
+	return field, err
+}

@@ -198,6 +198,14 @@ func BatchTensors(norm Normalizer, batch []buffer.Sample) (in, out *tensor.Matri
 type ValidationSet struct {
 	In  *tensor.Matrix
 	Out *tensor.Matrix
+
+	// view is the reusable chunk-view header handed to Forward. It lives
+	// on the set rather than Validate's stack because layers retain the
+	// pointer (lastX), which would otherwise force a fresh heap header per
+	// call. Consequently a ValidationSet must not be validated from two
+	// goroutines at once — already required, since the network isn't
+	// concurrency-safe either.
+	view tensor.Matrix
 }
 
 // NewValidationSet normalizes raw samples into an evaluation set.
@@ -224,19 +232,18 @@ func Validate(net *nn.Network, set *ValidationSet, chunk int) float64 {
 	}
 	var sum float64
 	var count int
-	// One reusable view header serves every chunk; the network's layers
-	// pool their activations per chunk shape, so repeated validation
-	// passes allocate nothing.
-	var in tensor.Matrix
+	// One reusable view header (set.view) serves every chunk; the
+	// network's layers pool their activations per chunk shape, so repeated
+	// validation passes allocate nothing.
 	for start := 0; start < set.In.Rows; start += chunk {
 		end := start + chunk
 		if end > set.In.Rows {
 			end = set.In.Rows
 		}
 		rows := end - start
-		set.In.ViewRows(&in, start, end)
+		set.In.ViewRows(&set.view, start, end)
 		want := set.Out.Data[start*set.Out.Cols : end*set.Out.Cols]
-		pred := net.Forward(&in)
+		pred := net.Forward(&set.view)
 		for i, p := range pred.Data {
 			d := float64(p) - float64(want[i])
 			sum += d * d

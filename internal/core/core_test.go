@@ -143,6 +143,21 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+func TestValidateZeroAlloc(t *testing.T) {
+	norm := testNormalizer()
+	// 20 samples at chunk 8 exercises both chunk shapes (8 and the final
+	// partial 4), so the gate covers the activation pools for each.
+	set := NewValidationSet(norm, synthSamples(20, 5))
+	net, _ := ModelSpec{InputDim: 6, Hidden: []int{8, 8}, OutputDim: testFieldDim, Seed: 2}.Build()
+	Validate(net, set, 8) // warm the per-shape activation pools
+	allocs := testing.AllocsPerRun(20, func() {
+		Validate(net, set, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("Validate allocates %.0f objects per pass, want 0 (reusable view header regression)", allocs)
+	}
+}
+
 func newTestTrainer(t *testing.T, ranks, maxBatches int, kind buffer.Kind) (*Trainer, []*buffer.Blocking) {
 	t.Helper()
 	norm := testNormalizer()

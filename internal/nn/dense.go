@@ -96,6 +96,13 @@ func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
 // Params implements Layer.
 func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 
+// CloneShared returns an inference-only copy aliasing this layer's weight
+// and bias parameters (no copy) with private forward/backward scratch. See
+// Network.CloneShared for the safety contract.
+func (d *Dense) CloneShared() Layer {
+	return &Dense{name: d.name, w: d.w, b: d.b, act: d.act}
+}
+
 // Clone implements Layer.
 func (d *Dense) Clone() Layer {
 	return &Dense{

@@ -221,6 +221,27 @@ func (n *Network) Clone() *Network {
 	return NewNetwork(layers...)
 }
 
+// CloneShared returns an inference-only copy that shares this network's
+// parameter storage — no weights are copied — while owning private
+// activation scratch, so many replicas can run Forward concurrently against
+// one weight slab. The clone is not slab-fused (FlatParams returns nil) and
+// must never be trained: Backward would accumulate into the shared gradient
+// buffers, and mutating either network's weights while the other runs
+// Forward is a data race. Layers that cannot share storage are deep-copied.
+func (n *Network) CloneShared() *Network {
+	layers := make([]Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		if sc, ok := l.(interface{ CloneShared() Layer }); ok {
+			layers[i] = sc.CloneShared()
+		} else {
+			layers[i] = l.Clone()
+		}
+	}
+	// No fuse(): repacking would re-point the shared Params at fresh slabs
+	// and break aliasing with (and race against readers of) the original.
+	return &Network{Layers: layers}
+}
+
 // CopyWeightsFrom overwrites this network's parameter values with src's.
 // Shapes must match exactly. When both networks are slab-fused the copy is
 // one bulk memmove.

@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"melissa/internal/tensor"
+)
+
+// TestCloneSharedAliasesWeights: the shared clone must point at the original
+// parameter storage (no copy) and produce bit-identical forward outputs,
+// including after the original's weights change under it.
+func TestCloneSharedAliasesWeights(t *testing.T) {
+	base := ArchitectureMLP(4, []int{8, 8}, 6, 11)
+	shared := base.CloneShared()
+	bp, sp := base.Params(), shared.Params()
+	if len(bp) != len(sp) {
+		t.Fatalf("param count %d vs %d", len(sp), len(bp))
+	}
+	for i := range bp {
+		if &bp[i].Value.Data[0] != &sp[i].Value.Data[0] {
+			t.Fatalf("param %q: clone has private storage", bp[i].Name)
+		}
+	}
+	if shared.FlatParams() != nil {
+		t.Fatal("shared clone must not be slab-fused")
+	}
+	x := tensor.New(3, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)*0.25 - 1
+	}
+	check := func() {
+		want := base.Clone().Forward(x) // private net, same weights
+		got := shared.Forward(x)
+		for i := range want.Data {
+			if math.Float32bits(want.Data[i]) != math.Float32bits(got.Data[i]) {
+				t.Fatalf("forward diverges at %d: %v vs %v", i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+	check()
+	for i := range base.FlatParams() { // weight update propagates to the clone
+		base.FlatParams()[i] *= 1.5
+	}
+	check()
+}
+
+// TestCloneSharedConcurrentForward: many shared clones of one network must
+// run Forward concurrently without racing (run under -race).
+func TestCloneSharedConcurrentForward(t *testing.T) {
+	base := ArchitectureMLP(4, []int{16}, 8, 13)
+	x := tensor.New(2, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i) * 0.1
+	}
+	want := base.Clone().Forward(x)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		clone := base.CloneShared()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				got := clone.Forward(x)
+				for i := range want.Data {
+					if math.Float32bits(want.Data[i]) != math.Float32bits(got.Data[i]) {
+						t.Errorf("concurrent forward diverges at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -259,13 +259,28 @@ func (rd *Reader) Next() (Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if MsgType(body[0]) == TypeTimeStep {
+	switch MsgType(body[0]) {
+	case TypeTimeStep:
 		ts := LeaseTimeStep()
 		if err := decodeTimeStepInto(ts, body[1:]); err != nil {
 			RecycleTimeStep(ts)
 			return nil, err
 		}
 		return ts, nil
+	case TypePredictRequest:
+		m := LeasePredictRequest()
+		if err := decodePredictRequestInto(m, body[1:]); err != nil {
+			RecyclePredictRequest(m)
+			return nil, err
+		}
+		return m, nil
+	case TypePredictResponse:
+		m := LeasePredictResponse()
+		if err := decodePredictResponseInto(m, body[1:]); err != nil {
+			RecyclePredictResponse(m)
+			return nil, err
+		}
+		return m, nil
 	}
 	return decodeBody(body)
 }
@@ -363,8 +378,12 @@ func decodeBody(body []byte) (Message, error) {
 		m := Heartbeat{ClientID: int32(d.u32())}
 		return m, d.err
 	default:
-		return nil, fmt.Errorf("protocol: unknown message type %d", typ)
+		return decodeServeBody(typ, &d)
 	}
+}
+
+func errUnknownType(typ MsgType) error {
+	return fmt.Errorf("protocol: unknown message type %d", typ)
 }
 
 type decoder struct {
@@ -383,6 +402,42 @@ func (d *decoder) u32() uint32 {
 	v := binary.LittleEndian.Uint32(d.buf)
 	d.buf = d.buf[4:]
 	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.err = fmt.Errorf("protocol: short payload")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v
+}
+
+// maxWireString bounds string fields (problem names, checkpoint paths,
+// error messages); longer prefixes indicate corruption.
+const maxWireString = 1 << 16
+
+// str decodes a length-prefixed string.
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxWireString {
+		d.err = fmt.Errorf("protocol: unreasonable string length %d", n)
+		return ""
+	}
+	if uint64(len(d.buf)) < uint64(n) {
+		d.err = fmt.Errorf("protocol: short string payload (%d bytes, %d left)", n, len(d.buf))
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
 }
 
 // f32s decodes a length-prefixed float vector into a fresh slice.
@@ -425,6 +480,22 @@ func (d *decoder) f32sHeader() (int, bool) {
 		return 0, false
 	}
 	return int(n), true
+}
+
+// EncodeF32s serializes vals into dst as little-endian float32 bits with
+// the codec's 8-wide unrolled loop; dst must hold at least 4·len(vals)
+// bytes. It is the exported byte↔float shuffle for wire layers that frame
+// raw float chunks themselves (the rank-to-rank collective ring), so every
+// float on the wire moves through the same vectorized loops as the client
+// messages.
+func EncodeF32s(dst []byte, vals []float32) {
+	encodeF32Bulk(dst, vals)
+}
+
+// DecodeF32s is the decode mirror of EncodeF32s: it fills dst from
+// 4·len(dst) bytes of src.
+func DecodeF32s(dst []float32, src []byte) {
+	decodeF32Bulk(dst, src)
 }
 
 // decodeF32Bulk byte-swaps 4·len(dst) bytes of src into dst with an 8-wide
@@ -471,6 +542,15 @@ func encodeF32Bulk(dst []byte, vals []float32) {
 
 func appendU32(buf []byte, v uint32) []byte {
 	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendU32(buf, uint32(len(s)))
+	return append(buf, s...)
 }
 
 func appendF32s(buf []byte, vals []float32) []byte {

@@ -1,0 +1,558 @@
+// Package serve implements the surrogate prediction service behind
+// melissa-serve: it loads a trained surrogate checkpoint and answers
+// PredictRequest frames over the training stack's wire protocol.
+//
+// The request path is built from three pieces. Adaptive micro-batching:
+// connection readers admit requests into one queue, and batch workers
+// coalesce whatever is in flight into a single fused-GEMM replica call — a
+// batch closes when it reaches the size cap or when the oldest request has
+// waited Config.BatchWait, whichever comes first, so the batch size adapts
+// to the offered load (full batches at saturation, single-request batches
+// with one BatchWait of added latency when idle). A replica pool: each
+// worker evaluates on a melissa.Replica sharing the one weight slab, so N
+// workers scale across cores without N copies of the model. A prediction
+// cache: an LRU keyed on the exact query bits answers repeated queries
+// without touching a replica (replicas pin their GEMM shape, so a cached
+// field is bit-identical to a recomputed one).
+//
+// Checkpoints hot-reload without dropping requests: a reload builds a fresh
+// model (surrogate + replica pool) and publishes it with one atomic pointer
+// swap, tagged with a new epoch. In-flight batches finish on the model they
+// started with — every response is computed entirely by one epoch's
+// weights, never a torn mix — and the cache is flushed so stale fields are
+// never served. Reloads trigger from an admin Reload frame or from watching
+// the checkpoint file for a new atomic publish (melissa.PublishSurrogate).
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"melissa"
+	"melissa/internal/protocol"
+)
+
+// Config tunes a Server. The zero value of any field selects its default.
+type Config struct {
+	// CheckpointPath is the checkpoint file re-read by Reload requests with
+	// an empty path and by the file watcher. Optional if neither is used.
+	CheckpointPath string
+	// Replicas is the number of batch workers, each with a private
+	// inference replica sharing the model's weight slab. Default 2.
+	Replicas int
+	// MaxBatch caps how many requests one worker coalesces into a fused
+	// forward pass (and fixes the replicas' GEMM shape). Default 32.
+	MaxBatch int
+	// BatchWait is the micro-batching latency budget: how long an admitted
+	// request may wait for companions before its batch closes regardless of
+	// size. This is the knob that trades tail latency for batching
+	// efficiency. Default 500µs; negative disables waiting (every batch
+	// closes as soon as the queue drains).
+	BatchWait time.Duration
+	// CacheEntries bounds the prediction cache; 0 disables it (a negative
+	// value also disables it).
+	CacheEntries int
+	// WatchInterval is how often the checkpoint file is polled for a new
+	// publish; 0 disables watching.
+	WatchInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = 500 * time.Microsecond
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	return c
+}
+
+// model is one immutable checkpoint generation: the surrogate, its epoch
+// tag, and a freelist of shape-pinned replicas. Workers hold the model
+// pointer for the duration of a batch, so a reload (which swaps the
+// server's pointer) never changes the weights under a running batch.
+type model struct {
+	sur      *melissa.Surrogate
+	epoch    uint32
+	maxBatch int
+	replicas chan *melissa.Replica
+}
+
+func newModel(sur *melissa.Surrogate, epoch uint32, maxBatch, replicas int) *model {
+	return &model{sur: sur, epoch: epoch, maxBatch: maxBatch, replicas: make(chan *melissa.Replica, replicas)}
+}
+
+func (m *model) lease() *melissa.Replica {
+	select {
+	case r := <-m.replicas:
+		return r
+	default:
+		return m.sur.NewReplica(m.maxBatch)
+	}
+}
+
+func (m *model) recycle(r *melissa.Replica) {
+	select {
+	case m.replicas <- r:
+	default:
+	}
+}
+
+// pending is one admitted request waiting for a batch: the leased wire
+// message and the connection to answer on. Recycled through a freelist so
+// the steady-state admit path does not allocate.
+type pending struct {
+	c   *conn
+	req *protocol.PredictRequest
+}
+
+// Stats is a snapshot of the server's monotonic counters.
+type Stats struct {
+	Requests  uint64 // predict requests admitted
+	Responses uint64 // predict responses sent (computed + cached)
+	Batches   uint64 // fused forward passes
+	BatchRows uint64 // total requests served by those passes
+	Hits      uint64 // cache hits
+	Misses    uint64 // cache misses
+	Evictions uint64 // cache evictions
+	Errors    uint64 // rejected requests (PredictError sent)
+	Reloads   uint64 // successful hot reloads
+	Epoch     uint32 // current checkpoint epoch
+}
+
+// Server answers predict requests for one surrogate model. Create with
+// NewServer, then either drive Serve with a listener or (in tests) admit
+// requests directly.
+type Server struct {
+	cfg   Config
+	model atomic.Pointer[model]
+	cache *predictCache
+	queue chan *pending
+	free  chan *pending
+
+	reloadMu sync.Mutex // serializes reloads; epoch advances under it
+	done     chan struct{}
+	closing  atomic.Bool
+	wg       sync.WaitGroup
+	ln       net.Listener
+	lnMu     sync.Mutex
+
+	requests, responses, batches, batchRows, errors, reloads atomic.Uint64
+}
+
+// NewServer wraps a loaded surrogate in a serving instance and starts its
+// batch workers (and the checkpoint watcher, if configured).
+func NewServer(sur *melissa.Surrogate, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: newPredictCache(cfg.CacheEntries),
+		queue: make(chan *pending, 4*cfg.Replicas*cfg.MaxBatch),
+		free:  make(chan *pending, 4*cfg.Replicas*cfg.MaxBatch),
+		done:  make(chan struct{}),
+	}
+	s.model.Store(newModel(sur, 1, cfg.MaxBatch, cfg.Replicas))
+	for i := 0; i < cfg.Replicas; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if cfg.WatchInterval > 0 && cfg.CheckpointPath != "" {
+		s.wg.Add(1)
+		go s.watch()
+	}
+	return s
+}
+
+// LoadServer loads the self-describing checkpoint at cfg.CheckpointPath and
+// serves it.
+func LoadServer(cfg Config) (*Server, error) {
+	if cfg.CheckpointPath == "" {
+		return nil, errors.New("serve: no checkpoint path configured")
+	}
+	sur, err := melissa.LoadSurrogateFile(cfg.CheckpointPath)
+	if err != nil {
+		return nil, err
+	}
+	return NewServer(sur, cfg), nil
+}
+
+// Epoch returns the current checkpoint epoch (1 for the initial model,
+// advancing by one per successful reload).
+func (s *Server) Epoch() uint32 { return s.model.Load().epoch }
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	hits, misses, evictions := s.cache.counters()
+	return Stats{
+		Requests:  s.requests.Load(),
+		Responses: s.responses.Load(),
+		Batches:   s.batches.Load(),
+		BatchRows: s.batchRows.Load(),
+		Hits:      hits,
+		Misses:    misses,
+		Evictions: evictions,
+		Errors:    s.errors.Load(),
+		Reloads:   s.reloads.Load(),
+		Epoch:     s.Epoch(),
+	}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after Close,
+// or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address, once Serve has one.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, stops the workers and watcher, and waits for
+// connection handlers to drain. Safe to call more than once.
+func (s *Server) Close() error {
+	if !s.closing.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.done)
+	s.lnMu.Lock()
+	ln := s.ln
+	s.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Reload hot-swaps the served checkpoint: load the file at path (empty =
+// the configured checkpoint path), verify it is shape-compatible with the
+// running model, and publish it under the next epoch. In-flight batches
+// finish on the old model; the prediction cache is flushed. Returns the
+// epoch now serving.
+func (s *Server) Reload(path string) (uint32, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if path == "" {
+		path = s.cfg.CheckpointPath
+		if path == "" {
+			return s.Epoch(), errors.New("serve: no checkpoint path configured")
+		}
+	}
+	sur, err := melissa.LoadSurrogateFile(path)
+	if err != nil {
+		return s.Epoch(), err
+	}
+	old := s.model.Load()
+	if sur.ParamDim() != old.sur.ParamDim() || sur.OutputDim() != old.sur.OutputDim() {
+		return old.epoch, fmt.Errorf("serve: checkpoint shape %d->%d incompatible with serving model %d->%d",
+			sur.ParamDim(), sur.OutputDim(), old.sur.ParamDim(), old.sur.OutputDim())
+	}
+	next := newModel(sur, old.epoch+1, s.cfg.MaxBatch, s.cfg.Replicas)
+	s.model.Store(next)
+	// Flush after the swap: a put racing the flush can only re-insert a
+	// field tagged with its (old) epoch, which readers can identify; a
+	// pre-swap flush would let old-model inserts land after it unnoticed.
+	s.cache.flush()
+	s.reloads.Add(1)
+	return next.epoch, nil
+}
+
+// watch polls the checkpoint file and reloads when a new version is
+// published (atomic rename → a new mtime/size/inode is one poll away).
+func (s *Server) watch() {
+	defer s.wg.Done()
+	last, _ := statSig(s.cfg.CheckpointPath)
+	ticker := time.NewTicker(s.cfg.WatchInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			sig, err := statSig(s.cfg.CheckpointPath)
+			if err != nil || sig == last {
+				continue
+			}
+			if _, err := s.Reload(""); err == nil {
+				last = sig
+			}
+		}
+	}
+}
+
+// statSig condenses a file's identity into a comparable signature.
+func statSig(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d/%d", fi.Size(), fi.ModTime().UnixNano()), nil
+}
+
+// worker drains the admit queue: it blocks for the first pending request,
+// keeps the batch open until the size cap or the BatchWait deadline, then
+// runs the fused forward pass on a leased replica and answers every
+// request. One worker per configured replica.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	batch := make([]*pending, 0, s.cfg.MaxBatch)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first *pending
+		select {
+		case first = <-s.queue:
+		case <-s.done:
+			return
+		}
+		batch = append(batch[:0], first)
+		m := s.model.Load()
+		s.fillBatch(&batch, m.maxBatch, timer)
+		s.serveBatch(m, batch)
+	}
+}
+
+// fillBatch grows *batch from the queue until the size cap or the deadline.
+// The non-blocking drain runs first so a backlogged queue closes batches at
+// the cap without ever arming the timer.
+func (s *Server) fillBatch(batch *[]*pending, cap int, timer *time.Timer) {
+	b := *batch
+	defer func() { *batch = b }()
+	for len(b) < cap {
+		select {
+		case p := <-s.queue:
+			b = append(b, p)
+			continue
+		default:
+		}
+		break
+	}
+	if len(b) >= cap || s.cfg.BatchWait <= 0 {
+		return
+	}
+	timer.Reset(s.cfg.BatchWait)
+	for len(b) < cap {
+		select {
+		case p := <-s.queue:
+			b = append(b, p)
+		case <-timer.C:
+			return
+		case <-s.done:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		}
+	}
+	if !timer.Stop() {
+		<-timer.C
+	}
+}
+
+// serveBatch evaluates one batch on m and answers every request. The batch
+// runs entirely on m's weights — reloads swap the server's model pointer
+// but cannot touch a model a worker already holds.
+func (s *Server) serveBatch(m *model, batch []*pending) {
+	rep := m.lease()
+	err := rep.PredictBatchRaw(len(batch),
+		func(i int) ([]float32, float32) { return batch[i].req.Params, batch[i].req.T },
+		func(i int, field []float32) {
+			p := batch[i]
+			if s.cache != nil {
+				p.c.keyBuf = appendKey(p.c.keyBuf[:0], p.req.Params, p.req.T)
+				s.cache.put(p.c.keyBuf, m.epoch, field)
+			}
+			p.c.sendResponse(p.req.ID, m.epoch, field)
+			s.responses.Add(1)
+		})
+	if err != nil {
+		// Unreachable in normal operation: admit validated every request
+		// against a shape-compatible model. Reject the whole batch.
+		for _, p := range batch {
+			p.c.sendError(p.req.ID, err.Error())
+			s.errors.Add(1)
+		}
+	}
+	m.recycle(rep)
+	s.batches.Add(1)
+	s.batchRows.Add(uint64(len(batch)))
+	for _, p := range batch {
+		s.recyclePending(p)
+	}
+}
+
+func (s *Server) leasePending(c *conn, req *protocol.PredictRequest) *pending {
+	select {
+	case p := <-s.free:
+		p.c, p.req = c, req
+		return p
+	default:
+		return &pending{c: c, req: req}
+	}
+}
+
+func (s *Server) recyclePending(p *pending) {
+	protocol.RecyclePredictRequest(p.req)
+	p.c, p.req = nil, nil
+	select {
+	case s.free <- p:
+	default:
+	}
+}
+
+// admit takes ownership of a leased request: answer from the cache, reject
+// a malformed query, or queue it for a batch worker. Runs on the
+// connection's reader goroutine, so cache hits never cross a goroutine
+// boundary.
+func (s *Server) admit(c *conn, req *protocol.PredictRequest) {
+	s.requests.Add(1)
+	m := s.model.Load()
+	if len(req.Params) != m.sur.ParamDim() {
+		c.sendError(req.ID, "bad parameter count")
+		s.errors.Add(1)
+		protocol.RecyclePredictRequest(req)
+		return
+	}
+	if s.cache != nil {
+		c.keyBuf = appendKey(c.keyBuf[:0], req.Params, req.T)
+		if field, epoch := s.cache.get(c.keyBuf, c.fieldBuf); field != nil {
+			c.fieldBuf = field
+			c.sendResponse(req.ID, epoch, field)
+			s.responses.Add(1)
+			protocol.RecyclePredictRequest(req)
+			return
+		}
+	}
+	select {
+	case s.queue <- s.leasePending(c, req):
+	case <-s.done:
+		protocol.RecyclePredictRequest(req)
+	}
+}
+
+// conn is one client connection: the socket, a reusable encode buffer
+// guarded by mu (batch workers and the reader goroutine both answer on it),
+// and reader-goroutine-private cache scratch.
+type conn struct {
+	nc   net.Conn
+	mu   sync.Mutex
+	buf  []byte
+	resp protocol.PredictResponse // persistent response header: encoding
+	// through a pointer keeps the per-response interface boxing off the heap
+
+	keyBuf   []byte    // cache key scratch (reader goroutine only)
+	fieldBuf []float32 // cache hit copy-out scratch (reader goroutine only)
+}
+
+// send encodes and writes one frame. Errors are ignored: a dead connection
+// surfaces in the reader goroutine, which owns teardown.
+func (c *conn) send(msg protocol.Message) {
+	c.mu.Lock()
+	c.buf = protocol.AppendEncode(c.buf[:0], msg)
+	c.nc.Write(c.buf)
+	c.mu.Unlock()
+}
+
+// sendResponse writes a PredictResponse without copying the field: the
+// frame is encoded under the connection lock straight from the caller's
+// buffer into the connection's reusable encode buffer.
+func (c *conn) sendResponse(id uint64, epoch uint32, field []float32) {
+	c.mu.Lock()
+	c.resp.ID, c.resp.Epoch, c.resp.Field = id, epoch, field
+	c.buf = protocol.AppendEncode(c.buf[:0], &c.resp)
+	c.resp.Field = nil // don't pin the caller's buffer past the call
+	c.nc.Write(c.buf)
+	c.mu.Unlock()
+}
+
+func (c *conn) sendError(id uint64, msg string) {
+	c.send(protocol.PredictError{ID: id, Msg: msg})
+}
+
+// handleConn reads frames until the client hangs up or says Goodbye.
+func (s *Server) handleConn(nc net.Conn) {
+	defer s.wg.Done()
+	defer nc.Close()
+	c := &conn{nc: nc}
+	rd := protocol.NewReader(bufio.NewReaderSize(nc, 1<<15))
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		msg, err := rd.Next()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *protocol.PredictRequest:
+			s.admit(c, m)
+		case protocol.ServeInfoRequest:
+			mod := s.model.Load()
+			c.send(protocol.ServeInfo{
+				Problem:   mod.sur.Meta().Problem,
+				ParamDim:  uint32(mod.sur.ParamDim()),
+				OutputDim: uint32(mod.sur.OutputDim()),
+				Epoch:     mod.epoch,
+			})
+		case protocol.Reload:
+			epoch, err := s.Reload(m.Path)
+			res := protocol.ReloadResult{Epoch: epoch}
+			if err != nil {
+				res.Msg = err.Error()
+			}
+			c.send(res)
+		case protocol.Goodbye:
+			return
+		default:
+			// Unexpected but decodable frame (e.g. a training client
+			// connected here by mistake): drop it, keep the connection.
+			if ts, ok := msg.(*protocol.TimeStep); ok {
+				protocol.RecycleTimeStep(ts)
+			}
+		}
+	}
+}

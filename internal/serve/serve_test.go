@@ -1,0 +1,513 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"math/rand/v2"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"melissa"
+	"melissa/internal/client"
+	"melissa/internal/nn"
+	"melissa/internal/protocol"
+)
+
+// testSurrogate builds a small untrained heat surrogate with seeded random
+// weights — serving mechanics don't need a training run, only a loadable
+// model. Different seeds give models that answer every query differently,
+// which is what the reload tests need.
+func testSurrogate(t testing.TB, seed uint64) *melissa.Surrogate {
+	t.Helper()
+	cfg := melissa.DefaultConfig()
+	cfg.GridN = 8
+	cfg.StepsPerSim = 6
+	cfg.Hidden = []int{24, 24}
+	cfg.Seed = seed
+	norm := melissa.Heat().Normalizer(cfg)
+	net := nn.ArchitectureMLP(norm.InputDim(), cfg.Hidden, norm.OutputDim(), seed)
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sur, err := melissa.LoadSurrogateLegacy(&buf, cfg.GridN, cfg.StepsPerSim, cfg.Dt, cfg.Hidden, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sur
+}
+
+// testQueries draws n in-range float32 heat queries.
+func testQueries(n int, rng *rand.Rand) (params [][]float32, ts []float32) {
+	min, max := melissa.Heat().ParamBounds()
+	params = make([][]float32, n)
+	ts = make([]float32, n)
+	for i := range params {
+		p := make([]float32, len(min))
+		for j := range p {
+			p[j] = float32(min[j] + rng.Float64()*(max[j]-min[j]))
+		}
+		params[i] = p
+		ts[i] = float32(rng.IntN(6)) + 1
+	}
+	return params, ts
+}
+
+// expectedFields computes the reference answer for each query on a replica
+// with the server's batch shape — the bits every served response must match.
+func expectedFields(t testing.TB, sur *melissa.Surrogate, maxBatch int, params [][]float32, ts []float32) [][]float32 {
+	t.Helper()
+	rep := sur.NewReplica(maxBatch)
+	out := make([][]float32, len(params))
+	for q := range params {
+		err := rep.PredictBatchRaw(1,
+			func(int) ([]float32, float32) { return params[q], ts[q] },
+			func(_ int, field []float32) { out[q] = append([]float32(nil), field...) })
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// startServer serves s on a loopback listener and returns its address.
+func startServer(t testing.TB, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return ln.Addr().String()
+}
+
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServeEndToEnd: a client's predictions over loopback TCP must be
+// bit-identical to the local replica reference, Info must describe the
+// model, repeated queries must hit the cache, and malformed queries must be
+// rejected without killing the connection.
+func TestServeEndToEnd(t *testing.T) {
+	sur := testSurrogate(t, 41)
+	cfg := Config{MaxBatch: 8, Replicas: 2, CacheEntries: 64}
+	s := NewServer(sur, cfg)
+	addr := startServer(t, s)
+
+	c, err := client.DialPredict(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	info, err := c.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Problem != melissa.HeatName || int(info.ParamDim) != sur.ParamDim() ||
+		int(info.OutputDim) != sur.OutputDim() || info.Epoch != 1 {
+		t.Fatalf("bad server info %+v", info)
+	}
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	params, ts := testQueries(16, rng)
+	want := expectedFields(t, sur, cfg.MaxBatch, params, ts)
+	var field []float32
+	for round := 0; round < 2; round++ { // second round must be all cache hits
+		for q := range params {
+			var epoch uint32
+			field, epoch, err = c.PredictInto(field, params[q], ts[q])
+			if err != nil {
+				t.Fatalf("round %d query %d: %v", round, q, err)
+			}
+			if epoch != 1 {
+				t.Fatalf("round %d query %d: epoch %d, want 1", round, q, epoch)
+			}
+			if !bitsEqual(field, want[q]) {
+				t.Fatalf("round %d query %d: served field diverges from reference", round, q)
+			}
+		}
+	}
+	if st := s.Stats(); st.Hits < uint64(len(params)) {
+		t.Fatalf("stats %+v: want at least %d cache hits", st, len(params))
+	}
+
+	// Wrong parameter count → PredictError, connection stays usable.
+	if _, _, err := c.Predict([]float32{1, 2}, 1); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+	if _, _, err = c.Predict(params[0], ts[0]); err != nil {
+		t.Fatalf("connection unusable after rejection: %v", err)
+	}
+	if st := s.Stats(); st.Errors == 0 {
+		t.Fatalf("stats %+v: rejection not counted", st)
+	}
+}
+
+// TestServeBatchesCoalesce: concurrent closed-loop clients must actually be
+// micro-batched — with the workers outnumbered by clients, the mean batch
+// size has to rise above one request per forward pass.
+func TestServeBatchesCoalesce(t *testing.T) {
+	sur := testSurrogate(t, 43)
+	s := NewServer(sur, Config{MaxBatch: 16, Replicas: 1, BatchWait: 2 * time.Millisecond})
+	addr := startServer(t, s)
+
+	const clients, each = 8, 50
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewPCG(5, 6))
+	params, ts := testQueries(clients, rng)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.DialPredict(addr, 5*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			var field []float32
+			for i := 0; i < each; i++ {
+				if field, _, err = c.PredictInto(field, params[g], ts[g]); err != nil {
+					t.Errorf("client %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.BatchRows != clients*each {
+		t.Fatalf("stats %+v: served %d rows, want %d", st, st.BatchRows, clients*each)
+	}
+	if st.Batches == 0 || float64(st.BatchRows)/float64(st.Batches) <= 1.0 {
+		t.Fatalf("stats %+v: no coalescing (%d rows in %d batches)", st, st.BatchRows, st.Batches)
+	}
+}
+
+// TestServeReloadUnderLoad is the hot-reload torture test (run under
+// -race): clients hammer the server while the checkpoint is repeatedly
+// hot-swapped between two models. Every request must get exactly one
+// response, and every response must be bit-identical to the answer of the
+// single epoch it claims — old bits or new bits, never a torn mix — with
+// the epoch's parity identifying which checkpoint produced it.
+func TestServeReloadUnderLoad(t *testing.T) {
+	surA := testSurrogate(t, 41) // epochs 1, 3, 5, ... (odd)
+	surB := testSurrogate(t, 97) // epochs 2, 4, 6, ... (even)
+	dir := t.TempDir()
+	pathA := filepath.Join(dir, "a.mlsg")
+	pathB := filepath.Join(dir, "b.mlsg")
+	if err := melissa.PublishSurrogate(surA, pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := melissa.PublishSurrogate(surB, pathB); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{MaxBatch: 8, Replicas: 2, BatchWait: 200 * time.Microsecond, CacheEntries: 32}
+	s := NewServer(surA, cfg)
+	addr := startServer(t, s)
+
+	rng := rand.New(rand.NewPCG(11, 13))
+	params, ts := testQueries(24, rng)
+	wantA := expectedFields(t, surA, cfg.MaxBatch, params, ts)
+	wantB := expectedFields(t, surB, cfg.MaxBatch, params, ts)
+
+	const clients, each = 4, 300
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.DialPredict(addr, 5*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			var field []float32
+			for i := 0; i < each; i++ {
+				q := (g*each + i) % len(params)
+				var epoch uint32
+				field, epoch, err = c.PredictInto(field, params[q], ts[q])
+				if err != nil {
+					t.Errorf("client %d request %d dropped: %v", g, i, err)
+					return
+				}
+				want := wantA[q]
+				if epoch%2 == 0 {
+					want = wantB[q]
+				}
+				if !bitsEqual(field, want) {
+					t.Errorf("client %d request %d: response torn or stale (epoch %d)", g, i, epoch)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Flip checkpoints as fast as the loader allows while the load runs.
+	reloadDone := make(chan struct{})
+	go func() {
+		defer close(reloadDone)
+		for i := 0; ; i++ {
+			path := pathB
+			if i%2 == 1 {
+				path = pathA
+			}
+			if _, err := s.Reload(path); err != nil {
+				t.Errorf("reload %d: %v", i, err)
+				return
+			}
+			select {
+			case <-time.After(2 * time.Millisecond):
+			case <-s.done:
+				return
+			}
+			if i > 0 && allDone(&wg) {
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-reloadDone
+	st := s.Stats()
+	if st.Responses != clients*each {
+		t.Fatalf("stats %+v: %d responses for %d requests", st, st.Responses, clients*each)
+	}
+	if st.Reloads < 2 {
+		t.Fatalf("stats %+v: only %d reloads happened during the run", st, st.Reloads)
+	}
+}
+
+// allDone reports whether wg's count reached zero without blocking.
+func allDone(wg *sync.WaitGroup) bool {
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return true
+	case <-time.After(time.Millisecond):
+		return false
+	}
+}
+
+// TestServeWatcherPicksUpPublish: a checkpoint atomically published over
+// the watched path must be hot-loaded without any admin traffic.
+func TestServeWatcherPicksUpPublish(t *testing.T) {
+	surA := testSurrogate(t, 41)
+	surB := testSurrogate(t, 97)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "surrogate.mlsg")
+	if err := melissa.PublishSurrogate(surA, path); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(surA, Config{CheckpointPath: path, WatchInterval: 5 * time.Millisecond})
+	defer s.Close()
+	time.Sleep(15 * time.Millisecond) // let the watcher record the initial file
+	if err := melissa.PublishSurrogate(surB, path); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Epoch() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher never reloaded (epoch %d)", s.Epoch())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeReloadRejectsIncompatible: a checkpoint with different
+// dimensions must be refused, leaving the old model serving.
+func TestServeReloadRejectsIncompatible(t *testing.T) {
+	sur := testSurrogate(t, 41)
+	cfg := melissa.DefaultConfig()
+	cfg.GridN = 4 // different output dim
+	cfg.StepsPerSim = 6
+	cfg.Hidden = []int{8}
+	norm := melissa.Heat().Normalizer(cfg)
+	net := nn.ArchitectureMLP(norm.InputDim(), cfg.Hidden, norm.OutputDim(), 3)
+	var buf bytes.Buffer
+	if err := net.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small, err := melissa.LoadSurrogateLegacy(&buf, cfg.GridN, cfg.StepsPerSim, cfg.Dt, cfg.Hidden, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "small.mlsg")
+	if err := melissa.PublishSurrogate(small, path); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(sur, Config{})
+	defer s.Close()
+	if _, err := s.Reload(path); err == nil {
+		t.Fatal("incompatible checkpoint accepted")
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch advanced to %d on failed reload", s.Epoch())
+	}
+}
+
+// nopConn is a net.Conn that discards writes — the alloc gates below need
+// the full response encode path without a real socket.
+type nopConn struct{ net.Conn }
+
+func (nopConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestServeSteadyStateZeroAlloc gates the two steady-state request paths at
+// zero heap allocations per request once buffers and pools are warm: the
+// compute path (admit → batch → fused forward → encode) with the cache
+// disabled, and the cache-hit path (admit → lookup → encode).
+func TestServeSteadyStateZeroAlloc(t *testing.T) {
+	sur := testSurrogate(t, 41)
+	rng := rand.New(rand.NewPCG(17, 19))
+	params, ts := testQueries(8, rng)
+
+	t.Run("compute", func(t *testing.T) {
+		s := NewServer(sur, Config{MaxBatch: 8, Replicas: 1, CacheEntries: 0})
+		defer s.Close()
+		c := &conn{nc: nopConn{}}
+		m := s.model.Load()
+		batch := make([]*pending, len(params))
+		run := func() {
+			// Build the batch the way admit would, then serve it on this
+			// goroutine — the worker loop is just these two calls.
+			for i := range batch {
+				req := leaseRequest(params[i], ts[i])
+				batch[i] = s.leasePending(c, req)
+			}
+			s.serveBatch(m, batch)
+		}
+		for i := 0; i < 4; i++ {
+			run()
+		}
+		if avg := testing.AllocsPerRun(100, run); avg != 0 {
+			t.Errorf("compute path allocates %.2f allocs per batch, want 0", avg)
+		}
+	})
+
+	t.Run("cache-hit", func(t *testing.T) {
+		s := NewServer(sur, Config{MaxBatch: 8, Replicas: 1, CacheEntries: 64})
+		defer s.Close()
+		c := &conn{nc: nopConn{}}
+		m := s.model.Load()
+		// Warm the cache through the real compute path.
+		batch := make([]*pending, len(params))
+		for i := range batch {
+			batch[i] = s.leasePending(c, leaseRequest(params[i], ts[i]))
+		}
+		s.serveBatch(m, batch)
+		hit := func() {
+			for i := range params {
+				req := leaseRequest(params[i], ts[i])
+				s.admit(c, req) // all hits: answered inline, nothing queued
+			}
+		}
+		for i := 0; i < 4; i++ {
+			hit()
+		}
+		if avg := testing.AllocsPerRun(100, hit); avg != 0 {
+			t.Errorf("cache-hit path allocates %.2f allocs per %d requests, want 0", avg, len(params))
+		}
+		hits, misses, _ := s.cache.counters()
+		if misses != 0 || hits == 0 {
+			t.Fatalf("gate did not stay on the hit path: %d hits, %d misses", hits, misses)
+		}
+	})
+}
+
+// leaseRequest builds a leased PredictRequest the way the wire reader does.
+func leaseRequest(params []float32, t float32) *protocol.PredictRequest {
+	req := protocol.LeasePredictRequest()
+	req.ID = 1
+	req.T = t
+	req.Params = append(req.Params[:0], params...)
+	return req
+}
+
+// TestServeCacheFlushOnReload: after a reload, previously cached answers
+// must be recomputed by the new model, not served stale.
+func TestServeCacheFlushOnReload(t *testing.T) {
+	surA := testSurrogate(t, 41)
+	surB := testSurrogate(t, 97)
+	path := filepath.Join(t.TempDir(), "b.mlsg")
+	if err := melissa.PublishSurrogate(surB, path); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MaxBatch: 4, Replicas: 1, CacheEntries: 16}
+	s := NewServer(surA, cfg)
+	addr := startServer(t, s)
+	c, err := client.DialPredict(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewPCG(23, 29))
+	params, ts := testQueries(4, rng)
+	wantB := expectedFields(t, surB, cfg.MaxBatch, params, ts)
+	for q := range params { // populate the cache with epoch-1 answers
+		if _, _, err := c.Predict(params[q], ts[q]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epoch, err := c.Reload(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 {
+		t.Fatalf("reload returned epoch %d, want 2", epoch)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("cache holds %d entries after reload, want 0", n)
+	}
+	for q := range params {
+		field, epoch, err := c.Predict(params[q], ts[q])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != 2 || !bitsEqual(field, wantB[q]) {
+			t.Fatalf("query %d after reload: stale answer (epoch %d)", q, epoch)
+		}
+	}
+}
+
+// TestPredictRemote covers the one-shot convenience wrapper.
+func TestPredictRemote(t *testing.T) {
+	sur := testSurrogate(t, 41)
+	s := NewServer(sur, Config{})
+	addr := startServer(t, s)
+	rng := rand.New(rand.NewPCG(31, 37))
+	params, ts := testQueries(1, rng)
+	field, err := client.PredictRemote(addr, params[0], ts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(field) != sur.OutputDim() {
+		t.Fatalf("field length %d, want %d", len(field), sur.OutputDim())
+	}
+	var nonzero bool
+	for _, v := range field {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("all-zero prediction")
+	}
+}

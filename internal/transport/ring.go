@@ -38,7 +38,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -434,12 +433,12 @@ func (r *Ring) linkErr(op string, err error) error {
 
 // SendFloats stages vals as a RingFloats frame for the successor. vals is
 // fully copied before SendFloats returns, so the caller may overwrite it
-// immediately.
+// immediately. The byte shuffle runs through the protocol package's
+// unrolled bulk codec — on gradient-slab-sized chunks it sustains several
+// times the bandwidth of the scalar per-element loop.
 func (r *Ring) SendFloats(vals []float32) error {
 	return r.stage(protocol.TypeRingFloats, 4*len(vals), func(dst []byte) {
-		for i, v := range vals {
-			binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
-		}
+		protocol.EncodeF32s(dst, vals)
 	})
 }
 
@@ -457,9 +456,7 @@ func (r *Ring) RecvFloats(dst []float32) error {
 	if len(payload) != 4*len(dst) {
 		return fmt.Errorf("transport: ring rank %d: float frame %d bytes, want %d: %w", r.rank, len(payload), 4*len(dst), ErrLinkDead)
 	}
-	for i := range dst {
-		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
-	}
+	protocol.DecodeF32s(dst, payload)
 	return nil
 }
 

@@ -24,10 +24,15 @@
 //
 // Surrogate checkpoints are self-describing: Save records the problem name
 // and architecture, so LoadSurrogate(r) reconstructs a usable model with no
-// further arguments. Lower-level building blocks (buffers, the cluster
-// simulator, the experiment harness reproducing the paper's tables and
-// figures) live in the internal packages; the cmd/ binaries and examples/
-// show them in use.
+// further arguments. Trained surrogates are served at scale by
+// cmd/melissa-serve: adaptive micro-batching over the wire protocol, a
+// replica pool sharing one weight slab (Surrogate.NewReplica), an LRU
+// prediction cache, and hot checkpoint reload fed by melissa-server's
+// -surrogate-out/-publish-every atomic publishes (PublishSurrogate) — see
+// docs/serving.md for topology and SLO tuning. Lower-level building blocks
+// (buffers, the cluster simulator, the experiment harness reproducing the
+// paper's tables and figures) live in the internal packages; the cmd/
+// binaries and examples/ show them in use.
 package melissa
 
 import (

@@ -1,0 +1,136 @@
+package melissa
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"melissa/internal/nn"
+	"melissa/internal/tensor"
+)
+
+// Replica is a dedicated inference worker bound to a Surrogate: it shares
+// the surrogate's weight storage (no copy — see nn.Network.CloneShared) and
+// owns all forward scratch, so a pool of replicas evaluates batches
+// concurrently against one weight slab. Unlike Predict/PredictBatch it
+// speaks float32 end to end, matching the wire protocol, and its batch call
+// is allocation-free at steady state — it exists for the serving tier's
+// micro-batcher, where per-request conversions and pool round-trips would
+// dominate small-batch latency.
+//
+// A Replica is not safe for concurrent use; give each serving goroutine its
+// own. The surrogate's weights must not be mutated while replicas exist.
+type Replica struct {
+	s        *Surrogate
+	net      *nn.Network
+	maxBatch int
+	in       *tensor.Matrix // maxBatch × inputDim staging for normalized rows
+	outRow   []float32      // per-row denormalization buffer handed to emit
+}
+
+// NewReplica returns an inference replica sharing this surrogate's weights.
+// maxBatch bounds the rows of a single PredictBatchRaw call. Every forward
+// pass runs at exactly maxBatch rows regardless of how many queries the
+// batch carries (see PredictBatchRaw), so pick the micro-batcher's size cap
+// and share it across all replicas of a deployment.
+func (s *Surrogate) NewReplica(maxBatch int) *Replica {
+	if maxBatch < 1 {
+		panic(fmt.Sprintf("melissa: NewReplica maxBatch %d, want >= 1", maxBatch))
+	}
+	return &Replica{
+		s:        s,
+		net:      s.net.CloneShared(),
+		maxBatch: maxBatch,
+		in:       tensor.New(maxBatch, s.norm.InputDim()),
+		outRow:   make([]float32, s.norm.OutputDim()),
+	}
+}
+
+// MaxBatch returns the largest query count one PredictBatchRaw call
+// accepts — and the fixed row count every forward pass runs at.
+func (r *Replica) MaxBatch() int { return r.maxBatch }
+
+// ParamDim returns the number of design parameters each query must supply.
+func (r *Replica) ParamDim() int { return r.s.ParamDim() }
+
+// OutputDim returns the flattened field length each query produces.
+func (r *Replica) OutputDim() int { return r.s.OutputDim() }
+
+// PredictBatchRaw evaluates n queries in one fused forward pass. query(i)
+// must return query i's design parameters (length ParamDim, float32, wire
+// order) and physical time; emit(i, field) receives the denormalized field
+// for query i and must copy or encode it before returning — the buffer is
+// reused for the next row.
+//
+// The forward pass always runs at MaxBatch rows: unused rows carry stale
+// inputs from earlier batches and their outputs are discarded. Padding to a
+// fixed shape costs wasted flops at partial occupancy, but buys the
+// property the serving tier is built on: the GEMM kernel selection and
+// every row's accumulation order depend only on the matrix shapes, so with
+// the shape pinned each answer is a pure function of (weights, query,
+// MaxBatch) — bit-identical no matter which requests were coalesced
+// together, which replica ran them, or what position the query landed in.
+// That exactness is what lets a cache hit stand in for a fresh compute and
+// lets the hot-reload test demand old-bits-or-new-bits, never a blend. A
+// single activation shape also means the layers' shape-keyed scratch caches
+// hold one entry each, so the steady-state call performs no allocations.
+func (r *Replica) PredictBatchRaw(n int, query func(i int) (params []float32, t float32), emit func(i int, field []float32)) error {
+	if n < 1 || n > r.maxBatch {
+		return fmt.Errorf("melissa: replica batch of %d rows, want 1..%d", n, r.maxBatch)
+	}
+	dim := r.s.ParamDim()
+	width := r.s.norm.InputDim()
+	for i := 0; i < n; i++ {
+		params, t := query(i)
+		if len(params) != dim {
+			return fmt.Errorf("melissa: query %d has %d parameters, problem %q wants %d", i, len(params), r.s.meta.Problem, dim)
+		}
+		raw := r.outRow[:width] // stage the raw input in the (larger) row buffer
+		copy(raw, params)
+		raw[dim] = t
+		r.s.norm.NormalizeInput(raw, r.in.Data[i*width:(i+1)*width])
+	}
+	pred := r.net.Forward(r.in)
+	out := r.s.norm.OutputDim()
+	for i := 0; i < n; i++ {
+		copy(r.outRow, pred.Data[i*out:(i+1)*out])
+		r.s.norm.DenormalizeField(r.outRow)
+		emit(i, r.outRow)
+	}
+	return nil
+}
+
+// PublishSurrogate atomically writes the surrogate's self-describing
+// checkpoint to path: the bytes go to a temporary file in the same
+// directory, which is fsynced and renamed into place, so a concurrent
+// reader (melissa-serve's checkpoint watcher, most importantly) sees either
+// the previous complete file or the new complete file and never a torn
+// prefix. This is the training→serving handoff primitive: publish from a
+// training hook, and a watching server hot-reloads it.
+func PublishSurrogate(s *Surrogate, path string) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := s.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -90,6 +90,24 @@ func (s *Surrogate) newScratch(net *nn.Network) *predictScratch {
 	}
 }
 
+// SurrogateFromNetwork wraps a trained network in a servable Surrogate. The
+// weights are snapshotted (deep copy), so the caller may keep training the
+// network afterwards — this is the training→serving bridge: call it at a
+// synchronized step boundary (e.g. the trainer's OnBatchEnd hook), then
+// PublishSurrogate the result for a watching melissa-serve to hot-load.
+// cfg must carry the Problem and the architecture fields the network was
+// built with (GridN, StepsPerSim, Dt, Hidden, Seed).
+func SurrogateFromNetwork(net *nn.Network, cfg Config) (*Surrogate, error) {
+	if cfg.Problem == nil {
+		return nil, fmt.Errorf("melissa: SurrogateFromNetwork needs cfg.Problem")
+	}
+	norm := cfg.Problem.Normalizer(cfg)
+	if got := net.NumParams(); got == 0 {
+		return nil, fmt.Errorf("melissa: SurrogateFromNetwork got an empty network")
+	}
+	return newSurrogate(net.Clone(), norm, surrogateMeta(cfg, cfg.Problem)), nil
+}
+
 // Meta returns the surrogate's provenance record.
 func (s *Surrogate) Meta() Meta { return s.meta }
 
