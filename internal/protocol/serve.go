@@ -42,10 +42,14 @@ const (
 // PredictRequest asks for one surrogate evaluation: the design parameters
 // (problem canonical order, float32 like every wire payload) and the
 // physical time. ID is an opaque client-chosen correlation token echoed in
-// the response; responses on one connection preserve request order, so
-// synchronous clients may leave it zero. Instances produced by Reader.Next
-// are leased (see the package comment); their Params slice is only valid
-// until RecyclePredictRequest.
+// the response. Responses are NOT guaranteed to arrive in request order —
+// cache hits are answered inline while misses wait for a batch, and batches
+// complete concurrently across workers — so a client pipelining more than
+// one outstanding request on a connection must assign distinct IDs and
+// correlate by them. Only a strictly synchronous client (one request in
+// flight at a time) may leave the ID zero. Instances produced by
+// Reader.Next are leased (see the package comment); their Params slice is
+// only valid until RecyclePredictRequest.
 type PredictRequest struct {
 	ID     uint64
 	T      float32

@@ -23,6 +23,7 @@ import (
 type predictCache struct {
 	mu       sync.Mutex
 	capacity int
+	minEpoch uint32 // inserts below this epoch are stale and dropped
 	entries  map[string]*cacheEntry
 	head     *cacheEntry // most recently used
 	tail     *cacheEntry // least recently used
@@ -86,11 +87,18 @@ func (c *predictCache) get(key []byte, dst []float32) ([]float32, uint32) {
 // put inserts a freshly computed field, evicting the least recently used
 // entry at capacity. The evicted entry's struct and field storage are
 // reused, so a warm cache allocates only the interned key per insert.
+// Inserts tagged with an epoch below the flush floor are dropped: they come
+// from in-flight batches that started on a pre-reload model and would
+// otherwise repopulate the cache with stale fields after the flush.
 func (c *predictCache) put(key []byte, epoch uint32, field []float32) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
+	if epoch < c.minEpoch {
+		c.mu.Unlock()
+		return
+	}
 	if e, ok := c.entries[string(key)]; ok {
 		// Raced with another worker computing the same query; refresh.
 		e.epoch = epoch
@@ -116,13 +124,18 @@ func (c *predictCache) put(key []byte, epoch uint32, field []float32) {
 	c.mu.Unlock()
 }
 
-// flush drops every entry. Called on hot reload: the new checkpoint answers
-// every query differently, so the whole cache is stale at once.
-func (c *predictCache) flush() {
+// flush drops every entry and raises the insert floor to minEpoch. Called on
+// hot reload: the new checkpoint answers every query differently, so the
+// whole cache is stale at once — and batches still running on the old model
+// must not be allowed to re-insert after the flush (put drops them).
+func (c *predictCache) flush(minEpoch uint32) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
+	if minEpoch > c.minEpoch {
+		c.minEpoch = minEpoch
+	}
 	clear(c.entries)
 	c.head, c.tail = nil, nil
 	c.mu.Unlock()

@@ -66,18 +66,24 @@ func TestCacheHitReturnsStoredField(t *testing.T) {
 	}
 }
 
-// TestCacheFlush empties everything at once (the reload path).
+// TestCacheFlush empties everything at once (the reload path) and raises
+// the insert floor: puts from batches that started on the pre-reload model
+// carry an older epoch and must be dropped, not re-inserted.
 func TestCacheFlush(t *testing.T) {
 	c := newPredictCache(8)
 	for i := float32(0); i < 5; i++ {
 		c.put(cacheKey([]float32{i}, 0), 1, []float32{i})
 	}
-	c.flush()
+	c.flush(2)
 	if c.len() != 0 {
 		t.Fatalf("cache holds %d entries after flush", c.len())
 	}
 	if f, _ := c.get(cacheKey([]float32{1}, 0), nil); f != nil {
 		t.Fatal("flushed entry still served")
+	}
+	c.put(cacheKey([]float32{9}, 0), 1, []float32{9}) // straggler from the old model
+	if f, _ := c.get(cacheKey([]float32{9}, 0), nil); f != nil {
+		t.Fatal("stale-epoch put landed after flush")
 	}
 	c.put(cacheKey([]float32{1}, 0), 2, []float32{1}) // reusable after flush
 	if f, _ := c.get(cacheKey([]float32{1}, 0), nil); f == nil {
@@ -95,7 +101,7 @@ func TestCacheDisabled(t *testing.T) {
 	if f, _ := c.get(cacheKey([]float32{1}, 0), nil); f != nil {
 		t.Fatal("disabled cache returned a hit")
 	}
-	c.flush()
+	c.flush(1)
 	if h, m, e := c.counters(); h|m|e != 0 {
 		t.Fatal("disabled cache counted something")
 	}

@@ -148,6 +148,8 @@ type Server struct {
 	wg       sync.WaitGroup
 	ln       net.Listener
 	lnMu     sync.Mutex
+	connMu   sync.Mutex // guards conns; track checks closing under it
+	conns    map[net.Conn]struct{}
 
 	requests, responses, batches, batchRows, errors, reloads atomic.Uint64
 }
@@ -247,8 +249,9 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting, stops the workers and watcher, and waits for
-// connection handlers to drain. Safe to call more than once.
+// Close stops accepting, closes every open connection (unblocking their
+// reader goroutines), stops the workers and watcher, and waits for all of
+// them to drain. Safe to call more than once.
 func (s *Server) Close() error {
 	if !s.closing.CompareAndSwap(false, true) {
 		return nil
@@ -260,8 +263,39 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	// Closing the sockets is what unblocks handlers parked in rd.Next();
+	// track() refuses new registrations once closing is set, so no handler
+	// can slip in behind this sweep.
+	s.connMu.Lock()
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.connMu.Unlock()
 	s.wg.Wait()
 	return nil
+}
+
+// track registers an accepted connection for Close's teardown sweep. It
+// refuses (and the caller must drop the conn) if the server is already
+// closing: closing is set before Close takes connMu, so a track that wins
+// the lock first is seen by Close's sweep, and one that loses sees closing.
+func (s *Server) track(nc net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closing.Load() {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[nc] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(nc net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, nc)
+	s.connMu.Unlock()
 }
 
 // Reload hot-swaps the served checkpoint: load the file at path (empty =
@@ -289,10 +323,11 @@ func (s *Server) Reload(path string) (uint32, error) {
 	}
 	next := newModel(sur, old.epoch+1, s.cfg.MaxBatch, s.cfg.Replicas)
 	s.model.Store(next)
-	// Flush after the swap: a put racing the flush can only re-insert a
-	// field tagged with its (old) epoch, which readers can identify; a
-	// pre-swap flush would let old-model inserts land after it unnoticed.
-	s.cache.flush()
+	// Flush after the swap, raising the cache's insert floor to the new
+	// epoch: an in-flight batch still running on the old model carries an
+	// older epoch tag, so its puts are dropped rather than repopulating the
+	// cache with stale fields after the flush.
+	s.cache.flush(next.epoch)
 	s.reloads.Add(1)
 	return next.epoch, nil
 }
@@ -340,6 +375,7 @@ func (s *Server) worker() {
 	if !timer.Stop() {
 		<-timer.C
 	}
+	var key []byte // worker-private cache key scratch
 	for {
 		var first *pending
 		select {
@@ -350,7 +386,7 @@ func (s *Server) worker() {
 		batch = append(batch[:0], first)
 		m := s.model.Load()
 		s.fillBatch(&batch, m.maxBatch, timer)
-		s.serveBatch(m, batch)
+		key = s.serveBatch(m, batch, key)
 	}
 }
 
@@ -393,16 +429,18 @@ func (s *Server) fillBatch(batch *[]*pending, cap int, timer *time.Timer) {
 
 // serveBatch evaluates one batch on m and answers every request. The batch
 // runs entirely on m's weights — reloads swap the server's model pointer
-// but cannot touch a model a worker already holds.
-func (s *Server) serveBatch(m *model, batch []*pending) {
+// but cannot touch a model a worker already holds. key is the calling
+// worker's private cache-key scratch (never a conn's keyBuf, which belongs
+// to that conn's reader goroutine); the grown slice is returned for reuse.
+func (s *Server) serveBatch(m *model, batch []*pending, key []byte) []byte {
 	rep := m.lease()
 	err := rep.PredictBatchRaw(len(batch),
 		func(i int) ([]float32, float32) { return batch[i].req.Params, batch[i].req.T },
 		func(i int, field []float32) {
 			p := batch[i]
 			if s.cache != nil {
-				p.c.keyBuf = appendKey(p.c.keyBuf[:0], p.req.Params, p.req.T)
-				s.cache.put(p.c.keyBuf, m.epoch, field)
+				key = appendKey(key[:0], p.req.Params, p.req.T)
+				s.cache.put(key, m.epoch, field)
 			}
 			p.c.sendResponse(p.req.ID, m.epoch, field)
 			s.responses.Add(1)
@@ -421,6 +459,7 @@ func (s *Server) serveBatch(m *model, batch []*pending) {
 	for _, p := range batch {
 		s.recyclePending(p)
 	}
+	return key
 }
 
 func (s *Server) leasePending(c *conn, req *protocol.PredictRequest) *pending {
@@ -511,10 +550,15 @@ func (c *conn) sendError(id uint64, msg string) {
 	c.send(protocol.PredictError{ID: id, Msg: msg})
 }
 
-// handleConn reads frames until the client hangs up or says Goodbye.
+// handleConn reads frames until the client hangs up, says Goodbye, or the
+// server closes the socket during Close.
 func (s *Server) handleConn(nc net.Conn) {
 	defer s.wg.Done()
 	defer nc.Close()
+	if !s.track(nc) {
+		return
+	}
+	defer s.untrack(nc)
 	c := &conn{nc: nc}
 	rd := protocol.NewReader(bufio.NewReaderSize(nc, 1<<15))
 	for {

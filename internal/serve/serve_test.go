@@ -97,6 +97,44 @@ func bitsEqual(a, b []float32) bool {
 	return true
 }
 
+// TestServeCloseUnblocksIdleConns: Close must return even while clients
+// hold idle connections open — handler goroutines parked in a socket read
+// are unblocked by Close's connection sweep, not by waiting for every
+// client to hang up.
+func TestServeCloseUnblocksIdleConns(t *testing.T) {
+	sur := testSurrogate(t, 47)
+	s := NewServer(sur, Config{MaxBatch: 4, Replicas: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	conns := make([]*client.PredictConn, 3)
+	for i := range conns {
+		c, err := client.DialPredict(ln.Addr().String(), 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		defer c.Close()
+	}
+	// One round trip each proves the handlers are up and parked in Next.
+	rng := rand.New(rand.NewPCG(11, 13))
+	params, ts := testQueries(len(conns), rng)
+	for i, c := range conns {
+		if _, _, err := c.Predict(params[i], ts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on idle client connections")
+	}
+}
+
 // TestServeEndToEnd: a client's predictions over loopback TCP must be
 // bit-identical to the local replica reference, Info must describe the
 // model, repeated queries must hit the cache, and malformed queries must be
@@ -384,6 +422,7 @@ func TestServeSteadyStateZeroAlloc(t *testing.T) {
 		c := &conn{nc: nopConn{}}
 		m := s.model.Load()
 		batch := make([]*pending, len(params))
+		var key []byte // worker-private key scratch, as in the worker loop
 		run := func() {
 			// Build the batch the way admit would, then serve it on this
 			// goroutine — the worker loop is just these two calls.
@@ -391,7 +430,7 @@ func TestServeSteadyStateZeroAlloc(t *testing.T) {
 				req := leaseRequest(params[i], ts[i])
 				batch[i] = s.leasePending(c, req)
 			}
-			s.serveBatch(m, batch)
+			key = s.serveBatch(m, batch, key)
 		}
 		for i := 0; i < 4; i++ {
 			run()
@@ -411,7 +450,7 @@ func TestServeSteadyStateZeroAlloc(t *testing.T) {
 		for i := range batch {
 			batch[i] = s.leasePending(c, leaseRequest(params[i], ts[i]))
 		}
-		s.serveBatch(m, batch)
+		s.serveBatch(m, batch, nil)
 		hit := func() {
 			for i := range params {
 				req := leaseRequest(params[i], ts[i])

@@ -25,7 +25,12 @@ type Replica struct {
 	net      *nn.Network
 	maxBatch int
 	in       *tensor.Matrix // maxBatch × inputDim staging for normalized rows
-	outRow   []float32      // per-row denormalization buffer handed to emit
+	// row is shared per-row scratch, sized max(InputDim, OutputDim): the
+	// input loop stages raw (params, t) rows in row[:InputDim], the output
+	// loop denormalizes into row[:OutputDim] and hands that to emit. The
+	// max sizing matters — a scalar-output surrogate has OutputDim smaller
+	// than InputDim, so neither dimension alone covers both uses.
+	row []float32
 }
 
 // NewReplica returns an inference replica sharing this surrogate's weights.
@@ -42,7 +47,7 @@ func (s *Surrogate) NewReplica(maxBatch int) *Replica {
 		net:      s.net.CloneShared(),
 		maxBatch: maxBatch,
 		in:       tensor.New(maxBatch, s.norm.InputDim()),
-		outRow:   make([]float32, s.norm.OutputDim()),
+		row:      make([]float32, max(s.norm.InputDim(), s.norm.OutputDim())),
 	}
 }
 
@@ -85,7 +90,7 @@ func (r *Replica) PredictBatchRaw(n int, query func(i int) (params []float32, t 
 		if len(params) != dim {
 			return fmt.Errorf("melissa: query %d has %d parameters, problem %q wants %d", i, len(params), r.s.meta.Problem, dim)
 		}
-		raw := r.outRow[:width] // stage the raw input in the (larger) row buffer
+		raw := r.row[:width]
 		copy(raw, params)
 		raw[dim] = t
 		r.s.norm.NormalizeInput(raw, r.in.Data[i*width:(i+1)*width])
@@ -93,9 +98,10 @@ func (r *Replica) PredictBatchRaw(n int, query func(i int) (params []float32, t 
 	pred := r.net.Forward(r.in)
 	out := r.s.norm.OutputDim()
 	for i := 0; i < n; i++ {
-		copy(r.outRow, pred.Data[i*out:(i+1)*out])
-		r.s.norm.DenormalizeField(r.outRow)
-		emit(i, r.outRow)
+		field := r.row[:out]
+		copy(field, pred.Data[i*out:(i+1)*out])
+		r.s.norm.DenormalizeField(field)
+		emit(i, field)
 	}
 	return nil
 }

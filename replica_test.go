@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"melissa/internal/nn"
 )
 
 // randQueries draws n in-range float32 queries for a problem.
@@ -125,6 +127,41 @@ func TestReplicaBatchZeroAlloc(t *testing.T) {
 		if avg != 0 {
 			t.Errorf("batch of %d allocates %.2f allocs/op, want 0", n, avg)
 		}
+	}
+}
+
+// TestReplicaNarrowOutput: a surrogate whose OutputDim is smaller than its
+// InputDim (a near-scalar field) must still batch-predict — regression for
+// staging the raw input row in a buffer sized only to the output.
+func TestReplicaNarrowOutput(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Problem = Heat()
+	cfg.GridN = 1 // OutputDim 1 < InputDim (ParamDim+1)
+	cfg.StepsPerSim = 6
+	cfg.Hidden = []int{8}
+	norm := cfg.Problem.Normalizer(cfg)
+	net := nn.ArchitectureMLP(norm.InputDim(), cfg.Hidden, norm.OutputDim(), cfg.Seed)
+	s := newSurrogate(net, norm, surrogateMeta(cfg, cfg.Problem))
+	if s.OutputDim() >= norm.InputDim() {
+		t.Fatalf("test wants OutputDim < InputDim, got %d >= %d", s.OutputDim(), norm.InputDim())
+	}
+	rep := s.NewReplica(4)
+	rng := rand.New(rand.NewPCG(1, 2))
+	params, ts := randQueries(Heat(), 4, rng)
+	emitted := 0
+	err := rep.PredictBatchRaw(4,
+		func(i int) ([]float32, float32) { return params[i], ts[i] },
+		func(i int, field []float32) {
+			emitted++
+			if len(field) != s.OutputDim() {
+				t.Fatalf("field length %d, want %d", len(field), s.OutputDim())
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 4 {
+		t.Fatalf("emit called %d times, want 4", emitted)
 	}
 }
 
