@@ -31,6 +31,7 @@ func main() {
 		seed     = flag.Uint64("seed", 2023, "experimental-design seed (must match the ensemble)")
 		design   = flag.String("design", "monte-carlo", "monte-carlo|latin-hypercube|halton")
 		restart  = flag.Int("restart", 0, "restart count (server discards replayed steps)")
+		reconn   = flag.Bool("reconnect", false, "survive server rank deaths: dial only reachable ranks, redial dead ones in the background, drop their frames meanwhile (elastic server groups)")
 		ckptDir  = flag.String("checkpoint-dir", "", "resume from solver checkpoints in this directory")
 		tic      = flag.Float64("tic", -1, "explicit initial temperature (heat only; overrides the design)")
 		tx1      = flag.Float64("tx1", -1, "explicit boundary x=0")
@@ -93,6 +94,7 @@ func main() {
 			ServerAddrs:       addrs,
 			HeartbeatInterval: 2 * time.Second,
 			Restart:           *restart,
+			Reconnect:         *reconn,
 		},
 		NewSim: func() (solver.Simulator, error) { return prob.NewSimulator(mcfg, params) },
 		Params: params,

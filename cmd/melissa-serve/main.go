@@ -35,6 +35,8 @@ func main() {
 		maxBatch   = flag.Int("max-batch", 32, "requests coalesced into one fused forward pass")
 		batchWait  = flag.Duration("batch-wait", 500*time.Microsecond, "micro-batch latency budget (SLO knob; batches close at -max-batch or this deadline)")
 		cache      = flag.Int("cache", 4096, "prediction cache entries (0 disables)")
+		cacheKeep  = flag.Int("cache-keep-epochs", 0, "serve cache entries up to N reload epochs stale instead of flushing on reload (0 flushes)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "expire cache entries this long after insert (0 disables)")
 		watch      = flag.Duration("watch", 0, "poll the checkpoint file and hot-reload new publishes (0 disables)")
 		statsEvery = flag.Duration("stats-every", 0, "print serving stats at this interval (0 disables)")
 	)
@@ -44,12 +46,14 @@ func main() {
 	}
 
 	s, err := serve.LoadServer(serve.Config{
-		CheckpointPath: *checkpoint,
-		Replicas:       *replicas,
-		MaxBatch:       *maxBatch,
-		BatchWait:      *batchWait,
-		CacheEntries:   *cache,
-		WatchInterval:  *watch,
+		CheckpointPath:  *checkpoint,
+		Replicas:        *replicas,
+		MaxBatch:        *maxBatch,
+		BatchWait:       *batchWait,
+		CacheEntries:    *cache,
+		CacheKeepEpochs: *cacheKeep,
+		CacheTTL:        *cacheTTL,
+		WatchInterval:   *watch,
 	})
 	if err != nil {
 		fatal(err)
@@ -67,9 +71,9 @@ func main() {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := s.Stats()
-				fmt.Printf("melissa-serve: epoch %d, %d req, %d resp, %d batches (%.1f rows/batch), cache %d/%d/%d hit/miss/evict, %d reloads, %d errors\n",
+				fmt.Printf("melissa-serve: epoch %d, %d req, %d resp, %d batches (%.1f rows/batch), cache %d/%d/%d/%d hit/miss/evict/expire, %d reloads, %d errors\n",
 					st.Epoch, st.Requests, st.Responses, st.Batches, avg(st.BatchRows, st.Batches),
-					st.Hits, st.Misses, st.Evictions, st.Reloads, st.Errors)
+					st.Hits, st.Misses, st.Evictions, st.Expired, st.Reloads, st.Errors)
 			}
 		}()
 	}

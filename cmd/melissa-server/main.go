@@ -11,20 +11,37 @@
 //	wait
 //
 // By default all -ranks training replicas run inside one process. With
-// -rank and -ranks-transport, each rank runs as its own OS process and the
-// gradient all-reduce travels over a TCP ring between them — one server
-// process per rank, all started with the same -ranks-transport list:
+// -proc and -ranks-transport, the ranks spread across several OS processes
+// — each hosting -ranks/len(processes) of them (override with -local-ranks)
+// — and the gradient all-reduce travels a hierarchical communicator:
+// channel rings between the ranks inside a process, bridged over a TCP
+// ring between processes, bit-identical to the flat ring of the same size.
 //
-//	melissa-server -ranks 2 -rank 0 -ranks-transport 127.0.0.1:7700,127.0.0.1:7701 \
-//	    -clients 4 -addr-file addrs-rank0.txt -out weights.bin &
-//	melissa-server -ranks 2 -rank 1 -ranks-transport 127.0.0.1:7700,127.0.0.1:7701 \
-//	    -clients 4 -addr-file addrs-rank1.txt &
-//	cat addrs-rank0.txt addrs-rank1.txt > addrs.txt   # clients dial all ranks
+//	melissa-server -ranks 4 -proc 0 -ranks-transport 127.0.0.1:7700,127.0.0.1:7701 \
+//	    -clients 4 -addr-file addrs-p0.txt -out weights.bin &
+//	melissa-server -ranks 4 -proc 1 -ranks-transport 127.0.0.1:7700,127.0.0.1:7701 \
+//	    -clients 4 -addr-file addrs-p1.txt &
+//	cat addrs-p0.txt addrs-p1.txt > addrs.txt   # clients dial all ranks
 //	for i in 0 1 2 3; do melissa-client -id $i -addr-file addrs.txt & done
 //	wait
 //
+// With -coord the server instead joins an elastic training group: a
+// coordinator process (-role coordinator) owns membership, each member
+// process re-forms the rank group at a new epoch when a peer dies, and the
+// group checkpoint shards carry both the replica weights and the server's
+// ingest state (dedup bitsets + buffer contents), so survivors roll back
+// and replayed client frames are discarded idempotently. Clients started
+// with reconnection enabled ride through the re-formation. 3-member group:
+//
+//	melissa-server -role coordinator -coord 127.0.0.1:7850 -members 3 -group-dir /tmp/eg &
+//	for i in 0 1 2; do
+//	  melissa-server -coord 127.0.0.1:7850 -member-id $i -members 3 \
+//	      -group-dir /tmp/eg -clients 6 -addr-file addrs-m$i.txt &
+//	done
+//	cat addrs-m*.txt > addrs.txt
+//
 // Every process builds the same seeded model, so no startup weight
-// broadcast is needed; rank 0 owns metrics, checkpoints and -out.
+// broadcast is needed; process 0 owns metrics, checkpoints and -out.
 package main
 
 import (
@@ -39,34 +56,59 @@ import (
 	"melissa/internal/buffer"
 	"melissa/internal/core"
 	"melissa/internal/ddp"
+	"melissa/internal/elastic"
 	"melissa/internal/opt"
 	"melissa/internal/server"
+	"melissa/internal/transport"
 )
 
 func main() {
 	var (
-		ranks     = flag.Int("ranks", 1, "training ranks (data-parallel replicas) across all server processes")
-		rank      = flag.Int("rank", -1, "global rank of this process (-1 runs all ranks in-process)")
-		transport = flag.String("ranks-transport", "", "comma-separated collective endpoints host:port, one per rank (multi-process mode, requires -rank)")
-		clients   = flag.Int("clients", 1, "expected ensemble size (Goodbyes to wait for)")
-		problem   = flag.String("problem", "heat", "registered problem ("+strings.Join(melissa.Problems(), "|")+"; must match clients)")
-		gridN     = flag.Int("grid", 16, "solver grid side (must match clients)")
-		steps     = flag.Int("steps", 20, "time steps per simulation (must match clients)")
-		dt        = flag.Float64("dt", 0, "seconds per time step (0 = problem default)")
-		hidden    = flag.String("hidden", "64,64", "comma-separated hidden layer widths")
-		batch     = flag.Int("batch", 10, "batch size per rank")
-		policy    = flag.String("buffer", "Reservoir", "FIFO|FIRO|Reservoir")
-		capacity  = flag.Int("capacity", 200, "buffer capacity per rank")
-		threshold = flag.Int("threshold", 30, "buffer extraction threshold")
-		seed      = flag.Uint64("seed", 2023, "seed for all stochastic components")
-		addrFile  = flag.String("addr-file", "melissa-addrs.txt", "file to publish rank addresses to")
-		out       = flag.String("out", "", "write trained weights to this file")
-		surOut    = flag.String("surrogate-out", "", "publish a self-describing surrogate checkpoint (.mlsg) to this path, atomically — melissa-serve hot-reloads it")
-		pubEvery  = flag.Int("publish-every", 0, "also publish -surrogate-out every N batches during training (0 = only at the end)")
-		ckpt      = flag.String("checkpoint", "", "server checkpoint path (enables fault tolerance)")
-		watchdog  = flag.Duration("watchdog", 30*time.Second, "client liveness timeout (0 disables)")
+		role       = flag.String("role", "server", "server|coordinator (coordinator runs the elastic group's control plane)")
+		ranks      = flag.Int("ranks", 1, "training ranks (data-parallel replicas) across all server processes")
+		proc       = flag.Int("proc", -1, "index of this process in -ranks-transport (-1 runs all ranks in-process)")
+		transports = flag.String("ranks-transport", "", "comma-separated collective endpoints host:port, one per process (multi-process mode, requires -proc)")
+		localR     = flag.Int("local-ranks", 0, "ranks hosted by this process in multi-process mode (default -ranks divided evenly)")
+		clients    = flag.Int("clients", 1, "expected ensemble size (Goodbyes to wait for)")
+		problem    = flag.String("problem", "heat", "registered problem ("+strings.Join(melissa.Problems(), "|")+"; must match clients)")
+		gridN      = flag.Int("grid", 16, "solver grid side (must match clients)")
+		steps      = flag.Int("steps", 20, "time steps per simulation (must match clients)")
+		dt         = flag.Float64("dt", 0, "seconds per time step (0 = problem default)")
+		hidden     = flag.String("hidden", "64,64", "comma-separated hidden layer widths")
+		batch      = flag.Int("batch", 10, "batch size per rank")
+		policy     = flag.String("buffer", "Reservoir", "FIFO|FIRO|Reservoir")
+		capacity   = flag.Int("capacity", 200, "buffer capacity per rank")
+		threshold  = flag.Int("threshold", 30, "buffer extraction threshold")
+		maxBatches = flag.Int("max-batches", 0, "stop training after this many batches (0 = train until the ensemble completes)")
+		seed       = flag.Uint64("seed", 2023, "seed for all stochastic components")
+		addrFile   = flag.String("addr-file", "melissa-addrs.txt", "file to publish rank addresses to")
+		out        = flag.String("out", "", "write trained weights to this file")
+		surOut     = flag.String("surrogate-out", "", "publish a self-describing surrogate checkpoint (.mlsg) to this path, atomically — melissa-serve hot-reloads it")
+		pubEvery   = flag.Int("publish-every", 0, "also publish -surrogate-out every N batches during training (0 = only at the end)")
+		ckpt       = flag.String("checkpoint", "", "server checkpoint path (single-process fault tolerance)")
+		ckptEvery  = flag.Int("ckpt-every", 0, "checkpoint cadence in batches, for -checkpoint and the elastic group shards (0 = default)")
+		watchdog   = flag.Duration("watchdog", 30*time.Second, "client liveness timeout (0 disables)")
+		logEvery   = flag.Duration("log-every", 0, "print training progress (batches, samples, group epoch, re-forms) at this interval (0 disables)")
+
+		coordAddr = flag.String("coord", "", "elastic coordinator control-plane address (joins an elastic group; listen address for -role coordinator)")
+		memberID  = flag.Int("member-id", 0, "elastic member ID, stable across restarts")
+		members   = flag.Int("members", 3, "elastic group size in member processes (coordinator: members to wait for)")
+		groupDir  = flag.String("group-dir", "", "elastic group checkpoint directory (shards + manifest)")
+		ioTimeout = flag.Duration("io-timeout", 5*time.Second, "ring silence tolerated before a peer is declared dead (elastic mode)")
+		chaosDrop = flag.Float64("chaos-drop", 0, "probability a ring write is dropped (deterministic chaos injection, seeded by -seed or MELISSA_CHAOS_SEED)")
 	)
 	flag.Parse()
+
+	if *role == "coordinator" {
+		if *coordAddr == "" || *groupDir == "" {
+			fatal(fmt.Errorf("-role coordinator requires -coord and -group-dir"))
+		}
+		runCoordinator(*coordAddr, *members, *groupDir)
+		return
+	}
+	if *role != "server" {
+		fatal(fmt.Errorf("unknown -role %q (want server or coordinator)", *role))
+	}
 
 	var hiddenDims []int
 	for _, part := range strings.Split(*hidden, ",") {
@@ -85,45 +127,103 @@ func main() {
 		*dt = melissa.DefaultDtFor(prob)
 	}
 
-	// Multi-process mode: this process hosts one global rank and joins the
-	// others over the TCP collective ring before training starts. All flag
-	// validation happens before the ring handshake, so a misconfigured
-	// process fails fast instead of forming a ring its peers then watch
-	// collapse.
-	localRanks, rankOffset := *ranks, 0
-	var comm ddp.Communicator
-	if *rank >= 0 {
+	var ringOpts transport.RingOptions
+	ringOpts.IOTimeout = *ioTimeout
+	if *chaosDrop > 0 {
+		chaos := transport.NewChaos(transport.ChaosConfig{
+			Seed:     transport.ChaosSeed(*seed),
+			DropRate: *chaosDrop,
+		})
+		ringOpts.Wrap = chaos.Wrap
+	}
+
+	// Three topologies, all the same runtime underneath: every process
+	// hosts localRanks replicas on an in-process channel ring, and the
+	// multi-process shapes bridge those rings over TCP (statically wired,
+	// or re-formed per epoch by the elastic membership). All flag
+	// validation happens before any handshake, so a misconfigured process
+	// fails fast instead of forming a group its peers then watch collapse.
+	localRanks := *ranks
+	isProc0 := true
+	var group ddp.RankGroup
+	var ecfg *server.ElasticConfig
+	switch {
+	case *coordAddr != "":
+		if *proc >= 0 || *transports != "" {
+			fatal(fmt.Errorf("-coord (elastic mode) and -proc/-ranks-transport (static ring) are mutually exclusive"))
+		}
+		if *ckpt != "" {
+			fatal(fmt.Errorf("-checkpoint is superseded by the group checkpoint in elastic mode (-group-dir)"))
+		}
+		if *groupDir == "" {
+			fatal(fmt.Errorf("elastic mode requires -group-dir"))
+		}
+		if *maxBatches <= 0 {
+			fatal(fmt.Errorf("elastic mode requires -max-batches: the schedule length is the group's shared notion of done"))
+		}
+		if err := os.MkdirAll(*groupDir, 0o755); err != nil {
+			fatal(err)
+		}
+		if *localR > 0 {
+			localRanks = *localR
+		}
+		ecfg = &server.ElasticConfig{
+			MemberID:       *memberID,
+			Coordinator:    *coordAddr,
+			Dir:            *groupDir,
+			InitialMembers: *members,
+			RingOptions:    func(int) transport.RingOptions { return ringOpts },
+		}
+		isProc0 = *memberID == 0
+	case *proc >= 0:
 		if *ckpt != "" {
 			// A checkpoint snapshots only this process's buffers and logs;
 			// restoring a partial view would desynchronize the rank group.
-			fatal(fmt.Errorf("-checkpoint is only supported in single-process mode (no -rank)"))
+			fatal(fmt.Errorf("-checkpoint is only supported in single-process mode (no -proc)"))
 		}
-		addrs := strings.Split(*transport, ",")
-		if *transport == "" || len(addrs) != *ranks {
-			fatal(fmt.Errorf("-rank %d requires -ranks-transport with exactly %d comma-separated endpoints", *rank, *ranks))
+		addrs := strings.Split(*transports, ",")
+		if *transports == "" {
+			fatal(fmt.Errorf("-proc requires -ranks-transport"))
 		}
-		if *rank >= *ranks {
-			fatal(fmt.Errorf("-rank %d out of range for %d ranks", *rank, *ranks))
+		if *proc >= len(addrs) {
+			fatal(fmt.Errorf("-proc %d out of range for %d transport endpoints", *proc, len(addrs)))
 		}
 		for i := range addrs {
 			addrs[i] = strings.TrimSpace(addrs[i])
 		}
-		tcp, err := ddp.ConnectTCP(*rank, addrs, 30*time.Second)
-		if err != nil {
-			fatal(fmt.Errorf("connecting rank ring: %w", err))
+		localRanks = *localR
+		if localRanks <= 0 {
+			if *ranks%len(addrs) != 0 {
+				fatal(fmt.Errorf("-ranks %d does not divide across %d processes; set -local-ranks", *ranks, len(addrs)))
+			}
+			localRanks = *ranks / len(addrs)
 		}
-		defer tcp.Close()
-		comm, localRanks, rankOffset = tcp, 1, *rank
-	} else if *transport != "" {
-		fatal(fmt.Errorf("-ranks-transport requires -rank"))
+		if localRanks*len(addrs) != *ranks {
+			fatal(fmt.Errorf("%d processes × %d local ranks != -ranks %d", len(addrs), localRanks, *ranks))
+		}
+		g, err := ddp.ConnectGroupContext(context.Background(), *proc, addrs, localRanks, 30*time.Second, ringOpts)
+		if err != nil {
+			fatal(fmt.Errorf("connecting rank group: %w", err))
+		}
+		if closer, ok := g.Comm.(interface{ Close() error }); ok {
+			defer closer.Close()
+		}
+		group, isProc0 = g, *proc == 0
+	default:
+		if *transports != "" {
+			fatal(fmt.Errorf("-ranks-transport requires -proc"))
+		}
+		if *localR > 0 && *localR != *ranks {
+			fatal(fmt.Errorf("-local-ranks is only meaningful with -proc or -coord"))
+		}
 	}
 
 	mcfg := melissa.Config{GridN: *gridN, StepsPerSim: *steps, Dt: *dt}
 	norm := core.AdaptNormalizer(prob.Normalizer(mcfg))
 	cfg := server.Config{
 		Ranks:      localRanks,
-		Comm:       comm,
-		RankOffset: rankOffset,
+		Group:      group,
+		Elastic:    ecfg,
 		ListenHost: "127.0.0.1:0",
 		Buffer: buffer.Config{
 			Kind:      buffer.Kind(*policy),
@@ -142,13 +242,15 @@ func main() {
 			Normalizer:   norm,
 			LearningRate: 1e-3,
 			Schedule:     opt.PaperSchedule(),
+			MaxBatches:   *maxBatches,
 		},
 		ExpectedClients: *clients,
 		WatchdogTimeout: *watchdog,
 		OnUnresponsive: func(id int32) {
 			fmt.Fprintf(os.Stderr, "melissa-server: client %d unresponsive\n", id)
 		},
-		CheckpointPath: *ckpt,
+		CheckpointPath:         *ckpt,
+		CheckpointEveryBatches: *ckptEvery,
 	}
 	// Periodic surrogate publishing: at a synchronized step boundary on
 	// global rank 0, snapshot the weights into a servable checkpoint and
@@ -158,7 +260,11 @@ func main() {
 	var srv *server.Server
 	scfg := melissa.Config{Problem: prob, GridN: *gridN, StepsPerSim: *steps, Dt: *dt, Hidden: hiddenDims, Seed: *seed}
 	publish := func() error {
-		sur, err := melissa.SurrogateFromNetwork(srv.Trainer().Network(), scfg)
+		tr := srv.Trainer()
+		if tr == nil {
+			return fmt.Errorf("no trainer yet (elastic epoch not formed)")
+		}
+		sur, err := melissa.SurrogateFromNetwork(tr.Network(), scfg)
 		if err != nil {
 			return err
 		}
@@ -193,28 +299,52 @@ func main() {
 	if err := os.WriteFile(*addrFile, []byte(strings.Join(srv.Addrs(), "\n")+"\n"), 0o644); err != nil {
 		fatal(err)
 	}
-	if rankOffset == 0 {
+	if isProc0 {
 		fmt.Printf("melissa-server: problem %s, %d rank(s) listening (%s), waiting for %d client(s)\n",
-			prob.Name(), *ranks, strings.Join(srv.Addrs(), " "), *clients)
+			prob.Name(), localRanks, strings.Join(srv.Addrs(), " "), *clients)
+	}
+	if *logEvery > 0 {
+		go func() {
+			for range time.Tick(*logEvery) {
+				m := srv.Metrics()
+				line := fmt.Sprintf("melissa-server: %d batches, %d samples, %.1f samples/s",
+					m.Batches(), m.Samples(), m.Throughput())
+				if ecfg != nil {
+					line += fmt.Sprintf(", group epoch %d, %d re-form(s)", m.GroupEpoch(), m.Reforms())
+					if b := m.LastRollbackBatch(); b >= 0 {
+						line += fmt.Sprintf(" (last rollback to batch %d)", b)
+					}
+				}
+				fmt.Println(line)
+			}
+		}()
 	}
 
 	if err := srv.Run(context.Background()); err != nil {
 		fatal(err)
 	}
-	if rankOffset != 0 {
-		// Metrics, the summary line and the weights belong to rank 0; the
-		// replicas are identical after the final synchronized step.
+	if !isProc0 {
+		// Metrics, the summary line and the weights belong to process 0;
+		// the replicas are identical after the final synchronized step.
 		return
 	}
 	m := srv.Metrics()
 	fmt.Printf("melissa-server: trained %d batches on %d samples (%d unique), throughput %.1f samples/s\n",
 		m.Batches(), m.Samples(), len(m.Occurrences()), m.Throughput())
+	if ecfg != nil && m.Reforms() > 0 {
+		fmt.Printf("melissa-server: survived %d group re-formation(s), finished at epoch %d\n",
+			m.Reforms(), m.GroupEpoch())
+	}
 	if *out != "" {
+		tr := srv.Trainer()
+		if tr == nil {
+			fatal(fmt.Errorf("no trained network to write"))
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		if err := srv.Trainer().Network().SaveWeights(f); err != nil {
+		if err := tr.Network().SaveWeights(f); err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -228,6 +358,34 @@ func main() {
 		}
 		fmt.Println("melissa-server: surrogate checkpoint published to", *surOut)
 	}
+}
+
+// runCoordinator hosts the elastic group's control plane: it admits the
+// initial membership, arbitrates epochs when members die or rejoin, and
+// commits the group-checkpoint manifest.
+func runCoordinator(addr string, world int, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	coord, err := elastic.NewCoordinator(elastic.CoordinatorConfig{
+		Addr:  addr,
+		World: world,
+		Dir:   dir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if coord.ManifestBatch() >= 0 {
+		fmt.Printf("melissa-server: coordinator on %s, resuming group from checkpoint batch %d\n",
+			coord.Addr(), coord.ManifestBatch())
+	} else {
+		fmt.Printf("melissa-server: coordinator on %s, waiting for %d member(s)\n", coord.Addr(), world)
+	}
+	if err := coord.Wait(context.Background()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("melissa-server: group complete at epoch %d (last checkpoint batch %d)\n",
+		coord.Epoch(), coord.ManifestBatch())
 }
 
 func fatal(err error) {

@@ -51,7 +51,7 @@ func TestMultiProcessServerAndClients(t *testing.T) {
 
 // TestMultiProcessRanksOverTCP drives the multi-process deployment: one
 // melissa-server OS process per training rank, joined over the TCP
-// collective ring (-rank / -ranks-transport), with the ensemble clients
+// collective ring (-proc / -ranks-transport), with the ensemble clients
 // streaming to both rank processes. Rank 0 must produce trained weights
 // that load and predict.
 func TestMultiProcessRanksOverTCP(t *testing.T) {
@@ -94,7 +94,7 @@ func TestMultiProcessRanksOverTCP(t *testing.T) {
 	for r := 0; r < ranks; r++ {
 		rankAddrFiles[r] = filepath.Join(dir, fmt.Sprintf("addrs-rank%d.txt", r))
 		srv := exec.Command(serverBin,
-			"-ranks", fmt.Sprint(ranks), "-rank", fmt.Sprint(r), "-ranks-transport", transportList,
+			"-ranks", fmt.Sprint(ranks), "-proc", fmt.Sprint(r), "-ranks-transport", transportList,
 			"-clients", fmt.Sprint(clients), "-problem", HeatName,
 			"-grid", "8", "-steps", "6", "-batch", "4",
 			"-buffer", "Reservoir", "-capacity", "60", "-threshold", "8",

@@ -79,6 +79,17 @@ func (a *Arena) alloc() int32 {
 	return slot
 }
 
+// reset returns every row to the free list without releasing the chunks.
+// Only valid when no live sample aliases an arena row — i.e. right after
+// the owning buffer's contents were wholesale replaced with heap-owned
+// samples (Blocking.ReplaceContents).
+func (a *Arena) reset() {
+	a.free = a.free[:0]
+	for i := a.rows - 1; i >= 0; i-- {
+		a.free = append(a.free, int32(i))
+	}
+}
+
 // freeSlot returns a leased row to the free list.
 func (a *Arena) freeSlot(slot int32) {
 	a.free = append(a.free, slot)

@@ -13,6 +13,7 @@ type Blocking struct {
 	notEmpty *sync.Cond
 	p        Policy
 	arena    *Arena
+	onRetire func(Sample)
 }
 
 // evictNotifier is implemented by policies that discard samples internally
@@ -55,6 +56,21 @@ func NewBlockingArena(p Policy, inDim, outDim int) *Blocking {
 // Arena exposes the backing arena (nil for plain buffers); the server's
 // ingestion gates use it to assert row recycling.
 func (b *Blocking) Arena() *Arena { return b.arena }
+
+// OnRetire registers a callback invoked — under the buffer lock, just
+// before the arena row is recycled — for every sample that permanently
+// leaves the buffer through GetBatchEach (FIFO/FIRO pop, Reservoir
+// drain-mode removal). The callback must deep-copy any payload it keeps:
+// the sample's Input/Output may alias an arena row that is overwritten by
+// the next PutCopy. The elastic server uses it to journal consumed samples
+// for replay after a group rollback, since a sample consumed after the
+// last group checkpoint would otherwise be lost to the restored epoch.
+// Pass nil to unregister.
+func (b *Blocking) OnRetire(fn func(Sample)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onRetire = fn
+}
 
 // recycleSample returns an arena-backed sample's row to the free list. It
 // must run under b.mu (policy hooks fire inside Put/TryGet, which the
@@ -121,7 +137,11 @@ func (b *Blocking) GetBatchEach(n int, fn func(i int, s Sample)) (int, bool) {
 		fn(count, s)
 		if b.p.Len() < before {
 			// The sample will never be returned again (FIFO/FIRO pop,
-			// Reservoir drain-mode removal): its row is free now.
+			// Reservoir drain-mode removal): journal it for rollback
+			// replay if asked, then its row is free.
+			if b.onRetire != nil {
+				b.onRetire(s)
+			}
 			b.recycleSample(s)
 		}
 		b.notFull.Signal()
@@ -131,6 +151,43 @@ func (b *Blocking) GetBatchEach(n int, fn func(i int, s Sample)) (int, bool) {
 		return 0, false
 	}
 	return count, true
+}
+
+// ReplaceContents atomically rewrites the buffer's population: fn receives
+// a deep-copied snapshot of the current contents and returns the new ones,
+// all under the buffer lock, so no concurrent PutCopy can slip a sample in
+// between the read and the restore (it would be wiped, yet already marked
+// in the caller's dedup state — a lost sample). The returned samples must
+// be heap-owned (snapshot entries and fresh copies both are; any stale
+// arena linkage is severed here). Unlike a bare RestoreSnapshot through
+// WithLock, ReplaceContents also resets the backing arena: the previous
+// contents are dropped wholesale, so no live sample aliases an arena row
+// and every row returns to the free list instead of leaking. The elastic
+// server uses it to rebuild a rank's buffer after a group rollback (replay
+// journal ++ live contents). The reception flag is untouched. It reports
+// false — without calling fn — when the policy cannot snapshot/restore.
+func (b *Blocking) ReplaceContents(fn func(seen, unseen []Sample) (newSeen, newUnseen []Sample)) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	sn, ok := b.p.(Snapshotter)
+	if !ok {
+		return false
+	}
+	seen, unseen := sn.Snapshot()
+	seen, unseen = fn(seen, unseen)
+	for i := range seen {
+		seen[i].slot = 0
+	}
+	for i := range unseen {
+		unseen[i].slot = 0
+	}
+	sn.RestoreSnapshot(seen, unseen)
+	if b.arena != nil {
+		b.arena.reset()
+	}
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+	return true
 }
 
 // Put inserts s, blocking while the policy refuses it (buffer full). If
@@ -215,6 +272,16 @@ func (b *Blocking) EndReception() {
 	b.p.EndReception()
 	b.notEmpty.Broadcast()
 	b.notFull.Broadcast()
+}
+
+// ReopenReception undoes EndReception: thresholds apply again and new
+// samples are accepted. The elastic server calls it when an aborted
+// epoch's teardown ended reception to unblock the trainer while the
+// rank's aggregator knows more data is still owed.
+func (b *Blocking) ReopenReception() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.p.ReopenReception()
 }
 
 // Len reports the current population.

@@ -78,6 +78,36 @@ func TestBlockingGetReturnsFalseWhenDrained(t *testing.T) {
 	}
 }
 
+// TestBlockingReopenReception: the elastic server ends reception to wake
+// a trainer during an epoch abort, then reopens it for the next epoch —
+// the flag must clear, new samples must be accepted, and a drain-by-end
+// must work again afterwards.
+func TestBlockingReopenReception(t *testing.T) {
+	b := NewBlocking(NewFIFO(0))
+	b.Put(mkSample(0, 0))
+	b.EndReception()
+	if _, ok := b.Get(); !ok {
+		t.Fatal("expected the stored sample")
+	}
+	if !b.Drained() {
+		t.Fatal("Drained() false after EndReception")
+	}
+	b.ReopenReception()
+	if b.Drained() {
+		t.Fatal("Drained() true after ReopenReception")
+	}
+	if !b.TryPut(mkSample(0, 1)) {
+		t.Fatal("reopened buffer refused a sample")
+	}
+	b.EndReception()
+	if s, ok := b.Get(); !ok || s.Step != 1 {
+		t.Fatalf("got %v ok=%v, want the post-reopen sample", s, ok)
+	}
+	if _, ok := b.Get(); ok {
+		t.Fatal("expected drained after second EndReception")
+	}
+}
+
 func TestBlockingEndReceptionWakesWaiter(t *testing.T) {
 	b := NewBlocking(NewFIRO(10, 5, 1))
 	b.Put(mkSample(0, 0)) // below threshold: Get would block

@@ -94,6 +94,11 @@ type Policy interface {
 	// EndReception signals that no more data will ever arrive. Thresholds
 	// are lifted so the remaining population can be drained (§3.2.3).
 	EndReception()
+	// ReopenReception undoes EndReception: thresholds apply again and the
+	// policy accepts new samples. The elastic server needs it because an
+	// aborted epoch's teardown ends reception to unblock the trainer
+	// (Trainer.Run), while the rank demonstrably has more data coming.
+	ReopenReception()
 	// ReceptionOver reports whether EndReception has been called.
 	ReceptionOver() bool
 	// Len returns the number of samples currently stored.

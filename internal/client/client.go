@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"melissa/internal/ddp"
 	"melissa/internal/protocol"
 	"melissa/internal/solver"
 	"melissa/internal/transport"
@@ -30,6 +31,15 @@ type Config struct {
 	// Restart is the number of times the launcher restarted this client;
 	// it is forwarded so the server knows duplicates may follow.
 	Restart int
+	// Reconnect enables mid-stream resilience for elastic server groups:
+	// a send failure marks the rank down and Send keeps succeeding —
+	// frames routed to the dead rank are dropped while a background
+	// redial loop (ddp.Retry backoff) re-establishes the connection and
+	// re-announces the client with a fresh Hello; the server's dedup log
+	// makes any overlap idempotent. Sends fail only once every rank is
+	// down. Off (the default), a send failure is returned to the caller —
+	// the fail-fast contract the launcher's restart policy expects.
+	Reconnect bool
 }
 
 func (c Config) withDefaults() Config {
@@ -53,27 +63,71 @@ type API struct {
 	sendMu sync.Mutex
 	msg    protocol.TimeStep
 
+	// Reconnect-mode state: which ranks are down and which have a redial
+	// loop in flight. ctx cancels the redial loops on Abort/Finalize.
+	downMu    sync.Mutex
+	down      []bool
+	redialing []bool
+	ctx       context.Context
+	cancel    context.CancelFunc
+
 	hbStop chan struct{}
 	hbDone sync.WaitGroup
 }
 
 // InitCommunication connects to every server rank, announces the client
-// with a Hello on each connection, and starts the heartbeat loop.
-// totalSteps declares how many time steps this client will produce.
+// with a Hello on each connection, and starts the heartbeat loop. The dial
+// is wrapped in the ddp retry/backoff policy, so a client started during a
+// server re-formation (or slightly before the server) connects as soon as
+// the listeners come up instead of failing fast. In reconnect mode the dial
+// also tolerates dead ranks: unreachable addresses start out down with a
+// redial loop working on them, so a simulation launched while part of an
+// elastic group is gone still streams to the survivors. totalSteps declares
+// how many time steps this client will produce.
 func InitCommunication(cfg Config, totalSteps int) (*API, error) {
 	cfg = cfg.withDefaults()
-	conn, err := transport.Dial(cfg.ServerAddrs, cfg.DialTimeout)
+	var conn *transport.ClientConn
+	var downRanks []int
+	err := ddp.Retry(context.Background(), 5, 100*time.Millisecond, func() error {
+		var err error
+		if cfg.Reconnect {
+			conn, downRanks, err = transport.DialAvailable(cfg.ServerAddrs, cfg.DialTimeout)
+		} else {
+			conn, err = transport.Dial(cfg.ServerAddrs, cfg.DialTimeout)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, fmt.Errorf("client %d: %w", cfg.ClientID, err)
 	}
-	a := &API{cfg: cfg, conn: conn, steps: totalSteps, hbStop: make(chan struct{})}
-	hello := protocol.Hello{
-		ClientID: int32(cfg.ClientID),
-		SimID:    int32(cfg.SimID),
-		Steps:    int32(totalSteps),
-		Restart:  int32(cfg.Restart),
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &API{
+		cfg: cfg, conn: conn, steps: totalSteps,
+		down: make([]bool, conn.Ranks()), redialing: make([]bool, conn.Ranks()),
+		ctx: ctx, cancel: cancel,
+		hbStop: make(chan struct{}),
 	}
-	if err := conn.SendAll(hello); err != nil {
+	if cfg.Reconnect {
+		for _, r := range downRanks {
+			a.downMu.Lock()
+			a.down[r] = true
+			a.redialing[r] = true
+			a.downMu.Unlock()
+			go a.redialLoop(r)
+		}
+		// Hello rank by rank: a rank dying under the announcement is the
+		// same failure Send tolerates, so it joins the redial policy
+		// instead of aborting the client.
+		for r := 0; r < conn.Ranks(); r++ {
+			if a.isDown(r) {
+				continue
+			}
+			if err := conn.Send(r, a.hello()); err != nil {
+				a.rankFailed(r)
+			}
+		}
+	} else if err := conn.SendAll(a.hello()); err != nil {
+		cancel()
 		conn.Close()
 		return nil, fmt.Errorf("client %d: hello: %w", cfg.ClientID, err)
 	}
@@ -82,6 +136,15 @@ func InitCommunication(cfg Config, totalSteps int) (*API, error) {
 		go a.heartbeatLoop()
 	}
 	return a, nil
+}
+
+func (a *API) hello() protocol.Hello {
+	return protocol.Hello{
+		ClientID: int32(a.cfg.ClientID),
+		SimID:    int32(a.cfg.SimID),
+		Steps:    int32(a.steps),
+		Restart:  int32(a.cfg.Restart),
+	}
 }
 
 func (a *API) heartbeatLoop() {
@@ -94,10 +157,71 @@ func (a *API) heartbeatLoop() {
 			return
 		case <-ticker.C:
 			// Best effort: a failed heartbeat means the connection is
-			// dying; the send path will surface the error.
-			_ = a.conn.SendAll(protocol.Heartbeat{ClientID: int32(a.cfg.ClientID)})
+			// dying; the send path (or the reconnect policy) handles it.
+			hb := protocol.Heartbeat{ClientID: int32(a.cfg.ClientID)}
+			for r := 0; r < a.conn.Ranks(); r++ {
+				if a.isDown(r) {
+					continue
+				}
+				if err := a.conn.Send(r, hb); err != nil && a.cfg.Reconnect {
+					a.rankFailed(r)
+				}
+			}
 		}
 	}
+}
+
+// isDown reports whether the reconnect policy considers the rank dead.
+func (a *API) isDown(rank int) bool {
+	a.downMu.Lock()
+	defer a.downMu.Unlock()
+	return a.down[rank]
+}
+
+// rankFailed marks a rank down after a send error and ensures one redial
+// loop is running for it. It reports how many ranks remain up.
+func (a *API) rankFailed(rank int) (upLeft int) {
+	a.conn.MarkDown(rank)
+	a.downMu.Lock()
+	a.down[rank] = true
+	spawn := !a.redialing[rank]
+	if spawn {
+		a.redialing[rank] = true
+	}
+	for r := range a.down {
+		if !a.down[r] {
+			upLeft++
+		}
+	}
+	a.downMu.Unlock()
+	if spawn {
+		go a.redialLoop(rank)
+	}
+	return upLeft
+}
+
+// redialLoop re-establishes a dead rank's connection with exponential
+// backoff, then re-announces the client with a fresh Hello — the server's
+// per-sim dedup bitsets make the overlap between dropped and re-sent
+// frames idempotent. On success the rank rejoins the round-robin; on
+// exhaustion it stays down and its share of frames keeps being dropped.
+func (a *API) redialLoop(rank int) {
+	err := ddp.Retry(a.ctx, 60, 100*time.Millisecond, func() error {
+		if err := a.conn.Redial(rank, a.cfg.DialTimeout); err != nil {
+			return err
+		}
+		if err := a.conn.Send(rank, a.hello()); err != nil {
+			a.conn.MarkDown(rank)
+			return err
+		}
+		return nil
+	})
+	a.downMu.Lock()
+	a.redialing[rank] = false
+	if err == nil {
+		a.down[rank] = false
+	}
+	a.downMu.Unlock()
 }
 
 // Rank returns the destination server rank for a given time step: round
@@ -114,21 +238,56 @@ func (a *API) Rank(step int) int {
 // flush point per solver step, so any frames already buffered on the same
 // rank (heartbeats, a preceding step) coalesce into the same syscall.
 func (a *API) Send(step int, input []float64, field []float64) error {
+	rank := a.Rank(step)
+	if a.cfg.Reconnect && a.isDown(rank) {
+		return nil // dropped: the rank is down, its redial loop is working
+	}
 	a.sendMu.Lock()
-	defer a.sendMu.Unlock()
 	a.msg.SimID = int32(a.cfg.SimID)
 	a.msg.Step = int32(step)
 	a.msg.Input = appendF32(a.msg.Input[:0], input)
 	a.msg.Field = appendF32(a.msg.Field[:0], field)
-	return a.conn.Send(a.Rank(step), &a.msg)
+	err := a.conn.Send(rank, &a.msg)
+	a.sendMu.Unlock()
+	if err == nil || !a.cfg.Reconnect {
+		return err
+	}
+	if a.rankFailed(rank) == 0 {
+		return fmt.Errorf("client %d: every server rank is down: %w", a.cfg.ClientID, err)
+	}
+	return nil // dropped this frame; surviving ranks keep streaming
 }
 
 // FinalizeCommunication signals every rank that no more data will be sent,
-// then disconnects.
+// then disconnects. In reconnect mode, down ranks are skipped — a Goodbye
+// cannot reach a dead process, and the server's reception accounting
+// treats the silent rank's share as abandoned — but at least one rank must
+// take the Goodbye for the ensemble bookkeeping to complete.
 func (a *API) FinalizeCommunication() error {
 	a.stopHeartbeats()
+	a.cancel()
 	bye := protocol.Goodbye{ClientID: int32(a.cfg.ClientID), SimID: int32(a.cfg.SimID)}
-	err := a.conn.SendAll(bye)
+	var err error
+	if a.cfg.Reconnect {
+		delivered := 0
+		for r := 0; r < a.conn.Ranks(); r++ {
+			if a.isDown(r) {
+				continue
+			}
+			if serr := a.conn.Send(r, bye); serr == nil {
+				delivered++
+			} else if err == nil {
+				err = serr
+			}
+		}
+		if delivered > 0 {
+			err = nil
+		} else if err == nil {
+			err = fmt.Errorf("client %d: goodbye reached no rank", a.cfg.ClientID)
+		}
+	} else {
+		err = a.conn.SendAll(bye)
+	}
 	if cerr := a.conn.Close(); err == nil {
 		err = cerr
 	}
@@ -139,6 +298,7 @@ func (a *API) FinalizeCommunication() error {
 // launcher's kill path use it.
 func (a *API) Abort() {
 	a.stopHeartbeats()
+	a.cancel()
 	a.conn.Close()
 }
 

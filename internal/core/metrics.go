@@ -29,17 +29,68 @@ type Metrics struct {
 
 	clientRestarts map[int32]int
 
+	// Elasticity events (the group's view, recorded by the elastic server):
+	// current membership epoch, how many times the group re-formed, and the
+	// batch counter the last re-formation rolled back to (-1 when none).
+	groupEpoch        int
+	reforms           int
+	lastRollbackBatch int
+
 	start, end time.Time
 }
 
 // NewMetrics builds an empty collector. trackOccurrences enables the
 // per-sample repetition histogram of Figure 3.
 func NewMetrics(trackOccurrences bool) *Metrics {
-	m := &Metrics{}
+	m := &Metrics{lastRollbackBatch: -1}
 	if trackOccurrences {
 		m.occurrences = make(map[buffer.Key]int)
 	}
 	return m
+}
+
+// SetGroupEpoch records the elastic group's current membership epoch.
+func (m *Metrics) SetGroupEpoch(epoch int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.groupEpoch = epoch
+}
+
+// RecordReform tallies one group re-formation and the batch counter it
+// rolled the trainer back to (-1 when the re-formation had no committed
+// checkpoint to restore), so operators can see elasticity events in the
+// periodic log line.
+func (m *Metrics) RecordReform(epoch, rollbackBatch int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.groupEpoch = epoch
+	m.reforms++
+	m.lastRollbackBatch = rollbackBatch
+}
+
+// GroupEpoch returns the elastic group's current membership epoch (0 for a
+// static group).
+func (m *Metrics) GroupEpoch() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.groupEpoch
+}
+
+// Reforms returns how many times the group re-formed around a failure or
+// membership change.
+func (m *Metrics) Reforms() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reforms
+}
+
+// LastRollbackBatch returns the batch counter the most recent re-formation
+// restored, or -1 when it had nothing committed to restore (or the group
+// never re-formed at all).
+func (m *Metrics) LastRollbackBatch() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastRollbackBatch
 }
 
 // Begin stamps the training start time.

@@ -159,8 +159,7 @@ func tcpTrainerGroup(t *testing.T, ranks int, bufs []*buffer.Blocking, spec Mode
 	for r := range trainers {
 		tr, err := NewTrainer(TrainerConfig{
 			Ranks:      1,
-			RankOffset: r,
-			Comm:       comms[r],
+			Group:      ddp.RankGroup{Comm: comms[r], Offset: r},
 			BatchSize:  5,
 			Model:      spec,
 			Normalizer: norm,

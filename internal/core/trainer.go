@@ -42,15 +42,21 @@ type TrainerConfig struct {
 	Ranks     int // learner replicas ("GPUs") in this process; one training buffer each
 	BatchSize int // samples per rank per synchronized step (paper: 10)
 
-	// Comm carries the gradient collectives. Nil builds an in-process
-	// channel ring over Ranks. Supplying a transport-backed communicator
-	// (ddp.TCPComm) lets several processes train as one data-parallel
-	// group: Ranks then counts only this process's local replicas and
-	// RankOffset places them in the global rank space [0, Comm.Size()).
-	Comm ddp.Communicator
-	// RankOffset is the global rank of this process's local rank 0.
-	// Metrics, validation and checkpoints belong to global rank 0.
-	RankOffset int
+	// Group places this process's ranks in the data-parallel group: its
+	// communicator carries the gradient collectives and its offset maps
+	// local rank 0 into the global rank space. The zero value builds an
+	// in-process channel ring over Ranks. Supplying a transport-backed
+	// group (ddp.GroupFromRing, ddp.ConnectGroup) lets several processes
+	// train as one group: Ranks then counts only this process's local
+	// replicas. Metrics, validation and checkpoints belong to global
+	// rank 0.
+	Group ddp.RankGroup
+
+	// Metrics, when non-nil, is the collector the trainer records into
+	// instead of a fresh one — the elastic server threads one instance
+	// through the per-epoch trainers so counters and loss curves span
+	// group re-formations.
+	Metrics *Metrics
 
 	// GradSync selects overlapped-bucketed (default), serial-bucketed, or
 	// legacy full-slab gradient synchronization.
@@ -99,22 +105,8 @@ func (c TrainerConfig) validate() error {
 	if c.Normalizer == nil {
 		return errors.New("core: normalizer required")
 	}
-	if c.Comm == nil && c.RankOffset != 0 {
-		return fmt.Errorf("core: rank offset %d without an external communicator", c.RankOffset)
-	}
-	if c.Comm != nil {
-		if c.RankOffset < 0 || c.RankOffset+c.Ranks > c.Comm.Size() {
-			return fmt.Errorf("core: local ranks [%d,%d) exceed communicator size %d",
-				c.RankOffset, c.RankOffset+c.Ranks, c.Comm.Size())
-		}
-		if sr, ok := c.Comm.(ddp.SingleRank); ok {
-			if c.Ranks != 1 {
-				return fmt.Errorf("core: communicator serves only rank %d; Ranks must be 1, got %d", sr.Rank(), c.Ranks)
-			}
-			if c.RankOffset != sr.Rank() {
-				return fmt.Errorf("core: rank offset %d does not match communicator rank %d", c.RankOffset, sr.Rank())
-			}
-		}
+	if err := c.Group.Validate(c.Ranks); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -165,9 +157,13 @@ func NewTrainer(cfg TrainerConfig, bufs []*buffer.Blocking) (*Trainer, error) {
 	if err != nil {
 		return nil, err
 	}
-	comm := cfg.Comm
+	comm := cfg.Group.Comm
 	if comm == nil {
 		comm = ddp.NewCommunicator(cfg.Ranks)
+	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = NewMetrics(cfg.TrackOccurrences)
 	}
 	t := &Trainer{
 		cfg:          cfg,
@@ -175,7 +171,7 @@ func NewTrainer(cfg TrainerConfig, bufs []*buffer.Blocking) (*Trainer, error) {
 		nets:         make([]*nn.Network, cfg.Ranks),
 		opts:         make([]*opt.Adam, cfg.Ranks),
 		comm:         comm,
-		metrics:      NewMetrics(cfg.TrackOccurrences),
+		metrics:      metrics,
 		localSamples: make([]int, cfg.Ranks),
 	}
 	if cfg.InitialWeights != nil {
@@ -233,6 +229,14 @@ func (t *Trainer) Run(ctx context.Context) error {
 	go func() {
 		select {
 		case <-ctx.Done():
+			select {
+			case <-stop:
+				// Run already finished; a late cancellation must not end
+				// reception on buffers that outlive this trainer (the
+				// elastic server reuses them across group epochs).
+				return
+			default:
+			}
 			for _, b := range t.bufs {
 				b.EndReception()
 			}
@@ -293,7 +297,7 @@ func (t *Trainer) newRankState(rank int) *rankState {
 	norm := t.cfg.Normalizer
 	st := &rankState{
 		rank:         rank,
-		grank:        t.cfg.RankOffset + rank,
+		grank:        t.cfg.Group.Offset + rank,
 		net:          t.nets[rank],
 		optimizer:    t.opts[rank],
 		lossFn:       nn.NewMSELoss(),

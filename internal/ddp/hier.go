@@ -1,0 +1,334 @@
+package ddp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"melissa/internal/transport"
+)
+
+// HierComm is the hierarchical Communicator backend: one process hosts
+// several consecutive global ranks (goroutines), and processes are joined
+// by a single inter-process TCP ring (transport.Ring). It runs the literal
+// flat-ring scatter-reduce/all-gather over all procs×local virtual ranks —
+// same chunking, same accumulation order — so its collective results are
+// bit-identical to a flat ring (ChanComm or one-rank-per-process TCPComm)
+// of the same total size. The hierarchy is purely physical: hops between
+// local ranks are channel links, and only the leader hop (local rank
+// local−1 → the next process's local rank 0) crosses the network, so a
+// host running M ranks needs one ring connection pair instead of M.
+//
+// Failure model: a ring link failure (or Abort) poisons the whole
+// communicator. The first error is recorded and the down channel closed,
+// which unwedges local ranks blocked on channel hops mid-collective —
+// without it, only the boundary ranks would observe the network fault and
+// the middle ranks would block forever. After any non-nil error the
+// communicator must be closed, never reused (see the package failure
+// model).
+type HierComm struct {
+	ring   *transport.Ring
+	procs  int // ring size (1 means no network hop: the ring closes locally)
+	local  int // ranks hosted in this process
+	offset int // first global rank hosted here: ring.Rank() * local
+	size   int // procs * local
+
+	// links[l] carries messages local rank l → local rank l+1. With a
+	// single process the last link wraps around (local−1 → 0) in place of
+	// the network hop.
+	links   []link
+	scratch []float32 // ring decode scratch; only local rank 0 receives from the ring
+
+	down     chan struct{}         // closed on first failure; unwedges channel hops
+	failOnce sync.Once
+	firstErr atomic.Pointer[error]
+}
+
+var _ Communicator = (*HierComm)(nil)
+var _ RankSpan = (*HierComm)(nil)
+
+// NewHierComm wraps a connected inter-process ring as the collective
+// backend for localRanks consecutive global ranks hosted in this process.
+// The global group has ring.Size()·localRanks ranks; this process serves
+// [ring.Rank()·localRanks, (ring.Rank()+1)·localRanks). ring may be a
+// size-1 ring, in which case every hop stays in-process.
+func NewHierComm(ring *transport.Ring, localRanks int) *HierComm {
+	if localRanks <= 0 {
+		panic(fmt.Sprintf("ddp: invalid local rank count %d", localRanks))
+	}
+	h := &HierComm{
+		ring:   ring,
+		procs:  ring.Size(),
+		local:  localRanks,
+		offset: ring.Rank() * localRanks,
+		size:   ring.Size() * localRanks,
+		links:  make([]link, localRanks),
+		down:   make(chan struct{}),
+	}
+	for i := range h.links {
+		h.links[i] = newLink()
+	}
+	return h
+}
+
+// Size implements Communicator: the total rank count across all processes.
+func (h *HierComm) Size() int { return h.size }
+
+// RankOffset implements RankSpan: the first global rank this endpoint
+// serves.
+func (h *HierComm) RankOffset() int { return h.offset }
+
+// LocalRanks implements RankSpan: the number of consecutive global ranks
+// this endpoint serves.
+func (h *HierComm) LocalRanks() int { return h.local }
+
+// Close tears the inter-process ring down. It must not race in-flight
+// collectives; call Abort first to interrupt them.
+func (h *HierComm) Close() error { return h.ring.Close() }
+
+// Abort poisons the communicator and force-closes the ring connections:
+// every in-flight collective on every local rank fails with an error
+// wrapping transport.ErrRingAborted. Safe to call from any goroutine.
+func (h *HierComm) Abort() {
+	h.ring.Abort()
+	h.fail(fmt.Errorf("ddp: hierarchical group aborted: %w", transport.ErrRingAborted))
+}
+
+// localOf validates that rank is hosted by this endpoint and returns its
+// local index. A mismatch is a programming error, not a link fault.
+func (h *HierComm) localOf(rank int) int {
+	if rank < h.offset || rank >= h.offset+h.local {
+		panic(fmt.Sprintf("ddp: HierComm for ranks [%d,%d) called as rank %d", h.offset, h.offset+h.local, rank))
+	}
+	return rank - h.offset
+}
+
+// fail records the first error and closes the down channel, unwedging
+// local ranks blocked on channel hops. Returns the recorded first error.
+func (h *HierComm) fail(err error) error {
+	h.firstErr.CompareAndSwap(nil, &err)
+	h.failOnce.Do(func() { close(h.down) })
+	return *h.firstErr.Load()
+}
+
+// poisoned returns the recorded failure, if any.
+func (h *HierComm) poisoned() error {
+	if p := h.firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// sendHop sends vals to local rank l's ring successor: a channel link for
+// interior ranks, the network (or wrap-around link for a single process)
+// for the leader.
+func (h *HierComm) sendHop(l int, vals []float32) error {
+	if l == h.local-1 && h.procs > 1 {
+		if err := h.ring.SendFloats(vals); err != nil {
+			return h.fail(err)
+		}
+		return nil
+	}
+	lk := &h.links[l]
+	var buf []float32
+	select {
+	case buf = <-lk.free:
+	case <-h.down:
+		return h.poisoned()
+	}
+	if cap(buf) < len(vals) {
+		buf = make([]float32, len(vals))
+	}
+	buf = buf[:len(vals)]
+	copy(buf, vals)
+	select {
+	case lk.data <- buf:
+	case <-h.down:
+		return h.poisoned()
+	}
+	return nil
+}
+
+// recvHop receives the predecessor's message for local rank l into dst,
+// accumulating element-wise when accumulate is set and copying otherwise.
+// dst length is the collective's chunk length, which the lockstep protocol
+// guarantees matches the sender's.
+func (h *HierComm) recvHop(l int, dst []float32, accumulate bool) error {
+	if l == 0 && h.procs > 1 {
+		if !accumulate {
+			if err := h.ring.RecvFloats(dst); err != nil {
+				return h.fail(err)
+			}
+			return nil
+		}
+		if cap(h.scratch) < len(dst) {
+			h.scratch = make([]float32, len(dst))
+		}
+		in := h.scratch[:len(dst)]
+		if err := h.ring.RecvFloats(in); err != nil {
+			return h.fail(err)
+		}
+		for i := range dst {
+			dst[i] += in[i]
+		}
+		return nil
+	}
+	lk := &h.links[(l-1+h.local)%h.local]
+	var in []float32
+	select {
+	case in = <-lk.data:
+	case <-h.down:
+		return h.poisoned()
+	}
+	if accumulate {
+		for i := range dst {
+			dst[i] += in[i]
+		}
+	} else {
+		copy(dst, in)
+	}
+	lk.free <- in
+	return nil
+}
+
+// sendTokenHop forwards a zero-length barrier token to the successor.
+func (h *HierComm) sendTokenHop(l int) error {
+	if l == h.local-1 && h.procs > 1 {
+		if err := h.ring.SendToken(); err != nil {
+			return h.fail(err)
+		}
+		return nil
+	}
+	return h.sendHop(l, nil)
+}
+
+// recvTokenHop consumes a barrier token from the predecessor.
+func (h *HierComm) recvTokenHop(l int) error {
+	if l == 0 && h.procs > 1 {
+		if err := h.ring.RecvToken(); err != nil {
+			return h.fail(err)
+		}
+		return nil
+	}
+	return h.recvHop(l, nil, false)
+}
+
+// AllReduceSum implements Communicator: the flat ring scatter-reduce and
+// all-gather of ChanComm.AllReduceSum over the hybrid hop topology. Every
+// hosted rank must enter concurrently (each from its own goroutine, with
+// its own buffer), exactly like ranks of a ChanComm group.
+func (h *HierComm) AllReduceSum(rank int, buf []float32) error {
+	l := h.localOf(rank)
+	if err := h.poisoned(); err != nil {
+		return err
+	}
+	n := h.size
+	if n == 1 {
+		return nil
+	}
+	chunk := func(i int) []float32 {
+		lo, hi := chunkRange(len(buf), n, ((i%n)+n)%n)
+		return buf[lo:hi]
+	}
+	// Scatter-reduce: after step s, rank r has accumulated s+1 terms into
+	// chunk (r-s); after n-1 steps chunk (r+1) holds the complete sum.
+	for s := 0; s < n-1; s++ {
+		if err := h.sendHop(l, chunk(rank-s)); err != nil {
+			return err
+		}
+		if err := h.recvHop(l, chunk(rank-s-1), true); err != nil {
+			return err
+		}
+	}
+	// All-gather: circulate the completed chunks.
+	for s := 0; s < n-1; s++ {
+		if err := h.sendHop(l, chunk(rank+1-s)); err != nil {
+			return err
+		}
+		if err := h.recvHop(l, chunk(rank-s), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllReduceSumRange implements Communicator.
+func (h *HierComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) error {
+	return h.AllReduceSum(rank, buf[lo:hi])
+}
+
+// AllReduceMean implements Communicator.
+func (h *HierComm) AllReduceMean(rank int, buf []float32) error {
+	if err := h.AllReduceSum(rank, buf); err != nil {
+		return err
+	}
+	if h.size > 1 {
+		inv := 1 / float32(h.size)
+		for i := range buf {
+			buf[i] *= inv
+		}
+	}
+	return nil
+}
+
+// Broadcast implements Communicator: the root's buffer travels around the
+// virtual ring, each rank copying and forwarding, followed by a barrier so
+// the call is collective like the other backends'.
+func (h *HierComm) Broadcast(rank, root int, buf []float32) error {
+	l := h.localOf(rank)
+	if err := h.poisoned(); err != nil {
+		return err
+	}
+	n := h.size
+	if n == 1 {
+		return nil
+	}
+	if rank == root {
+		if err := h.sendHop(l, buf); err != nil {
+			return err
+		}
+	} else {
+		if err := h.recvHop(l, buf, false); err != nil {
+			return err
+		}
+		if (rank+1)%n != root {
+			if err := h.sendHop(l, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return h.Barrier(rank)
+}
+
+// Barrier implements Communicator: the two-round ring token of
+// TCPComm.Barrier over the hybrid topology. Global rank 0 initiates; the
+// first round proves every rank entered, the second releases them.
+func (h *HierComm) Barrier(rank int) error {
+	l := h.localOf(rank)
+	if err := h.poisoned(); err != nil {
+		return err
+	}
+	if h.size == 1 {
+		return nil
+	}
+	if rank == 0 {
+		for round := 0; round < 2; round++ {
+			if err := h.sendTokenHop(l); err != nil {
+				return err
+			}
+			if err := h.recvTokenHop(l); err != nil {
+				return err
+			}
+		}
+	} else {
+		for round := 0; round < 2; round++ {
+			if err := h.recvTokenHop(l); err != nil {
+				return err
+			}
+			if err := h.sendTokenHop(l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -15,7 +15,12 @@ import (
 // needs to re-enter the trajectory at a batch boundary. Weights and
 // OptState use the nn/opt binary formats (core.Trainer.CaptureState);
 // BufSeen/BufUnseen are the member's buffer snapshot (buffer.Snapshotter),
-// nil when the member keeps its initial fill.
+// nil when the member keeps its initial fill. App is an opaque
+// member-local payload for the application embedding the group — the
+// elastic server rides its per-local-rank ingest state here (per-sim
+// dedup bitsets and arena buffer snapshots), so server ingestion rolls
+// back on exactly the same shards as the replica weights. Like the Buf
+// fields, App is never adopted from a peer's shard on restore.
 type State struct {
 	Epoch   int // group epoch the shard was written under
 	Batch   int // synchronized steps completed
@@ -26,6 +31,8 @@ type State struct {
 
 	BufSeen   []buffer.Sample
 	BufUnseen []buffer.Sample
+
+	App []byte
 }
 
 // shardPath names member m's shard at a batch boundary. The batch is part

@@ -73,6 +73,7 @@ const (
 	kindPrepare                     // coordinator → member: abort ring, rebind, join epoch
 	kindConfig                      // coordinator → member: epoch configuration
 	kindStop                        // coordinator → member: group complete
+	kindCommit                      // coordinator → member: manifest committed at batch
 )
 
 // ctrlMsg is the single gob-encoded control-plane message shape; Kind
@@ -82,7 +83,7 @@ type ctrlMsg struct {
 	ID    int    // sender member ID (hello/join/fault/shard/done)
 	Epoch int    // epoch the message refers to
 	Addr  string // join: the member's fresh ring listener address
-	Batch int    // shard: checkpoint batch; config: restore batch (-1 = fresh)
+	Batch int    // shard: checkpoint batch; config: restore batch (-1 = fresh); commit: manifest batch
 
 	// Config payload: member IDs in ring order and their ring addresses.
 	Members []int

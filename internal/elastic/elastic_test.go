@@ -216,8 +216,7 @@ func (h *groupHarness) app(memberID int) func(ctx context.Context, sess *elastic
 		var tr *core.Trainer
 		cfg := core.TrainerConfig{
 			Ranks:      1,
-			RankOffset: sess.Rank(),
-			Comm:       sess.Comm(),
+			Group:      sess.Group(),
 			BatchSize:  egBatch,
 			Model:      egSpec(norm),
 			Normalizer: norm,

@@ -28,14 +28,27 @@ type MemberConfig struct {
 	BindAddr string
 	// ConnectTimeout bounds ring formation per epoch; 0 means 10s.
 	ConnectTimeout time.Duration
+	// LocalRanks is how many consecutive global training ranks this member
+	// hosts (0 means 1). Every member of a group must agree — the value is
+	// stamped into the ring handshake identity, so a mismatch fails at
+	// ring formation. With several local ranks the session's group wraps
+	// the ring in a hierarchical communicator (ddp.HierComm).
+	LocalRanks int
 	// RingOptions, when set, supplies per-epoch ring tuning (IO timeout,
-	// heartbeat interval, chaos wrapper). Nil uses transport defaults.
+	// heartbeat interval, chaos wrapper). Nil uses transport defaults. The
+	// Identity field is overwritten with the topology identity.
 	RingOptions func(epoch int) transport.RingOptions
 	// Run is the application callback, invoked once per epoch the member
 	// participates in. It must watch Session.Aborted (or the collective
 	// errors) and return promptly when the epoch is torn down; a nil
 	// return reports the epoch's work complete, non-nil reports a fault.
 	Run func(ctx context.Context, s *Session) error
+	// OnCommit, when set, is invoked whenever the coordinator commits a
+	// group checkpoint manifest, with the committed batch. It runs on the
+	// control-plane reader goroutine — possibly concurrently with Run —
+	// and must return quickly. The elastic server uses it to prune replay
+	// journals kept only for rollbacks to older boundaries.
+	OnCommit func(batch int)
 }
 
 // Member is one elastic rank's runtime: it keeps the control connection to
@@ -67,6 +80,9 @@ func NewMember(cfg MemberConfig) (*Member, error) {
 	}
 	if cfg.ConnectTimeout <= 0 {
 		cfg.ConnectTimeout = defaultConnectTimeout
+	}
+	if cfg.LocalRanks <= 0 {
+		cfg.LocalRanks = 1
 	}
 	return &Member{cfg: cfg, events: make(chan ctrlMsg, 16)}, nil
 }
@@ -168,6 +184,14 @@ func (m *Member) readLoop(conn net.Conn) {
 			}
 			m.abortSession(epoch)
 		}
+		if msg.Kind == kindCommit {
+			// Commits arrive while the main loop is inside an epoch; they
+			// are delivered here so pruning is not deferred to epoch end.
+			if m.cfg.OnCommit != nil {
+				m.cfg.OnCommit(msg.Batch)
+			}
+			continue
+		}
 		select {
 		case m.events <- msg:
 		default:
@@ -243,6 +267,7 @@ func (m *Member) runEpoch(ctx context.Context, cfg ctrlMsg) {
 	if m.cfg.RingOptions != nil {
 		opts = m.cfg.RingOptions(cfg.Epoch)
 	}
+	opts.Identity = ddp.GroupIdentity(m.cfg.LocalRanks)
 	ring, err := l.ConnectContext(ctx, rank, cfg.Addrs, m.cfg.ConnectTimeout, opts)
 	if err != nil {
 		if debugElastic {
@@ -259,7 +284,7 @@ func (m *Member) runEpoch(ctx context.Context, cfg ctrlMsg) {
 		rank:    rank,
 		members: cfg.Members,
 		restore: cfg.Batch,
-		comm:    ddp.NewTCPComm(ring),
+		group:   ddp.GroupFromRing(ring, m.cfg.LocalRanks),
 		aborted: make(chan struct{}),
 		cancel:  cancel,
 	}
@@ -273,7 +298,7 @@ func (m *Member) runEpoch(ctx context.Context, cfg ctrlMsg) {
 	if dead {
 		// A newer prepare (or kill) raced ring formation: this epoch is
 		// already obsolete.
-		sess.comm.Close()
+		sess.group.Close()
 		return
 	}
 
@@ -290,11 +315,14 @@ func (m *Member) runEpoch(ctx context.Context, cfg ctrlMsg) {
 		// would cut them off mid-step.
 		sess.abort()
 	}
-	sess.comm.Close()
+	sess.group.Close()
 	if m.isKilled() {
 		return
 	}
 	if runErr == nil {
+		if debugElastic {
+			fmt.Printf("[m%d] epoch %d app done\n", m.cfg.ID, cfg.Epoch)
+		}
 		m.send(ctrlMsg{Kind: kindDone, ID: m.cfg.ID, Epoch: cfg.Epoch})
 	} else {
 		if debugElastic {
@@ -340,7 +368,7 @@ type Session struct {
 	rank    int
 	members []int
 	restore int
-	comm    *ddp.TCPComm
+	group   ddp.RankGroup
 
 	aborted   chan struct{}
 	abortOnce sync.Once
@@ -353,7 +381,8 @@ func (s *Session) Epoch() int { return s.epoch }
 // Rank returns this member's ring rank within the epoch.
 func (s *Session) Rank() int { return s.rank }
 
-// World returns the epoch's group size.
+// World returns the epoch's group size in members. The global training
+// rank space is World()·LocalRanks wide; see Group.
 func (s *Session) World() int { return len(s.members) }
 
 // Members returns the member IDs in ring-rank order.
@@ -362,7 +391,12 @@ func (s *Session) Members() []int { return s.members }
 // Comm returns the epoch's communicator. It is poisoned the moment the
 // epoch is torn down; collectives then return errors wrapping
 // transport.ErrRingAborted.
-func (s *Session) Comm() ddp.Communicator { return s.comm }
+func (s *Session) Comm() ddp.Communicator { return s.group.Comm }
+
+// Group returns the epoch's rank group: the communicator plus this
+// member's global rank offset (ring rank · LocalRanks). It is the handle
+// trainer and server configs take.
+func (s *Session) Group() ddp.RankGroup { return s.group }
 
 // RestoreBatch returns the batch boundary to restore from (the committed
 // group checkpoint), or -1 for a fresh start.
@@ -380,7 +414,7 @@ func (s *Session) Aborted() <-chan struct{} { return s.aborted }
 func (s *Session) abort() {
 	s.abortOnce.Do(func() {
 		close(s.aborted)
-		s.comm.Abort()
+		s.group.Abort()
 		if s.cancel != nil {
 			s.cancel()
 		}
@@ -425,15 +459,15 @@ func (s *Session) LoadState() (*State, error) {
 	if err != nil {
 		return nil, fmt.Errorf("elastic: member %d: no shard at batch %d: %w", s.m.cfg.ID, b, err)
 	}
-	// The weight-source shard may be a peer's; buffer contents are only
-	// ever the member's own.
-	st.BufSeen, st.BufUnseen = nil, nil
+	// The weight-source shard may be a peer's; buffer contents and the
+	// application payload are only ever the member's own.
+	st.BufSeen, st.BufUnseen, st.App = nil, nil, nil
 	if ownB, ok := latestShardAtOrBefore(dir, s.m.cfg.ID, b); ok {
 		own, err := loadShard(dir, s.m.cfg.ID, ownB)
 		if err != nil {
 			return nil, err
 		}
-		st.BufSeen, st.BufUnseen = own.BufSeen, own.BufUnseen
+		st.BufSeen, st.BufUnseen, st.App = own.BufSeen, own.BufUnseen, own.App
 	}
 	return st, nil
 }

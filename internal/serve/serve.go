@@ -58,6 +58,18 @@ type Config struct {
 	// CacheEntries bounds the prediction cache; 0 disables it (a negative
 	// value also disables it).
 	CacheEntries int
+	// CacheKeepEpochs keeps prediction-cache entries across hot reloads:
+	// instead of flushing, a reload lets entries serve until they fall more
+	// than this many epochs behind the current checkpoint (then they expire
+	// lazily on lookup). This deliberately serves slightly-stale fields —
+	// consecutive training checkpoints are close — in exchange for a cache
+	// that stays warm through frequent publishes. 0 (the default) flushes
+	// the whole cache on every reload.
+	CacheKeepEpochs int
+	// CacheTTL expires prediction-cache entries this long after insert,
+	// regardless of epoch; they count as expired misses on lookup. 0
+	// disables the TTL.
+	CacheTTL time.Duration
 	// WatchInterval is how often the checkpoint file is polled for a new
 	// publish; 0 disables watching.
 	WatchInterval time.Duration
@@ -75,6 +87,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0
+	}
+	if c.CacheKeepEpochs < 0 {
+		c.CacheKeepEpochs = 0
+	}
+	if c.CacheTTL < 0 {
+		c.CacheTTL = 0
 	}
 	return c
 }
@@ -125,8 +143,9 @@ type Stats struct {
 	Batches   uint64 // fused forward passes
 	BatchRows uint64 // total requests served by those passes
 	Hits      uint64 // cache hits
-	Misses    uint64 // cache misses
-	Evictions uint64 // cache evictions
+	Misses    uint64 // cache misses (expired lookups included)
+	Evictions uint64 // cache capacity evictions
+	Expired   uint64 // cache misses on lazily evicted stale entries
 	Errors    uint64 // rejected requests (PredictError sent)
 	Reloads   uint64 // successful hot reloads
 	Epoch     uint32 // current checkpoint epoch
@@ -160,7 +179,7 @@ func NewServer(sur *melissa.Surrogate, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
-		cache: newPredictCache(cfg.CacheEntries),
+		cache: newPredictCache(cfg.CacheEntries, cfg.CacheKeepEpochs, cfg.CacheTTL),
 		queue: make(chan *pending, 4*cfg.Replicas*cfg.MaxBatch),
 		free:  make(chan *pending, 4*cfg.Replicas*cfg.MaxBatch),
 		done:  make(chan struct{}),
@@ -196,7 +215,7 @@ func (s *Server) Epoch() uint32 { return s.model.Load().epoch }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() Stats {
-	hits, misses, evictions := s.cache.counters()
+	hits, misses, evictions, expired := s.cache.counters()
 	return Stats{
 		Requests:  s.requests.Load(),
 		Responses: s.responses.Load(),
@@ -205,6 +224,7 @@ func (s *Server) Stats() Stats {
 		Hits:      hits,
 		Misses:    misses,
 		Evictions: evictions,
+		Expired:   expired,
 		Errors:    s.errors.Load(),
 		Reloads:   s.reloads.Load(),
 		Epoch:     s.Epoch(),
@@ -301,8 +321,8 @@ func (s *Server) untrack(nc net.Conn) {
 // Reload hot-swaps the served checkpoint: load the file at path (empty =
 // the configured checkpoint path), verify it is shape-compatible with the
 // running model, and publish it under the next epoch. In-flight batches
-// finish on the old model; the prediction cache is flushed. Returns the
-// epoch now serving.
+// finish on the old model; the prediction cache flushes (or, with
+// CacheKeepEpochs, ages toward lazy expiry). Returns the epoch now serving.
 func (s *Server) Reload(path string) (uint32, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -323,11 +343,16 @@ func (s *Server) Reload(path string) (uint32, error) {
 	}
 	next := newModel(sur, old.epoch+1, s.cfg.MaxBatch, s.cfg.Replicas)
 	s.model.Store(next)
-	// Flush after the swap, raising the cache's insert floor to the new
-	// epoch: an in-flight batch still running on the old model carries an
-	// older epoch tag, so its puts are dropped rather than repopulating the
-	// cache with stale fields after the flush.
-	s.cache.flush(next.epoch)
+	// Raise the cache floor after the swap: an in-flight batch still running
+	// on the old model carries an older epoch tag, so its puts are dropped
+	// below the floor rather than repopulating the cache with stale fields.
+	// With CacheKeepEpochs the floor trails the new epoch by the keep window
+	// and surviving entries expire lazily; otherwise the whole cache flushes.
+	if s.cfg.CacheKeepEpochs > 0 {
+		s.cache.advanceEpoch(next.epoch)
+	} else {
+		s.cache.flush(next.epoch)
+	}
 	s.reloads.Add(1)
 	return next.epoch, nil
 }

@@ -463,7 +463,7 @@ func TestServeSteadyStateZeroAlloc(t *testing.T) {
 		if avg := testing.AllocsPerRun(100, hit); avg != 0 {
 			t.Errorf("cache-hit path allocates %.2f allocs per %d requests, want 0", avg, len(params))
 		}
-		hits, misses, _ := s.cache.counters()
+		hits, misses, _, _ := s.cache.counters()
 		if misses != 0 || hits == 0 {
 			t.Fatalf("gate did not stay on the hit path: %d hits, %d misses", hits, misses)
 		}

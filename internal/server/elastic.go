@@ -1,0 +1,448 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"melissa/internal/buffer"
+	"melissa/internal/core"
+	"melissa/internal/elastic"
+	"melissa/internal/transport"
+)
+
+// ElasticConfig places the server in an elastic training group: instead of
+// a fixed communicator wired at construction (Config.Group), membership is
+// managed by an elastic coordinator, a fresh hierarchical communicator is
+// formed per group epoch, and a rank death rolls every survivor back to
+// the last committed group checkpoint — without dropping the client
+// connections or the ingest state behind them. The server's per-rank
+// dedup bitsets and buffer contents ride the group-checkpoint shards
+// (elastic.State.App), so ingestion rolls back on exactly the same
+// boundary as the replica weights.
+type ElasticConfig struct {
+	// MemberID is this process's stable identity across restarts. It also
+	// pins the process's slice of the data plane: its ranks serve global
+	// data ranks [MemberID·Ranks, MemberID·Ranks+Ranks).
+	MemberID int
+	// Coordinator is the control-plane address of elastic.Coordinator.
+	Coordinator string
+	// Dir is the shared group checkpoint directory (shards + manifest).
+	Dir string
+	// BindAddr is the ring listener bind pattern (default "127.0.0.1:0").
+	BindAddr string
+	// ConnectTimeout bounds per-epoch ring formation (default 10s).
+	ConnectTimeout time.Duration
+	// InitialMembers is the data-plane group size in member processes.
+	// Client round-robin routing and reception accounting run over the
+	// stable data world of InitialMembers·Ranks global ranks, regardless
+	// of how the training group shrinks or re-forms: a member keeps its
+	// data ranks for the whole run, while its training-group offset
+	// (Session.Group) shifts with the surviving membership each epoch.
+	InitialMembers int
+	// RingOptions, when set, supplies per-epoch ring tuning (IO timeout,
+	// heartbeat cadence, chaos wrapper).
+	RingOptions func(epoch int) transport.RingOptions
+	// OnBoundary, when set, runs on every local rank at each synchronized
+	// step of every epoch (after shard handling). The chaos tests use it
+	// to trigger deterministic kills at exact batch boundaries.
+	OnBoundary func(epoch, rank, batches int)
+}
+
+func (ec *ElasticConfig) validate(ranks int) error {
+	if ec.Coordinator == "" {
+		return fmt.Errorf("server: elastic: coordinator address required")
+	}
+	if ec.Dir == "" {
+		return fmt.Errorf("server: elastic: checkpoint dir required")
+	}
+	if ec.InitialMembers < 1 {
+		return fmt.Errorf("server: elastic: InitialMembers=%d must be ≥ 1", ec.InitialMembers)
+	}
+	if ec.MemberID < 0 || ec.MemberID >= ec.InitialMembers {
+		return fmt.Errorf("server: elastic: MemberID=%d outside data world of %d members", ec.MemberID, ec.InitialMembers)
+	}
+	return nil
+}
+
+// retireJournal is one rank's replay log: every sample that permanently
+// left the rank's buffer through training (buffer.Blocking.OnRetire) is
+// deep-copied here in consumption order, and a mark records the journal
+// position at each group-checkpoint boundary. On a rollback to batch B the
+// entries after mark[B] are exactly the samples the rank consumed beyond
+// the checkpoint — prepending them to the live buffer contents rebuilds
+// the rank's FIFO stream bit-exactly without asking clients to resend.
+// Entries before the committed manifest can never be replayed again and
+// are pruned on the coordinator's commit notification.
+type retireJournal struct {
+	mu      sync.Mutex
+	base    int             // absolute position of entries[0]
+	entries []buffer.Sample // heap-owned deep copies, consumption order
+	marks   map[int]int     // batch boundary → absolute journal position
+}
+
+func newRetireJournal() *retireJournal {
+	return &retireJournal{marks: make(map[int]int)}
+}
+
+// record appends a retired sample. It runs under the buffer lock (OnRetire
+// contract), so the payload must be copied before the arena row is reused.
+func (j *retireJournal) record(s buffer.Sample) {
+	cp := buffer.Sample{
+		SimID:  s.SimID,
+		Step:   s.Step,
+		Input:  append([]float32(nil), s.Input...),
+		Output: append([]float32(nil), s.Output...),
+	}
+	j.mu.Lock()
+	j.entries = append(j.entries, cp)
+	j.mu.Unlock()
+}
+
+// mark records the current journal position for a batch boundary. Call at
+// the rank's own OnLocalBatchEnd, after the boundary's retires.
+func (j *retireJournal) mark(batch int) {
+	j.mu.Lock()
+	j.marks[batch] = j.base + len(j.entries)
+	j.mu.Unlock()
+}
+
+// prune drops entries before the committed batch's mark: the group can
+// never roll back past a committed manifest, so they are dead weight. Runs
+// on the control-plane reader goroutine (Member.OnCommit).
+func (j *retireJournal) prune(batch int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m, ok := j.marks[batch]
+	if !ok || m <= j.base {
+		return
+	}
+	j.entries = append([]buffer.Sample(nil), j.entries[m-j.base:]...)
+	j.base = m
+	for b := range j.marks {
+		if b < batch {
+			delete(j.marks, b)
+		}
+	}
+}
+
+// replayAndRewind returns the entries consumed after batch's mark and
+// rewinds the journal to it: the replayed samples go back into the buffer,
+// will be consumed again, and re-journal themselves. Marks past the
+// rollback point are stale trajectory and dropped.
+func (j *retireJournal) replayAndRewind(batch int) []buffer.Sample {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m, ok := j.marks[batch]
+	if !ok {
+		// No mark: the journal started after this boundary (the rank
+		// restored at it), so everything recorded since is post-batch.
+		m = j.base
+	}
+	cut := m - j.base
+	if cut < 0 {
+		cut = 0
+	}
+	out := append([]buffer.Sample(nil), j.entries[cut:]...)
+	j.entries = j.entries[:cut]
+	for b := range j.marks {
+		if b > batch {
+			delete(j.marks, b)
+		}
+	}
+	j.marks[batch] = m
+	return out
+}
+
+// elasticAppState is the server's ingest state inside a group-checkpoint
+// shard (elastic.State.App): per-local-rank sim accounting (dedup bitsets,
+// goodbye flags) and buffer snapshots. Gob-encoded; only ever restored by
+// the member that wrote it.
+type elasticAppState struct {
+	Sims      []map[int32]SimState
+	BufSeen   [][]buffer.Sample
+	BufUnseen [][]buffer.Sample
+}
+
+// boundaryShard accumulates one group-checkpoint boundary: each local rank
+// contributes its ingest capture at its own OnLocalBatchEnd, and the last
+// rank to arrive — at which point no rank can have applied the next
+// batch's update, so the replica weights still hold the boundary state —
+// assembles and writes the member's shard.
+type boundaryShard struct {
+	arrived int
+	app     elasticAppState
+}
+
+// elasticRun is one epoch's trainer-side state.
+type elasticRun struct {
+	s    *Server
+	sess *elastic.Session
+	tr   *core.Trainer
+
+	mu      sync.Mutex
+	pending map[int]*boundaryShard
+}
+
+// runElastic is Server.Run for elastic mode: the member runtime drives one
+// runEpoch per group epoch; listeners, aggregators and ingest state live
+// across epochs, so clients stay connected through re-formations.
+func (s *Server) runElastic(ctx context.Context) error {
+	var watchdogStop chan struct{}
+	if s.watchdog != nil && s.cfg.OnUnresponsive != nil {
+		watchdogStop = make(chan struct{})
+		go s.watchdogLoop(watchdogStop)
+	}
+
+	err := s.member.Run(ctx)
+
+	if watchdogStop != nil {
+		close(watchdogStop)
+	}
+	s.closeListeners()
+	s.startAggs() // a run killed before its first epoch never started them
+	s.aggWG.Wait()
+	return err
+}
+
+// startAggs launches the per-rank aggregators exactly once. In elastic
+// mode it is deferred to the first epoch, after the initial restore: a
+// rejoining process must load its checkpointed bitsets before the first
+// reconnecting client frame is judged fresh or duplicate.
+func (s *Server) startAggs() {
+	s.aggOnce.Do(func() {
+		for r := range s.listeners {
+			s.aggWG.Add(1)
+			go s.aggregate(r)
+		}
+	})
+}
+
+// runEpoch is the member's per-epoch callback: restore ingest + replica
+// state at the epoch's rollback point, then train over the epoch's
+// hierarchical communicator with per-boundary shard writes.
+func (s *Server) runEpoch(ctx context.Context, sess *elastic.Session) error {
+	s.metrics.SetGroupEpoch(sess.Epoch())
+
+	var restored *elastic.State
+	if sess.RestoreBatch() >= 0 {
+		st, err := sess.LoadState()
+		if err != nil {
+			return err
+		}
+		restored = st
+		if s.live {
+			// Survivor: dedup bitsets stay live (replayed client frames
+			// must still be judged duplicates), the buffers rewind through
+			// the replay journal.
+			s.rollbackIngest(st.Batch)
+		} else if err := s.restoreIngest(st); err != nil {
+			return err
+		}
+	}
+	if s.live {
+		// Any later epoch a live member enters is a re-formation — with a
+		// rollback when a group checkpoint was committed, without one when
+		// the failure hit before the first commit.
+		rb := -1
+		if restored != nil {
+			rb = restored.Batch
+		}
+		s.metrics.RecordReform(sess.Epoch(), rb)
+	}
+	s.startAggs()
+	s.live = true
+	s.resyncReception()
+
+	run := &elasticRun{s: s, sess: sess, pending: make(map[int]*boundaryShard)}
+	tcfg := s.cfg.Trainer
+	tcfg.Ranks = s.cfg.Ranks
+	tcfg.Group = sess.Group()
+	tcfg.Metrics = s.metrics
+	tcfg.OnLocalBatchEnd = run.onLocalBatchEnd
+	tr, err := core.NewTrainer(tcfg, s.bufs)
+	if err != nil {
+		return err
+	}
+	run.tr = tr
+	s.trainerMu.Lock()
+	s.trainer = tr
+	s.trainerMu.Unlock()
+	if restored != nil {
+		if err := tr.RestoreState(restored.Weights, restored.OptState, restored.Batch, restored.Samples); err != nil {
+			return err
+		}
+	}
+	return tr.Run(ctx)
+}
+
+// resyncReception realigns each rank buffer's reception flag with the
+// aggregator's ground truth at epoch start. An aborted epoch's teardown
+// ends reception on every buffer — that is how a trainer blocked in
+// GetBatchEach is woken so the member can re-form — but the flag is sticky
+// and the buffers outlive the epoch: left set, the next epoch's trainer
+// would drain the replayed samples and declare the schedule complete while
+// clients are still streaming. Reception is over only when the aggregator
+// has seen everything the rank will ever get.
+func (s *Server) resyncReception() {
+	for r, a := range s.aggs {
+		a.mu.Lock()
+		ended := a.ended
+		a.mu.Unlock()
+		if ended {
+			s.bufs[r].EndReception()
+		} else {
+			s.bufs[r].ReopenReception()
+		}
+	}
+}
+
+// rollbackIngest rewinds every rank's buffer to a group-checkpoint batch:
+// the samples consumed beyond it (replay journal) go back in front of the
+// live contents, reconstructing the rank's exact sample stream, while
+// newly arriving frames keep appending behind. Dedup state is untouched.
+func (s *Server) rollbackIngest(batch int) {
+	for r := range s.bufs {
+		replay := s.journals[r].replayAndRewind(batch)
+		s.bufs[r].ReplaceContents(func(seen, unseen []buffer.Sample) ([]buffer.Sample, []buffer.Sample) {
+			return seen, append(replay, unseen...)
+		})
+	}
+}
+
+// restoreIngest loads a (re)starting process's own ingest state from its
+// shard: dedup bitsets, goodbye accounting and buffer contents per local
+// rank. Frames the cluster streamed while this member was down are gone —
+// clients drop frames to dead ranks — so the restore resumes from exactly
+// what the member had durably captured.
+func (s *Server) restoreIngest(st *elastic.State) error {
+	if len(st.App) == 0 {
+		return nil // absent at the checkpoint: adopt weights only, ingest fresh
+	}
+	var app elasticAppState
+	if err := gob.NewDecoder(bytes.NewReader(st.App)).Decode(&app); err != nil {
+		return fmt.Errorf("server: decoding elastic ingest state: %w", err)
+	}
+	if len(app.Sims) != s.cfg.Ranks {
+		return fmt.Errorf("server: elastic ingest state has %d ranks, config has %d", len(app.Sims), s.cfg.Ranks)
+	}
+	for r, m := range app.Sims {
+		a := s.aggs[r]
+		a.mu.Lock()
+		a.sims = make(map[int32]*SimState, len(m))
+		a.goodbyes = 0
+		for id, sim := range m {
+			cp := sim
+			cp.Steps = clampSteps(cp.Steps)
+			a.sims[id] = &cp
+			if cp.Goodbye {
+				a.goodbyes++
+			}
+		}
+		a.mu.Unlock()
+	}
+	for r := range s.bufs {
+		seen, unseen := app.BufSeen[r], app.BufUnseen[r]
+		s.bufs[r].ReplaceContents(func(curSeen, curUnseen []buffer.Sample) ([]buffer.Sample, []buffer.Sample) {
+			// Aggregators have not started on a fresh process, so the
+			// current contents are empty; keep them anyway for safety.
+			return append(seen, curSeen...), append(unseen, curUnseen...)
+		})
+		s.journals[r].mark(st.Batch)
+		a := s.aggs[r]
+		a.mu.Lock()
+		done := s.receptionComplete(a)
+		a.mu.Unlock()
+		if done {
+			s.bufs[r].EndReception()
+		}
+	}
+	return nil
+}
+
+// onLocalBatchEnd fires on every local rank after each synchronized step.
+// At group-checkpoint boundaries each rank captures its own ingest state
+// at its own step edge (ranks may be one batch apart in wall time, never
+// more); the last to arrive writes the member's shard.
+func (run *elasticRun) onLocalBatchEnd(rank, batches int) {
+	s := run.s
+	if every := s.cfg.CheckpointEveryBatches; batches%every == 0 {
+		s.journals[rank].mark(batches)
+		sims := s.captureSims(rank)
+		var seen, unseen []buffer.Sample
+		s.bufs[rank].WithLock(func(p buffer.Policy) {
+			if snap, ok := p.(buffer.Snapshotter); ok {
+				seen, unseen = snap.Snapshot()
+			}
+		})
+
+		run.mu.Lock()
+		b, ok := run.pending[batches]
+		if !ok {
+			b = &boundaryShard{app: elasticAppState{
+				Sims:      make([]map[int32]SimState, s.cfg.Ranks),
+				BufSeen:   make([][]buffer.Sample, s.cfg.Ranks),
+				BufUnseen: make([][]buffer.Sample, s.cfg.Ranks),
+			}}
+			run.pending[batches] = b
+		}
+		b.app.Sims[rank] = sims
+		b.app.BufSeen[rank], b.app.BufUnseen[rank] = seen, unseen
+		b.arrived++
+		last := b.arrived == s.cfg.Ranks
+		if last {
+			delete(run.pending, batches)
+		}
+		run.mu.Unlock()
+
+		if last {
+			run.writeShard(rank, batches, &b.app)
+		}
+	}
+	if hook := s.cfg.Elastic.OnBoundary; hook != nil {
+		hook(run.sess.Epoch(), rank, batches)
+	}
+}
+
+// writeShard assembles and reports the member's shard at a boundary. A
+// failed save means the control plane is tearing the epoch down; the group
+// checkpoint protocol tolerates the missing shard.
+func (run *elasticRun) writeShard(rank, batches int, app *elasticAppState) {
+	w, o, err := run.tr.CaptureState()
+	if err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(app); err != nil {
+		return
+	}
+	run.sess.SaveShard(&elastic.State{
+		Batch:    batches,
+		Samples:  run.tr.LocalSamples(rank),
+		Weights:  w,
+		OptState: o,
+		App:      buf.Bytes(),
+	})
+}
+
+// captureSims deep-copies one rank's sim accounting under its shard lock.
+func (s *Server) captureSims(rank int) map[int32]SimState {
+	a := s.aggs[rank]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cp := make(map[int32]SimState, len(a.sims))
+	for id, st := range a.sims {
+		c := *st
+		c.Seen = append([]uint64(nil), st.Seen...)
+		cp[id] = c
+	}
+	return cp
+}
+
+// ElasticMember exposes the underlying membership runtime (nil outside
+// elastic mode); tests use it to kill a member the way a process death
+// would.
+func (s *Server) ElasticMember() *elastic.Member { return s.member }

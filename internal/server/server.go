@@ -26,6 +26,7 @@ import (
 	"melissa/internal/buffer"
 	"melissa/internal/core"
 	"melissa/internal/ddp"
+	"melissa/internal/elastic"
 	"melissa/internal/protocol"
 	"melissa/internal/transport"
 )
@@ -37,16 +38,14 @@ type Config struct {
 	// buffer.
 	Ranks int
 
-	// Comm, when set, carries the gradient collectives for a multi-process
-	// training group (e.g. a ddp.TCPComm connecting several server
-	// processes over a rank ring). Nil trains with the in-process channel
-	// ring over Ranks. With a communicator, Ranks counts only this
-	// process's local ranks and RankOffset places them in the global rank
-	// space [0, Comm.Size()); the round-robin data distribution and the
-	// reception accounting then run on global ranks.
-	Comm ddp.Communicator
-	// RankOffset is the global rank of this process's local rank 0.
-	RankOffset int
+	// Group places this process's ranks in a multi-process training group
+	// (e.g. ddp.GroupFromRing over a rank ring connecting several server
+	// processes). The zero value trains with the in-process channel ring
+	// over Ranks. With a group communicator, Ranks counts only this
+	// process's local ranks and the group offset places them in the global
+	// rank space; the round-robin data distribution and the reception
+	// accounting then run on global ranks.
+	Group ddp.RankGroup
 	// ListenHost is the host for rank listeners; tests use "127.0.0.1:0"
 	// semantics: each rank listens on ListenHost with an ephemeral port.
 	ListenHost string
@@ -75,10 +74,18 @@ type Config struct {
 	// clients the watchdog expired.
 	OnUnresponsive func(clientID int32)
 
-	// CheckpointPath enables periodic checkpoints when non-empty.
+	// CheckpointPath enables periodic checkpoints when non-empty. Ignored
+	// in elastic mode, where checkpointing is the group-shard protocol.
 	CheckpointPath string
-	// CheckpointEveryBatches is the checkpoint cadence (default 500).
+	// CheckpointEveryBatches is the checkpoint cadence (default 500), for
+	// both the static single-file checkpoint and the elastic group shards.
 	CheckpointEveryBatches int
+
+	// Elastic, when set, runs the server as one member of an elastic
+	// training group: membership, per-epoch communicators, group
+	// checkpointing and rollback come from internal/elastic, and Group
+	// must be left zero (each epoch forms its own). See ElasticConfig.
+	Elastic *ElasticConfig
 }
 
 // MinWatchdogTimeout is the smallest effective client-liveness timeout.
@@ -105,12 +112,27 @@ func (c Config) withDefaults() Config {
 // Server is a live training server.
 type Server struct {
 	cfg        Config
-	worldRanks int // total training ranks across all server processes
+	worldRanks int // total data ranks across all server processes
+	dataOffset int // this process's first global data rank
 	listeners  []*transport.RankListener
 	bufs       []*buffer.Blocking
 	policies   []buffer.Policy
-	trainer    *core.Trainer
 	watchdog   *transport.Watchdog
+
+	// trainer is built once in static mode; in elastic mode every group
+	// epoch installs a fresh one (trainerMu guards the swap), all feeding
+	// the same persistent metrics collector.
+	trainerMu sync.Mutex
+	trainer   *core.Trainer
+	metrics   *core.Metrics
+
+	// Elastic-mode state: the membership runtime, the per-rank replay
+	// journals behind rollback, and the lazy aggregator start (a rejoiner
+	// must restore its bitsets before judging the first client frame).
+	member   *elastic.Member
+	journals []*retireJournal
+	aggOnce  sync.Once
+	live     bool // an epoch has trained in this process (survivor path)
 
 	// unresponsiveFired holds the clients already reported to
 	// OnUnresponsive whose replacement has not yet said Hello. A
@@ -256,20 +278,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Trainer.Normalizer == nil {
 		return nil, errors.New("server: trainer normalizer required")
 	}
-	world := cfg.Ranks
-	if cfg.Comm != nil {
-		world = cfg.Comm.Size()
-		if cfg.RankOffset < 0 || cfg.RankOffset+cfg.Ranks > world {
-			return nil, fmt.Errorf("server: local ranks [%d,%d) exceed communicator size %d",
-				cfg.RankOffset, cfg.RankOffset+cfg.Ranks, world)
+	world, offset := cfg.Ranks, cfg.Group.Offset
+	switch {
+	case cfg.Elastic != nil:
+		if cfg.Group.Comm != nil {
+			return nil, errors.New("server: elastic mode forms its own per-epoch group; leave Config.Group zero")
 		}
-		if sr, ok := cfg.Comm.(ddp.SingleRank); ok && cfg.Ranks != 1 {
-			return nil, fmt.Errorf("server: communicator serves only rank %d; Ranks must be 1, got %d", sr.Rank(), cfg.Ranks)
+		if err := cfg.Elastic.validate(cfg.Ranks); err != nil {
+			return nil, err
+		}
+		// The data plane is pinned to the initial membership: a member's
+		// global data ranks never move, even as the training group
+		// re-forms around dead peers.
+		world = cfg.Elastic.InitialMembers * cfg.Ranks
+		offset = cfg.Elastic.MemberID * cfg.Ranks
+	case cfg.Group.Comm != nil:
+		world = cfg.Group.World()
+		if err := cfg.Group.Validate(cfg.Ranks); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
 	s := &Server{
 		cfg:        cfg,
 		worldRanks: world,
+		dataOffset: offset,
 		aggs:       make([]*rankAgg, cfg.Ranks),
 	}
 	if cfg.WatchdogTimeout > 0 {
@@ -282,7 +314,7 @@ func New(cfg Config) (*Server, error) {
 		s.aggs[r] = newRankAgg(r)
 
 		bcfg := cfg.Buffer
-		bcfg.Seed += uint64(cfg.RankOffset+r) * 1000003 // distinct stream per global rank
+		bcfg.Seed += uint64(s.dataOffset+r) * 1000003 // distinct stream per global data rank
 		p, err := buffer.New(bcfg)
 		if err != nil {
 			s.closeListeners()
@@ -301,11 +333,43 @@ func New(cfg Config) (*Server, error) {
 		s.listeners = append(s.listeners, l)
 	}
 
+	if cfg.Elastic != nil {
+		// Elastic mode: every group epoch builds its own trainer over the
+		// epoch's communicator; the metrics collector, replay journals and
+		// membership runtime persist across epochs.
+		s.metrics = core.NewMetrics(cfg.Trainer.TrackOccurrences)
+		s.journals = make([]*retireJournal, cfg.Ranks)
+		for r := range s.journals {
+			s.journals[r] = newRetireJournal()
+			s.bufs[r].OnRetire(s.journals[r].record)
+		}
+		member, err := elastic.NewMember(elastic.MemberConfig{
+			ID:             cfg.Elastic.MemberID,
+			Coordinator:    cfg.Elastic.Coordinator,
+			Dir:            cfg.Elastic.Dir,
+			BindAddr:       cfg.Elastic.BindAddr,
+			ConnectTimeout: cfg.Elastic.ConnectTimeout,
+			LocalRanks:     cfg.Ranks,
+			RingOptions:    cfg.Elastic.RingOptions,
+			Run:            s.runEpoch,
+			OnCommit: func(batch int) {
+				for _, j := range s.journals {
+					j.prune(batch)
+				}
+			},
+		})
+		if err != nil {
+			s.closeListeners()
+			return nil, err
+		}
+		s.member = member
+		return s, nil
+	}
+
 	tcfg := cfg.Trainer
 	tcfg.Ranks = cfg.Ranks
-	tcfg.Comm = cfg.Comm
-	tcfg.RankOffset = cfg.RankOffset
-	if cfg.CheckpointPath != "" && cfg.RankOffset == 0 {
+	tcfg.Group = cfg.Group
+	if cfg.CheckpointPath != "" && cfg.Group.Offset == 0 {
 		every := cfg.CheckpointEveryBatches
 		userHook := tcfg.OnBatchEnd
 		tcfg.OnBatchEnd = func(batches int) {
@@ -339,20 +403,35 @@ func (s *Server) Addrs() []string {
 	return addrs
 }
 
-// Trainer exposes the training engine (metrics, trained network).
-func (s *Server) Trainer() *core.Trainer { return s.trainer }
+// Trainer exposes the training engine (metrics, trained network). In
+// elastic mode it is the current epoch's trainer — nil before the first
+// epoch forms.
+func (s *Server) Trainer() *core.Trainer {
+	s.trainerMu.Lock()
+	defer s.trainerMu.Unlock()
+	return s.trainer
+}
 
-// Metrics is a convenience for s.Trainer().Metrics().
-func (s *Server) Metrics() *core.Metrics { return s.trainer.Metrics() }
+// Metrics returns the server's metrics collector. In elastic mode one
+// persistent collector spans every epoch's trainer, so batch counters,
+// loss curves and the elasticity counters (group epoch, re-formations,
+// last rollback) survive group re-formations.
+func (s *Server) Metrics() *core.Metrics {
+	if s.metrics != nil {
+		return s.metrics
+	}
+	return s.trainer.Metrics()
+}
 
 // Run starts the aggregators and the watchdog, trains until every rank's
 // buffer drains, then shuts the listeners down. It returns the first
-// training error, if any.
+// training error, if any. In elastic mode it instead participates in the
+// training group until the group completes or this member is lost.
 func (s *Server) Run(ctx context.Context) error {
-	for r := range s.listeners {
-		s.aggWG.Add(1)
-		go s.aggregate(r)
+	if s.cfg.Elastic != nil {
+		return s.runElastic(ctx)
 	}
+	s.startAggs()
 
 	var watchdogStop chan struct{}
 	if s.watchdog != nil && s.cfg.OnUnresponsive != nil {
@@ -470,6 +549,7 @@ func (s *Server) ingestTimeStep(rank int, m *protocol.TimeStep) {
 	a.mu.Lock()
 	st := a.sim(m.SimID)
 	fresh := st.markSeen(m.Step)
+	wasEnded := a.ended
 	var owner int32 = -1
 	var done bool
 	if fresh {
@@ -485,8 +565,18 @@ func (s *Server) ingestTimeStep(rank int, m *protocol.TimeStep) {
 		// Blocking put: a full buffer suspends ingestion, and TCP
 		// backpressure propagates the stall to the clients. The payload
 		// is copied into arena rows under the buffer lock, so the lease
-		// can be recycled immediately after.
-		s.bufs[rank].PutCopy(int(m.SimID), int(m.Step), m.Input, m.Field)
+		// can be recycled immediately after. A refused put means reception
+		// ended on the buffer — genuine only when the aggregator agreed
+		// (wasEnded; then the frame is a straggler and may drop). Otherwise
+		// the flag was set by an aborted elastic epoch's teardown and the
+		// frame, already marked received in the dedup state, would be lost
+		// forever: reopen and retry until stored.
+		for !s.bufs[rank].PutCopy(int(m.SimID), int(m.Step), m.Input, m.Field) {
+			if wasEnded {
+				break
+			}
+			s.bufs[rank].ReopenReception()
+		}
 	}
 	// Duplicate (replay after client restart, §3.1) or stored: either way
 	// the leased payload is done.
@@ -511,7 +601,7 @@ func (s *Server) receptionComplete(a *rankAgg) bool {
 		// Goodbye was abandoned (its restarted replacement will Goodbye
 		// under the same sim id). Steps unknown (no Hello processed)
 		// cannot be verified; fall back to the goodbye-only rule for it.
-		if st.Goodbye && st.Steps > 0 && st.Received < expectedOnRank(st.ClientID, st.Steps, s.cfg.RankOffset+a.rank, s.worldRanks) {
+		if st.Goodbye && st.Steps > 0 && st.Received < expectedOnRank(st.ClientID, st.Steps, s.dataOffset+a.rank, s.worldRanks) {
 			return false
 		}
 	}

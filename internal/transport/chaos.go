@@ -198,6 +198,7 @@ func DialWrapped(addrs []string, timeout time.Duration, wrap func(net.Conn) net.
 	if err != nil || wrap == nil {
 		return c, err
 	}
+	c.wrap = wrap
 	for i := range c.ranks {
 		rc := &c.ranks[i]
 		rc.conn = wrap(rc.conn)

@@ -87,6 +87,12 @@ type RingOptions struct {
 	// 0 means IOTimeout/4; negative disables heartbeats (then the read
 	// deadline only makes sense while a collective is in flight).
 	HeartbeatInterval time.Duration
+	// Identity is carried in the RingHello handshake and verified by the
+	// acceptor: ring formation fails unless both ends agree. Hierarchical
+	// groups use it to encode the topology (e.g. local ranks per process),
+	// so a process launched with a mismatched -local-ranks fails loudly at
+	// formation instead of desynchronizing mid-collective.
+	Identity uint32
 	// Wrap, when set, wraps each established ring connection after the
 	// handshake — the chaos layer's hook (see Chaos.Wrap).
 	Wrap func(net.Conn) net.Conn
@@ -192,7 +198,7 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 	dialed := make(chan dialResult, 1)
 	go func() {
 		succ := addrs[(rank+1)%size]
-		conn, err := dialRing(dctx, succ, rank)
+		conn, err := dialRing(dctx, succ, rank, opts.Identity)
 		dialed <- dialResult{conn: conn, err: err}
 	}()
 
@@ -217,7 +223,7 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 		}
 		return fail(fmt.Errorf("transport: accepting ring predecessor: %w", err))
 	}
-	from, err := readRingHello(conn)
+	from, identity, err := readRingHello(conn)
 	if err != nil {
 		conn.Close()
 		return fail(err)
@@ -226,6 +232,10 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 	if from != want {
 		conn.Close()
 		return fail(fmt.Errorf("transport: ring rank %d accepted rank %d, want predecessor %d", rank, from, want))
+	}
+	if identity != opts.Identity {
+		conn.Close()
+		return fail(fmt.Errorf("transport: ring rank %d: predecessor %d identity %#x, want %#x (mismatched topology config?)", rank, from, identity, opts.Identity))
 	}
 	r.prev = conn
 	l.ln.Close()
@@ -259,7 +269,7 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 
 // dialRing dials the successor with exponential backoff and jitter until
 // ctx expires, then sends the identifying RingHello.
-func dialRing(ctx context.Context, succ string, rank int) (net.Conn, error) {
+func dialRing(ctx context.Context, succ string, rank int, identity uint32) (net.Conn, error) {
 	var dialer net.Dialer
 	backoff := ringDialBackoffBase
 	var lastErr error
@@ -267,7 +277,7 @@ func dialRing(ctx context.Context, succ string, rank int) (net.Conn, error) {
 		conn, err := dialer.DialContext(ctx, "tcp", succ)
 		if err == nil {
 			// Identify ourselves so the acceptor can verify ring order.
-			if err := writeRingHello(conn, rank); err != nil {
+			if err := writeRingHello(conn, rank, identity); err != nil {
 				conn.Close()
 				return nil, err
 			}
@@ -546,12 +556,14 @@ func (r *Ring) readPayload(n int) ([]byte, error) {
 	return buf[:n], nil
 }
 
-// writeRingHello sends the one-shot rank handshake on a dialed connection.
-func writeRingHello(conn net.Conn, rank int) error {
-	var buf [ringHeaderLen + 4]byte
-	binary.LittleEndian.PutUint32(buf[:], 5)
+// writeRingHello sends the one-shot rank handshake on a dialed connection:
+// the dialer's ring rank followed by its topology identity.
+func writeRingHello(conn net.Conn, rank int, identity uint32) error {
+	var buf [ringHeaderLen + 8]byte
+	binary.LittleEndian.PutUint32(buf[:], 9)
 	buf[4] = byte(protocol.TypeRingHello)
 	binary.LittleEndian.PutUint32(buf[ringHeaderLen:], uint32(rank))
+	binary.LittleEndian.PutUint32(buf[ringHeaderLen+4:], identity)
 	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 	defer conn.SetWriteDeadline(time.Time{})
 	if _, err := conn.Write(buf[:]); err != nil {
@@ -560,16 +572,19 @@ func writeRingHello(conn net.Conn, rank int) error {
 	return nil
 }
 
-// readRingHello reads the rank handshake from an accepted connection.
-func readRingHello(conn net.Conn) (int, error) {
+// readRingHello reads the rank+identity handshake from an accepted
+// connection.
+func readRingHello(conn net.Conn) (rank int, identity uint32, err error) {
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	defer conn.SetReadDeadline(time.Time{})
-	var buf [ringHeaderLen + 4]byte
+	var buf [ringHeaderLen + 8]byte
 	if _, err := io.ReadFull(conn, buf[:]); err != nil {
-		return 0, fmt.Errorf("transport: reading ring hello: %w", err)
+		return 0, 0, fmt.Errorf("transport: reading ring hello: %w", err)
 	}
-	if binary.LittleEndian.Uint32(buf[:4]) != 5 || protocol.MsgType(buf[4]) != protocol.TypeRingHello {
-		return 0, fmt.Errorf("transport: malformed ring hello")
+	if binary.LittleEndian.Uint32(buf[:4]) != 9 || protocol.MsgType(buf[4]) != protocol.TypeRingHello {
+		return 0, 0, fmt.Errorf("transport: malformed ring hello")
 	}
-	return int(binary.LittleEndian.Uint32(buf[ringHeaderLen:])), nil
+	rank = int(binary.LittleEndian.Uint32(buf[ringHeaderLen:]))
+	identity = binary.LittleEndian.Uint32(buf[ringHeaderLen+4:])
+	return rank, identity, nil
 }

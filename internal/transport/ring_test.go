@@ -2,10 +2,13 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"math"
 	"net"
+	"strings"
+	"sync"
 	"time"
 
 	"testing"
@@ -213,4 +216,46 @@ func equalBools(a, b []bool) bool {
 		}
 	}
 	return true
+}
+
+// TestRingIdentityMismatch: ring formation must fail loudly when the two
+// ends of a link were launched with different topology identities (e.g.
+// mismatched -local-ranks), instead of forming a ring that desynchronizes
+// mid-collective.
+func TestRingIdentityMismatch(t *testing.T) {
+	l0, err := ListenRing("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := ListenRing("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{l0.Addr(), l1.Addr()}
+	identities := []uint32{1, 2} // rank 0 thinks local=1, rank 1 thinks local=2
+	rings := make([]*Ring, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r, l := range []*RingListener{l0, l1} {
+		wg.Add(1)
+		go func(rank int, l *RingListener) {
+			defer wg.Done()
+			rings[rank], errs[rank] = l.ConnectContext(context.Background(), rank, addrs,
+				3*time.Second, RingOptions{Identity: identities[rank]})
+		}(r, l)
+	}
+	wg.Wait()
+	for r := range rings {
+		if rings[r] != nil {
+			rings[r].Close()
+		}
+	}
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("mismatched identities formed a ring")
+	}
+	for r, err := range errs {
+		if err != nil && !strings.Contains(err.Error(), "identity") {
+			t.Fatalf("rank %d failed with %v, want an identity mismatch error", r, err)
+		}
+	}
 }

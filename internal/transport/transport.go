@@ -178,8 +178,14 @@ type rankConn struct {
 
 // ClientConn is a client's fan-out to all server ranks. The paper's clients
 // connect "to all the ranks of the server" and spread time steps across
-// them round-robin (§3.2.2).
+// them round-robin (§3.2.2). Rank indices are positions in the original
+// address list and never move: with an elastic server group the address
+// list is the initial membership's listeners, a dead rank's position stays
+// addressable (sends fail until Redial succeeds), and the round-robin data
+// distribution stays aligned with the server's reception accounting.
 type ClientConn struct {
+	addrs []string
+	wrap  func(net.Conn) net.Conn
 	ranks []rankConn
 }
 
@@ -189,7 +195,7 @@ func Dial(addrs []string, timeout time.Duration) (*ClientConn, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("transport: no rank addresses")
 	}
-	c := &ClientConn{ranks: make([]rankConn, len(addrs))}
+	c := &ClientConn{addrs: append([]string(nil), addrs...), ranks: make([]rankConn, len(addrs))}
 	for i, addr := range addrs {
 		conn, err := net.DialTimeout("tcp", addr, timeout)
 		if err != nil {
@@ -200,6 +206,91 @@ func Dial(addrs []string, timeout time.Duration) (*ClientConn, error) {
 		c.ranks[i].bw = bufio.NewWriterSize(conn, clientWriterSize)
 	}
 	return c, nil
+}
+
+// DialAvailable connects to every reachable rank address, leaving
+// unreachable ranks down (their slots stay addressable and Redial can
+// bring them up later), and returns the indices of the ranks it could not
+// reach. It fails only when no rank is reachable. Reconnect-mode clients
+// use it so a simulation launched while part of an elastic server group is
+// dead or re-forming still joins the survivors instead of failing fast.
+func DialAvailable(addrs []string, timeout time.Duration) (*ClientConn, []int, error) {
+	if len(addrs) == 0 {
+		return nil, nil, errors.New("transport: no rank addresses")
+	}
+	c := &ClientConn{addrs: append([]string(nil), addrs...), ranks: make([]rankConn, len(addrs))}
+	var down []int
+	for i, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			down = append(down, i)
+			continue
+		}
+		c.ranks[i].conn = conn
+		c.ranks[i].bw = bufio.NewWriterSize(conn, clientWriterSize)
+	}
+	if len(down) == len(addrs) {
+		c.Close()
+		return nil, nil, fmt.Errorf("transport: no server rank reachable (%d addresses)", len(addrs))
+	}
+	return c, down, nil
+}
+
+// MarkDown closes the rank's connection (if any) and leaves the slot
+// empty; subsequent sends to the rank fail until Redial succeeds. Used by
+// the client's reconnect policy after a send error.
+func (c *ClientConn) MarkDown(rank int) {
+	rc, err := c.rank(rank)
+	if err != nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.conn != nil {
+		rc.conn.Close()
+		rc.conn = nil
+	}
+}
+
+// Redial re-establishes the rank's connection to its original address,
+// applying the connection wrapper Dial was configured with. Frames
+// buffered for the dead connection are discarded — the server's dedup log
+// makes the re-sent stream idempotent.
+func (c *ClientConn) Redial(rank int, timeout time.Duration) error {
+	rc, err := c.rank(rank)
+	if err != nil {
+		return err
+	}
+	conn, err := net.DialTimeout("tcp", c.addrs[rank], timeout)
+	if err != nil {
+		return fmt.Errorf("transport: redial rank %d (%s): %w", rank, c.addrs[rank], err)
+	}
+	if c.wrap != nil {
+		conn = c.wrap(conn)
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.conn != nil {
+		rc.conn.Close()
+	}
+	rc.conn = conn
+	if rc.bw == nil {
+		rc.bw = bufio.NewWriterSize(conn, clientWriterSize)
+	} else {
+		rc.bw.Reset(conn)
+	}
+	return nil
+}
+
+// Up reports whether the rank currently has a live connection.
+func (c *ClientConn) Up(rank int) bool {
+	rc, err := c.rank(rank)
+	if err != nil {
+		return false
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.conn != nil
 }
 
 // Ranks returns the number of connected server ranks.
