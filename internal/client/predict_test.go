@@ -1,0 +1,229 @@
+package client
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"melissa/internal/protocol"
+)
+
+// fakeServe runs a scripted predict server on loopback: handler gets each
+// accepted connection with a frame reader and full control of the replies.
+func fakeServe(t *testing.T, handler func(nc net.Conn, rd *protocol.Reader)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go handler(nc, protocol.NewReader(bufio.NewReader(nc)))
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func reply(nc net.Conn, msg protocol.Message) {
+	nc.Write(protocol.AppendEncode(nil, msg))
+}
+
+// TestPredictTypedErrors: each server rejection code must surface as its
+// typed client error — matchable with errors.Is/errors.As — and a generic
+// rejection as neither.
+func TestPredictTypedErrors(t *testing.T) {
+	addr := fakeServe(t, func(nc net.Conn, rd *protocol.Reader) {
+		defer nc.Close()
+		for {
+			msg, err := rd.Next()
+			if err != nil {
+				return
+			}
+			req, ok := msg.(*protocol.PredictRequest)
+			if !ok {
+				return // Goodbye
+			}
+			switch req.ID {
+			case 1:
+				reply(nc, protocol.PredictError{ID: req.ID, Code: protocol.PredictErrOverloaded, Msg: "server overloaded", RetryAfterMs: 7})
+			case 2:
+				reply(nc, protocol.PredictError{ID: req.ID, Code: protocol.PredictErrExpired, Msg: "deadline exceeded"})
+			case 3:
+				reply(nc, protocol.PredictError{ID: req.ID, Code: protocol.PredictErrDraining, Msg: "server draining"})
+			default:
+				reply(nc, protocol.PredictError{ID: req.ID, Code: protocol.PredictErrGeneric, Msg: "bad parameter count"})
+			}
+			protocol.RecyclePredictRequest(req)
+		}
+	})
+	c, err := DialPredict(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, _, err = c.Predict([]float32{1}, 1) // ID 1 → overloaded
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) || oe.RetryAfter != 7*time.Millisecond || oe.Draining {
+		t.Fatalf("bad OverloadedError detail: %+v", oe)
+	}
+
+	_, _, err = c.Predict([]float32{1}, 1) // ID 2 → expired
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+
+	_, _, err = c.Predict([]float32{1}, 1) // ID 3 → draining
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded for draining, got %v", err)
+	}
+	if !errors.As(err, &oe) || !oe.Draining {
+		t.Fatalf("draining flag lost: %+v", oe)
+	}
+
+	_, _, err = c.Predict([]float32{1}, 1) // ID 4 → generic
+	if err == nil || errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("generic rejection mistyped: %v", err)
+	}
+}
+
+// TestPredictRetryReconnects: with a retry policy, a connection the server
+// kills mid-call must be redialed transparently and the call must succeed
+// on the next attempt. Also checks CallTimeout is forwarded as the wire
+// deadline budget.
+func TestPredictRetryReconnects(t *testing.T) {
+	var conns atomic.Int64
+	var sawDeadline atomic.Int64
+	addr := fakeServe(t, func(nc net.Conn, rd *protocol.Reader) {
+		defer nc.Close()
+		n := conns.Add(1)
+		for {
+			msg, err := rd.Next()
+			if err != nil {
+				return
+			}
+			req, ok := msg.(*protocol.PredictRequest)
+			if !ok {
+				return
+			}
+			if req.DeadlineMs > 0 {
+				sawDeadline.Add(1)
+			}
+			id := req.ID
+			protocol.RecyclePredictRequest(req)
+			if n == 1 {
+				return // hang up without answering: client must reconnect
+			}
+			reply(nc, &protocol.PredictResponse{ID: id, Epoch: 3, Field: []float32{1, 2}})
+		}
+	})
+	c, err := DialPredictOpts(addr, PredictOptions{
+		DialTimeout:   time.Second,
+		CallTimeout:   2 * time.Second,
+		RetryAttempts: 3,
+		RetryBackoff:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	field, epoch, err := c.Predict([]float32{1}, 1)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if epoch != 3 || len(field) != 2 {
+		t.Fatalf("bad recovered answer: epoch %d field %v", epoch, field)
+	}
+	if conns.Load() != 2 {
+		t.Fatalf("expected a reconnect (2 conns), saw %d", conns.Load())
+	}
+	if sawDeadline.Load() == 0 {
+		t.Fatal("CallTimeout was not forwarded as a wire deadline")
+	}
+}
+
+// TestPredictRetryStopsOnProtocolReject: a malformed-query rejection must
+// fail fast even under a retry policy — exactly one request hits the
+// server.
+func TestPredictRetryStopsOnProtocolReject(t *testing.T) {
+	var requests atomic.Int64
+	addr := fakeServe(t, func(nc net.Conn, rd *protocol.Reader) {
+		defer nc.Close()
+		for {
+			msg, err := rd.Next()
+			if err != nil {
+				return
+			}
+			req, ok := msg.(*protocol.PredictRequest)
+			if !ok {
+				return
+			}
+			requests.Add(1)
+			reply(nc, protocol.PredictError{ID: req.ID, Code: protocol.PredictErrGeneric, Msg: "bad parameter count"})
+			protocol.RecyclePredictRequest(req)
+		}
+	})
+	c, err := DialPredictOpts(addr, PredictOptions{DialTimeout: time.Second, RetryAttempts: 5, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Predict([]float32{1}, 1); err == nil {
+		t.Fatal("malformed query accepted")
+	}
+	if n := requests.Load(); n != 1 {
+		t.Fatalf("protocol rejection was retried: %d requests", n)
+	}
+}
+
+// TestPredictRetryThroughOverload: overloaded rejections retry until the
+// server has room again.
+func TestPredictRetryThroughOverload(t *testing.T) {
+	var requests atomic.Int64
+	addr := fakeServe(t, func(nc net.Conn, rd *protocol.Reader) {
+		defer nc.Close()
+		for {
+			msg, err := rd.Next()
+			if err != nil {
+				return
+			}
+			req, ok := msg.(*protocol.PredictRequest)
+			if !ok {
+				return
+			}
+			id := req.ID
+			protocol.RecyclePredictRequest(req)
+			if requests.Add(1) < 3 {
+				reply(nc, protocol.PredictError{ID: id, Code: protocol.PredictErrOverloaded, Msg: "server overloaded", RetryAfterMs: 1})
+				continue
+			}
+			reply(nc, &protocol.PredictResponse{ID: id, Epoch: 1, Field: []float32{9}})
+		}
+	})
+	c, err := DialPredictOpts(addr, PredictOptions{DialTimeout: time.Second, RetryAttempts: 5, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	field, _, err := c.Predict([]float32{1}, 1)
+	if err != nil {
+		t.Fatalf("overload retry failed: %v", err)
+	}
+	if len(field) != 1 || field[0] != 9 {
+		t.Fatalf("bad answer after overload retries: %v", field)
+	}
+	if requests.Load() != 3 {
+		t.Fatalf("expected 3 attempts, saw %d", requests.Load())
+	}
+}

@@ -404,6 +404,18 @@ func (d *decoder) u32() uint32 {
 	return v
 }
 
+// optU32 decodes an optional trailing u32 extension field: absent (fewer
+// than 4 bytes left, including the old frame layouts that end exactly
+// here) decodes as 0 without consuming anything or erroring. This is the
+// wire-compatibility hook for fields added to a message after its first
+// release — see PredictRequest.DeadlineMs.
+func (d *decoder) optU32() uint32 {
+	if d.err != nil || len(d.buf) < 4 {
+		return 0
+	}
+	return d.u32()
+}
+
 func (d *decoder) u64() uint64 {
 	if d.err != nil {
 		return 0

@@ -50,10 +50,20 @@ const (
 // flight at a time) may leave the ID zero. Instances produced by
 // Reader.Next are leased (see the package comment); their Params slice is
 // only valid until RecyclePredictRequest.
+//
+// DeadlineMs is the caller's remaining latency budget in milliseconds,
+// measured from server receipt (relative, so no clock synchronization is
+// assumed). A server that cannot answer within the budget rejects the
+// request with PredictErrExpired instead of computing an answer nobody is
+// waiting for. The field rides as an optional trailing extension of the
+// original frame layout: frames from older clients simply end after Params
+// and decode with DeadlineMs == 0, which means "no deadline" — so old
+// clients interoperate with new servers and vice versa.
 type PredictRequest struct {
-	ID     uint64
-	T      float32
-	Params []float32
+	ID         uint64
+	T          float32
+	Params     []float32
+	DeadlineMs uint32
 }
 
 // Type implements Message.
@@ -62,7 +72,8 @@ func (PredictRequest) Type() MsgType { return TypePredictRequest }
 func (m PredictRequest) encodeTo(buf []byte) []byte {
 	buf = appendU64(buf, m.ID)
 	buf = appendU32(buf, math.Float32bits(m.T))
-	return appendF32s(buf, m.Params)
+	buf = appendF32s(buf, m.Params)
+	return appendU32(buf, m.DeadlineMs)
 }
 
 // PredictResponse carries the predicted physical field for one request.
@@ -85,11 +96,36 @@ func (m PredictResponse) encodeTo(buf []byte) []byte {
 	return appendF32s(buf, m.Field)
 }
 
+// PredictError codes classify a rejection so clients can pick a recovery
+// instead of parsing the message text. Code 0 is what frames from servers
+// predating the field decode to, so it doubles as "unclassified".
+const (
+	// PredictErrGeneric: malformed request (wrong parameter count, no
+	// model). Retrying the identical request will fail the same way.
+	PredictErrGeneric uint32 = iota
+	// PredictErrOverloaded: the server shed the request because its admit
+	// queue was full. Transient — retry after RetryAfterMs, ideally on
+	// another replica.
+	PredictErrOverloaded
+	// PredictErrExpired: the request's DeadlineMs budget elapsed before a
+	// batch worker could compute it; the answer was never computed.
+	PredictErrExpired
+	// PredictErrDraining: the server is draining for shutdown and admits
+	// nothing new. Retry on another replica.
+	PredictErrDraining
+)
+
 // PredictError rejects one request (echoing its ID) with a reason, leaving
-// the connection usable for further requests.
+// the connection usable for further requests. Code classifies the
+// rejection (see the PredictErr constants) and RetryAfterMs carries the
+// server's backoff hint for PredictErrOverloaded. Both ride as an optional
+// trailing extension: frames from older servers end after Msg and decode
+// with Code == PredictErrGeneric, RetryAfterMs == 0.
 type PredictError struct {
-	ID  uint64
-	Msg string
+	ID           uint64
+	Msg          string
+	Code         uint32
+	RetryAfterMs uint32
 }
 
 // Type implements Message.
@@ -97,7 +133,9 @@ func (PredictError) Type() MsgType { return TypePredictError }
 
 func (m PredictError) encodeTo(buf []byte) []byte {
 	buf = appendU64(buf, m.ID)
-	return appendString(buf, m.Msg)
+	buf = appendString(buf, m.Msg)
+	buf = appendU32(buf, m.Code)
+	return appendU32(buf, m.RetryAfterMs)
 }
 
 // ServeInfoRequest asks the serving tier to describe its loaded model.
@@ -108,24 +146,46 @@ func (ServeInfoRequest) Type() MsgType { return TypeServeInfoRequest }
 
 func (ServeInfoRequest) encodeTo(buf []byte) []byte { return buf }
 
-// ServeInfo describes the loaded surrogate: the registered problem name,
+// ServeInfo describes the loaded surrogate — the registered problem name,
 // the request parameter count, the flattened field length, and the current
-// checkpoint epoch.
+// checkpoint epoch — plus a pressure snapshot so clients can see server
+// load: the admit queue's depth and capacity, the monotonic shed /
+// deadline-expired / slow-client-disconnect counters, and whether the
+// server is draining for shutdown. The pressure block is an optional
+// trailing extension; frames from older servers end after Epoch and decode
+// with the block zeroed.
 type ServeInfo struct {
 	Problem   string
 	ParamDim  uint32
 	OutputDim uint32
 	Epoch     uint32
+
+	Queue       uint32 // admit queue depth at snapshot time
+	QueueCap    uint32 // admit queue capacity (the shed threshold)
+	Shed        uint64 // requests rejected PredictErrOverloaded/Draining
+	Expired     uint64 // requests rejected PredictErrExpired
+	SlowClients uint64 // connections torn down for not draining responses
+	Draining    uint32 // 1 while Drain is in progress
 }
 
 // Type implements Message.
 func (ServeInfo) Type() MsgType { return TypeServeInfo }
 
+// serveInfoPressureBytes is the encoded size of ServeInfo's trailing
+// pressure block; decoders parse the block only when it is present whole.
+const serveInfoPressureBytes = 4 + 4 + 8 + 8 + 8 + 4
+
 func (m ServeInfo) encodeTo(buf []byte) []byte {
 	buf = appendString(buf, m.Problem)
 	buf = appendU32(buf, m.ParamDim)
 	buf = appendU32(buf, m.OutputDim)
-	return appendU32(buf, m.Epoch)
+	buf = appendU32(buf, m.Epoch)
+	buf = appendU32(buf, m.Queue)
+	buf = appendU32(buf, m.QueueCap)
+	buf = appendU64(buf, m.Shed)
+	buf = appendU64(buf, m.Expired)
+	buf = appendU64(buf, m.SlowClients)
+	return appendU32(buf, m.Draining)
 }
 
 // Reload asks the serving tier to hot-reload its checkpoint. An empty Path
@@ -179,7 +239,7 @@ func RecyclePredictRequest(m *PredictRequest) {
 	if m == nil {
 		return
 	}
-	m.ID, m.T = 0, 0
+	m.ID, m.T, m.DeadlineMs = 0, 0, 0
 	select {
 	case predictReqFree <- m:
 	default:
@@ -211,12 +271,14 @@ func RecyclePredictResponse(m *PredictResponse) {
 }
 
 // decodePredictRequestInto decodes a PredictRequest payload into m, reusing
-// the capacity of its Params slice.
+// the capacity of its Params slice. The trailing DeadlineMs extension is
+// optional: pre-extension frames end after Params and decode to 0.
 func decodePredictRequestInto(m *PredictRequest, payload []byte) error {
 	d := decoder{buf: payload}
 	m.ID = d.u64()
 	m.T = math.Float32frombits(d.u32())
 	m.Params = d.f32sInto(m.Params[:0])
+	m.DeadlineMs = d.optU32()
 	return d.err
 }
 
@@ -237,6 +299,7 @@ func decodeServeBody(typ MsgType, d *decoder) (Message, error) {
 	case TypePredictRequest:
 		m := PredictRequest{ID: d.u64(), T: math.Float32frombits(d.u32())}
 		m.Params = d.f32s()
+		m.DeadlineMs = d.optU32()
 		return m, d.err
 	case TypePredictResponse:
 		m := PredictResponse{ID: d.u64(), Epoch: d.u32()}
@@ -245,11 +308,23 @@ func decodeServeBody(typ MsgType, d *decoder) (Message, error) {
 	case TypePredictError:
 		m := PredictError{ID: d.u64()}
 		m.Msg = d.str()
+		if d.err == nil && len(d.buf) >= 8 {
+			m.Code = d.u32()
+			m.RetryAfterMs = d.u32()
+		}
 		return m, d.err
 	case TypeServeInfoRequest:
 		return ServeInfoRequest{}, d.err
 	case TypeServeInfo:
 		m := ServeInfo{Problem: d.str(), ParamDim: d.u32(), OutputDim: d.u32(), Epoch: d.u32()}
+		if d.err == nil && len(d.buf) >= serveInfoPressureBytes {
+			m.Queue = d.u32()
+			m.QueueCap = d.u32()
+			m.Shed = d.u64()
+			m.Expired = d.u64()
+			m.SlowClients = d.u64()
+			m.Draining = d.u32()
+		}
 		return m, d.err
 	case TypeReload:
 		return Reload{Path: d.str()}, d.err

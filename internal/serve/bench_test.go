@@ -79,7 +79,7 @@ func BenchmarkServe(b *testing.B) {
 			cfg: Config{MaxBatch: 8, BatchWait: 200 * time.Microsecond, Replicas: 4}, conc: 32},
 		// Cache ceiling: all hits after warm-up, no forward pass at all.
 		{name: "cachehit/conc=32",
-			cfg: Config{MaxBatch: 32, BatchWait: 200 * time.Microsecond, Replicas: 1, CacheEntries: 64},
+			cfg:  Config{MaxBatch: 32, BatchWait: 200 * time.Microsecond, Replicas: 1, CacheEntries: 64},
 			conc: 32, cacheHit: true},
 	}
 	sur := benchSurrogate(b)

@@ -25,8 +25,8 @@ func TestCacheLRUEviction(t *testing.T) {
 	if !has(1) || !has(2) || !has(3) {
 		t.Fatal("warm entries missing")
 	}
-	has(1)  // refresh 1 → LRU order is now 2, 3, 1
-	put(4)  // evicts 2
+	has(1) // refresh 1 → LRU order is now 2, 3, 1
+	put(4) // evicts 2
 	if has(2) {
 		t.Fatal("entry 2 survived eviction")
 	}

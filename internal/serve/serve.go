@@ -22,10 +22,23 @@
 // weights, never a torn mix — and the cache is flushed so stale fields are
 // never served. Reloads trigger from an admin Reload frame or from watching
 // the checkpoint file for a new atomic publish (melissa.PublishSurrogate).
+//
+// Overload and misbehaving clients degrade the service predictably rather
+// than collectively. Admission never blocks: when the queue is at capacity
+// the request is shed with a typed overloaded error and a retry-after hint
+// instead of stalling the connection's reader. Requests may carry a
+// relative deadline (PredictRequest.DeadlineMs); one that expires while
+// queued is rejected at batch assembly, never computed. Each connection's
+// write side is owned by a dedicated writer goroutine draining a bounded
+// outbox of pre-encoded frames, so batch workers never touch a socket; a
+// client that stops reading (outbox overflow or write-deadline expiry) has
+// only its own connection torn down. Drain stops admission and completes
+// the work already accepted before closing.
 package serve
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -55,6 +68,20 @@ type Config struct {
 	// efficiency. Default 500µs; negative disables waiting (every batch
 	// closes as soon as the queue drains).
 	BatchWait time.Duration
+	// QueueSize bounds the admit queue and is therefore the load-shedding
+	// threshold: a request arriving with the queue full is answered
+	// immediately with an overloaded error instead of waiting. Default
+	// 4*Replicas*MaxBatch.
+	QueueSize int
+	// WriteTimeout bounds each response-frame write to a client socket.
+	// A write that outlives it marks the client slow and tears down that
+	// one connection. Default 5s; negative disables the deadline.
+	WriteTimeout time.Duration
+	// OutboxFrames bounds each connection's response outbox — frames
+	// encoded but not yet written by the connection's writer goroutine.
+	// Overflow means the client is not draining responses, and tears the
+	// connection down. Default max(64, 4*MaxBatch).
+	OutboxFrames int
 	// CacheEntries bounds the prediction cache; 0 disables it (a negative
 	// value also disables it).
 	CacheEntries int
@@ -84,6 +111,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchWait == 0 {
 		c.BatchWait = 500 * time.Microsecond
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 4 * c.Replicas * c.MaxBatch
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout < 0 {
+		c.WriteTimeout = 0
+	}
+	if c.OutboxFrames <= 0 {
+		c.OutboxFrames = 4 * c.MaxBatch
+		if c.OutboxFrames < 64 {
+			c.OutboxFrames = 64
+		}
 	}
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0
@@ -129,16 +171,27 @@ func (m *model) recycle(r *melissa.Replica) {
 }
 
 // pending is one admitted request waiting for a batch: the leased wire
-// message and the connection to answer on. Recycled through a freelist so
-// the steady-state admit path does not allocate.
+// message, the connection to answer on, and the request's deadline (zero =
+// none). Recycled through a freelist so the steady-state admit path does
+// not allocate.
 type pending struct {
-	c   *conn
-	req *protocol.PredictRequest
+	c       *conn
+	req     *protocol.PredictRequest
+	expires time.Time
 }
 
-// Stats is a snapshot of the server's monotonic counters.
+// Drain outcome values reported in Stats.Drain.
+const (
+	DrainNone   uint32 = iota // Drain has not been called
+	DrainActive               // drain in progress
+	DrainClean                // all admitted work was answered and flushed before close
+	DrainForced               // the drain context expired; Close cut off remaining work
+)
+
+// Stats is a snapshot of the server's monotonic counters (plus the
+// instantaneous queue depth and drain state).
 type Stats struct {
-	Requests  uint64 // predict requests admitted
+	Requests  uint64 // predict requests received
 	Responses uint64 // predict responses sent (computed + cached)
 	Batches   uint64 // fused forward passes
 	BatchRows uint64 // total requests served by those passes
@@ -149,6 +202,14 @@ type Stats struct {
 	Errors    uint64 // rejected requests (PredictError sent)
 	Reloads   uint64 // successful hot reloads
 	Epoch     uint32 // current checkpoint epoch
+
+	Shed            uint64 // requests rejected with queue full or server draining
+	DeadlineExpired uint64 // requests rejected for an elapsed deadline (admit or batch assembly)
+	SlowClients     uint64 // connections torn down for not draining responses
+	SendErrors      uint64 // connections torn down by a failed response write
+	Queue           int    // current admit-queue depth
+	QueueCap        int    // admit-queue capacity (the shed threshold)
+	Drain           uint32 // DrainNone / DrainActive / DrainClean / DrainForced
 }
 
 // Server answers predict requests for one surrogate model. Create with
@@ -164,13 +225,17 @@ type Server struct {
 	reloadMu sync.Mutex // serializes reloads; epoch advances under it
 	done     chan struct{}
 	closing  atomic.Bool
+	draining atomic.Bool
+	drain    atomic.Uint32 // DrainNone/DrainActive/DrainClean/DrainForced
+	inflight atomic.Int64  // admitted requests not yet answered (or shed)
 	wg       sync.WaitGroup
 	ln       net.Listener
 	lnMu     sync.Mutex
 	connMu   sync.Mutex // guards conns; track checks closing under it
-	conns    map[net.Conn]struct{}
+	conns    map[*conn]struct{}
 
 	requests, responses, batches, batchRows, errors, reloads atomic.Uint64
+	shed, deadlineExpired, slowClients, sendErrors           atomic.Uint64
 }
 
 // NewServer wraps a loaded surrogate in a serving instance and starts its
@@ -180,8 +245,8 @@ func NewServer(sur *melissa.Surrogate, cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		cache: newPredictCache(cfg.CacheEntries, cfg.CacheKeepEpochs, cfg.CacheTTL),
-		queue: make(chan *pending, 4*cfg.Replicas*cfg.MaxBatch),
-		free:  make(chan *pending, 4*cfg.Replicas*cfg.MaxBatch),
+		queue: make(chan *pending, cfg.QueueSize),
+		free:  make(chan *pending, cfg.QueueSize),
 		done:  make(chan struct{}),
 	}
 	s.model.Store(newModel(sur, 1, cfg.MaxBatch, cfg.Replicas))
@@ -228,11 +293,19 @@ func (s *Server) Stats() Stats {
 		Errors:    s.errors.Load(),
 		Reloads:   s.reloads.Load(),
 		Epoch:     s.Epoch(),
+
+		Shed:            s.shed.Load(),
+		DeadlineExpired: s.deadlineExpired.Load(),
+		SlowClients:     s.slowClients.Load(),
+		SendErrors:      s.sendErrors.Load(),
+		Queue:           len(s.queue),
+		QueueCap:        cap(s.queue),
+		Drain:           s.drain.Load(),
 	}
 }
 
-// Serve accepts connections on ln until Close. It returns nil after Close,
-// or the accept error that stopped it.
+// Serve accepts connections on ln until Close or Drain. It returns nil
+// after either, or the accept error that stopped it.
 func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
 	s.ln = ln
@@ -240,7 +313,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
-			if s.closing.Load() {
+			if s.closing.Load() || s.draining.Load() {
 				return nil
 			}
 			return err
@@ -287,34 +360,95 @@ func (s *Server) Close() error {
 	// track() refuses new registrations once closing is set, so no handler
 	// can slip in behind this sweep.
 	s.connMu.Lock()
-	for nc := range s.conns {
-		nc.Close()
+	for c := range s.conns {
+		c.nc.Close()
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
 	return nil
 }
 
+// Drain gracefully shuts the server down: stop accepting connections, shed
+// every request that arrives from now on (typed draining error), finish
+// the work already admitted, flush every connection's outbox to its
+// socket, then Close. It returns nil on a clean drain. If ctx expires
+// first the drain is forced — Close cuts off whatever remains — and
+// ctx.Err() is returned. The outcome is recorded in Stats.Drain. Only the
+// first call drains; later calls return an error without waiting.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return errors.New("serve: already draining")
+	}
+	s.drain.Store(DrainActive)
+	s.lnMu.Lock()
+	ln := s.ln
+	s.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	clean := s.awaitQuiescent(ctx)
+	if clean {
+		s.drain.Store(DrainClean)
+	} else {
+		s.drain.Store(DrainForced)
+	}
+	s.Close()
+	if !clean {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// awaitQuiescent polls until every admitted request has been answered and
+// every connection's outbox has reached its socket, or ctx expires.
+func (s *Server) awaitQuiescent(ctx context.Context) bool {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 && len(s.queue) == 0 && s.flushed() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+		}
+	}
+}
+
+// flushed reports whether every tracked connection's outbox is empty and
+// its writer is not mid-frame.
+func (s *Server) flushed() bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	for c := range s.conns {
+		if c.queued.Load() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // track registers an accepted connection for Close's teardown sweep. It
 // refuses (and the caller must drop the conn) if the server is already
 // closing: closing is set before Close takes connMu, so a track that wins
 // the lock first is seen by Close's sweep, and one that loses sees closing.
-func (s *Server) track(nc net.Conn) bool {
+func (s *Server) track(c *conn) bool {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
 	if s.closing.Load() {
 		return false
 	}
 	if s.conns == nil {
-		s.conns = make(map[net.Conn]struct{})
+		s.conns = make(map[*conn]struct{})
 	}
-	s.conns[nc] = struct{}{}
+	s.conns[c] = struct{}{}
 	return true
 }
 
-func (s *Server) untrack(nc net.Conn) {
+func (s *Server) untrack(c *conn) {
 	s.connMu.Lock()
-	delete(s.conns, nc)
+	delete(s.conns, c)
 	s.connMu.Unlock()
 }
 
@@ -458,6 +592,25 @@ func (s *Server) fillBatch(batch *[]*pending, cap int, timer *time.Timer) {
 // worker's private cache-key scratch (never a conn's keyBuf, which belongs
 // to that conn's reader goroutine); the grown slice is returned for reuse.
 func (s *Server) serveBatch(m *model, batch []*pending, key []byte) []byte {
+	// Deadline sweep at batch assembly: a request whose budget elapsed
+	// while it sat in the queue is rejected here, never computed, so under
+	// overload GEMM time goes only to callers still waiting.
+	now := time.Now()
+	live := batch[:0]
+	for _, p := range batch {
+		if !p.expires.IsZero() && now.After(p.expires) {
+			s.deadlineExpired.Add(1)
+			s.errors.Add(1)
+			p.c.sendError(p.req.ID, protocol.PredictErrExpired, "deadline exceeded", 0)
+			s.finishPending(p)
+			continue
+		}
+		live = append(live, p)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return key
+	}
 	rep := m.lease()
 	err := rep.PredictBatchRaw(len(batch),
 		func(i int) ([]float32, float32) { return batch[i].req.Params, batch[i].req.T },
@@ -474,7 +627,7 @@ func (s *Server) serveBatch(m *model, batch []*pending, key []byte) []byte {
 		// Unreachable in normal operation: admit validated every request
 		// against a shape-compatible model. Reject the whole batch.
 		for _, p := range batch {
-			p.c.sendError(p.req.ID, err.Error())
+			p.c.sendError(p.req.ID, protocol.PredictErrGeneric, err.Error(), 0)
 			s.errors.Add(1)
 		}
 	}
@@ -482,42 +635,87 @@ func (s *Server) serveBatch(m *model, batch []*pending, key []byte) []byte {
 	s.batches.Add(1)
 	s.batchRows.Add(uint64(len(batch)))
 	for _, p := range batch {
-		s.recyclePending(p)
+		s.finishPending(p)
 	}
 	return key
 }
 
-func (s *Server) leasePending(c *conn, req *protocol.PredictRequest) *pending {
+func (s *Server) leasePending(c *conn, req *protocol.PredictRequest, expires time.Time) *pending {
 	select {
 	case p := <-s.free:
-		p.c, p.req = c, req
+		p.c, p.req, p.expires = c, req, expires
 		return p
 	default:
-		return &pending{c: c, req: req}
+		return &pending{c: c, req: req, expires: expires}
 	}
 }
 
 func (s *Server) recyclePending(p *pending) {
 	protocol.RecyclePredictRequest(p.req)
-	p.c, p.req = nil, nil
+	p.c, p.req, p.expires = nil, nil, time.Time{}
 	select {
 	case s.free <- p:
 	default:
 	}
 }
 
+// finishPending retires a pending that went through the admit queue:
+// recycle it and release its slot in the drain gate.
+func (s *Server) finishPending(p *pending) {
+	s.recyclePending(p)
+	s.inflight.Add(-1)
+}
+
+// retryAfterHintMs estimates when a shed client should try again: a full
+// queue drains at roughly Replicas*MaxBatch requests per BatchWait.
+func (s *Server) retryAfterHintMs() uint32 {
+	wait := s.cfg.BatchWait
+	if wait <= 0 {
+		wait = time.Millisecond
+	}
+	rounds := 1 + len(s.queue)/(s.cfg.Replicas*s.cfg.MaxBatch)
+	ms := (time.Duration(rounds) * wait).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 60_000 {
+		ms = 60_000
+	}
+	return uint32(ms)
+}
+
 // admit takes ownership of a leased request: answer from the cache, reject
-// a malformed query, or queue it for a batch worker. Runs on the
-// connection's reader goroutine, so cache hits never cross a goroutine
-// boundary.
-func (s *Server) admit(c *conn, req *protocol.PredictRequest) {
+// a malformed/expired/shed query, or queue it for a batch worker — never
+// blocking, so one overloaded queue cannot stall a connection's reader.
+// now is when the frame was received; a DeadlineMs budget counts from it.
+// Runs on the connection's reader goroutine, so cache hits never cross a
+// goroutine boundary.
+func (s *Server) admit(c *conn, req *protocol.PredictRequest, now time.Time) {
 	s.requests.Add(1)
-	m := s.model.Load()
-	if len(req.Params) != m.sur.ParamDim() {
-		c.sendError(req.ID, "bad parameter count")
+	if s.draining.Load() {
+		s.shed.Add(1)
 		s.errors.Add(1)
+		c.sendError(req.ID, protocol.PredictErrDraining, "server draining", 0)
 		protocol.RecyclePredictRequest(req)
 		return
+	}
+	m := s.model.Load()
+	if len(req.Params) != m.sur.ParamDim() {
+		s.errors.Add(1)
+		c.sendError(req.ID, protocol.PredictErrGeneric, "bad parameter count", 0)
+		protocol.RecyclePredictRequest(req)
+		return
+	}
+	var expires time.Time
+	if req.DeadlineMs > 0 {
+		expires = now.Add(time.Duration(req.DeadlineMs) * time.Millisecond)
+		if time.Now().After(expires) {
+			s.deadlineExpired.Add(1)
+			s.errors.Add(1)
+			c.sendError(req.ID, protocol.PredictErrExpired, "deadline exceeded", 0)
+			protocol.RecyclePredictRequest(req)
+			return
+		}
 	}
 	if s.cache != nil {
 		c.keyBuf = appendKey(c.keyBuf[:0], req.Params, req.T)
@@ -529,62 +727,222 @@ func (s *Server) admit(c *conn, req *protocol.PredictRequest) {
 			return
 		}
 	}
+	p := s.leasePending(c, req, expires)
 	select {
-	case s.queue <- s.leasePending(c, req):
-	case <-s.done:
-		protocol.RecyclePredictRequest(req)
+	case s.queue <- p:
+		s.inflight.Add(1)
+	default:
+		// Queue full: shed now with a hint instead of stalling the reader.
+		s.shed.Add(1)
+		s.errors.Add(1)
+		c.sendError(req.ID, protocol.PredictErrOverloaded, "server overloaded", s.retryAfterHintMs())
+		s.recyclePending(p)
 	}
 }
 
-// conn is one client connection: the socket, a reusable encode buffer
-// guarded by mu (batch workers and the reader goroutine both answer on it),
-// and reader-goroutine-private cache scratch.
+// conn is one client connection. The reader goroutine decodes frames and
+// admits requests; a dedicated writer goroutine owns the socket's write
+// side, draining a bounded outbox of pre-encoded frames — batch workers
+// enqueue and move on, never touching the socket. A client that stops
+// draining responses (outbox overflow, or a frame write outliving
+// WriteTimeout) has only its own connection torn down.
 type conn struct {
-	nc   net.Conn
-	mu   sync.Mutex
-	buf  []byte
+	nc net.Conn
+	s  *Server
+
+	mu   sync.Mutex               // guards resp staging during encode
 	resp protocol.PredictResponse // persistent response header: encoding
 	// through a pointer keeps the per-response interface boxing off the heap
+
+	outbox chan []byte   // encoded frames awaiting the writer
+	obFree chan []byte   // encode-buffer freelist; keeps the send path alloc-free
+	queued atomic.Int64  // frames enqueued but not yet on the socket (drain gate)
+	dead   atomic.Bool   // set once; no further sends, socket closed
+	quit   chan struct{} // reader closed: writer flushes the outbox and exits
+	wdone  chan struct{} // writer exited
 
 	keyBuf   []byte    // cache key scratch (reader goroutine only)
 	fieldBuf []float32 // cache hit copy-out scratch (reader goroutine only)
 }
 
-// send encodes and writes one frame. Errors are ignored: a dead connection
-// surfaces in the reader goroutine, which owns teardown.
-func (c *conn) send(msg protocol.Message) {
-	c.mu.Lock()
-	c.buf = protocol.AppendEncode(c.buf[:0], msg)
-	c.nc.Write(c.buf)
-	c.mu.Unlock()
+// newConn wraps an accepted socket and starts its writer goroutine. Every
+// conn must be retired with shutdown (directly or via handleConn's defers)
+// or its writer leaks.
+func (s *Server) newConn(nc net.Conn) *conn {
+	c := &conn{
+		nc:     nc,
+		s:      s,
+		outbox: make(chan []byte, s.cfg.OutboxFrames),
+		obFree: make(chan []byte, s.cfg.OutboxFrames+4),
+		quit:   make(chan struct{}),
+		wdone:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go c.writer()
+	return c
 }
 
-// sendResponse writes a PredictResponse without copying the field: the
-// frame is encoded under the connection lock straight from the caller's
-// buffer into the connection's reusable encode buffer.
+// teardown reasons for die.
+type teardownReason int
+
+const (
+	reasonQuiet    teardownReason = iota // orderly close; no counter
+	reasonSlow                           // outbox overflow or write deadline: client not draining
+	reasonWriteErr                       // hard write error (reset, short write)
+)
+
+// die marks the connection dead exactly once and closes the socket, which
+// unblocks both the reader (rd.Next) and the writer (nc.Write). Safe from
+// any goroutine.
+func (c *conn) die(why teardownReason) {
+	if !c.dead.CompareAndSwap(false, true) {
+		return
+	}
+	switch why {
+	case reasonSlow:
+		c.s.slowClients.Add(1)
+	case reasonWriteErr:
+		c.s.sendErrors.Add(1)
+	}
+	c.nc.Close()
+}
+
+// shutdown ends the connection from the reader's side: stop the writer —
+// flushing whatever is already queued — then close the socket.
+func (c *conn) shutdown() {
+	close(c.quit)
+	<-c.wdone
+	c.die(reasonQuiet)
+}
+
+// writer drains the outbox onto the socket. On quit it flushes what is
+// already queued, then exits; a write failure kills the connection but the
+// writer keeps draining (and discarding) so enqueuers are never stuck.
+func (c *conn) writer() {
+	defer c.s.wg.Done()
+	defer close(c.wdone)
+	for {
+		select {
+		case buf := <-c.outbox:
+			c.writeFrame(buf)
+		case <-c.quit:
+			for {
+				select {
+				case buf := <-c.outbox:
+					c.writeFrame(buf)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// writeFrame writes one encoded frame under the configured write deadline
+// and recycles its buffer. A deadline expiry is a slow client; any other
+// failure is a send error. Either way only this connection dies.
+func (c *conn) writeFrame(buf []byte) {
+	defer c.queued.Add(-1)
+	if c.dead.Load() {
+		c.recycleBuf(buf)
+		return
+	}
+	if to := c.s.cfg.WriteTimeout; to > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(to))
+	}
+	n, err := c.nc.Write(buf)
+	c.recycleBuf(buf)
+	if err == nil && n == len(buf) {
+		return
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		c.die(reasonSlow)
+	} else {
+		c.die(reasonWriteErr)
+	}
+}
+
+// leaseBuf takes an encode buffer from the freelist (or nil, growing a new
+// one on first use); recycleBuf returns it. The freelist outsizes the
+// outbox so a steady-state connection circulates a fixed set of buffers.
+func (c *conn) leaseBuf() []byte {
+	select {
+	case buf := <-c.obFree:
+		return buf
+	default:
+		return nil
+	}
+}
+
+func (c *conn) recycleBuf(buf []byte) {
+	select {
+	case c.obFree <- buf:
+	default:
+	}
+}
+
+// enqueue hands one encoded frame to the writer without ever blocking. An
+// outbox at capacity means the client is not reading its responses: the
+// connection is torn down as slow rather than letting it wedge a worker.
+func (c *conn) enqueue(buf []byte) {
+	c.queued.Add(1)
+	select {
+	case c.outbox <- buf:
+	default:
+		c.queued.Add(-1)
+		c.recycleBuf(buf)
+		c.die(reasonSlow)
+	}
+}
+
+// send encodes and enqueues one frame; drops it if the connection is
+// already dead.
+func (c *conn) send(msg protocol.Message) {
+	if c.dead.Load() {
+		return
+	}
+	buf := protocol.AppendEncode(c.leaseBuf()[:0], msg)
+	c.enqueue(buf)
+}
+
+// sendResponse stages a PredictResponse without copying the field: the
+// frame is encoded straight from the caller's buffer into a leased encode
+// buffer (the persistent resp header is guarded by mu — workers and the
+// reader goroutine all answer on it).
 func (c *conn) sendResponse(id uint64, epoch uint32, field []float32) {
+	if c.dead.Load() {
+		return
+	}
 	c.mu.Lock()
 	c.resp.ID, c.resp.Epoch, c.resp.Field = id, epoch, field
-	c.buf = protocol.AppendEncode(c.buf[:0], &c.resp)
+	buf := protocol.AppendEncode(c.leaseBuf()[:0], &c.resp)
 	c.resp.Field = nil // don't pin the caller's buffer past the call
-	c.nc.Write(c.buf)
 	c.mu.Unlock()
+	c.enqueue(buf)
 }
 
-func (c *conn) sendError(id uint64, msg string) {
-	c.send(protocol.PredictError{ID: id, Msg: msg})
+func (c *conn) sendError(id uint64, code uint32, msg string, retryAfterMs uint32) {
+	c.send(protocol.PredictError{ID: id, Msg: msg, Code: code, RetryAfterMs: retryAfterMs})
+}
+
+func b32(v bool) uint32 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // handleConn reads frames until the client hangs up, says Goodbye, or the
 // server closes the socket during Close.
 func (s *Server) handleConn(nc net.Conn) {
 	defer s.wg.Done()
-	defer nc.Close()
-	if !s.track(nc) {
+	c := s.newConn(nc)
+	if !s.track(c) {
+		c.shutdown()
 		return
 	}
-	defer s.untrack(nc)
-	c := &conn{nc: nc}
+	defer s.untrack(c)
+	defer c.shutdown()
 	rd := protocol.NewReader(bufio.NewReaderSize(nc, 1<<15))
 	for {
 		select {
@@ -598,14 +956,20 @@ func (s *Server) handleConn(nc net.Conn) {
 		}
 		switch m := msg.(type) {
 		case *protocol.PredictRequest:
-			s.admit(c, m)
+			s.admit(c, m, time.Now())
 		case protocol.ServeInfoRequest:
 			mod := s.model.Load()
 			c.send(protocol.ServeInfo{
-				Problem:   mod.sur.Meta().Problem,
-				ParamDim:  uint32(mod.sur.ParamDim()),
-				OutputDim: uint32(mod.sur.OutputDim()),
-				Epoch:     mod.epoch,
+				Problem:     mod.sur.Meta().Problem,
+				ParamDim:    uint32(mod.sur.ParamDim()),
+				OutputDim:   uint32(mod.sur.OutputDim()),
+				Epoch:       mod.epoch,
+				Queue:       uint32(len(s.queue)),
+				QueueCap:    uint32(cap(s.queue)),
+				Shed:        s.shed.Load(),
+				Expired:     s.deadlineExpired.Load(),
+				SlowClients: s.slowClients.Load(),
+				Draining:    b32(s.draining.Load()),
 			})
 		case protocol.Reload:
 			epoch, err := s.Reload(m.Path)

@@ -6,6 +6,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -402,10 +403,20 @@ func TestServeReloadRejectsIncompatible(t *testing.T) {
 }
 
 // nopConn is a net.Conn that discards writes — the alloc gates below need
-// the full response encode path without a real socket.
+// the full response encode+enqueue+write path without a real socket.
 type nopConn struct{ net.Conn }
 
-func (nopConn) Write(p []byte) (int, error) { return len(p), nil }
+func (nopConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (nopConn) Close() error                     { return nil }
+func (nopConn) SetWriteDeadline(time.Time) error { return nil }
+
+// flushConn spins until c's writer goroutine has drained the outbox, so
+// every encode buffer is back on the freelist before the next measured run.
+func flushConn(c *conn) {
+	for c.queued.Load() != 0 {
+		runtime.Gosched()
+	}
+}
 
 // TestServeSteadyStateZeroAlloc gates the two steady-state request paths at
 // zero heap allocations per request once buffers and pools are warm: the
@@ -419,7 +430,8 @@ func TestServeSteadyStateZeroAlloc(t *testing.T) {
 	t.Run("compute", func(t *testing.T) {
 		s := NewServer(sur, Config{MaxBatch: 8, Replicas: 1, CacheEntries: 0})
 		defer s.Close()
-		c := &conn{nc: nopConn{}}
+		c := s.newConn(nopConn{})
+		defer c.shutdown()
 		m := s.model.Load()
 		batch := make([]*pending, len(params))
 		var key []byte // worker-private key scratch, as in the worker loop
@@ -428,9 +440,10 @@ func TestServeSteadyStateZeroAlloc(t *testing.T) {
 			// goroutine — the worker loop is just these two calls.
 			for i := range batch {
 				req := leaseRequest(params[i], ts[i])
-				batch[i] = s.leasePending(c, req)
+				batch[i] = s.leasePending(c, req, time.Time{})
 			}
 			key = s.serveBatch(m, batch, key)
+			flushConn(c)
 		}
 		for i := 0; i < 4; i++ {
 			run()
@@ -443,19 +456,21 @@ func TestServeSteadyStateZeroAlloc(t *testing.T) {
 	t.Run("cache-hit", func(t *testing.T) {
 		s := NewServer(sur, Config{MaxBatch: 8, Replicas: 1, CacheEntries: 64})
 		defer s.Close()
-		c := &conn{nc: nopConn{}}
+		c := s.newConn(nopConn{})
+		defer c.shutdown()
 		m := s.model.Load()
 		// Warm the cache through the real compute path.
 		batch := make([]*pending, len(params))
 		for i := range batch {
-			batch[i] = s.leasePending(c, leaseRequest(params[i], ts[i]))
+			batch[i] = s.leasePending(c, leaseRequest(params[i], ts[i]), time.Time{})
 		}
 		s.serveBatch(m, batch, nil)
 		hit := func() {
 			for i := range params {
 				req := leaseRequest(params[i], ts[i])
-				s.admit(c, req) // all hits: answered inline, nothing queued
+				s.admit(c, req, time.Now()) // all hits: answered inline, nothing queued
 			}
+			flushConn(c)
 		}
 		for i := 0; i < 4; i++ {
 			hit()

@@ -44,6 +44,22 @@ type ChaosConfig struct {
 	// KillAfterWrites closes the connection after that many non-dropped
 	// writes (0 = never): a deterministic mid-collective kill switch.
 	KillAfterWrites int
+	// StallReadsAfter freezes the connection's read side after that many
+	// successful reads (0 = never): the peer keeps accepting our writes but
+	// we stop consuming its responses — a wedged client from the serving
+	// tier's point of view. Stalled reads honor the read deadline and
+	// Close, like a partition.
+	StallReadsAfter int
+	// ReadDelayRate is the probability each read is stalled by ReadDelay
+	// before touching the socket: a slow-drip client that drains responses
+	// far slower than it issues requests.
+	ReadDelayRate float64
+	ReadDelay     time.Duration
+	// HalfOpenAfterWrites turns the connection half-open after that many
+	// non-dropped writes (0 = never): subsequent writes are blackholed
+	// (claiming success, like a peer that vanished without a RST) and
+	// reads stall until the deadline.
+	HalfOpenAfterWrites int
 }
 
 // Chaos injects faults into wrapped connections. The zero ChaosConfig
@@ -95,6 +111,10 @@ func (c *Chaos) WrapLabeled(label string, conn net.Conn) net.Conn {
 		Conn: conn,
 		c:    c,
 		rng:  rand.New(rand.NewPCG(c.cfg.Seed, h.Sum64())),
+		// Reads draw from their own stream: read and write goroutines
+		// interleave nondeterministically, so sharing one rng would make
+		// both streams depend on scheduling.
+		rrng: rand.New(rand.NewPCG(c.cfg.Seed+1, h.Sum64())),
 	}
 }
 
@@ -109,20 +129,37 @@ func (chaosTimeoutError) Temporary() bool { return true }
 // chaosConn is one wrapped connection.
 type chaosConn struct {
 	net.Conn
-	c   *Chaos
-	rng *rand.Rand
+	c    *Chaos
+	rng  *rand.Rand // write-fault decisions (guarded by mu)
+	rrng *rand.Rand // read-fault decisions (guarded by rmu)
 
 	mu     sync.Mutex // serializes writes and the rng
 	writes int
 	killed bool
 
+	rmu      sync.Mutex // serializes reads and the rrng
+	reads    int64
+	halfOpen atomic.Bool
+
 	readDL atomic.Pointer[time.Time]
 }
 
-// Read forwards to the wrapped connection, except under partition, where
-// it stalls until the partition heals or the read deadline passes.
+// stalled reports whether the read side is frozen: a partition, a
+// half-open link, or the stalled-reader threshold.
+func (cc *chaosConn) stalled() bool {
+	if cc.c.partitioned.Load() || cc.halfOpen.Load() {
+		return true
+	}
+	n := cc.c.cfg.StallReadsAfter
+	return n > 0 && atomic.LoadInt64(&cc.reads) >= int64(n)
+}
+
+// Read forwards to the wrapped connection, except when the read side is
+// stalled (partition, half-open, stalled reader), where it blocks until
+// the stall lifts or the read deadline passes. A slow-drip delay, when
+// configured, is applied before the real read.
 func (cc *chaosConn) Read(b []byte) (int, error) {
-	for cc.c.partitioned.Load() {
+	for cc.stalled() {
 		cc.mu.Lock()
 		killed := cc.killed
 		cc.mu.Unlock()
@@ -134,7 +171,20 @@ func (cc *chaosConn) Read(b []byte) (int, error) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	return cc.Conn.Read(b)
+	cfg := &cc.c.cfg
+	if cfg.ReadDelayRate > 0 && cfg.ReadDelay > 0 {
+		cc.rmu.Lock()
+		drip := cc.rrng.Float64() < cfg.ReadDelayRate
+		cc.rmu.Unlock()
+		if drip {
+			time.Sleep(cfg.ReadDelay)
+		}
+	}
+	n, err := cc.Conn.Read(b)
+	if err == nil {
+		atomic.AddInt64(&cc.reads, 1)
+	}
+	return n, err
 }
 
 // Write applies the configured faults, then forwards.
@@ -144,7 +194,7 @@ func (cc *chaosConn) Write(b []byte) (int, error) {
 	if cc.killed {
 		return 0, net.ErrClosed
 	}
-	if cc.c.partitioned.Load() {
+	if cc.c.partitioned.Load() || cc.halfOpen.Load() {
 		return len(b), nil // blackhole: the sender never learns
 	}
 	cfg := &cc.c.cfg
@@ -165,6 +215,9 @@ func (cc *chaosConn) Write(b []byte) (int, error) {
 	if cfg.KillAfterWrites > 0 && cc.writes >= cfg.KillAfterWrites {
 		cc.killed = true
 		cc.Conn.Close()
+	}
+	if cfg.HalfOpenAfterWrites > 0 && cc.writes >= cfg.HalfOpenAfterWrites {
+		cc.halfOpen.Store(true)
 	}
 	return n, nil
 }
