@@ -88,6 +88,7 @@ func main() {
 		ckpt       = flag.String("checkpoint", "", "server checkpoint path (single-process fault tolerance)")
 		ckptEvery  = flag.Int("ckpt-every", 0, "checkpoint cadence in batches, for -checkpoint and the elastic group shards (0 = default)")
 		watchdog   = flag.Duration("watchdog", 30*time.Second, "client liveness timeout (0 disables)")
+		gradComp   = flag.String("grad-compress", "none", "gradient all-reduce wire codec: none|f16|f16-noef (f16 halves inter-node collective bytes with error feedback; all processes must agree)")
 		logEvery   = flag.Duration("log-every", 0, "print training progress (batches, samples, group epoch, re-forms) at this interval (0 disables)")
 
 		coordAddr = flag.String("coord", "", "elastic coordinator control-plane address (joins an elastic group; listen address for -role coordinator)")
@@ -127,8 +128,14 @@ func main() {
 		*dt = melissa.DefaultDtFor(prob)
 	}
 
+	gradCodec, err := transport.ParseCodec(*gradComp)
+	if err != nil {
+		fatal(err)
+	}
+
 	var ringOpts transport.RingOptions
 	ringOpts.IOTimeout = *ioTimeout
+	ringOpts.Codec = gradCodec
 	if *chaosDrop > 0 {
 		chaos := transport.NewChaos(transport.ChaosConfig{
 			Seed:     transport.ChaosSeed(*seed),
@@ -216,6 +223,11 @@ func main() {
 		if *localR > 0 && *localR != *ranks {
 			fatal(fmt.Errorf("-local-ranks is only meaningful with -proc or -coord"))
 		}
+		if gradCodec.Compressed() {
+			// The in-process channel ring never touches a network link;
+			// compressing it would cost precision and save nothing.
+			fatal(fmt.Errorf("-grad-compress=%s is only meaningful with -proc or -coord (single-process collectives are in-memory)", gradCodec))
+		}
 	}
 
 	mcfg := melissa.Config{GridN: *gridN, StepsPerSim: *steps, Dt: *dt}
@@ -243,6 +255,7 @@ func main() {
 			LearningRate: 1e-3,
 			Schedule:     opt.PaperSchedule(),
 			MaxBatches:   *maxBatches,
+			GradCompress: gradCodec,
 		},
 		ExpectedClients: *clients,
 		WatchdogTimeout: *watchdog,
@@ -309,6 +322,10 @@ func main() {
 				m := srv.Metrics()
 				line := fmt.Sprintf("melissa-server: %d batches, %d samples, %.1f samples/s",
 					m.Batches(), m.Samples(), m.Throughput())
+				if sent, recv := m.WireBytes(); sent+recv > 0 {
+					line += fmt.Sprintf(", grad wire %.1f/%.1f MB tx/rx (%s)",
+						float64(sent)/1e6, float64(recv)/1e6, gradCodec)
+				}
 				if ecfg != nil {
 					line += fmt.Sprintf(", group epoch %d, %d re-form(s)", m.GroupEpoch(), m.Reforms())
 					if b := m.LastRollbackBatch(); b >= 0 {

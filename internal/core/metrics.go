@@ -36,6 +36,13 @@ type Metrics struct {
 	reforms           int
 	lastRollbackBatch int
 
+	// Gradient-collective wire traffic (bytes over the group's network
+	// links, both directions), accumulated across group re-formations. With
+	// a compressed codec (-grad-compress=f16) these run at about half the
+	// full-width figures — the observable payoff of the wire codec.
+	wireSent uint64
+	wireRecv uint64
+
 	start, end time.Time
 }
 
@@ -91,6 +98,25 @@ func (m *Metrics) LastRollbackBatch() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.lastRollbackBatch
+}
+
+// AddWireBytes accumulates gradient-collective wire traffic. The trainer
+// records per-step deltas of the communicator's counters, so totals stay
+// monotonic across elastic group re-formations (each new ring restarts its
+// own counters at zero).
+func (m *Metrics) AddWireBytes(sent, recv uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wireSent += sent
+	m.wireRecv += recv
+}
+
+// WireBytes returns the cumulative gradient-collective wire traffic (zero
+// for in-process channel groups, which never touch a network link).
+func (m *Metrics) WireBytes() (sent, recv uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wireSent, m.wireRecv
 }
 
 // Begin stamps the training start time.

@@ -12,6 +12,7 @@ import (
 	"melissa/internal/nn"
 	"melissa/internal/opt"
 	"melissa/internal/tensor"
+	"melissa/internal/transport"
 )
 
 // GradSyncMode selects how per-batch gradients are synchronized across
@@ -61,6 +62,17 @@ type TrainerConfig struct {
 	// GradSync selects overlapped-bucketed (default), serial-bucketed, or
 	// legacy full-slab gradient synchronization.
 	GradSync GradSyncMode
+
+	// GradCompress declares the wire codec the gradient collectives are
+	// expected to ride (transport.CodecF16 halves inter-node all-reduce
+	// bytes; see docs/communication.md). The codec itself is a property of
+	// the group's ring, negotiated at connection time — this field is the
+	// trainer-side declaration, validated against the group's actual wire
+	// format so a process whose ring and training config disagree fails at
+	// construction instead of training a surprising trajectory. Leave zero
+	// (CodecF32) for exact full-width collectives and for in-process
+	// channel groups.
+	GradCompress transport.Codec
 
 	Model      ModelSpec
 	Normalizer Normalizer
@@ -160,6 +172,17 @@ func NewTrainer(cfg TrainerConfig, bufs []*buffer.Blocking) (*Trainer, error) {
 	comm := cfg.Group.Comm
 	if comm == nil {
 		comm = ddp.NewCommunicator(cfg.Ranks)
+	}
+	// The declared gradient codec must match the wire format the group's
+	// ring actually negotiated: a mismatch means the process was launched
+	// with inconsistent flags, and silently training at the other precision
+	// is the one outcome nobody wants.
+	wc, _ := comm.(ddp.WireCompression)
+	switch {
+	case cfg.GradCompress.Compressed() && wc == nil:
+		return nil, fmt.Errorf("core: grad compression %v requires a transport-backed group (in-process channel groups are always exact)", cfg.GradCompress)
+	case wc != nil && wc.WireCodec() != cfg.GradCompress:
+		return nil, fmt.Errorf("core: grad compression %v does not match the group ring's negotiated codec %v", cfg.GradCompress, wc.WireCodec())
 	}
 	metrics := cfg.Metrics
 	if metrics == nil {
@@ -289,6 +312,12 @@ type rankState struct {
 	acks     chan error
 	hook     func(layer int)
 	launched int
+
+	// lastWireSent/Recv are global rank 0's previous snapshot of the
+	// communicator's wire-byte counters; per-step deltas feed the shared
+	// metrics so totals survive elastic ring replacement.
+	lastWireSent uint64
+	lastWireRecv uint64
 }
 
 // newRankState preallocates the per-rank training state and starts the
@@ -435,6 +464,11 @@ func (t *Trainer) step(st *rankState) (bool, error) {
 		if ok {
 			t.metrics.RecordTrainLoss(globalBatch, globalSamples, trainLoss)
 		}
+		if wc, okc := t.comm.(ddp.WireCompression); okc {
+			sent, recv := wc.WireBytes()
+			t.metrics.AddWireBytes(sent-st.lastWireSent, recv-st.lastWireRecv)
+			st.lastWireSent, st.lastWireRecv = sent, recv
+		}
 		t.sampleCounterLocal(st.rank, stepSamples) // keep the mirror in step
 	} else {
 		// Mirror the counters locally; the schedule needs the global
@@ -489,7 +523,12 @@ func (t *Trainer) syncGradients(st *rankState) error {
 			}
 		}
 	case SyncFlat:
-		return t.comm.AllReduceMean(st.grank, grads)
+		// Run the flat slab as a range collective so it shares the bucketed
+		// modes' error-feedback path on a compressed ring; the trailing
+		// Scal is the AllReduceMean division, element-wise identical.
+		if err := t.comm.AllReduceSumRange(st.grank, grads, 0, len(grads)); err != nil {
+			return err
+		}
 	}
 	if failed != nil {
 		return failed

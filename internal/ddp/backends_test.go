@@ -36,6 +36,12 @@ var backendFactories = map[string]func(tb testing.TB, n int) commGroup{
 // newTCPGroup wires n TCPComm ranks over loopback: every rank binds an
 // ephemeral port first, then all connect concurrently.
 func newTCPGroup(tb testing.TB, n int) commGroup {
+	return newTCPGroupCodec(tb, n, transport.CodecF32)
+}
+
+// newTCPGroupCodec is newTCPGroup with an explicit wire codec, for the
+// compressed-collective tests and benchmarks.
+func newTCPGroupCodec(tb testing.TB, n int, codec transport.Codec) commGroup {
 	tb.Helper()
 	listeners := make([]*transport.RingListener, n)
 	addrs := make([]string, n)
@@ -54,7 +60,8 @@ func newTCPGroup(tb testing.TB, n int) commGroup {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			ring, err := listeners[rank].Connect(rank, addrs, 10*time.Second)
+			ring, err := listeners[rank].ConnectContext(tb.Context(), rank, addrs, 10*time.Second,
+				transport.RingOptions{Codec: codec})
 			if err != nil {
 				errs[rank] = err
 				return
@@ -237,31 +244,41 @@ func TestBackendsBitIdentical(t *testing.T) {
 
 // BenchmarkAllReduceTCP measures the TCP ring all-reduce across 4
 // loopback-connected ranks on the 64k-element buffer BenchmarkAllReduce
-// uses for the channel backend.
+// uses for the channel backend, under each wire codec. bytes/op is the
+// logical float payload, so MB/s is effective bandwidth and directly
+// comparable across codecs; wire-B/op reports what actually crossed the
+// socket per operation (halved under f16).
 func BenchmarkAllReduceTCP(b *testing.B) {
 	const n = 4
 	const elems = 1 << 16
-	g := newTCPGroup(b, n)
-	bufs := make([][]float32, n)
-	for r := range bufs {
-		bufs[r] = make([]float32, elems)
-	}
-	var wg sync.WaitGroup
-	for r := 1; r < n; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			for i := 0; i < b.N+1; i++ {
-				g[rank].AllReduceSum(rank, bufs[rank])
+	for _, codec := range []transport.Codec{transport.CodecF32, transport.CodecF16} {
+		b.Run(codec.String(), func(b *testing.B) {
+			g := newTCPGroupCodec(b, n, codec)
+			bufs := make([][]float32, n)
+			for r := range bufs {
+				bufs[r] = make([]float32, elems)
 			}
-		}(r)
+			var wg sync.WaitGroup
+			for r := 1; r < n; r++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					for i := 0; i < b.N+1; i++ {
+						g[rank].AllReduceSum(rank, bufs[rank])
+					}
+				}(r)
+			}
+			g[0].AllReduceSum(0, bufs[0]) // warm the recycled buffers
+			sent0, _ := g[0].(WireCompression).WireBytes()
+			b.SetBytes(4 * elems)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g[0].AllReduceSum(0, bufs[0])
+			}
+			b.StopTimer()
+			sent1, _ := g[0].(WireCompression).WireBytes()
+			b.ReportMetric(float64(sent1-sent0)/float64(b.N), "wire-B/op")
+			wg.Wait()
+		})
 	}
-	g[0].AllReduceSum(0, bufs[0]) // warm the recycled buffers
-	b.SetBytes(4 * elems)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g[0].AllReduceSum(0, bufs[0])
-	}
-	b.StopTimer()
-	wg.Wait()
 }

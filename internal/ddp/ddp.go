@@ -35,6 +35,21 @@
 // buckets eagerly (overlapped) or after the full backward pass (serially)
 // produces bit-identical results.
 //
+// # Wire compression
+//
+// The transport backends optionally compress collective payloads to IEEE
+// 754 binary16 on the wire (transport.Codec, negotiated per ring in the
+// identity handshake), halving inter-node all-reduce bytes while every
+// rank keeps accumulating in float32. AllReduceSumRange feeds the rounding
+// error of each rank's own contribution back into the next step's
+// gradients (error feedback, CodecF16) or drops it (CodecF16Raw);
+// broadcasts and sub-compressMinFloats frames always travel exact.
+// Communicators on a compressed ring expose the negotiated codec and
+// socket-level byte counters through WireCompression, which
+// core.NewTrainer validates against TrainerConfig.GradCompress so a
+// codec mismatch fails at construction. The codec math, determinism
+// contract and tuning guidance live in docs/communication.md.
+//
 // # Failure model
 //
 // Collectives return errors instead of panicking. ChanComm cannot fail.

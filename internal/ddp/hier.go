@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"melissa/internal/protocol"
 	"melissa/internal/transport"
 )
 
@@ -28,6 +29,7 @@ import (
 // model).
 type HierComm struct {
 	ring   *transport.Ring
+	codec  transport.Codec
 	procs  int // ring size (1 means no network hop: the ring closes locally)
 	local  int // ranks hosted in this process
 	offset int // first global rank hosted here: ring.Rank() * local
@@ -36,8 +38,12 @@ type HierComm struct {
 	// links[l] carries messages local rank l → local rank l+1. With a
 	// single process the last link wraps around (local−1 → 0) in place of
 	// the network hop.
-	links   []link
-	scratch []float32 // ring decode scratch; only local rank 0 receives from the ring
+	links []link
+
+	// res[l] is local rank l's error-feedback residual slab for compressed
+	// range collectives (see TCPComm.res); each slab is touched only by
+	// its rank's goroutine.
+	res [][]float32
 
 	down     chan struct{}         // closed on first failure; unwedges channel hops
 	failOnce sync.Once
@@ -46,6 +52,37 @@ type HierComm struct {
 
 var _ Communicator = (*HierComm)(nil)
 var _ RankSpan = (*HierComm)(nil)
+var _ WireCompression = (*HierComm)(nil)
+
+// WireCodec implements WireCompression: the ring's negotiated wire codec.
+// Channel hops between co-hosted ranks always carry exact float32; the codec
+// applies only to the leader hop that crosses the network.
+func (h *HierComm) WireCodec() transport.Codec { return h.codec }
+
+// WireBytes implements WireCompression: bytes moved over the inter-process
+// ring (channel hops are free and uncounted).
+func (h *HierComm) WireBytes() (sent, recv uint64) { return h.ring.WireBytes() }
+
+// compressed reports whether a collective over total floats uses the f16
+// wire encoding on its network hops. Identical on every rank (the codec is
+// handshake-negotiated and total is a collective invariant), so ranks agree
+// frame types without extra coordination.
+func (h *HierComm) compressed(total int) bool {
+	return h.codec.Compressed() && h.procs > 1 && total >= compressMinFloats
+}
+
+// residual returns local rank l's error-feedback slab view for absolute
+// offsets [lo,hi), growing (zero-extended) on demand. Each local rank only
+// ever touches its own slab, so concurrent collectives across the hosted
+// ranks don't race.
+func (h *HierComm) residual(l, lo, hi int) []float32 {
+	if hi > len(h.res[l]) {
+		grown := make([]float32, hi)
+		copy(grown, h.res[l])
+		h.res[l] = grown
+	}
+	return h.res[l][lo:hi]
+}
 
 // NewHierComm wraps a connected inter-process ring as the collective
 // backend for localRanks consecutive global ranks hosted in this process.
@@ -58,11 +95,13 @@ func NewHierComm(ring *transport.Ring, localRanks int) *HierComm {
 	}
 	h := &HierComm{
 		ring:   ring,
+		codec:  ring.Codec(),
 		procs:  ring.Size(),
 		local:  localRanks,
 		offset: ring.Rank() * localRanks,
 		size:   ring.Size() * localRanks,
 		links:  make([]link, localRanks),
+		res:    make([][]float32, localRanks),
 		down:   make(chan struct{}),
 	}
 	for i := range h.links {
@@ -121,10 +160,18 @@ func (h *HierComm) poisoned() error {
 
 // sendHop sends vals to local rank l's ring successor: a channel link for
 // interior ranks, the network (or wrap-around link for a single process)
-// for the leader.
-func (h *HierComm) sendHop(l int, vals []float32) error {
+// for the leader. comp selects the binary16 wire encoding on the network
+// hop only — channel hops always move exact float32, so compression costs
+// nothing between co-hosted ranks.
+func (h *HierComm) sendHop(l int, vals []float32, comp bool) error {
 	if l == h.local-1 && h.procs > 1 {
-		if err := h.ring.SendFloats(vals); err != nil {
+		var err error
+		if comp {
+			err = h.ring.SendFloats16(vals)
+		} else {
+			err = h.ring.SendFloats(vals)
+		}
+		if err != nil {
 			return h.fail(err)
 		}
 		return nil
@@ -152,24 +199,24 @@ func (h *HierComm) sendHop(l int, vals []float32) error {
 // recvHop receives the predecessor's message for local rank l into dst,
 // accumulating element-wise when accumulate is set and copying otherwise.
 // dst length is the collective's chunk length, which the lockstep protocol
-// guarantees matches the sender's.
-func (h *HierComm) recvHop(l int, dst []float32, accumulate bool) error {
+// guarantees matches the sender's. comp must match the sender's sendHop
+// argument — on a compressed collective the network hop decodes binary16
+// and accumulates in float32.
+func (h *HierComm) recvHop(l int, dst []float32, accumulate, comp bool) error {
 	if l == 0 && h.procs > 1 {
-		if !accumulate {
-			if err := h.ring.RecvFloats(dst); err != nil {
-				return h.fail(err)
-			}
-			return nil
+		var err error
+		switch {
+		case accumulate && comp:
+			err = h.ring.RecvFloats16Add(dst) // fused decode+accumulate
+		case accumulate:
+			err = h.ring.RecvFloatsAdd(dst)
+		case comp:
+			err = h.ring.RecvFloats16(dst)
+		default:
+			err = h.ring.RecvFloats(dst)
 		}
-		if cap(h.scratch) < len(dst) {
-			h.scratch = make([]float32, len(dst))
-		}
-		in := h.scratch[:len(dst)]
-		if err := h.ring.RecvFloats(in); err != nil {
+		if err != nil {
 			return h.fail(err)
-		}
-		for i := range dst {
-			dst[i] += in[i]
 		}
 		return nil
 	}
@@ -199,7 +246,7 @@ func (h *HierComm) sendTokenHop(l int) error {
 		}
 		return nil
 	}
-	return h.sendHop(l, nil)
+	return h.sendHop(l, nil, false)
 }
 
 // recvTokenHop consumes a barrier token from the predecessor.
@@ -210,14 +257,39 @@ func (h *HierComm) recvTokenHop(l int) error {
 		}
 		return nil
 	}
-	return h.recvHop(l, nil, false)
+	return h.recvHop(l, nil, false, false)
 }
 
 // AllReduceSum implements Communicator: the flat ring scatter-reduce and
 // all-gather of ChanComm.AllReduceSum over the hybrid hop topology. Every
 // hosted rank must enter concurrently (each from its own goroutine, with
-// its own buffer), exactly like ranks of a ChanComm group.
+// its own buffer), exactly like ranks of a ChanComm group. On a compressed
+// ring the network hops travel as binary16 (without error feedback — see
+// AllReduceSumRange for the error-fed gradient path).
 func (h *HierComm) AllReduceSum(rank int, buf []float32) error {
+	return h.allReduce(rank, buf, nil)
+}
+
+// AllReduceSumRange implements Communicator. On a CodecF16 ring this is
+// the error-fed path: the range offsets index a persistent per-local-rank
+// residual slab (the caller contract — one stable slab per rank, e.g. the
+// flat gradient slab — is what makes residuals meaningful across steps).
+func (h *HierComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) error {
+	sub := buf[lo:hi]
+	var res []float32
+	if h.codec == transport.CodecF16 && h.compressed(len(sub)) {
+		res = h.residual(h.localOf(rank), lo, hi)
+	}
+	return h.allReduce(rank, sub, res)
+}
+
+// allReduce runs the ring sum over the hybrid topology. res, when non-nil,
+// is this rank's error-feedback residual aliasing buf's span; it implies a
+// compressed ring. As in TCPComm.allReduce, a compressed run quantizes the
+// finished owner chunk in place before the all-gather so every rank ends
+// with bit-identical results regardless of how many network hops each
+// chunk crossed (re-encoding an already-quantized chunk is lossless).
+func (h *HierComm) allReduce(rank int, buf []float32, res []float32) error {
 	l := h.localOf(rank)
 	if err := h.poisoned(); err != nil {
 		return err
@@ -226,6 +298,10 @@ func (h *HierComm) AllReduceSum(rank int, buf []float32) error {
 	if n == 1 {
 		return nil
 	}
+	comp := h.compressed(len(buf))
+	if comp && res != nil {
+		protocol.QuantizeEF(buf, res)
+	}
 	chunk := func(i int) []float32 {
 		lo, hi := chunkRange(len(buf), n, ((i%n)+n)%n)
 		return buf[lo:hi]
@@ -233,28 +309,26 @@ func (h *HierComm) AllReduceSum(rank int, buf []float32) error {
 	// Scatter-reduce: after step s, rank r has accumulated s+1 terms into
 	// chunk (r-s); after n-1 steps chunk (r+1) holds the complete sum.
 	for s := 0; s < n-1; s++ {
-		if err := h.sendHop(l, chunk(rank-s)); err != nil {
+		if err := h.sendHop(l, chunk(rank-s), comp); err != nil {
 			return err
 		}
-		if err := h.recvHop(l, chunk(rank-s-1), true); err != nil {
+		if err := h.recvHop(l, chunk(rank-s-1), true, comp); err != nil {
 			return err
 		}
 	}
+	if comp {
+		protocol.RoundF16s(chunk(rank + 1))
+	}
 	// All-gather: circulate the completed chunks.
 	for s := 0; s < n-1; s++ {
-		if err := h.sendHop(l, chunk(rank+1-s)); err != nil {
+		if err := h.sendHop(l, chunk(rank+1-s), comp); err != nil {
 			return err
 		}
-		if err := h.recvHop(l, chunk(rank-s), false); err != nil {
+		if err := h.recvHop(l, chunk(rank-s), false, comp); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// AllReduceSumRange implements Communicator.
-func (h *HierComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) error {
-	return h.AllReduceSum(rank, buf[lo:hi])
 }
 
 // AllReduceMean implements Communicator.
@@ -273,7 +347,11 @@ func (h *HierComm) AllReduceMean(rank int, buf []float32) error {
 
 // Broadcast implements Communicator: the root's buffer travels around the
 // virtual ring, each rank copying and forwarding, followed by a barrier so
-// the call is collective like the other backends'.
+// the call is collective like the other backends'. Broadcast always ships
+// exact float32 regardless of the ring codec — it carries model weights,
+// where lossy compression would skew every replica identically but
+// permanently. Large buffers stream in broadcastChunkFloats pieces so a
+// full model does not need a second buffer-sized staging copy per hop.
 func (h *HierComm) Broadcast(rank, root int, buf []float32) error {
 	l := h.localOf(rank)
 	if err := h.poisoned(); err != nil {
@@ -283,18 +361,25 @@ func (h *HierComm) Broadcast(rank, root int, buf []float32) error {
 	if n == 1 {
 		return nil
 	}
-	if rank == root {
-		if err := h.sendHop(l, buf); err != nil {
-			return err
-		}
-	} else {
-		if err := h.recvHop(l, buf, false); err != nil {
-			return err
-		}
-		if (rank+1)%n != root {
-			if err := h.sendHop(l, buf); err != nil {
+	for lo := 0; ; lo += broadcastChunkFloats {
+		hi := min(lo+broadcastChunkFloats, len(buf))
+		piece := buf[lo:hi]
+		if rank == root {
+			if err := h.sendHop(l, piece, false); err != nil {
 				return err
 			}
+		} else {
+			if err := h.recvHop(l, piece, false, false); err != nil {
+				return err
+			}
+			if (rank+1)%n != root {
+				if err := h.sendHop(l, piece, false); err != nil {
+					return err
+				}
+			}
+		}
+		if hi == len(buf) {
+			break
 		}
 	}
 	return h.Barrier(rank)

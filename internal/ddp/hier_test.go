@@ -18,6 +18,12 @@ import (
 // hosting local consecutive global ranks, and expands them into the
 // per-rank commGroup shape the shared helpers expect.
 func newHierGroup(tb testing.TB, procs, local int) commGroup {
+	return newHierGroupCodec(tb, procs, local, transport.CodecF32)
+}
+
+// newHierGroupCodec is newHierGroup with an explicit wire codec for the
+// inter-process ring (channel hops are always exact).
+func newHierGroupCodec(tb testing.TB, procs, local int, codec transport.Codec) commGroup {
 	tb.Helper()
 	listeners := make([]*transport.RingListener, procs)
 	addrs := make([]string, procs)
@@ -37,7 +43,7 @@ func newHierGroup(tb testing.TB, procs, local int) commGroup {
 		go func(proc int) {
 			defer wg.Done()
 			ring, err := listeners[proc].ConnectContext(tb.Context(), proc, addrs, 10*time.Second,
-				transport.RingOptions{Identity: GroupIdentity(local)})
+				transport.RingOptions{Identity: GroupIdentity(local), Codec: codec})
 			if err != nil {
 				errs[proc] = err
 				return
@@ -228,17 +234,22 @@ func TestGroupFromRingShapes(t *testing.T) {
 
 // BenchmarkAllReduceHier measures the hierarchical all-reduce on the same
 // 64k-element buffer as BenchmarkAllReduce (channel) and
-// BenchmarkAllReduceTCP (flat 4-rank loopback ring). procs=4/local=1 is the
-// flat-equivalent shape (no regression expected vs TCP); procs=2/local=2
-// has the same total rank count with half the network hops per step.
+// BenchmarkAllReduceTCP (flat 4-rank loopback ring), under each wire codec.
+// procs=4/local=1 is the flat-equivalent shape (no regression expected vs
+// TCP); procs=2/local=2 has the same total rank count with half the network
+// hops per step.
 func BenchmarkAllReduceHier(b *testing.B) {
 	const elems = 1 << 16
-	for _, shape := range []struct{ procs, local int }{
-		{4, 1}, {2, 2}, {2, 4},
+	for _, shape := range []struct {
+		procs, local int
+		codec        transport.Codec
+	}{
+		{4, 1, transport.CodecF32}, {2, 2, transport.CodecF32}, {2, 4, transport.CodecF32},
+		{4, 1, transport.CodecF16}, {2, 2, transport.CodecF16},
 	} {
-		b.Run(fmt.Sprintf("procs=%d/local=%d", shape.procs, shape.local), func(b *testing.B) {
+		b.Run(fmt.Sprintf("procs=%d/local=%d/%s", shape.procs, shape.local, shape.codec), func(b *testing.B) {
 			n := shape.procs * shape.local
-			g := newHierGroup(b, shape.procs, shape.local)
+			g := newHierGroupCodec(b, shape.procs, shape.local, shape.codec)
 			bufs := make([][]float32, n)
 			for r := range bufs {
 				bufs[r] = make([]float32, elems)

@@ -5,16 +5,49 @@ import (
 	"fmt"
 	"time"
 
+	"melissa/internal/protocol"
 	"melissa/internal/transport"
 )
+
+// compressMinFloats is the smallest collective (total elements) that rides
+// the compressed wire format on a compressed ring. Tiny collectives — the
+// trainer's 2-float status reduction, barrier-adjacent control values — are
+// latency-bound, save nothing from half-width frames, and often carry
+// counts whose exactness matters, so they stay full-width float32. The
+// threshold is a pure function of the collective's total length, which
+// every rank knows identically, so senders and receivers always agree on
+// the frame type.
+const compressMinFloats = 16
+
+// broadcastChunkFloats bounds one Broadcast frame: slab-sized broadcasts
+// are split into pieces staged through the ring's double-buffered send
+// path, so a model bigger than protocol.MaxFrameSize/4 parameters cannot
+// hit the sender-side frame bound, and forwarding ranks pipeline chunk k
+// while chunk k+1 is still in flight.
+const broadcastChunkFloats = 1 << 20
+
+// WireCompression is implemented by transport-backed communicators. It
+// reports the ring's negotiated wire codec and the cumulative bytes moved
+// over the network links, so the trainer can validate its configuration
+// against the group's actual wire format and surface the byte counters in
+// metrics.
+type WireCompression interface {
+	WireCodec() transport.Codec
+	WireBytes() (sent, recv uint64)
+}
 
 // TCPComm is the transport-backed Communicator: ranks are separate OS
 // processes connected in a directed TCP ring (transport.Ring). It runs
 // exactly the same bandwidth-optimal ring scatter-reduce/all-gather as
-// ChanComm — same chunking, same reduction order — so a group of TCPComm
-// ranks computes bit-identical collective results to an in-process channel
-// group of the same size. Each process owns one TCPComm for its single
-// global rank; the rank argument of every collective must match.
+// ChanComm — same chunking, same reduction order — so on a default
+// (CodecF32) ring a group of TCPComm ranks computes bit-identical
+// collective results to an in-process channel group of the same size. On a
+// compressed ring (transport.CodecF16/CodecF16Raw) all-reduce chunks
+// travel as binary16 — halving wire bytes at a bounded, error-fed
+// precision cost (see docs/communication.md) — while Broadcast, Barrier
+// and sub-threshold collectives stay exact. Each process owns one TCPComm
+// for its single global rank; the rank argument of every collective must
+// match.
 //
 // A broken rank link surfaces as an error from the in-flight collective
 // (see the package's failure model): heartbeat/deadline expiry, resets and
@@ -23,16 +56,34 @@ import (
 // frames are staged into the ring's recycled buffers, the decode scratch
 // below is reused across calls, and the success path returns a nil error.
 type TCPComm struct {
-	ring    *transport.Ring
-	scratch []float32 // recycled decode buffer for the scatter-reduce phase
+	ring  *transport.Ring
+	codec transport.Codec
+
+	// res is the error-feedback residual slab for compressed range
+	// collectives (CodecF16): res[i] carries the quantization error of
+	// slab offset i from the previous step into the next one. Range
+	// collectives index it by their absolute [lo,hi) offsets, which is
+	// why AllReduceSumRange — whose caller contract is "ranges into one
+	// persistent slab" — is the error-fed entry point, while plain
+	// AllReduceSum (arbitrary transient buffers) compresses without
+	// residuals.
+	res []float32
 }
 
 var _ Communicator = (*TCPComm)(nil)
+var _ WireCompression = (*TCPComm)(nil)
 
-// NewTCPComm wraps a connected rank ring as a Communicator.
+// NewTCPComm wraps a connected rank ring as a Communicator, adopting the
+// wire codec the ring negotiated at formation.
 func NewTCPComm(ring *transport.Ring) *TCPComm {
-	return &TCPComm{ring: ring}
+	return &TCPComm{ring: ring, codec: ring.Codec()}
 }
+
+// WireCodec implements WireCompression.
+func (c *TCPComm) WireCodec() transport.Codec { return c.codec }
+
+// WireBytes implements WireCompression.
+func (c *TCPComm) WireBytes() (sent, recv uint64) { return c.ring.WireBytes() }
 
 // ConnectTCP is the one-call setup for a rank process: it binds
 // addrs[rank], dials the successor with exponential backoff and jitter,
@@ -94,58 +145,109 @@ func (c *TCPComm) check(rank int) {
 	}
 }
 
-// grow returns the recycled decode scratch with at least n elements.
-func (c *TCPComm) grow(n int) []float32 {
-	if cap(c.scratch) < n {
-		c.scratch = make([]float32, n)
+// compressed reports whether a collective over total elements rides the
+// half-width wire format. Every rank computes the same answer (codec is
+// ring-negotiated, total is part of the collective contract), so senders
+// and receivers always pick matching frame types.
+func (c *TCPComm) compressed(total int) bool {
+	return c.codec.Compressed() && total >= compressMinFloats
+}
+
+// residual returns the persistent error-feedback slab view for absolute
+// offsets [lo,hi), growing (zero-extended) on demand.
+func (c *TCPComm) residual(lo, hi int) []float32 {
+	if hi > len(c.res) {
+		grown := make([]float32, hi)
+		copy(grown, c.res)
+		c.res = grown
 	}
-	return c.scratch[:n]
+	return c.res[lo:hi]
 }
 
 // AllReduceSum implements Communicator: the ring scatter-reduce/all-gather
-// of ChanComm.AllReduceSum over TCP links.
+// of ChanComm.AllReduceSum over TCP links. On a compressed ring the chunks
+// travel as binary16 (without error feedback — see AllReduceSumRange for
+// the error-fed gradient path).
 func (c *TCPComm) AllReduceSum(rank int, buf []float32) error {
+	return c.allReduce(rank, buf, nil)
+}
+
+// AllReduceSumRange implements Communicator. On a CodecF16 ring this is
+// the error-fed path: the range offsets index a persistent per-rank
+// residual slab (the caller contract — one stable slab, e.g. the flat
+// gradient slab — is what makes residuals meaningful across steps).
+func (c *TCPComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) error {
+	sub := buf[lo:hi]
+	var res []float32
+	if c.codec == transport.CodecF16 && c.compressed(len(sub)) {
+		res = c.residual(lo, hi)
+	}
+	return c.allReduce(rank, sub, res)
+}
+
+// allReduce runs the ring scatter-reduce/all-gather over buf. res, when
+// non-nil, is the aligned error-feedback residual view (compressed range
+// collectives only).
+//
+// Compressed mode keeps all arithmetic in float32: wire chunks are
+// quantized per hop, receivers expand and accumulate at full width. After
+// scatter-reduce, each rank re-quantizes the one chunk it finished in
+// place before gathering — binary16 values re-encode losslessly, so every
+// rank reconstructs bit-identical results even though intermediate partial
+// sums crossed the wire at reduced precision.
+func (c *TCPComm) allReduce(rank int, buf []float32, res []float32) error {
 	c.check(rank)
 	n := c.ring.Size()
 	if n == 1 {
 		return nil
 	}
+	comp := c.compressed(len(buf))
+	if comp && res != nil {
+		// Error-feedback pre-pass: quantize local contribution + carried
+		// residual, store the fresh quantization error back (fused kernel).
+		protocol.QuantizeEF(buf, res)
+	}
 	chunk := func(i int) []float32 {
 		lo, hi := chunkRange(len(buf), n, ((i%n)+n)%n)
 		return buf[lo:hi]
 	}
-	// Scatter-reduce: incoming partial sums accumulate into the local
-	// chunk. Sends are staged copies, so mutating the next chunk while the
-	// previous frame is still being written is safe.
+	send := c.ring.SendFloats
+	recvAdd := c.ring.RecvFloatsAdd
+	recv := c.ring.RecvFloats
+	if comp {
+		send = c.ring.SendFloats16
+		recvAdd = c.ring.RecvFloats16Add
+		recv = c.ring.RecvFloats16
+	}
+	// Scatter-reduce: incoming partial sums accumulate straight into the
+	// local chunk (fused decode+add — no scratch pass). Sends are staged
+	// copies, so mutating the next chunk while the previous frame is still
+	// being written is safe.
 	for s := 0; s < n-1; s++ {
-		if err := c.ring.SendFloats(chunk(rank - s)); err != nil {
+		if err := send(chunk(rank - s)); err != nil {
 			return err
 		}
-		dst := chunk(rank - s - 1)
-		in := c.grow(len(dst))
-		if err := c.ring.RecvFloats(in); err != nil {
+		if err := recvAdd(chunk(rank - s - 1)); err != nil {
 			return err
 		}
-		for i := range dst {
-			dst[i] += in[i]
-		}
+	}
+	if comp {
+		// Quantize the chunk this rank finished reducing, so the values it
+		// keeps locally are bit-identical to the ones every other rank
+		// receives through the (lossless for binary16 inputs) gather hops.
+		protocol.RoundF16s(chunk(rank + 1))
 	}
 	// All-gather: circulate the completed chunks, decoding straight into
 	// the destination ranges.
 	for s := 0; s < n-1; s++ {
-		if err := c.ring.SendFloats(chunk(rank + 1 - s)); err != nil {
+		if err := send(chunk(rank + 1 - s)); err != nil {
 			return err
 		}
-		if err := c.ring.RecvFloats(chunk(rank - s)); err != nil {
+		if err := recv(chunk(rank - s)); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// AllReduceSumRange implements Communicator.
-func (c *TCPComm) AllReduceSumRange(rank int, buf []float32, lo, hi int) error {
-	return c.AllReduceSum(rank, buf[lo:hi])
 }
 
 // AllReduceMean implements Communicator.
@@ -163,26 +265,36 @@ func (c *TCPComm) AllReduceMean(rank int, buf []float32) error {
 }
 
 // Broadcast implements Communicator: the root's buffer travels around the
-// ring, each rank copying and forwarding, followed by a barrier so the
-// call is collective like the channel backend's.
+// ring in broadcastChunkFloats pieces — each rank copying and forwarding
+// chunk k while chunk k+1 is still in flight — followed by a barrier so
+// the call is collective like the channel backend's. Broadcast always
+// ships full-width float32 regardless of the ring codec: it carries
+// weights, whose replicas must stay bit-identical.
 func (c *TCPComm) Broadcast(rank, root int, buf []float32) error {
 	c.check(rank)
 	n := c.ring.Size()
 	if n == 1 {
 		return nil
 	}
-	if rank == root {
-		if err := c.ring.SendFloats(buf); err != nil {
-			return err
-		}
-	} else {
-		if err := c.ring.RecvFloats(buf); err != nil {
-			return err
-		}
-		if (rank+1)%n != root {
-			if err := c.ring.SendFloats(buf); err != nil {
+	for lo := 0; ; lo += broadcastChunkFloats {
+		hi := min(lo+broadcastChunkFloats, len(buf))
+		piece := buf[lo:hi]
+		if rank == root {
+			if err := c.ring.SendFloats(piece); err != nil {
 				return err
 			}
+		} else {
+			if err := c.ring.RecvFloats(piece); err != nil {
+				return err
+			}
+			if (rank+1)%n != root {
+				if err := c.ring.SendFloats(piece); err != nil {
+					return err
+				}
+			}
+		}
+		if hi == len(buf) {
+			break
 		}
 	}
 	return c.Barrier(rank)

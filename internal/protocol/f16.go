@@ -1,0 +1,261 @@
+package protocol
+
+// IEEE 754 binary16 ("half precision") conversion for the compressed
+// collective wire format. Gradient chunks are encoded with F16FromF32 —
+// round-to-nearest-even, gradual underflow to subnormals, overflow to
+// ±Inf, NaNs quieted with their truncated payloads preserved — and decoded
+// back to float32 with F32FromF16. The bulk EncodeF16s/DecodeF16s shuffle
+// whole chunks; on amd64 with F16C they dispatch to the VCVTPS2PH/VCVTPH2PS
+// kernels in f16_amd64.s (see f16_amd64.go), and the portable fallback
+// below inlines the integer fast path for the normal range.
+//
+// The scalar conversions implement exactly the F16C hardware semantics
+// (round-to-nearest-even, signaling NaNs quieted in both directions) so the
+// accelerated and portable paths are bit-for-bit interchangeable.
+//
+// Decoding is exact (every binary16 value is exactly representable in
+// float32), so F16FromF32(F32FromF16(h)) == h for every bit pattern h the
+// encoder can produce — including quiet NaN payloads and subnormals. That
+// idempotence is what lets the collective layer re-encode an
+// already-quantized chunk losslessly when it forwards finished all-gather
+// chunks around the ring. (Signaling NaN patterns, which the encoder never
+// emits, are quieted: h → h|0x200.)
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+const (
+	// f16ExpAdjustRNE rebias the f32 exponent (bias 127 → 15) with the
+	// half-ULP round-to-nearest bias folded in: ((15-127)<<23) as two's
+	// complement, plus 0x0fff. Adding the mantissa's odd bit first turns
+	// truncation into round-to-nearest-even, and a mantissa carry rolls
+	// into the exponent — including up to Inf at the top of the range.
+	f16ExpAdjustRNE = 0xc8000fff
+	// f16SubnormMagic is 0.5f: adding it to a magnitude below 2^-14 lands
+	// in [0.5, 0.5+2^-14), where the f32 mantissa LSBs align exactly with
+	// binary16 subnormal steps — the hardware float add performs the
+	// round-to-nearest-even for free, and subtracting the magic bit
+	// pattern leaves the subnormal (or zero) half bits.
+	f16SubnormMagic = 126 << 23
+	// f16DecodeMagic is 2^-14: the exact float subtraction that
+	// renormalizes the decode path's offset subnormals.
+	f16DecodeMagic = 113 << 23
+)
+
+// F16FromF32 converts v to its nearest binary16 bit pattern with
+// round-to-nearest-even. Values above the binary16 range become ±Inf,
+// values below half the smallest subnormal become signed zero, and NaNs
+// stay NaNs — quieted, with the top 10 payload bits riding along (F16C
+// VCVTPS2PH semantics).
+func F16FromF32(v float32) uint16 {
+	bits := math.Float32bits(v)
+	sign := uint16(bits>>16) & 0x8000
+	x := bits &^ 0x80000000
+	switch {
+	case x > 0x7f800000: // NaN: quiet it, keep the truncated payload
+		return sign | 0x7e00 | uint16(x>>13)&0x3ff
+	case x >= 0x47800000: // ±Inf, and every finite magnitude that rounds to it
+		return sign | 0x7c00
+	case x < 0x38800000: // below the binary16 normal range: magic-add rounding
+		f := math.Float32frombits(x) + math.Float32frombits(f16SubnormMagic)
+		return sign | uint16(math.Float32bits(f)-f16SubnormMagic)
+	default: // normal: integer exponent rebias with RNE folded in
+		x += (x >> 13) & 1
+		x += f16ExpAdjustRNE
+		return sign | uint16(x>>13)
+	}
+}
+
+// F32FromF16 expands a binary16 bit pattern to the exactly-equal float32.
+// Signaling NaNs are quieted (F16C VCVTPH2PS semantics); every other
+// pattern — subnormals included — converts exactly.
+func F32FromF16(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	x := uint32(h&0x7fff) << 13
+	switch exp := x & 0x0f800000; exp {
+	case 0x0f800000: // Inf / NaN: finish the exponent, quiet any payload
+		x += (255 - 31) << 23
+		if x&0x007fffff != 0 {
+			x |= 0x00400000
+		}
+	case 0: // zero / subnormal: renormalize with an exact float subtract
+		x += (127 - 15 + 1) << 23
+		x = math.Float32bits(math.Float32frombits(x) - math.Float32frombits(f16DecodeMagic))
+	default: // normal: rebias 15 → 127
+		x += (127 - 15) << 23
+	}
+	return math.Float32frombits(sign | x)
+}
+
+// The bulk codec entry points, replaced at init by the F16C/AVX kernels
+// when the CPU has them (f16_amd64.go).
+var (
+	encodeF16sBulk = encodeF16sGo
+	decodeF16sBulk = decodeF16sGo
+	roundF16sBulk  = roundF16sGo
+	addF16sBulk    = addF16sGo
+	addF32sBulk    = addF32sGo
+	quantizeEFBulk = quantizeEFGo
+)
+
+// EncodeF16s serializes vals into dst as little-endian binary16, 2 bytes
+// per element; dst must hold at least 2·len(vals) bytes. It is the
+// compressed sibling of EncodeF32s.
+func EncodeF16s(dst []byte, vals []float32) {
+	if len(vals) == 0 {
+		return
+	}
+	_ = dst[2*len(vals)-1] // the accelerated kernel has no implicit bounds checks
+	encodeF16sBulk(dst, vals)
+}
+
+// DecodeF16s is the decode mirror of EncodeF16s: it fills dst from
+// 2·len(dst) bytes of src.
+func DecodeF16s(dst []float32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	_ = src[2*len(dst)-1]
+	decodeF16sBulk(dst, src)
+}
+
+// encodeF16sGo is the portable bulk encoder: the normal-range conversion is
+// inlined (one unsigned range check, two adds, a shift), everything else
+// falls back to the full scalar conversion.
+func encodeF16sGo(dst []byte, vals []float32) {
+	for i, v := range vals {
+		bits := math.Float32bits(v)
+		x := bits &^ 0x80000000
+		var h uint16
+		if x-0x38800000 < 0x47800000-0x38800000 {
+			x += (x >> 13) & 1
+			x += f16ExpAdjustRNE
+			h = uint16(bits>>16)&0x8000 | uint16(x>>13)
+		} else {
+			h = F16FromF32(v)
+		}
+		binary.LittleEndian.PutUint16(dst[i*2:i*2+2], h)
+	}
+}
+
+// decodeF16sGo is the portable bulk decoder, with the normal-range rebias
+// inlined.
+func decodeF16sGo(dst []float32, src []byte) {
+	for i := range dst {
+		h := binary.LittleEndian.Uint16(src[i*2 : i*2+2])
+		if e := h & 0x7c00; e != 0 && e != 0x7c00 {
+			dst[i] = math.Float32frombits(uint32(h&0x8000)<<16 | (uint32(h&0x7fff)<<13 + (127-15)<<23))
+		} else {
+			dst[i] = F32FromF16(h)
+		}
+	}
+}
+
+// RoundF16 returns v quantized through binary16 and back — the value a
+// receiver reconstructs after one compressed hop. The collective layer's
+// error-feedback pre-pass uses it to compute the residual it carries into
+// the next step.
+func RoundF16(v float32) float32 {
+	return F32FromF16(F16FromF32(v))
+}
+
+// RoundF16s quantizes vals through binary16 and back in place — RoundF16
+// over the whole slice, but through the hardware converters where present.
+// The collective layer uses it to pin each finished all-reduce chunk to the
+// binary16 grid before the gather phase forwards it.
+func RoundF16s(vals []float32) {
+	if len(vals) == 0 {
+		return
+	}
+	roundF16sBulk(vals)
+}
+
+// AddF16s decodes 2·len(dst) bytes of binary16 from src and accumulates
+// them element-wise into dst: the fused decode+reduce step of a compressed
+// scatter-reduce hop, saving a full pass over a scratch buffer.
+func AddF16s(dst []float32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	_ = src[2*len(dst)-1]
+	addF16sBulk(dst, src)
+}
+
+// AddF32s is the full-width sibling of AddF16s: it accumulates 4·len(dst)
+// bytes of little-endian float32 from src into dst. Element-wise float32
+// adds, so results are bit-identical to DecodeF32s followed by a scalar
+// accumulation loop.
+func AddF32s(dst []float32, src []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	_ = src[4*len(dst)-1]
+	addF32sBulk(dst, src)
+}
+
+// QuantizeEF is the error-feedback quantization pre-pass of a compressed
+// collective: for each element, the local contribution plus the carried
+// residual is rounded to the binary16 grid (that quantized value is what
+// the collective will transmit) and the fresh quantization error is stored
+// back into the residual for the next step. buf and res must have equal
+// length. All arithmetic is element-wise IEEE float32, so the accelerated
+// path is bit-identical to the portable one.
+func QuantizeEF(buf, res []float32) {
+	if len(buf) != len(res) {
+		panic("protocol: QuantizeEF length mismatch")
+	}
+	if len(buf) == 0 {
+		return
+	}
+	quantizeEFBulk(buf, res)
+}
+
+// roundF16sGo is the portable RoundF16s, with the normal-range round
+// inlined (the same integer rebias encodeF16sGo uses, decoded back).
+func roundF16sGo(vals []float32) {
+	for i, v := range vals {
+		bits := math.Float32bits(v)
+		x := bits &^ 0x80000000
+		if x-0x38800000 < 0x47800000-0x38800000 {
+			x += (x >> 13) & 1
+			x += f16ExpAdjustRNE
+			h := x >> 13 & 0x7fff
+			if h < 0x7c00 { // did not round up to Inf
+				vals[i] = math.Float32frombits(bits&0x80000000 | (h<<13 + (127-15)<<23))
+				continue
+			}
+		}
+		vals[i] = RoundF16(v)
+	}
+}
+
+// addF16sGo is the portable AddF16s.
+func addF16sGo(dst []float32, src []byte) {
+	for i := range dst {
+		h := binary.LittleEndian.Uint16(src[i*2 : i*2+2])
+		if e := h & 0x7c00; e != 0 && e != 0x7c00 {
+			dst[i] += math.Float32frombits(uint32(h&0x8000)<<16 | (uint32(h&0x7fff)<<13 + (127-15)<<23))
+		} else {
+			dst[i] += F32FromF16(h)
+		}
+	}
+}
+
+// addF32sGo is the portable AddF32s.
+func addF32sGo(dst []float32, src []byte) {
+	for i := range dst {
+		dst[i] += math.Float32frombits(binary.LittleEndian.Uint32(src[i*4 : i*4+4]))
+	}
+}
+
+// quantizeEFGo is the portable QuantizeEF.
+func quantizeEFGo(buf, res []float32) {
+	for i := range buf {
+		v := buf[i] + res[i]
+		q := RoundF16(v)
+		buf[i] = q
+		res[i] = v - q
+	}
+}

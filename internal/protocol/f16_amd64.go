@@ -1,0 +1,139 @@
+//go:build amd64
+
+package protocol
+
+// Runtime selection of the F16C binary16 conversion kernels. The Go
+// toolchain does not emit VCVTPS2PH/VCVTPH2PS, so the hardware converters
+// only pay off through the hand-written kernels in f16_amd64.s; they are
+// enabled once at process start when CPUID reports F16C and the OS has
+// enabled YMM state (OSXSAVE with XCR0 SSE+AVX bits), mirroring the tensor
+// package's micro-kernel gate. The kernels implement exactly the scalar
+// conversions' semantics (RNE, quieted NaNs), so swapping them in cannot
+// change a training trajectory.
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+//go:noescape
+func cpuidF16C(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbvF16C() (eax, edx uint32)
+
+//go:noescape
+func encodeF16sKern(dst []byte, vals []float32, blocks int)
+
+//go:noescape
+func decodeF16sKern(dst []float32, src []byte, blocks int)
+
+//go:noescape
+func roundF16sKern(vals []float32, blocks int)
+
+//go:noescape
+func addF16sKern(dst []float32, src []byte, blocks int)
+
+//go:noescape
+func addF32sKern(dst []float32, src []byte, blocks int)
+
+//go:noescape
+func quantizeEFKern(buf, res []float32, blocks int)
+
+const (
+	cpuidF16COSXSAVE = 1 << 27 // leaf 1 ECX
+	cpuidF16CAVXBit  = 1 << 28 // leaf 1 ECX
+	cpuidF16CBit     = 1 << 29 // leaf 1 ECX
+	xcr0F16CAVXState = 0x6     // XMM + YMM state enabled by the OS
+)
+
+func init() {
+	_, _, ecx1, _ := cpuidF16C(1, 0)
+	if ecx1&cpuidF16COSXSAVE == 0 || ecx1&cpuidF16CAVXBit == 0 {
+		return
+	}
+	if eax, _ := xgetbvF16C(); eax&xcr0F16CAVXState != xcr0F16CAVXState {
+		return
+	}
+	addF32sBulk = addF32sHW // plain AVX is enough for the f32 accumulate
+	if ecx1&cpuidF16CBit == 0 {
+		return
+	}
+	encodeF16sBulk = encodeF16sHW
+	decodeF16sBulk = decodeF16sHW
+	roundF16sBulk = roundF16sHW
+	addF16sBulk = addF16sHW
+	quantizeEFBulk = quantizeEFHW
+}
+
+// encodeF16sHW runs whole 8-element blocks through the F16C kernel and the
+// tail through the scalar conversion. EncodeF16s has already checked that
+// dst covers 2·len(vals) bytes.
+func encodeF16sHW(dst []byte, vals []float32) {
+	blocks := len(vals) / 8
+	if blocks > 0 {
+		encodeF16sKern(dst, vals, blocks)
+	}
+	for i := blocks * 8; i < len(vals); i++ {
+		binary.LittleEndian.PutUint16(dst[i*2:i*2+2], F16FromF32(vals[i]))
+	}
+}
+
+// decodeF16sHW is the decode mirror of encodeF16sHW.
+func decodeF16sHW(dst []float32, src []byte) {
+	blocks := len(dst) / 8
+	if blocks > 0 {
+		decodeF16sKern(dst, src, blocks)
+	}
+	for i := blocks * 8; i < len(dst); i++ {
+		dst[i] = F32FromF16(binary.LittleEndian.Uint16(src[i*2 : i*2+2]))
+	}
+}
+
+// roundF16sHW quantizes whole 8-element blocks through the in-register
+// F16C round-trip and the tail through the scalar conversion.
+func roundF16sHW(vals []float32) {
+	blocks := len(vals) / 8
+	if blocks > 0 {
+		roundF16sKern(vals, blocks)
+	}
+	for i := blocks * 8; i < len(vals); i++ {
+		vals[i] = RoundF16(vals[i])
+	}
+}
+
+// addF16sHW runs the fused decode+accumulate kernel, scalar tail after.
+func addF16sHW(dst []float32, src []byte) {
+	blocks := len(dst) / 8
+	if blocks > 0 {
+		addF16sKern(dst, src, blocks)
+	}
+	for i := blocks * 8; i < len(dst); i++ {
+		dst[i] += F32FromF16(binary.LittleEndian.Uint16(src[i*2 : i*2+2]))
+	}
+}
+
+// addF32sHW is the full-width accumulate, gated on AVX alone.
+func addF32sHW(dst []float32, src []byte) {
+	blocks := len(dst) / 8
+	if blocks > 0 {
+		addF32sKern(dst, src, blocks)
+	}
+	for i := blocks * 8; i < len(dst); i++ {
+		dst[i] += math.Float32frombits(binary.LittleEndian.Uint32(src[i*4 : i*4+4]))
+	}
+}
+
+// quantizeEFHW is the fused error-feedback pre-pass, scalar tail after.
+func quantizeEFHW(buf, res []float32) {
+	blocks := len(buf) / 8
+	if blocks > 0 {
+		quantizeEFKern(buf, res, blocks)
+	}
+	for i := blocks * 8; i < len(buf); i++ {
+		v := buf[i] + res[i]
+		q := RoundF16(v)
+		buf[i] = q
+		res[i] = v - q
+	}
+}

@@ -1,0 +1,150 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidF16C(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidF16C(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvF16C() (eax, edx uint32)
+TEXT ·xgetbvF16C(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func encodeF16sKern(dst []byte, vals []float32, blocks int)
+//
+// blocks × 8 float32 → binary16, round-to-nearest-even (imm8 = 0 overrides
+// MXCSR.RC). One VCVTPS2PH per 8 elements; iterations are independent, so
+// out-of-order execution hides the conversion latency.
+TEXT ·encodeF16sKern(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ vals_base+24(FP), SI
+	MOVQ blocks+48(FP), CX
+
+enc_loop:
+	VMOVUPS   (SI), Y0
+	VCVTPS2PH $0, Y0, X0
+	VMOVUPS   X0, (DI)
+	ADDQ      $32, SI
+	ADDQ      $16, DI
+	DECQ      CX
+	JNZ       enc_loop
+	VZEROUPPER
+	RET
+
+// func decodeF16sKern(dst []float32, src []byte, blocks int)
+//
+// blocks × 8 binary16 → float32 (exact, signaling NaNs quieted — the
+// semantics F32FromF16 mirrors).
+TEXT ·decodeF16sKern(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ blocks+48(FP), CX
+
+dec_loop:
+	VCVTPH2PS (SI), Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ      $16, SI
+	ADDQ      $32, DI
+	DECQ      CX
+	JNZ       dec_loop
+	VZEROUPPER
+	RET
+
+// func roundF16sKern(vals []float32, blocks int)
+//
+// In-place binary16 round-trip: blocks × 8 float32 → binary16 (RNE) →
+// float32, never leaving the registers. This is the all-reduce owner-chunk
+// quantization (RoundF16 over a slice) at hardware speed.
+TEXT ·roundF16sKern(SB), NOSPLIT, $0-32
+	MOVQ vals_base+0(FP), SI
+	MOVQ blocks+24(FP), CX
+
+rnd_loop:
+	VMOVUPS   (SI), Y0
+	VCVTPS2PH $0, Y0, X0
+	VCVTPH2PS X0, Y0
+	VMOVUPS   Y0, (SI)
+	ADDQ      $32, SI
+	DECQ      CX
+	JNZ       rnd_loop
+	VZEROUPPER
+	RET
+
+// func addF16sKern(dst []float32, src []byte, blocks int)
+//
+// Fused decode+accumulate: blocks × 8 binary16 from src are expanded and
+// added element-wise into dst. The adds are independent IEEE float32
+// operations, so the result is bit-identical to decode-then-add for all
+// non-NaN inputs.
+TEXT ·addF16sKern(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ blocks+48(FP), CX
+
+a16_loop:
+	VCVTPH2PS (SI), Y0
+	VADDPS    (DI), Y0, Y0
+	VMOVUPS   Y0, (DI)
+	ADDQ      $16, SI
+	ADDQ      $32, DI
+	DECQ      CX
+	JNZ       a16_loop
+	VZEROUPPER
+	RET
+
+// func addF32sKern(dst []float32, src []byte, blocks int)
+//
+// Full-width fused accumulate: blocks × 8 little-endian float32 from src
+// added element-wise into dst. Needs only AVX (no F16C).
+TEXT ·addF32sKern(SB), NOSPLIT, $0-56
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ blocks+48(FP), CX
+
+a32_loop:
+	VMOVUPS (SI), Y0
+	VADDPS  (DI), Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     a32_loop
+	VZEROUPPER
+	RET
+
+// func quantizeEFKern(buf, res []float32, blocks int)
+//
+// Fused error-feedback quantization: v = buf + res, q = round16(v),
+// buf = q, res = v − q — one load/convert/store pass instead of three
+// scalar ones. Element-wise IEEE float32 throughout, so bit-identical to
+// the portable loop for all non-NaN inputs.
+TEXT ·quantizeEFKern(SB), NOSPLIT, $0-56
+	MOVQ buf_base+0(FP), DI
+	MOVQ res_base+24(FP), SI
+	MOVQ blocks+48(FP), CX
+
+ef_loop:
+	VMOVUPS   (DI), Y0
+	VADDPS    (SI), Y0, Y0  // Y0 = v = buf + res
+	VCVTPS2PH $0, Y0, X1
+	VCVTPH2PS X1, Y1        // Y1 = q = round16(v)
+	VMOVUPS   Y1, (DI)
+	VSUBPS    Y1, Y0, Y2    // Y2 = v - q
+	VMOVUPS   Y2, (SI)
+	ADDQ      $32, DI
+	ADDQ      $32, SI
+	DECQ      CX
+	JNZ       ef_loop
+	VZEROUPPER
+	RET

@@ -1,0 +1,418 @@
+package protocol
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// TestF16DecodeEncodeExhaustive sweeps every one of the 65536 binary16 bit
+// patterns: decoding to float32 and re-encoding must reproduce the exact
+// pattern — including quiet NaN payloads, ±Inf, ±0 and every subnormal.
+// Signaling NaNs (which the encoder never emits) are the one carve-out:
+// they come back quieted, matching F16C hardware. This idempotence is what
+// makes re-encoding an already-quantized collective chunk lossless.
+func TestF16DecodeEncodeExhaustive(t *testing.T) {
+	for h := 0; h <= 0xffff; h++ {
+		v := F32FromF16(uint16(h))
+		back := F16FromF32(v)
+		want := uint16(h)
+		if want&0x7c00 == 0x7c00 && want&0x3ff != 0 {
+			want |= 0x200 // NaN payloads come back quieted
+		}
+		if back != want {
+			t.Fatalf("bit pattern %#04x decoded to %v, re-encoded to %#04x, want %#04x", h, v, back, want)
+		}
+	}
+}
+
+// TestF16BulkMatchesScalarExhaustive cross-checks the bulk codec — the F16C
+// kernels where the CPU has them, the portable fallback otherwise — against
+// the scalar conversions over every binary16 pattern: decode must agree
+// bitwise on all 65536 inputs, and encoding the decoded values must agree
+// bitwise too. With the hardware path active this pins the claim that the
+// scalar Go code implements exactly the F16C semantics.
+func TestF16BulkMatchesScalarExhaustive(t *testing.T) {
+	const n = 1 << 16
+	src := make([]byte, 2*n)
+	for h := 0; h < n; h++ {
+		src[2*h] = byte(h)
+		src[2*h+1] = byte(h >> 8)
+	}
+	dec := make([]float32, n)
+	DecodeF16s(dec, src)
+	for h := 0; h < n; h++ {
+		want := F32FromF16(uint16(h))
+		if math.Float32bits(dec[h]) != math.Float32bits(want) {
+			t.Fatalf("bulk decode %#04x = %v (bits %#08x), scalar %v (bits %#08x)",
+				h, dec[h], math.Float32bits(dec[h]), want, math.Float32bits(want))
+		}
+	}
+	enc := make([]byte, 2*n)
+	EncodeF16s(enc, dec)
+	for h := 0; h < n; h++ {
+		got := uint16(enc[2*h]) | uint16(enc[2*h+1])<<8
+		want := F16FromF32(dec[h])
+		if got != want {
+			t.Fatalf("bulk encode of %v = %#04x, scalar %#04x", dec[h], got, want)
+		}
+	}
+}
+
+// TestF16SpecialValues pins the IEEE edge cases of the float32→binary16
+// direction.
+func TestF16SpecialValues(t *testing.T) {
+	inf32 := float32(math.Inf(1))
+	cases := []struct {
+		name string
+		in   float32
+		want uint16
+	}{
+		{"zero", 0, 0x0000},
+		{"neg-zero", float32(math.Copysign(0, -1)), 0x8000},
+		{"one", 1, 0x3c00},
+		{"neg-two", -2, 0xc000},
+		{"inf", inf32, 0x7c00},
+		{"neg-inf", -inf32, 0xfc00},
+		{"max-normal", 65504, 0x7bff},
+		{"overflow-to-inf", 65520, 0x7c00},
+		{"large-overflow", 1e20, 0x7c00},
+		{"min-normal", float32(math.Ldexp(1, -14)), 0x0400},
+		{"max-subnormal", float32(math.Ldexp(1023, -24)), 0x03ff},
+		{"min-subnormal", float32(math.Ldexp(1, -24)), 0x0001},
+		{"half-min-subnormal-ties-to-zero", float32(math.Ldexp(1, -25)), 0x0000},
+		{"just-above-half-min-subnormal", float32(math.Ldexp(3, -26)), 0x0001},
+		{"underflow-to-zero", float32(math.Ldexp(1, -26)), 0x0000},
+		{"neg-underflow-keeps-sign", float32(math.Ldexp(-1, -26)), 0x8000},
+		{"f32-subnormal-underflows", math.Float32frombits(1), 0x0000},
+	}
+	for _, tc := range cases {
+		if got := F16FromF32(tc.in); got != tc.want {
+			t.Errorf("%s: F16FromF32(%v) = %#04x, want %#04x", tc.name, tc.in, got, tc.want)
+		}
+	}
+	// NaN: any input NaN must stay NaN (never collapse to Inf), with the
+	// quiet bit riding through the payload truncation.
+	for _, bits := range []uint32{0x7fc00000, 0x7f800001, 0xffc12345} {
+		h := F16FromF32(math.Float32frombits(bits))
+		if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+			t.Errorf("NaN %#08x encoded to %#04x, not a NaN", bits, h)
+		}
+		if v := F32FromF16(h); !math.IsNaN(float64(v)) {
+			t.Errorf("NaN %#08x round-tripped to %v", bits, v)
+		}
+	}
+}
+
+// TestF16RoundToNearestEven pins tie-breaking at the halfway points of the
+// 13 dropped mantissa bits.
+func TestF16RoundToNearestEven(t *testing.T) {
+	ulp := 1.0 / 1024 // binary16 mantissa step at exponent 0
+	cases := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"tie-to-even-down", 1 + ulp/2, 1},         // between man 0 and 1 → even 0
+		{"tie-to-even-up", 1 + 3*ulp/2, 1 + 2*ulp}, // between man 1 and 2 → even 2
+		{"above-tie-rounds-up", 1 + ulp/2 + ulp/8, 1 + ulp},
+		{"below-tie-rounds-down", 1 + ulp/2 - ulp/8, 1},
+	}
+	for _, tc := range cases {
+		got := float64(F32FromF16(F16FromF32(float32(tc.in))))
+		if got != tc.want {
+			t.Errorf("%s: %v quantized to %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestF16NearestOverRandomValues cross-checks the conversion against a
+// brute-force nearest-neighbor search: for random finite inputs, no other
+// binary16 value may be strictly closer than the chosen one, and exact
+// ties must have landed on the even mantissa.
+func TestF16NearestOverRandomValues(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 17))
+	dist := func(h uint16, v float64) float64 {
+		d := float64(F32FromF16(h)) - v
+		return math.Abs(d)
+	}
+	for trial := 0; trial < 200000; trial++ {
+		// Spread across the interesting exponent range, including the
+		// subnormal and overflow boundaries. The input of record is the
+		// float32 (what the codec actually sees), not the double it was
+		// drawn from.
+		v := float64(float32((rng.Float64()*2 - 1) * math.Ldexp(1, rng.IntN(36)-20)))
+		h := F16FromF32(float32(v))
+		if h&0x7c00 == 0x7c00 { // rounded to Inf: only above the midpoint to max
+			if math.Abs(v) < 65520 {
+				t.Fatalf("%v rounded to Inf below the overflow threshold", v)
+			}
+			continue
+		}
+		d := dist(h, v)
+		// Compare against both neighbors in value order (same sign:
+		// bit pattern ±1; across zero: the opposite-signed zero's neighbor).
+		for _, nb := range []uint16{h + 1, h - 1, h ^ 0x8000, (h ^ 0x8000) + 1} {
+			if nb&0x7c00 == 0x7c00 {
+				continue // Inf/NaN are not nearer-value candidates
+			}
+			nd := dist(nb, v)
+			if nd < d {
+				t.Fatalf("%v → %#04x (err %g) but neighbor %#04x is closer (err %g)", v, h, d, nb, nd)
+			}
+			if nd == d && d != 0 && nb&1 == 1 && h&1 == 1 {
+				t.Fatalf("%v tied between two odd mantissas %#04x and %#04x", v, h, nb)
+			}
+		}
+		if d == 0 {
+			continue
+		}
+		if nd := dist(h, v); nd != d {
+			t.Fatalf("unstable distance for %v", v)
+		}
+	}
+}
+
+// TestF16BulkMatchesScalar drives the unrolled bulk codec across lengths
+// straddling the 8-wide boundary and checks it against the scalar
+// conversions bit for bit.
+func TestF16BulkMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 17, 31, 33, 100} {
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = float32(rng.NormFloat64()) * float32(math.Ldexp(1, rng.IntN(30)-15))
+		}
+		if n > 2 {
+			vals[0] = float32(math.NaN())
+			vals[1] = float32(math.Inf(-1))
+		}
+		buf := make([]byte, 2*n)
+		EncodeF16s(buf, vals)
+		for i, v := range vals {
+			want := F16FromF32(v)
+			got := uint16(buf[2*i]) | uint16(buf[2*i+1])<<8
+			if got != want {
+				t.Fatalf("n=%d: bulk encode [%d] = %#04x, scalar %#04x", n, i, got, want)
+			}
+		}
+		dst := make([]float32, n)
+		DecodeF16s(dst, buf)
+		for i := range dst {
+			want := F32FromF16(F16FromF32(vals[i]))
+			if math.Float32bits(dst[i]) != math.Float32bits(want) {
+				t.Fatalf("n=%d: bulk decode [%d] = %v, scalar %v", n, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// FuzzF16Codec round-trips arbitrary float32 bit patterns through the
+// binary16 codec: it must never panic, finite results must be within one
+// binary16 ULP of the input (the nearest-value guarantee implies half an
+// ULP; one ULP is the hard ceiling), NaN must stay NaN, infinities and
+// signed zeros must be preserved exactly, and a second round trip must be
+// a fixed point.
+func FuzzF16Codec(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(math.Float32bits(1))
+	f.Add(math.Float32bits(-65504))
+	f.Add(math.Float32bits(65520))
+	f.Add(math.Float32bits(float32(math.Inf(1))))
+	f.Add(uint32(0x7fc00001))                            // NaN with payload
+	f.Add(uint32(0x80000001))                            // negative f32 subnormal
+	f.Add(math.Float32bits(float32(math.Ldexp(1, -24)))) // min f16 subnormal
+	f.Fuzz(func(t *testing.T, bits uint32) {
+		v := math.Float32frombits(bits)
+		h := F16FromF32(v)
+		q := F32FromF16(h)
+		switch {
+		case math.IsNaN(float64(v)):
+			if !math.IsNaN(float64(q)) {
+				t.Fatalf("NaN %#08x quantized to %v", bits, q)
+			}
+		case math.IsInf(float64(v), 0):
+			if q != v {
+				t.Fatalf("infinity %v quantized to %v", v, q)
+			}
+		default:
+			av := math.Abs(float64(v))
+			if av >= 65520 {
+				if !math.IsInf(float64(q), int(math.Copysign(1, float64(v)))) {
+					t.Fatalf("out-of-range %v quantized to %v, want Inf", v, q)
+				}
+				break
+			}
+			// One binary16 ULP at v's magnitude: the spacing of the
+			// half-precision grid there (subnormal spacing at the bottom).
+			exp := math.Floor(math.Log2(av))
+			if av == 0 || exp < -14 {
+				exp = -14
+			}
+			ulp := math.Ldexp(1, int(exp)-10)
+			if diff := math.Abs(float64(q) - float64(v)); diff > ulp {
+				t.Fatalf("%v (bits %#08x) quantized to %v: error %g beyond ULP %g", v, bits, q, diff, ulp)
+			}
+			if math.Signbit(float64(v)) != math.Signbit(float64(q)) {
+				t.Fatalf("%v quantized to %v: sign flipped", v, q)
+			}
+		}
+		if again := F16FromF32(q); again != h {
+			t.Fatalf("round trip of %v is not a fixed point: %#04x then %#04x", v, h, again)
+		}
+	})
+}
+
+// BenchmarkF16Codec measures the compressed wire shuffle in both
+// directions at a collective-chunk size, for comparison with
+// BenchmarkF32Codec (bytes/op reflect the logical float payload, so MB/s
+// is directly comparable).
+func BenchmarkF16Codec(b *testing.B) {
+	const n = 16384
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i))) * 3
+	}
+	buf := make([]byte, 2*n)
+	dst := make([]float32, n)
+	b.Run("encode-bulk", func(b *testing.B) {
+		b.SetBytes(4 * n)
+		for i := 0; i < b.N; i++ {
+			EncodeF16s(buf, vals)
+		}
+	})
+	b.Run("decode-bulk", func(b *testing.B) {
+		b.SetBytes(4 * n)
+		for i := 0; i < b.N; i++ {
+			DecodeF16s(dst, buf)
+		}
+	})
+}
+
+// fusedTestVals builds a value mix that exercises every kernel path —
+// normals across the binary16 range, subnormals, zeros, infinities, values
+// that overflow to Inf — at a length that covers both the 8-wide SIMD
+// blocks and the scalar tail. NaNs are exercised separately by the
+// exhaustive codec tests: the fused accumulate kernels make no ordering
+// promise for NaN+NaN payload propagation, matching the scalar loops only
+// on non-NaN input (the only input the collectives feed them).
+func fusedTestVals(n int, seed uint64) []float32 {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	vals := make([]float32, n)
+	for i := range vals {
+		switch i % 7 {
+		case 0:
+			vals[i] = 0
+		case 1:
+			vals[i] = float32(math.Inf(1 - 2*int(rng.Uint64()&2)))
+		case 2:
+			vals[i] = float32(math.Ldexp(rng.Float64()-0.5, -16)) // f16 subnormal range
+		case 3:
+			vals[i] = float32(math.Ldexp(rng.Float64()+1, 18)) // overflows binary16
+		default:
+			vals[i] = float32((rng.Float64()*2 - 1) * math.Ldexp(1, rng.IntN(30)-15))
+		}
+	}
+	return vals
+}
+
+// TestRoundF16sMatchesScalar pins RoundF16s (accelerated where present)
+// bitwise to the scalar RoundF16, including the SIMD/tail seam.
+func TestRoundF16sMatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 1000, 1003} {
+		vals := fusedTestVals(n, uint64(n)+1)
+		want := make([]float32, n)
+		for i, v := range vals {
+			want[i] = RoundF16(v)
+		}
+		RoundF16s(vals)
+		for i := range vals {
+			if math.Float32bits(vals[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("n=%d elem %d: bulk %v (%#08x), scalar %v (%#08x)",
+					n, i, vals[i], math.Float32bits(vals[i]), want[i], math.Float32bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestAddF16sMatchesDecode pins the fused decode+accumulate bitwise to
+// DecodeF16s followed by a scalar add loop.
+func TestAddF16sMatchesDecode(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 1000, 1003} {
+		src := make([]byte, 2*n)
+		EncodeF16s(src, fusedTestVals(n, uint64(n)+2))
+		acc := fusedTestVals(n, uint64(n)+3)
+		want := make([]float32, n)
+		dec := make([]float32, n)
+		DecodeF16s(dec, src)
+		for i := range want {
+			want[i] = acc[i] + dec[i]
+		}
+		AddF16s(acc, src)
+		for i := range acc {
+			if math.Float32bits(acc[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("n=%d elem %d: fused %v (%#08x), reference %v (%#08x)",
+					n, i, acc[i], math.Float32bits(acc[i]), want[i], math.Float32bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestAddF32sMatchesDecode pins the full-width fused accumulate bitwise to
+// DecodeF32s followed by a scalar add loop — the property that keeps fp32
+// collectives bit-identical after the fused-receive optimization.
+func TestAddF32sMatchesDecode(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 1000, 1003} {
+		src := make([]byte, 4*n)
+		EncodeF32s(src, fusedTestVals(n, uint64(n)+4))
+		acc := fusedTestVals(n, uint64(n)+5)
+		want := make([]float32, n)
+		dec := make([]float32, n)
+		DecodeF32s(dec, src)
+		for i := range want {
+			want[i] = acc[i] + dec[i]
+		}
+		AddF32s(acc, src)
+		for i := range acc {
+			if math.Float32bits(acc[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("n=%d elem %d: fused %v (%#08x), reference %v (%#08x)",
+					n, i, acc[i], math.Float32bits(acc[i]), want[i], math.Float32bits(want[i]))
+			}
+		}
+	}
+}
+
+// TestQuantizeEFMatchesScalar pins the fused error-feedback pre-pass
+// bitwise to the scalar reference: q = round16(buf+res) into buf, the
+// quantization error into res.
+func TestQuantizeEFMatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 16, 1000, 1003} {
+		buf := fusedTestVals(n, uint64(n)+6)
+		res := make([]float32, n)
+		for i := range res {
+			res[i] = buf[i] * 0x1p-12 // plausible residual magnitudes
+		}
+		wantBuf := make([]float32, n)
+		wantRes := make([]float32, n)
+		for i := range buf {
+			v := buf[i] + res[i]
+			q := RoundF16(v)
+			wantBuf[i] = q
+			wantRes[i] = v - q
+		}
+		QuantizeEF(buf, res)
+		for i := range buf {
+			if math.Float32bits(buf[i]) != math.Float32bits(wantBuf[i]) ||
+				math.Float32bits(res[i]) != math.Float32bits(wantRes[i]) {
+				t.Fatalf("n=%d elem %d: fused (q=%v, r=%v), reference (q=%v, r=%v)",
+					n, i, buf[i], res[i], wantBuf[i], wantRes[i])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	QuantizeEF(make([]float32, 2), make([]float32, 3))
+}

@@ -75,6 +75,12 @@ const (
 	TypeRingPing
 )
 
+// TypeRingFloats16 carries a collective chunk compressed to IEEE 754
+// binary16 (EncodeF16s), 2 bytes per element instead of RingFloats' 4. It
+// is numbered after the serving-tier types (serve.go ends at
+// TypeReloadResult = 15) so existing wire values stay stable.
+const TypeRingFloats16 MsgType = 16
+
 // MaxFrameSize bounds a frame payload; larger frames indicate corruption.
 const MaxFrameSize = 1 << 30
 

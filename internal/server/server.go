@@ -343,6 +343,20 @@ func New(cfg Config) (*Server, error) {
 			s.journals[r] = newRetireJournal()
 			s.bufs[r].OnRetire(s.journals[r].record)
 		}
+		// Every epoch's ring must negotiate the codec the trainer config
+		// declares (core.NewTrainer verifies the match): survivors of a
+		// re-formation keep compressing exactly as before, and a member
+		// restarted with a different -grad-compress fails ring formation
+		// loudly instead of joining with a mismatched wire format.
+		userRingOpts := cfg.Elastic.RingOptions
+		ringOpts := func(epoch int) transport.RingOptions {
+			var ro transport.RingOptions
+			if userRingOpts != nil {
+				ro = userRingOpts(epoch)
+			}
+			ro.Codec = cfg.Trainer.GradCompress
+			return ro
+		}
 		member, err := elastic.NewMember(elastic.MemberConfig{
 			ID:             cfg.Elastic.MemberID,
 			Coordinator:    cfg.Elastic.Coordinator,
@@ -350,7 +364,7 @@ func New(cfg Config) (*Server, error) {
 			BindAddr:       cfg.Elastic.BindAddr,
 			ConnectTimeout: cfg.Elastic.ConnectTimeout,
 			LocalRanks:     cfg.Ranks,
-			RingOptions:    cfg.Elastic.RingOptions,
+			RingOptions:    ringOpts,
 			Run:            s.runEpoch,
 			OnCommit: func(batch int) {
 				for _, j := range s.journals {

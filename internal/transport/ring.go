@@ -60,6 +60,12 @@ const ringSendDepth = 2
 // allocate ahead of bytes actually received.
 const ringReadChunk = 1 << 20
 
+// ringRecvBufSize is the read-ahead buffer on the predecessor link. One
+// kernel read typically delivers a frame header together with (much of)
+// its payload, so the per-frame receive cost drops from two-plus syscalls
+// to about one — a fixed cost shared by both wire codecs.
+const ringRecvBufSize = 64 << 10
+
 // Dial backoff bounds for ring formation (see RingListener.Connect).
 const (
 	ringDialBackoffBase = 20 * time.Millisecond
@@ -93,6 +99,13 @@ type RingOptions struct {
 	// so a process launched with a mismatched -local-ranks fails loudly at
 	// formation instead of desynchronizing mid-collective.
 	Identity uint32
+	// Codec selects the wire encoding of collective float frames
+	// (SendFloats16/RecvFloats16 are only legal on a compressed ring). It
+	// rides the RingHello handshake next to Identity and is verified the
+	// same way: peers disagreeing on compression — or on error feedback,
+	// which is part of the codec — fail at formation instead of training
+	// divergent trajectories.
+	Codec Codec
 	// Wrap, when set, wraps each established ring connection after the
 	// handshake — the chaos layer's hook (see Chaos.Wrap).
 	Wrap func(net.Conn) net.Conn
@@ -141,6 +154,14 @@ type Ring struct {
 	next       net.Conn // to successor (nil when size == 1)
 	prev       net.Conn // from predecessor (nil when size == 1)
 	ioTimeout  time.Duration
+	codec      Codec
+
+	// Wire-byte counters over established links (frame header + payload,
+	// heartbeats included), read via WireBytes. They make the compressed
+	// codec's byte cut observable in production metrics, not just in
+	// benchmarks.
+	wireSent atomic.Uint64
+	wireRecv atomic.Uint64
 
 	sendData   chan []byte // framed messages awaiting the writer
 	sendFree   chan []byte // recycled staging buffers
@@ -153,8 +174,41 @@ type Ring struct {
 	closeMu sync.Mutex // guards conn closing (Close vs Abort)
 	aborted atomic.Bool
 
-	recvBuf []byte // recycled payload staging for RecvFloats
+	rd      *ringReader // buffered, byte-counted reads from prev
+	recvBuf []byte      // recycled payload staging for RecvFloats
 	hdr     [ringHeaderLen]byte
+}
+
+// ringReader is the predecessor link's buffered reader. Every kernel read
+// carries a fresh deadline (the link timeout stays progress-based) and is
+// counted into the ring's wire-byte counter at syscall granularity; reads
+// at least as large as the buffer bypass it to avoid double copying.
+type ringReader struct {
+	conn    net.Conn
+	timeout time.Duration
+	count   *atomic.Uint64
+	buf     []byte
+	lo, hi  int
+}
+
+func (br *ringReader) Read(p []byte) (int, error) {
+	if br.lo == br.hi {
+		br.conn.SetReadDeadline(time.Now().Add(br.timeout))
+		if len(p) >= len(br.buf) {
+			n, err := br.conn.Read(p)
+			br.count.Add(uint64(n))
+			return n, err
+		}
+		n, err := br.conn.Read(br.buf)
+		br.count.Add(uint64(n))
+		br.lo, br.hi = 0, n
+		if n == 0 {
+			return 0, err
+		}
+	}
+	n := copy(p, br.buf[br.lo:br.hi])
+	br.lo += n
+	return n, nil
 }
 
 // Connect forms the ring with default options and no cancellation; see
@@ -177,7 +231,7 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 		return nil, fmt.Errorf("transport: ring rank %d out of range [0,%d)", rank, size)
 	}
 	opts = opts.withDefaults()
-	r := &Ring{rank: rank, size: size, ioTimeout: opts.IOTimeout}
+	r := &Ring{rank: rank, size: size, ioTimeout: opts.IOTimeout, codec: opts.Codec}
 	if size == 1 {
 		l.ln.Close()
 		return r, nil
@@ -198,7 +252,7 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 	dialed := make(chan dialResult, 1)
 	go func() {
 		succ := addrs[(rank+1)%size]
-		conn, err := dialRing(dctx, succ, rank, opts.Identity)
+		conn, err := dialRing(dctx, succ, rank, opts.Identity, opts.Codec)
 		dialed <- dialResult{conn: conn, err: err}
 	}()
 
@@ -223,7 +277,7 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 		}
 		return fail(fmt.Errorf("transport: accepting ring predecessor: %w", err))
 	}
-	from, identity, err := readRingHello(conn)
+	from, identity, codec, err := readRingHello(conn)
 	if err != nil {
 		conn.Close()
 		return fail(err)
@@ -236,6 +290,10 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 	if identity != opts.Identity {
 		conn.Close()
 		return fail(fmt.Errorf("transport: ring rank %d: predecessor %d identity %#x, want %#x (mismatched topology config?)", rank, from, identity, opts.Identity))
+	}
+	if codec != opts.Codec {
+		conn.Close()
+		return fail(fmt.Errorf("transport: ring rank %d: predecessor %d codec %v, want %v (mismatched -grad-compress config?)", rank, from, codec, opts.Codec))
 	}
 	r.prev = conn
 	l.ln.Close()
@@ -250,6 +308,12 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 	if opts.Wrap != nil {
 		r.prev = opts.Wrap(r.prev)
 		r.next = opts.Wrap(r.next)
+	}
+	r.rd = &ringReader{
+		conn:    r.prev,
+		timeout: r.ioTimeout,
+		count:   &r.wireRecv,
+		buf:     make([]byte, ringRecvBufSize),
 	}
 
 	r.sendData = make(chan []byte, ringSendDepth)
@@ -269,7 +333,7 @@ func (l *RingListener) ConnectContext(ctx context.Context, rank int, addrs []str
 
 // dialRing dials the successor with exponential backoff and jitter until
 // ctx expires, then sends the identifying RingHello.
-func dialRing(ctx context.Context, succ string, rank int, identity uint32) (net.Conn, error) {
+func dialRing(ctx context.Context, succ string, rank int, identity uint32, codec Codec) (net.Conn, error) {
 	var dialer net.Dialer
 	backoff := ringDialBackoffBase
 	var lastErr error
@@ -277,7 +341,7 @@ func dialRing(ctx context.Context, succ string, rank int, identity uint32) (net.
 		conn, err := dialer.DialContext(ctx, "tcp", succ)
 		if err == nil {
 			// Identify ourselves so the acceptor can verify ring order.
-			if err := writeRingHello(conn, rank, identity); err != nil {
+			if err := writeRingHello(conn, rank, identity, codec); err != nil {
 				conn.Close()
 				return nil, err
 			}
@@ -313,9 +377,12 @@ func (r *Ring) writeLoop() {
 	for buf := range r.sendData {
 		if r.sendErr.Load() == nil {
 			r.next.SetWriteDeadline(time.Now().Add(r.ioTimeout))
-			if _, err := r.next.Write(buf); err != nil {
+			if n, err := r.next.Write(buf); err != nil {
+				r.wireSent.Add(uint64(n))
 				werr := r.linkErr(fmt.Sprintf("send to rank %d", (r.rank+1)%r.size), err)
 				r.sendErr.Store(&werr)
+			} else {
+				r.wireSent.Add(uint64(n))
 			}
 		}
 		r.sendFree <- buf
@@ -378,6 +445,17 @@ func (r *Ring) Rank() int { return r.rank }
 
 // Size returns the number of ranks in the ring.
 func (r *Ring) Size() int { return r.size }
+
+// Codec returns the negotiated wire codec for collective float frames.
+// Both ends of every link agreed on it during the handshake.
+func (r *Ring) Codec() Codec { return r.codec }
+
+// WireBytes returns the cumulative bytes written to and read from the
+// ring links (frame headers + payloads + heartbeats). Safe to call
+// concurrently with in-flight collectives.
+func (r *Ring) WireBytes() (sent, recv uint64) {
+	return r.wireSent.Load(), r.wireRecv.Load()
+}
 
 // Abort force-closes both ring connections. Unlike Close it is safe to
 // call concurrently with in-flight collectives: blocked reads and writes
@@ -470,6 +548,73 @@ func (r *Ring) RecvFloats(dst []float32) error {
 	return nil
 }
 
+// RecvFloatsAdd is RecvFloats fused with the reduce step: the incoming
+// frame is accumulated element-wise into dst instead of overwriting it,
+// saving the collective layer a scratch buffer and a second pass.
+func (r *Ring) RecvFloatsAdd(dst []float32) error {
+	typ, payload, err := r.readFrame()
+	if err != nil {
+		return err
+	}
+	if typ != protocol.TypeRingFloats {
+		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want floats: %w", r.rank, typ, ErrLinkDead)
+	}
+	if len(payload) != 4*len(dst) {
+		return fmt.Errorf("transport: ring rank %d: float frame %d bytes, want %d: %w", r.rank, len(payload), 4*len(dst), ErrLinkDead)
+	}
+	protocol.AddF32s(dst, payload)
+	return nil
+}
+
+// SendFloats16 stages vals as a RingFloats16 frame — 2 bytes per element,
+// quantized to binary16 with round-to-nearest-even by the protocol
+// package's bulk codec. Like SendFloats, vals is fully copied (and
+// encoded) before SendFloats16 returns. Values already representable in
+// binary16 travel losslessly, which is what keeps forwarded all-gather
+// chunks identical on every rank.
+func (r *Ring) SendFloats16(vals []float32) error {
+	return r.stage(protocol.TypeRingFloats16, 2*len(vals), func(dst []byte) {
+		protocol.EncodeF16s(dst, vals)
+	})
+}
+
+// RecvFloats16 reads one RingFloats16 frame from the predecessor,
+// expanding into dst, which must have exactly the sent length. A frame of
+// the wrong type (e.g. a peer that fell back to full-width sends) is a
+// protocol violation and kills the link.
+func (r *Ring) RecvFloats16(dst []float32) error {
+	typ, payload, err := r.readFrame()
+	if err != nil {
+		return err
+	}
+	if typ != protocol.TypeRingFloats16 {
+		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want floats16: %w", r.rank, typ, ErrLinkDead)
+	}
+	if len(payload) != 2*len(dst) {
+		return fmt.Errorf("transport: ring rank %d: float16 frame %d bytes, want %d: %w", r.rank, len(payload), 2*len(dst), ErrLinkDead)
+	}
+	protocol.DecodeF16s(dst, payload)
+	return nil
+}
+
+// RecvFloats16Add is RecvFloats16 fused with the reduce step: the decoded
+// frame is accumulated element-wise into dst (one decode+add pass through
+// the F16C kernel where present).
+func (r *Ring) RecvFloats16Add(dst []float32) error {
+	typ, payload, err := r.readFrame()
+	if err != nil {
+		return err
+	}
+	if typ != protocol.TypeRingFloats16 {
+		return fmt.Errorf("transport: ring rank %d: unexpected frame type %d, want floats16: %w", r.rank, typ, ErrLinkDead)
+	}
+	if len(payload) != 2*len(dst) {
+		return fmt.Errorf("transport: ring rank %d: float16 frame %d bytes, want %d: %w", r.rank, len(payload), 2*len(dst), ErrLinkDead)
+	}
+	protocol.AddF16s(dst, payload)
+	return nil
+}
+
 // SendToken stages a zero-payload barrier token for the successor.
 func (r *Ring) SendToken() error {
 	return r.stage(protocol.TypeRingToken, 0, nil)
@@ -493,8 +638,7 @@ func (r *Ring) RecvToken() error {
 // pings) is declared dead.
 func (r *Ring) readFrame() (protocol.MsgType, []byte, error) {
 	for {
-		r.prev.SetReadDeadline(time.Now().Add(r.ioTimeout))
-		if _, err := io.ReadFull(r.prev, r.hdr[:]); err != nil {
+		if _, err := io.ReadFull(r.rd, r.hdr[:]); err != nil {
 			return 0, nil, r.linkErr("recv header", err)
 		}
 		size := binary.LittleEndian.Uint32(r.hdr[:4])
@@ -546,8 +690,7 @@ func (r *Ring) readPayload(n int) ([]byte, error) {
 			buf = nb
 		}
 		buf = buf[:want]
-		r.prev.SetReadDeadline(time.Now().Add(r.ioTimeout))
-		if _, err := io.ReadFull(r.prev, buf[have:want]); err != nil {
+		if _, err := io.ReadFull(r.rd, buf[have:want]); err != nil {
 			return nil, r.linkErr("recv payload", err)
 		}
 		have = want
@@ -557,13 +700,14 @@ func (r *Ring) readPayload(n int) ([]byte, error) {
 }
 
 // writeRingHello sends the one-shot rank handshake on a dialed connection:
-// the dialer's ring rank followed by its topology identity.
-func writeRingHello(conn net.Conn, rank int, identity uint32) error {
-	var buf [ringHeaderLen + 8]byte
-	binary.LittleEndian.PutUint32(buf[:], 9)
+// the dialer's ring rank, its topology identity, and its wire codec.
+func writeRingHello(conn net.Conn, rank int, identity uint32, codec Codec) error {
+	var buf [ringHeaderLen + 12]byte
+	binary.LittleEndian.PutUint32(buf[:], 13)
 	buf[4] = byte(protocol.TypeRingHello)
 	binary.LittleEndian.PutUint32(buf[ringHeaderLen:], uint32(rank))
 	binary.LittleEndian.PutUint32(buf[ringHeaderLen+4:], identity)
+	binary.LittleEndian.PutUint32(buf[ringHeaderLen+8:], uint32(codec))
 	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
 	defer conn.SetWriteDeadline(time.Time{})
 	if _, err := conn.Write(buf[:]); err != nil {
@@ -572,19 +716,20 @@ func writeRingHello(conn net.Conn, rank int, identity uint32) error {
 	return nil
 }
 
-// readRingHello reads the rank+identity handshake from an accepted
+// readRingHello reads the rank+identity+codec handshake from an accepted
 // connection.
-func readRingHello(conn net.Conn) (rank int, identity uint32, err error) {
+func readRingHello(conn net.Conn) (rank int, identity uint32, codec Codec, err error) {
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 	defer conn.SetReadDeadline(time.Time{})
-	var buf [ringHeaderLen + 8]byte
+	var buf [ringHeaderLen + 12]byte
 	if _, err := io.ReadFull(conn, buf[:]); err != nil {
-		return 0, 0, fmt.Errorf("transport: reading ring hello: %w", err)
+		return 0, 0, 0, fmt.Errorf("transport: reading ring hello: %w", err)
 	}
-	if binary.LittleEndian.Uint32(buf[:4]) != 9 || protocol.MsgType(buf[4]) != protocol.TypeRingHello {
-		return 0, 0, fmt.Errorf("transport: malformed ring hello")
+	if binary.LittleEndian.Uint32(buf[:4]) != 13 || protocol.MsgType(buf[4]) != protocol.TypeRingHello {
+		return 0, 0, 0, fmt.Errorf("transport: malformed ring hello")
 	}
 	rank = int(binary.LittleEndian.Uint32(buf[ringHeaderLen:]))
 	identity = binary.LittleEndian.Uint32(buf[ringHeaderLen+4:])
-	return rank, identity, nil
+	codec = Codec(binary.LittleEndian.Uint32(buf[ringHeaderLen+8:]))
+	return rank, identity, codec, nil
 }

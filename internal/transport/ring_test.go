@@ -36,12 +36,19 @@ func (c *byteConn) SetWriteDeadline(t time.Time) error { return nil }
 
 // frameReaderOver builds a receive-only Ring over a canned byte stream.
 func frameReaderOver(data []byte) *Ring {
-	return &Ring{
+	r := &Ring{
 		rank:      0,
 		size:      2,
 		prev:      newByteConn(data),
 		ioTimeout: time.Second,
 	}
+	r.rd = &ringReader{
+		conn:    r.prev,
+		timeout: r.ioTimeout,
+		count:   &r.wireRecv,
+		buf:     make([]byte, ringRecvBufSize),
+	}
+	return r
 }
 
 // ringFrame encodes one [length | type | payload] wire frame.
@@ -256,6 +263,156 @@ func TestRingIdentityMismatch(t *testing.T) {
 	for r, err := range errs {
 		if err != nil && !strings.Contains(err.Error(), "identity") {
 			t.Fatalf("rank %d failed with %v, want an identity mismatch error", r, err)
+		}
+	}
+}
+
+// TestRingFloats16RoundTrip exercises the compressed frame path over a
+// canned stream: a RingFloats16 frame decodes to the quantized values, the
+// fused RecvFloats16Add accumulates instead of overwriting, and a
+// full-width frame arriving where a compressed one is expected (codec
+// desync) kills the link.
+func TestRingFloats16RoundTrip(t *testing.T) {
+	vals := []float32{1.5, -2.25, 3.75, 0.1}
+	payload := make([]byte, 2*len(vals))
+	protocol.EncodeF16s(payload, vals)
+	stream := append(ringFrame(protocol.TypeRingFloats16, payload), ringFrame(protocol.TypeRingFloats16, payload)...)
+	stream = append(stream, ringFrame(protocol.TypeRingFloats, make([]byte, 4*len(vals)))...)
+
+	r := frameReaderOver(stream)
+	dst := make([]float32, len(vals))
+	if err := r.RecvFloats16(dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if want := protocol.RoundF16(v); dst[i] != want {
+			t.Fatalf("float %d: got %v want %v", i, dst[i], want)
+		}
+	}
+	if err := r.RecvFloats16Add(dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if want := protocol.RoundF16(v) * 2; dst[i] != want {
+			t.Fatalf("accumulated float %d: got %v want %v", i, dst[i], want)
+		}
+	}
+	if err := r.RecvFloats16(dst); !errors.Is(err, ErrLinkDead) {
+		t.Fatalf("full-width frame on a compressed receive: got %v, want ErrLinkDead", err)
+	}
+}
+
+// TestRingCodecMismatch: ring formation must fail loudly when the two ends
+// of a link were launched with different wire codecs (e.g. mismatched
+// -grad-compress), instead of forming a ring whose ranks would train
+// different trajectories.
+func TestRingCodecMismatch(t *testing.T) {
+	l0, err := ListenRing("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := ListenRing("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{l0.Addr(), l1.Addr()}
+	codecs := []Codec{CodecF32, CodecF16}
+	rings := make([]*Ring, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r, l := range []*RingListener{l0, l1} {
+		wg.Add(1)
+		go func(rank int, l *RingListener) {
+			defer wg.Done()
+			rings[rank], errs[rank] = l.ConnectContext(context.Background(), rank, addrs,
+				3*time.Second, RingOptions{Codec: codecs[rank]})
+		}(r, l)
+	}
+	wg.Wait()
+	for r := range rings {
+		if rings[r] != nil {
+			rings[r].Close()
+		}
+	}
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatal("mismatched codecs formed a ring")
+	}
+	for r, err := range errs {
+		if err != nil && !strings.Contains(err.Error(), "codec") {
+			t.Fatalf("rank %d failed with %v, want a codec mismatch error", r, err)
+		}
+	}
+}
+
+// TestChaosF16Ring drives a compressed 2-rank ring through the chaos layer
+// with heavy deterministic frame drops: the ranks must fail with a link
+// error (starved read deadline) rather than wedge or panic — the same
+// failure contract the full-width path honors, which is what lets the
+// elastic runtime treat compressed rings identically during re-formation.
+func TestChaosF16Ring(t *testing.T) {
+	chaos := NewChaos(ChaosConfig{Seed: 42, DropRate: 0.3})
+	l0, err := ListenRing("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := ListenRing("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{l0.Addr(), l1.Addr()}
+	opts := RingOptions{
+		Codec:             CodecF16,
+		IOTimeout:         300 * time.Millisecond,
+		HeartbeatInterval: -1, // only data keeps the link alive
+		Wrap:              chaos.Wrap,
+	}
+	rings := make([]*Ring, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r, l := range []*RingListener{l0, l1} {
+		wg.Add(1)
+		go func(rank int, l *RingListener) {
+			defer wg.Done()
+			rings[rank], errs[rank] = l.ConnectContext(context.Background(), rank, addrs, 5*time.Second, opts)
+		}(r, l)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d formation: %v", r, err)
+		}
+	}
+	defer rings[0].Close()
+	defer rings[1].Close()
+
+	// Pump compressed frames until the drops starve a receiver. Every
+	// rank must observe a link error within a bounded number of rounds.
+	pump := func(r *Ring) error {
+		vals := make([]float32, 256)
+		for i := 0; i < 10000; i++ {
+			if err := r.SendFloats16(vals); err != nil {
+				return err
+			}
+			if err := r.RecvFloats16(vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for r := range rings {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = pump(rings[rank])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d survived 10000 rounds at 30%% frame drop", r)
+		}
+		if !errors.Is(err, ErrLinkDead) {
+			t.Fatalf("rank %d failed with %v, want ErrLinkDead", r, err)
 		}
 	}
 }
